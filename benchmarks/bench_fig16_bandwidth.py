@@ -1,0 +1,66 @@
+"""Figure 16 — implications of low distribution/reduction bandwidth.
+
+Sweeps the number of elements the global buffer can send/receive per cycle
+(512 / 256 / 128 / 64) for Seq, SP and PP dataflows.  Expected shapes
+(§V-C3): runtime degrades as bandwidth drops, and PP suffers the most
+because the two phases share the bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import sweep_bandwidth
+
+BANDWIDTHS = (512, 256, 128, 64)
+SWEEP_CONFIGS = ("Seq1", "SP1", "PP1")
+FIG16_DATASETS = ("mutag", "citeseer", "collab")
+
+
+@pytest.mark.parametrize("ds", FIG16_DATASETS)
+def test_fig16_bandwidth_sweep(benchmark, workloads, ds):
+    rows = benchmark.pedantic(
+        lambda: sweep_bandwidth(
+            workloads[ds], bandwidths=BANDWIDTHS, config_names=SWEEP_CONFIGS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    table: dict[str, dict[int, float]] = {c: {} for c in SWEEP_CONFIGS}
+    for r in rows:
+        table[r["config"]][r["bandwidth"]] = r["normalized"]
+    print(
+        format_table(
+            ["config"] + [f"bw={b}" for b in BANDWIDTHS],
+            [[c] + [table[c][b] for b in BANDWIDTHS] for c in SWEEP_CONFIGS],
+            title=f"Fig. 16 — {ds}: runtime normalized to Seq1 @ bw=512",
+            float_fmt="{:.2f}",
+        )
+    )
+    # Monotone: less bandwidth never helps.
+    for c in SWEEP_CONFIGS:
+        series = [table[c][b] for b in BANDWIDTHS]
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:])), c
+
+
+def test_fig16_pp_most_sensitive(benchmark, workloads):
+    """PP shares bandwidth between phases => steepest degradation."""
+
+    def build():
+        rows = sweep_bandwidth(
+            workloads["collab"],
+            bandwidths=(512, 64),
+            config_names=("Seq1", "PP1"),
+        )
+        out: dict[str, dict[int, int]] = {"Seq1": {}, "PP1": {}}
+        for r in rows:
+            out[r["config"]][r["bandwidth"]] = r["cycles"]
+        return out
+
+    cycles = benchmark.pedantic(build, rounds=1, iterations=1)
+    seq_slow = cycles["Seq1"][64] / cycles["Seq1"][512]
+    pp_slow = cycles["PP1"][64] / cycles["PP1"][512]
+    print(f"\ncollab slowdown at bw=64: Seq1 {seq_slow:.2f}x, PP1 {pp_slow:.2f}x")
+    assert pp_slow >= seq_slow * 0.95

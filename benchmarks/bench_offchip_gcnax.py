@@ -1,0 +1,86 @@
+"""Extension — GCNAX-style off-chip study (paper §II-B contrast).
+
+Sweeps the global-buffer capacity for a small 16-PE accelerator and
+reports DRAM traffic with and without phase fusion.  Expected shape
+(GCNAX's result, echoed by the paper's intermediate-buffering analysis):
+fusion removes the intermediate round trip, and the saving is largest
+exactly when the buffer is small relative to ``V x F``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.core.workload import workload_from_dataset
+from repro.extensions.offchip import analyze_offchip, fusion_saving
+from repro.graphs.datasets import load_dataset
+
+GB_SIZES_KIB = (32, 128, 512, 2048, 8192)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return workload_from_dataset(load_dataset("citeseer"))
+
+
+def test_offchip_fusion_sweep(benchmark, wl):
+    def build():
+        rows = []
+        for kib in GB_SIZES_KIB:
+            elems = kib * 1024 // 4
+            unfused = analyze_offchip(wl, elems, fused=False)
+            fused = analyze_offchip(wl, elems, fused=True)
+            rows.append(
+                [
+                    kib,
+                    unfused.total_elements,
+                    fused.total_elements,
+                    fusion_saving(wl, elems),
+                    fused.vertex_block,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["GB (KiB)", "DRAM unfused", "DRAM fused", "fusion saving", "V-block"],
+            rows,
+            title="GCNAX-style off-chip sweep — citeseer (DRAM elements)",
+            float_fmt="{:.2%}",
+        )
+    )
+    savings = [r[3] for r in rows]
+    assert all(0 <= s < 1 for s in savings)
+    assert savings[0] > 0.15  # fusion matters most for small buffers
+
+
+def test_offchip_traffic_decreases_with_buffer(benchmark, wl):
+    def build():
+        return [
+            analyze_offchip(wl, kib * 1024 // 4, fused=True).total_elements
+            for kib in GB_SIZES_KIB
+        ]
+
+    totals = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+
+def test_offchip_vs_onchip_contrast(benchmark, wl):
+    """The paper's positioning: with a large on-chip buffer the off-chip
+    dataflow question disappears (traffic reaches the compulsory minimum)."""
+
+    def build():
+        big = analyze_offchip(wl, 64 * 1024 * 1024 // 4, fused=True)
+        compulsory = (
+            wl.num_edges + wl.num_vertices + 1  # adjacency
+            + wl.num_vertices * wl.in_features  # X0 once
+            + wl.in_features * wl.out_features  # W once
+            + wl.num_vertices * wl.out_features  # output once
+        )
+        return big.total_elements, compulsory
+
+    total, compulsory = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert total <= 1.05 * compulsory

@@ -1,0 +1,75 @@
+"""Benchmark — the §VI mapping optimizer on top of OMEGA.
+
+Measures search cost and solution quality: the Table V sweep vs the
+broader legal-space search vs tile refinement, per objective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.arch.config import AcceleratorConfig
+from repro.core.optimizer import MappingOptimizer, search_paper_configs
+from repro.core.tiling import choose_tiles
+from repro.core.workload import workload_from_dataset
+from repro.graphs.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return workload_from_dataset(load_dataset("cora"))
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return AcceleratorConfig(num_pes=512)
+
+
+def test_optimizer_paper_sweep_speed(benchmark, wl, hw):
+    """How fast is a full Table V sweep (the mapper's inner loop)?"""
+    r = benchmark(lambda: search_paper_configs(wl, hw, objective="cycles"))
+    assert r.evaluated == 9
+
+
+def test_optimizer_quality_ladder(benchmark, wl, hw):
+    def build():
+        rows = []
+        paper = search_paper_configs(wl, hw, objective="edp")
+        rows.append(["Table V sweep", paper.evaluated, paper.best_score])
+        opt = MappingOptimizer(wl, hw, objective="edp")
+        full = opt.exhaustive(budget=300)
+        rows.append(["exhaustive(300)", full.evaluated, full.best_score])
+        df = full.best.dataflow
+        st, gt, concrete = choose_tiles(df, wl, hw)
+        refined, _, _ = opt.refine_tiles(concrete, st, gt, max_steps=12)
+        rows.append(
+            ["+ tile refinement", full.evaluated + 12, opt._score(refined)]
+        )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["stage", "evaluations", "best EDP"],
+            rows,
+            title="Mapping search quality ladder (cora, EDP objective)",
+            float_fmt="{:.3e}",
+        )
+    )
+    scores = [r[2] for r in rows]
+    assert scores[1] <= scores[0] * 1.001  # broader search never worse
+    assert scores[2] <= scores[1] * 1.001  # refinement never worse
+
+
+def test_optimizer_random_vs_exhaustive(benchmark, wl, hw):
+    def build():
+        opt = MappingOptimizer(wl, hw, objective="cycles")
+        rand = opt.random_search(60, seed=1)
+        full = opt.exhaustive(budget=300)
+        return rand.best_score, full.best_score
+
+    rand_score, full_score = benchmark.pedantic(build, rounds=1, iterations=1)
+    print(f"\nrandom(60): {rand_score:.3e}   exhaustive(300): {full_score:.3e}")
+    assert full_score <= rand_score * 1.2

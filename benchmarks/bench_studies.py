@@ -1,0 +1,59 @@
+"""Parametric crossover studies — the paper's narratives, isolated.
+
+Each study sweeps one axis on controlled synthetic graphs and prints
+where the winner flips (density: temporal vs spatial N; skew: low vs
+high T_V; F/G ratio: AC vs CA).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.studies import (
+    density_crossover_study,
+    order_crossover_study,
+    skew_study,
+)
+
+
+def _print(rows, title, xlabel):
+    keys = list(rows[0].values)
+    print()
+    print(
+        format_table(
+            [xlabel] + keys + ["winner"],
+            [[r.x] + [r.values[k] for k in keys] + [r.winner()] for r in rows],
+            title=title,
+            float_fmt="{:.0f}",
+        )
+    )
+
+
+def test_density_crossover(benchmark):
+    rows = benchmark.pedantic(density_crossover_study, rounds=1, iterations=1)
+    _print(rows, "Density study — temporal (Seq1) vs spatial (Seq2) Aggregation on ego-nets", "avg_deg")
+    # Spatial Aggregation wins on dense ego-nets, and its margin at high
+    # density exceeds the sparse-end margin (§V-B1's HE observation).
+    margins = [r.values["Seq1"] / r.values["Seq2"] for r in rows]
+    assert rows[-2].winner() == "Seq2"
+    assert max(margins[2:]) >= margins[0]
+
+
+def test_skew_study(benchmark):
+    rows = benchmark.pedantic(skew_study, rounds=1, iterations=1)
+    _print(rows, "Skew study — SP1 (low T_V) vs SP2 (high T_V)", "#hubs")
+    # Uniform graphs tolerate high T_V; heavy skew punishes it.
+    sp2_penalty = [r.values["SP2"] / r.values["SP1"] for r in rows]
+    assert sp2_penalty[1] >= sp2_penalty[0] * 0.9
+    assert max(sp2_penalty) == pytest.approx(sp2_penalty[1], rel=1.0) or max(
+        sp2_penalty
+    ) > sp2_penalty[0]
+
+
+def test_order_crossover(benchmark):
+    rows = benchmark.pedantic(order_crossover_study, rounds=1, iterations=1)
+    _print(rows, "Phase-order study — AC vs CA runtime as F/G sweeps", "F/G")
+    # G >> F: AC preferred; F >> G: CA preferred.
+    assert rows[0].winner() == "AC"
+    assert rows[-1].winner() == "CA"

@@ -1,0 +1,75 @@
+"""Table II — enumerating the multiphase dataflow design space.
+
+Reproduces the paper's §III-C count: 6,656 choices from loop orders,
+parallelism (spatial/temporal), and phase order across the three
+inter-phase strategies, plus the per-row loop-order pair listing.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.enumeration import (
+    TABLE_II_ROWS,
+    count_design_space,
+    enumerate_pairs,
+    table_ii_order_pairs,
+)
+from repro.core.taxonomy import InterPhase, PhaseOrder
+
+
+def test_table2_design_space_count(benchmark):
+    counts = benchmark(count_design_space)
+    print()
+    print(
+        format_table(
+            ["strategy", "choices"],
+            [[k, v] for k, v in counts.items()],
+            title="Table II — design-space size (paper: 6,656 total)",
+        )
+    )
+    assert counts["total"] == 6656
+
+
+def test_table2_row_listing(benchmark):
+    def build():
+        rows = []
+        for row in TABLE_II_ROWS:
+            for agg, cmb in row.pairs:
+                rows.append(
+                    [
+                        row.row,
+                        row.inter.value,
+                        row.order.value,
+                        f"{agg}, {cmb}",
+                        row.granularity.value if row.granularity else "-",
+                        row.remark,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["row", "inter", "order", "(Agg, Cmb)", "granularity", "remark"],
+            rows,
+            title="Table II — enumerated loop-order pairs",
+        )
+    )
+    assert len(rows) == sum(len(r.pairs) for r in TABLE_II_ROWS)
+
+
+def test_table2_inference_matches_listing(benchmark):
+    """Our granularity-compatibility rule rediscovers the table's pairs."""
+
+    def check():
+        ok = True
+        for order in PhaseOrder:
+            inferred = {
+                (df.agg.order, df.cmb.order)
+                for df in enumerate_pairs(InterPhase.PP, order)
+            }
+            ok &= inferred == table_ii_order_pairs(InterPhase.PP, order)
+        return ok
+
+    assert benchmark(check)

@@ -1,0 +1,97 @@
+"""Table III — runtime and buffering formulas per inter-phase dataflow.
+
+Validates the analytical identities on a mid-size workload:
+
+=============  ======================  ==============================
+dataflow       buffering               runtime
+=============  ======================  ==============================
+Seq            V x F                   t_AGG + t_CMB
+SP-Generic     Pel                     t_AGG + t_CMB
+SP-Optimized   0                       t_AGG + t_CMB - t_load
+PP-Row         2 x T_Vmax x F          sum(max(t_AGG, t_CMB)_Pel)
+PP-Element     2 x T_Vmax x T_Fmax     sum(max(t_AGG, t_CMB)_Pel)
+PP-Column      2 x V x T_Fmax          sum(max(t_AGG, t_CMB)_Pel)
+=============  ======================  ==============================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import format_table
+from repro.arch.config import AcceleratorConfig
+from repro.core.omega import run_gnn_dataflow
+from repro.core.taxonomy import SPVariant, parse_dataflow
+from repro.core.workload import GNNWorkload
+from repro.engine.gemm import GemmTiling
+from repro.engine.spmm import SpmmTiling
+from repro.graphs.generators import erdos_renyi_graph
+
+
+@pytest.fixture(scope="module")
+def wl():
+    g = erdos_renyi_graph(np.random.default_rng(0), 256, 2000)
+    return GNNWorkload(g, in_features=64, out_features=8, name="er256")
+
+
+HW = AcceleratorConfig(num_pes=256)
+
+CASES = [
+    ("Seq", "Seq_AC(VsFtNt, VsGsFt)", None, SpmmTiling(16, 1, 1), GemmTiling(16, 1, 8)),
+    ("SP-Generic", "SP_AC(VsFtNt, VsGsFt)", SPVariant.GENERIC, SpmmTiling(16, 1, 1), GemmTiling(16, 1, 8)),
+    ("SP-Optimized", "SP_AC(VsFsNt, VsFsGt)", SPVariant.OPTIMIZED, SpmmTiling(16, 16, 1), GemmTiling(16, 16, 1)),
+    ("PP-Row", "PP_AC(VsFtNt, VsGsFt)", None, SpmmTiling(16, 1, 1), GemmTiling(8, 1, 8)),
+    ("PP-Element", "PP_AC(VsFsNt, VsFsGt)", None, SpmmTiling(8, 16, 1), GemmTiling(8, 16, 1)),
+    ("PP-Column", "PP_AC(FsVtNt, FsGsVt)", None, SpmmTiling(1, 16, 1), GemmTiling(1, 16, 8)),
+]
+
+
+def test_table3_buffering_and_runtime(benchmark, wl):
+    def build():
+        rows = []
+        for label, notation, variant, st, gt in CASES:
+            df = parse_dataflow(notation, sp_variant=variant)
+            r = run_gnn_dataflow(wl, df, HW, spmm_tiling=st, gemm_tiling=gt)
+            rows.append((label, r))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataflow", "buffering(elems)", "Pel", "runtime(cycles)", "granularity"],
+            [
+                [
+                    label,
+                    r.intermediate_buffer_elements,
+                    r.pel if r.pel is not None else "-",
+                    r.total_cycles,
+                    r.granularity.value if r.granularity else "-",
+                ]
+                for label, r in rows
+            ],
+            title="Table III — buffering & runtime per inter-phase dataflow",
+        )
+    )
+    by = dict(rows)
+    V, F = wl.num_vertices, wl.in_features
+
+    # Buffering identities.
+    assert by["Seq"].intermediate_buffer_elements == V * F
+    assert by["SP-Generic"].intermediate_buffer_elements == by["SP-Generic"].pel
+    assert by["SP-Optimized"].intermediate_buffer_elements == 0
+    assert by["PP-Row"].intermediate_buffer_elements == 2 * 16 * F
+    assert by["PP-Element"].intermediate_buffer_elements == 2 * 8 * 16
+    assert by["PP-Column"].intermediate_buffer_elements == 2 * V * 16
+
+    # Runtime identities.
+    assert by["Seq"].total_cycles == by["Seq"].agg.cycles + by["Seq"].cmb.cycles
+    assert by["SP-Generic"].total_cycles == by["Seq"].total_cycles
+    assert by["SP-Optimized"].total_cycles < (
+        by["SP-Optimized"].agg.cycles + by["SP-Optimized"].cmb.cycles
+    )
+    for pp in ("PP-Row", "PP-Element", "PP-Column"):
+        r = by[pp]
+        assert max(r.agg.cycles, r.cmb.cycles) <= r.total_cycles
+        assert r.total_cycles <= r.agg.cycles + r.cmb.cycles + r.pipeline.fill_cycles + 1

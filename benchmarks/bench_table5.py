@@ -1,0 +1,61 @@
+"""Table V — the evaluated dataflow configurations and their realization.
+
+Prints each named configuration's notation, distinguishing property, and
+the tile sizes the chooser realizes on each dataset (the bracketed tuples
+annotating the paper's result charts).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_table
+from repro.core.configs import PAPER_CONFIGS
+
+from conftest import CONFIGS, DATASETS
+
+
+def test_table5_configurations(benchmark):
+    def build():
+        return [
+            [name, cfg.notation, cfg.sp_variant.value if cfg.sp_variant else "-", cfg.description]
+            for name, cfg in PAPER_CONFIGS.items()
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["name", "notation", "SP variant", "distinguishing property"],
+            rows,
+            title="Table V — dataflow configurations for evaluation",
+        )
+    )
+    assert len(rows) == len(CONFIGS)
+
+
+def test_table5_static_utilization(benchmark, paper_runs):
+    """§V-A3: tile sizes chosen for ~100% static utilization."""
+
+    def build():
+        rows = []
+        for ds in DATASETS:
+            for cfg in CONFIGS:
+                r = paper_runs(ds, cfg)
+                rows.append(
+                    [ds, cfg, r.agg.static_utilization, r.cmb.static_utilization]
+                )
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["dataset", "config", "agg util", "cmb util"],
+            rows,
+            title="Table V realization — static PE utilization per phase",
+            float_fmt="{:.2f}",
+        )
+    )
+    # Utilization should be high except where extents are too small to
+    # fill the array (tiny G, SPhighV's deliberate T_F=1, PP partitions).
+    high = [r for r in rows if r[2] >= 0.5]
+    assert len(high) >= len(rows) // 2

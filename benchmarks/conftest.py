@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+``paper_runs`` lazily evaluates every (dataset, Table V config) pair once
+per session; Figs. 11-13 all read from the same run cache so the harness
+stays fast while every figure regenerates from identical data, exactly as
+in the paper.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro import AcceleratorConfig
+from repro.core.configs import paper_config_names, paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+from repro.core.workload import GNNWorkload, workload_from_dataset
+from repro.graphs.datasets import dataset_names, load_dataset
+
+DATASETS = dataset_names()
+CONFIGS = paper_config_names()
+
+
+@pytest.fixture(scope="session")
+def hw512() -> AcceleratorConfig:
+    return AcceleratorConfig(num_pes=512)
+
+
+@pytest.fixture(scope="session")
+def workloads() -> dict[str, GNNWorkload]:
+    return {
+        name: workload_from_dataset(load_dataset(name)) for name in DATASETS
+    }
+
+
+@pytest.fixture(scope="session")
+def paper_runs(workloads, hw512):
+    """Memoized (dataset, config) -> RunResult evaluator."""
+
+    @functools.lru_cache(maxsize=None)
+    def run(ds_name: str, cfg_name: str):
+        df, hint = paper_dataflow(cfg_name)
+        return run_gnn_dataflow(workloads[ds_name], df, hw512, hint=hint)
+
+    return run

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare all Table V dataflow configurations on one dataset (Fig. 11).
+
+Prints normalized runtime and energy for the paper's nine named dataflows,
+with ASCII bars, on a dataset of your choice.
+
+Run:  python examples/dataflow_comparison.py [dataset]
+      (dataset defaults to 'cora'; see repro.dataset_names())
+"""
+
+import sys
+
+from repro import AcceleratorConfig, load_dataset, workload_from_dataset
+from repro.analysis.plotting import ascii_bars
+from repro.analysis.report import format_table, gb_breakdown_row
+from repro.core.configs import paper_config_names, paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "cora"
+    workload = workload_from_dataset(load_dataset(name))
+    hw = AcceleratorConfig(num_pes=512)
+
+    results = {}
+    for cfg in paper_config_names():
+        df, hint = paper_dataflow(cfg)
+        results[cfg] = run_gnn_dataflow(workload, df, hw, hint=hint)
+
+    base = results["Seq1"]
+    runtime = {k: r.total_cycles / base.total_cycles for k, r in results.items()}
+    energy = {k: r.energy_pj / base.energy_pj for k, r in results.items()}
+
+    print(ascii_bars(runtime, title=f"\n{name}: runtime normalized to Seq1"))
+    print(ascii_bars(energy, title=f"\n{name}: energy normalized to Seq1"))
+
+    rows = []
+    for cfg, r in results.items():
+        b = gb_breakdown_row(r)
+        rows.append(
+            [
+                cfg,
+                r.total_cycles,
+                round(r.energy_pj / 1e6, 2),
+                int(b["Psum"]),
+                r.granularity.value if r.granularity else "-",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["config", "cycles", "energy(uJ)", "psum accesses", "granularity"],
+            rows,
+            title=f"{name}: detail per configuration",
+        )
+    )
+
+    best = min(results, key=lambda k: results[k].total_cycles)
+    print(f"\nbest runtime: {best} ({runtime[best]:.2f}x Seq1)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Archive the full evaluation as machine-readable jsonl records.
+
+Runs every (dataset, Table V configuration) pair — the data behind
+Figs. 11-13 — and writes one JSON record per run to ``results/``.
+Useful for regression-diffing the cost model across library versions or
+feeding external plotting.
+
+Run:  python examples/generate_report.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import AcceleratorConfig, load_dataset, workload_from_dataset
+from repro.analysis.export import run_result_to_record, write_records
+from repro.core.configs import paper_config_names, paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+from repro.graphs.datasets import dataset_names
+
+
+def main() -> None:
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    hw = AcceleratorConfig(num_pes=512)
+    records = []
+    for ds_name in dataset_names():
+        wl = workload_from_dataset(load_dataset(ds_name))
+        for cfg in paper_config_names():
+            df, hint = paper_dataflow(cfg)
+            res = run_gnn_dataflow(wl, df, hw, hint=hint)
+            records.append(
+                run_result_to_record(res, dataset=ds_name, config=cfg, seed=0)
+            )
+            print(f"{ds_name:<11} {cfg:<8} {res.total_cycles:>12,} cycles")
+    path = write_records(outdir / "table5_sweep.jsonl", records)
+    print(f"\nwrote {len(records)} records to {path}")
+
+
+if __name__ == "__main__":
+    main()

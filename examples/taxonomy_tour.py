@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""A guided tour of the dataflow taxonomy (paper §III; docs/TAXONOMY.md).
+
+Walks through the notation, the legality rules, the design-space count,
+and the Table I classification — all executable.
+
+Run:  python examples/taxonomy_tour.py
+"""
+
+from repro.core.enumeration import count_design_space, enumerate_pairs
+from repro.core.legality import infer_granularity, sp_optimized_ok, validate_dataflow
+from repro.core.taxonomy import (
+    Dim,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+    parse_dataflow,
+)
+from repro.engine.loopnest import classify_stationary
+
+
+def main() -> None:
+    print("1) Intra-phase notation (paper Fig. 4/5)")
+    agg = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+    print(f"   {agg}: loops {'->'.join(d.value for d in agg.order)}, "
+          f"spatial {[d.value for d in agg.spatial_dims]}, "
+          f"contraction {agg.contraction.value}")
+
+    print("\n2) Table I: who is stationary under each GEMM dataflow?")
+    extents = {Dim.V: 64, Dim.F: 64, Dim.G: 64}
+    for text, tiles in (
+        ("VsGsFt", {Dim.V: 8, Dim.G: 8, Dim.F: 1}),
+        ("GsFsVt", {Dim.V: 1, Dim.G: 8, Dim.F: 8}),
+        ("VsFsGt", {Dim.V: 8, Dim.G: 1, Dim.F: 8}),
+    ):
+        cmb = IntraDataflow.parse(text, Phase.COMBINATION)
+        print(f"   {text}: {classify_stationary(cmb, tiles, extents)}")
+
+    print("\n3) Full dataflows and their pipelining granularity")
+    for text in (
+        "PP_AC(VtFsNt, VsGsFt)",   # HyGCN
+        "PP_CA(FsNtVs, GtFtVs)",   # AWB-GCN
+        "PP_AC(VsFsNt, VsFsGt)",   # element-wise
+        "Seq_AC(NtVtFt, GtVtFt)",  # any pair is fine sequentially
+    ):
+        df = parse_dataflow(text)
+        gran = validate_dataflow(df)
+        print(f"   {df!s:<28} -> {gran.value if gran else 'no pipelining (Seq)'}")
+
+    print("\n4) Incompatible pairs are rejected with an explanation")
+    bad = parse_dataflow("PP_AC(FsVtNt, VsGsFt)")  # column producer, row consumer
+    try:
+        validate_dataflow(bad)
+    except Exception as err:  # LegalityError
+        print(f"   {bad}: {err}")
+
+    print("\n5) SP-Optimized has extra constraints (§IV-B)")
+    good = parse_dataflow("SP_AC(VsFsNt, VsFsGt)", sp_variant=SPVariant.OPTIMIZED)
+    ok, _ = sp_optimized_ok(good)
+    print(f"   {good}: legal = {ok}")
+    bad_sp = parse_dataflow("SP_AC(VsFsNs, VsFsGt)", sp_variant=SPVariant.OPTIMIZED)
+    ok, reason = sp_optimized_ok(bad_sp)
+    print(f"   {bad_sp}: legal = {ok} ({reason})")
+
+    print("\n6) The design space (Table II)")
+    counts = count_design_space()
+    print(f"   {counts}")
+    pairs = {
+        (df.agg.order, df.cmb.order)
+        for df in enumerate_pairs(InterPhase.PP, PhaseOrder.AC)
+    }
+    print(f"   pipeline-compatible AC loop-order pairs: {len(pairs)}")
+    for a, c in sorted(pairs, key=str)[:3]:
+        print(f"     ({''.join(d.value for d in a)}, {''.join(d.value for d in c)}) ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for environments without the `wheel` package (offline legacy install)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""repro — OMEGA: multiphase sparse/dense GNN dataflows on spatial accelerators.
+
+A from-scratch reproduction of *"Understanding the Design-Space of
+Sparse/Dense Multiphase GNN dataflows on Spatial Accelerators"* (Garg et
+al., IPDPS 2022).  The library provides:
+
+- the paper's dataflow **taxonomy** (`parse_dataflow`, `Dataflow`) and the
+  full design-space **enumeration** (`count_design_space` reproduces the
+  paper's 6,656 choices);
+- tile-level **intra-phase engines** for SpMM (Aggregation) and GEMM
+  (Combination) on a configurable spatial accelerator
+  (`AcceleratorConfig`), validated against a cycle-accurate
+  micro-simulator;
+- the **inter-phase cost model** (Seq / SP-Generic / SP-Optimized / PP with
+  element/row/column granularity) behind `run_gnn_dataflow`;
+- synthetic **datasets** calibrated to the paper's Table IV
+  (`load_dataset`), GNN layer abstractions, a mapping **optimizer**, and
+  report helpers that regenerate every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import (AcceleratorConfig, load_dataset, parse_dataflow,
+                       run_gnn_dataflow, workload_from_dataset)
+    wl = workload_from_dataset(load_dataset("citeseer"))
+    hw = AcceleratorConfig(num_pes=512)
+    df = parse_dataflow("PP_AC(VtFsNt, VsGsFt)")   # the HyGCN dataflow
+    print(run_gnn_dataflow(wl, df, hw).summary())
+"""
+
+from .arch import (
+    AcceleratorConfig,
+    DramModel,
+    EnergyBreakdown,
+    EnergyModel,
+    GlobalBuffer,
+    PingPongBuffer,
+)
+from .core import (
+    PAPER_CONFIGS,
+    Annot,
+    Dataflow,
+    Dim,
+    GNNWorkload,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    LegalityError,
+    PaperConfig,
+    Phase,
+    PhaseOrder,
+    RunResult,
+    SPVariant,
+    TileHint,
+    bounded_pipeline,
+    choose_tiles,
+    count_design_space,
+    enumerate_design_space,
+    infer_granularity,
+    paper_config_names,
+    paper_dataflow,
+    parse_dataflow,
+    run_gnn_dataflow,
+    validate_dataflow,
+    workload_from_dataset,
+)
+from .engine import (
+    GemmSpec,
+    GemmTiling,
+    PhaseStats,
+    SpmmSpec,
+    SpmmTiling,
+    simulate_gemm,
+    simulate_spmm,
+)
+from .graphs import (
+    CSRGraph,
+    Dataset,
+    batch_graphs,
+    dataset_names,
+    graph_stats,
+    load_dataset,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorConfig",
+    "DramModel",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "GlobalBuffer",
+    "PingPongBuffer",
+    "PAPER_CONFIGS",
+    "Annot",
+    "Dataflow",
+    "Dim",
+    "GNNWorkload",
+    "Granularity",
+    "InterPhase",
+    "IntraDataflow",
+    "LegalityError",
+    "PaperConfig",
+    "Phase",
+    "PhaseOrder",
+    "RunResult",
+    "SPVariant",
+    "TileHint",
+    "bounded_pipeline",
+    "choose_tiles",
+    "count_design_space",
+    "enumerate_design_space",
+    "infer_granularity",
+    "paper_config_names",
+    "paper_dataflow",
+    "parse_dataflow",
+    "run_gnn_dataflow",
+    "validate_dataflow",
+    "workload_from_dataset",
+    "GemmSpec",
+    "GemmTiling",
+    "PhaseStats",
+    "SpmmSpec",
+    "SpmmTiling",
+    "simulate_gemm",
+    "simulate_spmm",
+    "CSRGraph",
+    "Dataset",
+    "batch_graphs",
+    "dataset_names",
+    "graph_stats",
+    "load_dataset",
+    "__version__",
+]

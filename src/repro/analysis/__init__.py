@@ -1,0 +1,44 @@
+"""Reports, sweeps, and ASCII charts for the paper's tables and figures."""
+
+from .pareto import ParetoPoint, dominates, hypervolume_2d, pareto_frontier, points_from_results
+from .plotting import ascii_bars, grouped_bars
+from .report import (
+    Fig11Row,
+    energy_breakdown_row,
+    format_table,
+    gb_breakdown_row,
+    normalized_runtime_row,
+)
+from .export import read_records, record_to_json, run_result_to_record, write_records
+from .regression import Delta, RegressionReport, compare_records
+from .studies import StudyRow, density_crossover_study, order_crossover_study, skew_study
+from .sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
+
+__all__ = [
+    "ParetoPoint",
+    "dominates",
+    "hypervolume_2d",
+    "pareto_frontier",
+    "points_from_results",
+    "ascii_bars",
+    "grouped_bars",
+    "Fig11Row",
+    "energy_breakdown_row",
+    "format_table",
+    "gb_breakdown_row",
+    "normalized_runtime_row",
+    "sweep_bandwidth",
+    "sweep_num_pes",
+    "sweep_pe_allocation",
+    "read_records",
+    "record_to_json",
+    "run_result_to_record",
+    "write_records",
+    "Delta",
+    "RegressionReport",
+    "compare_records",
+    "StudyRow",
+    "density_crossover_study",
+    "order_crossover_study",
+    "skew_study",
+]

@@ -1,0 +1,99 @@
+"""Experiment serialization: stable JSON records of cost-model runs.
+
+Lets experiments be archived, diffed across library versions, and fed to
+external plotting — the plumbing a mapping optimizer or CI regression
+check needs around OMEGA.
+"""
+
+from __future__ import annotations
+
+import json
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.interphase import RunResult
+
+__all__ = [
+    "run_result_to_record",
+    "record_to_json",
+    "write_records",
+    "read_records",
+]
+
+SCHEMA_VERSION = 1
+
+
+def run_result_to_record(result: RunResult, **extra: Any) -> dict:
+    """Flatten a :class:`RunResult` into a JSON-safe dictionary.
+
+    ``extra`` key-values (e.g. dataset name, seed, sweep coordinates) are
+    merged at the top level; collisions with reserved keys raise.
+    """
+    record: dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "dataflow": str(result.dataflow),
+        "dataflow_name": result.dataflow.name,
+        "inter": result.dataflow.inter.value,
+        "order": result.dataflow.order.value,
+        "workload": result.workload.name,
+        "V": result.workload.num_vertices,
+        "E": result.workload.num_edges,
+        "F": result.workload.in_features,
+        "G": result.workload.out_features,
+        "num_pes": result.hw.num_pes,
+        "cycles": result.total_cycles,
+        "agg_cycles": result.agg.cycles,
+        "cmb_cycles": result.cmb.cycles,
+        "macs": result.agg.macs + result.cmb.macs,
+        "gb_reads": dict(result.gb_reads),
+        "gb_writes": dict(result.gb_writes),
+        "rf_reads": result.rf_reads,
+        "rf_writes": result.rf_writes,
+        "intermediate_buffer_elements": result.intermediate_buffer_elements,
+        "granularity": result.granularity.value if result.granularity else None,
+        "pel": result.pel,
+        "energy": result.energy.as_dict(),
+        "agg_tiles": dict(result.agg.tile_sizes),
+        "cmb_tiles": dict(result.cmb.tile_sizes),
+        "notes": list(result.notes),
+    }
+    if result.pipeline is not None:
+        record["pipeline"] = {
+            "num_granules": result.pipeline.num_granules,
+            "producer_stall": result.pipeline.producer_stall,
+            "consumer_stall": result.pipeline.consumer_stall,
+            "fill_cycles": result.pipeline.fill_cycles,
+        }
+    for key, value in extra.items():
+        if key in record:
+            raise KeyError(f"extra field {key!r} collides with a reserved key")
+        record[key] = value
+    return record
+
+
+def record_to_json(record: Mapping[str, Any]) -> str:
+    """Deterministic JSON encoding (sorted keys, no NaN)."""
+    return json.dumps(record, sort_keys=True, allow_nan=False)
+
+
+def write_records(path: str | Path, records: list[Mapping[str, Any]]) -> Path:
+    """Write one JSON object per line (jsonl)."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(record_to_json(rec))
+            fh.write("\n")
+    return p
+
+
+def read_records(path: str | Path) -> list[dict]:
+    """Read a jsonl experiment file back."""
+    out: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

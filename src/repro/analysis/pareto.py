@@ -1,0 +1,96 @@
+"""Pareto-frontier analysis over (runtime, energy) for mapping search.
+
+The paper's Fig. 11/12 pairs show that the fastest dataflow is often not
+the most energy-efficient (e.g. Seq1 vs SP1 on LEF datasets).  A mapping
+optimizer therefore wants the *frontier*, not a single winner; this module
+extracts it from any collection of cost-model results or records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["ParetoPoint", "pareto_frontier", "dominates", "hypervolume_2d"]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate with its two objective values (lower is better)."""
+
+    label: str
+    cycles: float
+    energy: float
+    payload: object = None
+
+
+def dominates(a: ParetoPoint, b: ParetoPoint) -> bool:
+    """True when ``a`` is at least as good on both axes and better on one."""
+    return (
+        a.cycles <= b.cycles
+        and a.energy <= b.energy
+        and (a.cycles < b.cycles or a.energy < b.energy)
+    )
+
+
+def pareto_frontier(points: Iterable[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by cycles ascending.
+
+    Duplicate objective vectors are collapsed to the first occurrence.
+    """
+    pool = sorted(points, key=lambda p: (p.cycles, p.energy))
+    frontier: list[ParetoPoint] = []
+    best_energy = float("inf")
+    seen: set[tuple[float, float]] = set()
+    for p in pool:
+        key = (p.cycles, p.energy)
+        if key in seen:
+            continue
+        if p.energy < best_energy:
+            frontier.append(p)
+            best_energy = p.energy
+            seen.add(key)
+    return frontier
+
+
+def hypervolume_2d(
+    frontier: Sequence[ParetoPoint],
+    *,
+    ref_cycles: float,
+    ref_energy: float,
+) -> float:
+    """Dominated hypervolume against a reference (worst-case) corner.
+
+    The standard scalar quality measure for comparing two searches'
+    frontiers: larger = closer to the ideal corner.  Points beyond the
+    reference are clipped out.
+    """
+    pts = [
+        p
+        for p in pareto_frontier(frontier)
+        if p.cycles < ref_cycles and p.energy < ref_energy
+    ]
+    if not pts:
+        return 0.0
+    area = 0.0
+    prev_energy = ref_energy
+    for p in sorted(pts, key=lambda q: q.cycles):
+        if p.energy < prev_energy:
+            area += (ref_cycles - p.cycles) * (prev_energy - p.energy)
+            prev_energy = p.energy
+    return area
+
+
+def points_from_results(
+    results: Iterable[tuple[str, T]],
+    *,
+    cycles: Callable[[T], float] = lambda r: float(r.total_cycles),  # type: ignore[attr-defined]
+    energy: Callable[[T], float] = lambda r: float(r.energy_pj),  # type: ignore[attr-defined]
+) -> list[ParetoPoint]:
+    """Adapt (label, RunResult) pairs into Pareto points."""
+    return [
+        ParetoPoint(label=label, cycles=cycles(r), energy=energy(r), payload=r)
+        for label, r in results
+    ]

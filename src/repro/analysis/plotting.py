@@ -1,0 +1,52 @@
+"""Dependency-free ASCII bar charts for terminal-friendly figure output.
+
+The benchmark harness prints these next to the numeric tables so the shape
+of each reproduced figure (who wins, by what factor) is visible at a
+glance without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = ["ascii_bars", "grouped_bars"]
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """One bar per (label, value); bars scale to the maximum value."""
+    if not values:
+        return title
+    peak = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for k, v in values.items():
+        n = int(round(width * (v / peak))) if peak > 0 else 0
+        lines.append(f"{k.ljust(label_w)} | {'#' * n} {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    *,
+    width: int = 40,
+    title: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Nested bars: one block per group (e.g. per dataset), shared scale."""
+    lines = [title] if title else []
+    peak = max(
+        (v for sub in groups.values() for v in sub.values()), default=0.0
+    )
+    for gname, sub in groups.items():
+        lines.append(f"[{gname}]")
+        label_w = max(len(k) for k in sub) if sub else 0
+        for k, v in sub.items():
+            n = int(round(width * (v / peak))) if peak > 0 else 0
+            lines.append(f"  {k.ljust(label_w)} | {'#' * n} {fmt.format(v)}")
+    return "\n".join(lines)

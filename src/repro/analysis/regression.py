@@ -1,0 +1,102 @@
+"""Regression comparison of archived experiment records.
+
+Compares two jsonl record sets (see :mod:`repro.analysis.export`) keyed by
+(workload, dataflow) and reports cycle/energy drift — the CI guardrail a
+cost-model library needs so refactors cannot silently change results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+__all__ = ["Delta", "RegressionReport", "compare_records"]
+
+
+def _key(record: Mapping) -> tuple:
+    return (
+        record.get("workload"),
+        record.get("dataset"),
+        record.get("dataflow"),
+        record.get("config"),
+    )
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Relative change of one metric for one (workload, dataflow) pair."""
+
+    key: tuple
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def ratio(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 1.0
+        return self.after / self.before
+
+    @property
+    def drift(self) -> float:
+        return abs(self.ratio - 1.0)
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of comparing two record sets."""
+
+    matched: int = 0
+    missing: list[tuple] = field(default_factory=list)
+    added: list[tuple] = field(default_factory=list)
+    deltas: list[Delta] = field(default_factory=list)
+
+    def worst(self, n: int = 5) -> list[Delta]:
+        return sorted(self.deltas, key=lambda d: -d.drift)[:n]
+
+    def max_drift(self, metric: str | None = None) -> float:
+        pool = [
+            d for d in self.deltas if metric is None or d.metric == metric
+        ]
+        return max((d.drift for d in pool), default=0.0)
+
+    def passes(self, tolerance: float = 0.0) -> bool:
+        """True when nothing disappeared and no metric drifted past
+        ``tolerance`` (0.0 = bit-identical expectations)."""
+        return not self.missing and self.max_drift() <= tolerance
+
+
+_METRICS = ("cycles", "agg_cycles", "cmb_cycles")
+
+
+def compare_records(
+    before: Iterable[Mapping],
+    after: Iterable[Mapping],
+    *,
+    metrics: tuple[str, ...] = _METRICS,
+    energy: bool = True,
+) -> RegressionReport:
+    """Join two record lists on (workload, dataflow) and diff metrics."""
+    b = {_key(r): r for r in before}
+    a = {_key(r): r for r in after}
+    report = RegressionReport()
+    report.missing = sorted(k for k in b if k not in a)
+    report.added = sorted(k for k in a if k not in b)
+    for key in sorted(k for k in b if k in a):
+        report.matched += 1
+        rb, ra = b[key], a[key]
+        for metric in metrics:
+            if metric in rb and metric in ra:
+                report.deltas.append(
+                    Delta(key, metric, float(rb[metric]), float(ra[metric]))
+                )
+        if energy and "energy" in rb and "energy" in ra:
+            report.deltas.append(
+                Delta(
+                    key,
+                    "energy.total_pj",
+                    float(rb["energy"]["total_pj"]),
+                    float(ra["energy"]["total_pj"]),
+                )
+            )
+    return report

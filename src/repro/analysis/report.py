@@ -1,0 +1,113 @@
+"""Paper-style text reports: the tables behind Figs. 11-16.
+
+Benchmarks and examples use these helpers to print the same rows/series the
+paper plots, so a reader can compare shapes (who wins, by what factor)
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.interphase import RunResult
+
+__all__ = [
+    "format_table",
+    "normalized_runtime_row",
+    "energy_breakdown_row",
+    "gb_breakdown_row",
+    "Fig11Row",
+]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str = "",
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned monospace table (GitHub-flavoured pipes)."""
+
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return float_fmt.format(x)
+        return str(x)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out: list[str] = []
+    if title:
+        out.append(title)
+    head = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    out.append(head)
+    out.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class Fig11Row:
+    """One dataset's normalized runtimes across dataflow configurations."""
+
+    dataset: str
+    baseline: str
+    values: dict[str, float]  # config name -> runtime / runtime(baseline)
+
+
+def normalized_runtime_row(
+    dataset: str,
+    results: Mapping[str, RunResult],
+    *,
+    baseline: str = "Seq1",
+) -> Fig11Row:
+    """Fig. 11: runtimes normalized to the Seq1 configuration."""
+    if baseline not in results:
+        raise KeyError(f"baseline {baseline!r} missing from results")
+    base = results[baseline].total_cycles
+    if base <= 0:
+        raise ValueError("baseline runtime must be positive")
+    return Fig11Row(
+        dataset=dataset,
+        baseline=baseline,
+        values={k: r.total_cycles / base for k, r in results.items()},
+    )
+
+
+def energy_breakdown_row(result: RunResult) -> dict[str, float]:
+    """Fig. 12: buffer-access energy split (picojoules) for one run."""
+    e = result.energy
+    return {
+        "GB_read": e.gb_read_pj,
+        "GB_write": e.gb_write_pj,
+        "RF_read": e.rf_read_pj,
+        "RF_write": e.rf_write_pj,
+        "Intermediate": e.intermediate_pj,
+        "DRAM": e.dram_pj,
+        "total": e.total_pj,
+    }
+
+
+def gb_breakdown_row(result: RunResult) -> dict[str, float]:
+    """Fig. 13: global-buffer accesses by operand (elements).
+
+    Uses the paper's labels: Adj, Inp, Int, Wt, Op, Psum.
+    """
+    raw = result.gb_breakdown()
+    label = {
+        "adj": "Adj",
+        "input": "Inp",
+        "intermediate": "Int",
+        "weight": "Wt",
+        "output": "Op",
+        "psum": "Psum",
+    }
+    out = {v: 0.0 for v in label.values()}
+    for k, v in raw.items():
+        out[label[k]] = out.get(label[k], 0.0) + v
+    return out

@@ -1,0 +1,148 @@
+"""Parametric studies: controlled sweeps the paper's figures imply.
+
+The evaluation compares dataflows at seven fixed (graph, F, G) points;
+these studies vary one axis at a time on synthetic graphs to locate the
+*crossovers* the paper narrates — where spatial Aggregation starts beating
+temporal (density), where vertex parallelism stops paying (degree skew),
+and how the AC/CA choice flips with the F/G ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..core.configs import paper_dataflow
+from ..core.omega import run_gnn_dataflow
+from ..core.taxonomy import parse_dataflow
+from ..core.workload import GNNWorkload
+from ..graphs.generators import erdos_renyi_graph, hub_thread_graph
+
+__all__ = [
+    "density_crossover_study",
+    "skew_study",
+    "order_crossover_study",
+]
+
+
+@dataclass(frozen=True)
+class StudyRow:
+    """One sweep point with the quantities under comparison."""
+
+    x: float
+    values: dict[str, float]
+
+    def winner(self) -> str:
+        return min(self.values, key=self.values.get)
+
+
+def density_crossover_study(
+    *,
+    member_vertices: int = 40,
+    batch: int = 16,
+    avg_degrees: Sequence[float] = (2, 4, 8, 16, 24),
+    feat: int = 128,
+    out: int = 4,
+    num_pes: int = 512,
+    seed: int = 0,
+) -> list[StudyRow]:
+    """Seq1 (temporal N) vs Seq2 (spatial N) as ego-nets densify.
+
+    The paper's §V-B1: spatial Aggregation wins on Imdb/Collab "because
+    they are densely connected".  The sweep batches clique-union ego-nets
+    (the HE generator) of rising density; spatial N's advantage should
+    grow with density while temporal N pays lock-step inflation on the
+    heterogeneous dense rows.
+    """
+    from ..graphs.csr import batch_graphs
+    from ..graphs.generators import clique_union_graph
+
+    hw = AcceleratorConfig(num_pes=num_pes)
+    rows: list[StudyRow] = []
+    rng = np.random.default_rng(seed)
+    for deg in avg_degrees:
+        members = [
+            clique_union_graph(rng, member_vertices, int(member_vertices * deg))
+            for _ in range(batch)
+        ]
+        g = batch_graphs(members, name=f"ego-deg{deg}")
+        wl = GNNWorkload(g, feat, out, name=g.name)
+        vals: dict[str, float] = {}
+        for cfg in ("Seq1", "Seq2"):
+            df, hint = paper_dataflow(cfg)
+            vals[cfg] = float(run_gnn_dataflow(wl, df, hw, hint=hint).total_cycles)
+        rows.append(StudyRow(x=float(deg), values=vals))
+    return rows
+
+
+def skew_study(
+    *,
+    num_vertices: int = 1024,
+    num_hubs_values: Sequence[int] = (0, 1, 4, 16, 64),
+    edges: int = 4096,
+    feat: int = 128,
+    out: int = 4,
+    num_pes: int = 512,
+    seed: int = 0,
+) -> list[StudyRow]:
+    """SP1 (low T_V) vs SP2 (high T_V) as hub skew grows.
+
+    At zero hubs (uniform ER) high vertex parallelism is harmless; each
+    added hub deepens the lock-step penalty — the §V-B1 evil-row knob,
+    isolated.
+    """
+    hw = AcceleratorConfig(num_pes=num_pes)
+    rng = np.random.default_rng(seed)
+    rows: list[StudyRow] = []
+    for hubs in num_hubs_values:
+        if hubs == 0:
+            g = erdos_renyi_graph(rng, num_vertices, edges)
+        else:
+            g = hub_thread_graph(rng, num_vertices, edges, num_hubs=hubs)
+        wl = GNNWorkload(g, feat, out, name=f"hubs{hubs}")
+        vals: dict[str, float] = {}
+        for cfg in ("SP1", "SP2"):
+            df, hint = paper_dataflow(cfg)
+            vals[cfg] = float(run_gnn_dataflow(wl, df, hw, hint=hint).total_cycles)
+        rows.append(StudyRow(x=float(hubs), values=vals))
+    return rows
+
+
+def order_crossover_study(
+    *,
+    num_vertices: int = 512,
+    edges: int = 2048,
+    f_over_g: Sequence[tuple[int, int]] = (
+        (8, 64),
+        (32, 32),
+        (64, 16),
+        (256, 8),
+        (1024, 4),
+    ),
+    num_pes: int = 512,
+    seed: int = 0,
+) -> list[StudyRow]:
+    """AC vs CA as the F/G ratio sweeps (paper Fig. 3's two orders).
+
+    CA's intermediate is V x G: once F >> G it wins on buffering *and*
+    Aggregation work; when G >> F the preference flips.
+    """
+    hw = AcceleratorConfig(num_pes=num_pes)
+    rng = np.random.default_rng(seed)
+    g = erdos_renyi_graph(rng, num_vertices, edges)
+    rows: list[StudyRow] = []
+    for f, out in f_over_g:
+        wl = GNNWorkload(g, f, out, name=f"F{f}G{out}")
+        vals: dict[str, float] = {}
+        for label, text in (
+            ("AC", "Seq_AC(VxFxNt, VxGxFx)"),
+            ("CA", "Seq_CA(VxFxNt, VxGxFx)"),
+        ):
+            vals[label] = float(
+                run_gnn_dataflow(wl, parse_dataflow(text), hw).total_cycles
+            )
+        rows.append(StudyRow(x=f / out, values=vals))
+    return rows

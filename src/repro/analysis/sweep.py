@@ -1,0 +1,142 @@
+"""Parameter-sweep harness behind the paper's case studies (Figs. 14-16).
+
+Each sweep function runs the relevant dataflow family over one knob —
+PE allocation ratio, accelerator size, or global-buffer bandwidth — and
+returns tidy row dictionaries ready for :func:`repro.analysis.report.format_table`.
+"""
+
+from __future__ import annotations
+
+
+from typing import Sequence
+
+from ..arch.config import AcceleratorConfig
+from ..core.configs import PAPER_CONFIGS
+from ..core.omega import run_gnn_dataflow
+from ..core.workload import GNNWorkload
+
+__all__ = ["sweep_pe_allocation", "sweep_num_pes", "sweep_bandwidth"]
+
+
+def sweep_pe_allocation(
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    *,
+    config_names: Sequence[str] = ("PP1", "PP3"),
+    splits: Sequence[float] = (0.25, 0.5, 0.75),
+) -> list[dict]:
+    """Fig. 14: PP runtimes under different Agg/Cmb PE allocations.
+
+    Rows are normalized to the 50-50 low-granularity (first config) run,
+    matching the paper's normalization.
+    """
+    rows: list[dict] = []
+    base_cycles: int | None = None
+    for name in config_names:
+        cfg = PAPER_CONFIGS[name]
+        for split in splits:
+            df = cfg.dataflow(pe_split=split)
+            res = run_gnn_dataflow(wl, df, hw, hint=cfg.hint)
+            if base_cycles is None:
+                # paper normalizes to 50-50 low granularity
+                base_df = PAPER_CONFIGS[config_names[0]].dataflow(pe_split=0.5)
+                base_cycles = run_gnn_dataflow(
+                    wl, base_df, hw, hint=PAPER_CONFIGS[config_names[0]].hint
+                ).total_cycles
+            rows.append(
+                {
+                    "config": name,
+                    "alloc": f"{int(split * 100)}-{int((1 - split) * 100)}",
+                    "cycles": res.total_cycles,
+                    "normalized": res.total_cycles / base_cycles,
+                    "producer_util": (
+                        res.pipeline.producer_utilization if res.pipeline else 0.0
+                    ),
+                    "consumer_util": (
+                        res.pipeline.consumer_utilization if res.pipeline else 0.0
+                    ),
+                }
+            )
+    return rows
+
+
+def sweep_num_pes(
+    wl: GNNWorkload,
+    *,
+    pe_counts: Sequence[int] = (512, 2048),
+    config_names: Sequence[str] | None = None,
+    baseline: str = "Seq1",
+) -> list[dict]:
+    """Fig. 15: normalized runtimes at different accelerator scales.
+
+    The paper's finding: runtimes normalized to Seq1 are similar at 512 and
+    2048 PEs, so relative dataflow rankings generalize across scales.
+    """
+    names = list(config_names) if config_names else list(PAPER_CONFIGS)
+    rows: list[dict] = []
+    for num_pes in pe_counts:
+        hw = AcceleratorConfig(num_pes=num_pes)
+        base = None
+        for name in names:
+            cfg = PAPER_CONFIGS[name]
+            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
+            if name == baseline:
+                base = res.total_cycles
+        assert base is not None and base > 0
+        for name in names:
+            cfg = PAPER_CONFIGS[name]
+            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
+            rows.append(
+                {
+                    "num_pes": num_pes,
+                    "config": name,
+                    "cycles": res.total_cycles,
+                    "normalized": res.total_cycles / base,
+                }
+            )
+    return rows
+
+
+def sweep_bandwidth(
+    wl: GNNWorkload,
+    *,
+    bandwidths: Sequence[int] = (512, 256, 128, 64),
+    config_names: Sequence[str] = ("Seq1", "SP1", "PP1"),
+    num_pes: int = 512,
+) -> list[dict]:
+    """Fig. 16: runtime vs distribution/reduction bandwidth.
+
+    Normalized to Seq1 at the full 512-element bandwidth.  PP partitions
+    share the bandwidth (each side gets its PE-proportional slice), which
+    is why the paper finds PP the most bandwidth-sensitive.
+    """
+    rows: list[dict] = []
+    base: int | None = None
+    for bw in bandwidths:
+        hw = AcceleratorConfig(num_pes=num_pes, dist_bw=bw, red_bw=bw)
+        for name in config_names:
+            cfg = PAPER_CONFIGS[name]
+            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
+            if base is None:
+                if name != "Seq1" or bw != bandwidths[0]:
+                    # establish the Seq1 @ max-bandwidth baseline first
+                    base_hw = AcceleratorConfig(
+                        num_pes=num_pes,
+                        dist_bw=max(bandwidths),
+                        red_bw=max(bandwidths),
+                    )
+                    cfg0 = PAPER_CONFIGS["Seq1"]
+                    base = run_gnn_dataflow(
+                        wl, cfg0.dataflow(), base_hw, hint=cfg0.hint
+                    ).total_cycles
+                else:
+                    base = res.total_cycles
+            rows.append(
+                {
+                    "bandwidth": bw,
+                    "config": name,
+                    "cycles": res.total_cycles,
+                    "normalized": res.total_cycles / base,
+                }
+            )
+    return rows

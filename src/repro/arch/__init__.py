@@ -1,0 +1,33 @@
+"""Spatial-accelerator substrate: configuration, NoC, buffers, energy."""
+
+from .area import AreaModel, AreaReport, flexible_area, rigid_two_engine_area
+from .buffer import GlobalBuffer, PingPongBuffer
+from .config import AcceleratorConfig
+from .energy import EnergyBreakdown, EnergyModel
+from .memory import DramModel, SpillReport
+from .noc import collection_cycles, distribution_cycles, step_cycles, step_cycles_array
+from .pe import ProcessingElement, RegisterFile
+from .trees import DistributionTree, ReductionTree, tree_levels
+
+__all__ = [
+    "AcceleratorConfig",
+    "AreaModel",
+    "AreaReport",
+    "flexible_area",
+    "rigid_two_engine_area",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "GlobalBuffer",
+    "PingPongBuffer",
+    "DramModel",
+    "SpillReport",
+    "ProcessingElement",
+    "RegisterFile",
+    "distribution_cycles",
+    "collection_cycles",
+    "step_cycles",
+    "step_cycles_array",
+    "DistributionTree",
+    "ReductionTree",
+    "tree_levels",
+]

@@ -1,0 +1,123 @@
+"""First-order area model: pricing the §V-D flexibility argument.
+
+The paper argues a programmable spatial accelerator pays *no additional
+cost* to run pipelined multiphase dataflows versus single-phase ones —
+the PEs, networks, and scratchpads are already there; only configuration
+changes.  A rigid two-engine design (HyGCN-style) by contrast hard-wires
+its PE partition and inter-engine buffer.  This model counts components
+so that claim can be stated quantitatively.
+
+Unit areas are relative (a MAC = 1); they track the component ratios of
+Dally et al.'s accelerator survey closely enough for structural
+comparisons, which is all the §V-D argument needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import AcceleratorConfig
+
+__all__ = ["AreaModel", "AreaReport", "flexible_area", "rigid_two_engine_area"]
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Relative unit areas (MAC = 1.0)."""
+
+    mac: float = 1.0
+    rf_per_byte: float = 0.05
+    adder: float = 0.6  # reduction-tree node
+    dist_link: float = 0.1  # distribution-tree edge + switch
+    sram_per_byte: float = 0.025  # scratchpad storage
+    config_overhead: float = 0.02  # per-PE programmability (FSM bits, muxes)
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Component breakdown (relative units)."""
+
+    pes: float
+    register_files: float
+    reduction_network: float
+    distribution_network: float
+    buffers: float
+    configurability: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.pes
+            + self.register_files
+            + self.reduction_network
+            + self.distribution_network
+            + self.buffers
+            + self.configurability
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "pes": self.pes,
+            "rf": self.register_files,
+            "reduction": self.reduction_network,
+            "distribution": self.distribution_network,
+            "buffers": self.buffers,
+            "config": self.configurability,
+            "total": self.total,
+        }
+
+
+def flexible_area(
+    hw: AcceleratorConfig,
+    *,
+    gb_bytes: int = 1 << 20,
+    model: AreaModel = AreaModel(),
+) -> AreaReport:
+    """The templated programmable substrate (Fig. 1).
+
+    One PE pool, full binary reduction/distribution trees, one shared
+    scratchpad, plus per-PE configurability overhead.  The same hardware
+    runs Seq, SP and PP — the ping-pong partition for PP is carved out of
+    the existing scratchpad, costing nothing extra.
+    """
+    n = hw.num_pes
+    return AreaReport(
+        pes=n * model.mac,
+        register_files=n * hw.rf_bytes * model.rf_per_byte,
+        reduction_network=(n - 1) * model.adder,
+        distribution_network=2 * (n - 1) * model.dist_link,
+        buffers=gb_bytes * model.sram_per_byte,
+        configurability=n * model.config_overhead,
+    )
+
+
+def rigid_two_engine_area(
+    hw: AcceleratorConfig,
+    *,
+    gb_bytes: int = 1 << 20,
+    intermediate_buffer_bytes: int = 1 << 17,
+    split: float = 0.5,
+    model: AreaModel = AreaModel(),
+) -> AreaReport:
+    """A HyGCN-style fixed pair of engines.
+
+    Two disjoint PE arrays with their own (smaller) trees, a *dedicated*
+    inter-engine buffer on top of the scratchpad, and no per-PE
+    configurability.  Note the dedicated buffer is a real extra cost the
+    flexible design avoids — the quantitative form of §V-D's "no
+    additional cost ... compared to running single phase dataflows".
+    """
+    if not 0 < split < 1:
+        raise ValueError("split must lie strictly between 0 and 1")
+    n1 = max(1, round(hw.num_pes * split))
+    n2 = max(1, hw.num_pes - n1)
+    adders = max(0, n1 - 1) + max(0, n2 - 1)
+    links = 2 * (max(0, n1 - 1) + max(0, n2 - 1))
+    return AreaReport(
+        pes=(n1 + n2) * model.mac,
+        register_files=(n1 + n2) * hw.rf_bytes * model.rf_per_byte,
+        reduction_network=adders * model.adder,
+        distribution_network=links * model.dist_link,
+        buffers=(gb_bytes + intermediate_buffer_bytes) * model.sram_per_byte,
+        configurability=0.0,
+    )

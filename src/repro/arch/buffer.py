@@ -1,0 +1,97 @@
+"""On-chip buffer models: global scratchpad and PP ping-pong partitions.
+
+These classes track capacity and occupancy high-water marks; the energy of
+accessing each buffer comes from :class:`repro.arch.energy.EnergyModel`.
+The ping-pong buffer implements the paper's PP staging store (Fig. 8d):
+two banks of ``Pel`` elements each, one written by the producer phase while
+the consumer drains the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GlobalBuffer", "PingPongBuffer"]
+
+
+@dataclass
+class GlobalBuffer:
+    """Banked global scratchpad with an optional capacity limit.
+
+    ``capacity_bytes=None`` models the paper's "sufficient on-chip
+    buffering" assumption; a finite capacity lets the Seq inter-phase
+    dataflow detect intermediate-matrix spills to DRAM (Fig. 6).
+    """
+
+    capacity_bytes: int | None = None
+    bytes_per_element: int = 4
+    _occupied: int = field(default=0, repr=False)
+    _high_water: int = field(default=0, repr=False)
+
+    def fits(self, num_elements: int) -> bool:
+        if self.capacity_bytes is None:
+            return True
+        return (
+            (self._occupied + num_elements) * self.bytes_per_element
+            <= self.capacity_bytes
+        )
+
+    def allocate(self, num_elements: int) -> bool:
+        """Reserve space; returns False (spill) when it does not fit."""
+        if num_elements < 0:
+            raise ValueError("cannot allocate a negative element count")
+        if not self.fits(num_elements):
+            return False
+        self._occupied += num_elements
+        self._high_water = max(self._high_water, self._occupied)
+        return True
+
+    def release(self, num_elements: int) -> None:
+        if num_elements < 0 or num_elements > self._occupied:
+            raise ValueError("release does not match an allocation")
+        self._occupied -= num_elements
+
+    @property
+    def occupied_elements(self) -> int:
+        return self._occupied
+
+    @property
+    def high_water_elements(self) -> int:
+        return self._high_water
+
+
+@dataclass
+class PingPongBuffer:
+    """Double-buffered intermediate store between PP pipeline phases.
+
+    Capacity is ``2 x granule_elements`` (paper Table III: ``2 x Pel``).
+    ``depth`` generalizes to deeper FIFOs for the ablation study; the paper
+    assumes depth 2 (one bank filling, one draining).
+    """
+
+    granule_elements: int
+    bytes_per_element: int = 4
+    depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.granule_elements < 0:
+            raise ValueError("granule_elements must be >= 0")
+        if self.depth < 1:
+            raise ValueError("depth must be >= 1")
+
+    @property
+    def capacity_elements(self) -> int:
+        return self.depth * self.granule_elements
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_elements * self.bytes_per_element
+
+    def producer_lead_limit(self) -> int:
+        """How many granules the producer may run ahead of the consumer.
+
+        With ``depth`` banks the producer can hold at most ``depth`` granules
+        that the consumer has not finished, i.e. it may start granule
+        ``i`` only after the consumer finished granule ``i - depth``.
+        """
+        return self.depth

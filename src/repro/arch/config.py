@@ -1,0 +1,131 @@
+"""Accelerator configuration: the templated flexible spatial substrate.
+
+The paper targets a MAERI/SIGMA-style programmable accelerator (Fig. 1):
+a pool of PEs with private register files, a banked global scratchpad, a
+single-cycle configurable distribution network, and a configurable
+reduction network supporting both spatial (adder-tree) and temporal
+(in-PE accumulator) reduction.  Evaluation defaults (§V-A3): 512 PEs,
+64-byte RF per PE, and "sufficient" distribution/reduction bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .energy import EnergyModel
+
+__all__ = ["AcceleratorConfig"]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Hardware parameters consumed by the engines and cost model.
+
+    Parameters
+    ----------
+    num_pes:
+        Processing elements available (512 in the paper's default).
+    rf_bytes:
+        Private register-file bytes per PE (64 in the paper).
+    bytes_per_element:
+        Word size; 4 (fp32) throughout the paper.
+    dist_bw:
+        Elements per cycle deliverable from the global buffer to the PE
+        array.  ``None`` means "sufficient" — never a bottleneck (§V-A3).
+    red_bw:
+        Elements per cycle collectible from the PE array into the global
+        buffer.  ``None`` = sufficient.
+    gb_bytes:
+        Global-buffer capacity.  ``None`` = sufficient (the paper sizes it
+        so the evaluated batches fit on-chip); a finite value enables the
+        Seq DRAM-spill model.
+    supports_spatial_reduction / supports_temporal_reduction:
+        Flexibility switches for the §V-D rigid-architecture case study.
+        The templated substrate supports both.
+    pe_accumulators:
+        Read-modify-write accumulator registers per PE.  Temporal
+        accumulation across contraction steps is only free when the live
+        partial sums per PE fit here; otherwise they round-trip the global
+        buffer as ``psum`` traffic (the SPhighV pathology, §V-B2).  The
+        MAC's single accumulator is the paper-faithful default.
+    energy:
+        Per-access energy table.
+    """
+
+    num_pes: int = 512
+    rf_bytes: int = 64
+    bytes_per_element: int = 4
+    dist_bw: int | None = None
+    red_bw: int | None = None
+    gb_bytes: int | None = None
+    supports_spatial_reduction: bool = True
+    supports_temporal_reduction: bool = True
+    pe_accumulators: int = 1
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.rf_bytes < self.bytes_per_element:
+            raise ValueError("rf_bytes must hold at least one element")
+        if self.bytes_per_element < 1:
+            raise ValueError("bytes_per_element must be >= 1")
+        for name in ("dist_bw", "red_bw"):
+            v = getattr(self, name)
+            if v is not None and v < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
+        if self.gb_bytes is not None and self.gb_bytes < 1:
+            raise ValueError("gb_bytes must be >= 1 or None")
+        if self.pe_accumulators < 1:
+            raise ValueError("pe_accumulators must be >= 1")
+        if not (self.supports_spatial_reduction or self.supports_temporal_reduction):
+            raise ValueError("accelerator must support at least one reduction mode")
+
+    # ------------------------------------------------------------------
+    @property
+    def rf_elements(self) -> int:
+        """Register-file capacity per PE in elements (16 for 64 B fp32)."""
+        return self.rf_bytes // self.bytes_per_element
+
+    @property
+    def effective_dist_bw(self) -> int:
+        """Distribution bandwidth with 'sufficient' resolved to num_pes."""
+        return self.num_pes if self.dist_bw is None else self.dist_bw
+
+    @property
+    def effective_red_bw(self) -> int:
+        """Reduction/collection bandwidth with 'sufficient' resolved."""
+        return self.num_pes if self.red_bw is None else self.red_bw
+
+    def partition(self, num_pes: int, *, bw_fraction: float | None = None) -> "AcceleratorConfig":
+        """A sub-accelerator with ``num_pes`` PEs for PP phase partitioning.
+
+        The paper's PP dataflow splits the PE array between the two phases;
+        global-buffer bandwidth is *shared* (§V-C3), so by default each
+        partition receives bandwidth proportional to its PE share.
+        """
+        if not 1 <= num_pes <= self.num_pes:
+            raise ValueError(
+                f"partition size {num_pes} outside [1, {self.num_pes}]"
+            )
+        frac = (num_pes / self.num_pes) if bw_fraction is None else bw_fraction
+        if not 0 < frac <= 1:
+            raise ValueError("bw_fraction must be in (0, 1]")
+
+        def _scale(bw: int | None) -> int | None:
+            if bw is None:
+                return None
+            return max(1, int(bw * frac))
+
+        return replace(
+            self,
+            num_pes=num_pes,
+            dist_bw=_scale(self.dist_bw),
+            red_bw=_scale(self.red_bw),
+        )
+
+    def gb_fits(self, num_elements: int) -> bool:
+        """Whether ``num_elements`` words fit in the global buffer."""
+        if self.gb_bytes is None:
+            return True
+        return num_elements * self.bytes_per_element <= self.gb_bytes

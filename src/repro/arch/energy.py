@@ -1,0 +1,88 @@
+"""Energy model for on-chip buffer accesses.
+
+The paper (§V-B2) charges 1.046 pJ per global-buffer access (1 MB bank) and
+0.053 pJ per PE register-file access, following Dally et al.'s
+"Domain-Specific Hardware Accelerators" numbers.  The PP inter-phase
+dataflow stages intermediate data through a *smaller* dedicated ping-pong
+partition, which the paper credits with lower access energy; we model that
+with a CACTI-style square-root capacity scaling, floored at the RF energy
+and capped at the GB energy.
+
+All energies are per *element* access (one 4-byte word by default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+__all__ = ["EnergyModel", "EnergyBreakdown"]
+
+_MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-access energies (picojoules) for every level of the hierarchy."""
+
+    gb_pj: float = 1.046  # global buffer, 1 MB bank (paper §V-B2)
+    rf_pj: float = 0.053  # PE register file (paper §V-B2)
+    dram_pj: float = 104.6  # DRAM, ~100x GB; used only by Seq spills
+    gb_bank_bytes: int = _MB
+
+    def buffer_pj(self, capacity_bytes: float) -> float:
+        """Energy of one access to an on-chip buffer of the given capacity.
+
+        sqrt-capacity scaling relative to the calibrated GB bank, clamped to
+        ``[rf_pj, gb_pj]``.  A zero-capacity buffer (SP-Optimized keeps the
+        intermediate entirely in RF) costs the RF energy.
+        """
+        if capacity_bytes <= 0:
+            return self.rf_pj
+        scaled = self.gb_pj * math.sqrt(capacity_bytes / self.gb_bank_bytes)
+        return min(self.gb_pj, max(self.rf_pj, scaled))
+
+
+@dataclass
+class EnergyBreakdown:
+    """Accumulated access energy split by hierarchy level (picojoules)."""
+
+    gb_read_pj: float = 0.0
+    gb_write_pj: float = 0.0
+    rf_read_pj: float = 0.0
+    rf_write_pj: float = 0.0
+    intermediate_pj: float = 0.0  # PP/SP-Generic staging buffer traffic
+    dram_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.gb_read_pj
+            + self.gb_write_pj
+            + self.rf_read_pj
+            + self.rf_write_pj
+            + self.intermediate_pj
+            + self.dram_pj
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.gb_read_pj + other.gb_read_pj,
+            self.gb_write_pj + other.gb_write_pj,
+            self.rf_read_pj + other.rf_read_pj,
+            self.rf_write_pj + other.rf_write_pj,
+            self.intermediate_pj + other.intermediate_pj,
+            self.dram_pj + other.dram_pj,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "gb_read_pj": self.gb_read_pj,
+            "gb_write_pj": self.gb_write_pj,
+            "rf_read_pj": self.rf_read_pj,
+            "rf_write_pj": self.rf_write_pj,
+            "intermediate_pj": self.intermediate_pj,
+            "dram_pj": self.dram_pj,
+            "total_pj": self.total_pj,
+        }

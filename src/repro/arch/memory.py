@@ -1,0 +1,64 @@
+"""Off-chip (DRAM) spill model for the Seq inter-phase dataflow.
+
+The paper's Fig. 6 notes that Seq's full ``V x F`` intermediate matrix "needs
+to move back and forth between memory which adds energy costs" when it
+exceeds on-chip storage.  The evaluation keeps everything on-chip, so this
+model only activates when :class:`repro.arch.config.AcceleratorConfig` is
+given a finite ``gb_bytes`` — it then charges DRAM energy and (optionally)
+bandwidth-limited transfer cycles for the spilled fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+__all__ = ["DramModel", "SpillReport"]
+
+
+@dataclass(frozen=True)
+class SpillReport:
+    """Result of spilling an intermediate matrix through DRAM."""
+
+    spilled_elements: int
+    dram_reads: int
+    dram_writes: int
+    transfer_cycles: int
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_elements > 0
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """DRAM bandwidth/energy parameters.
+
+    ``bw_elements_per_cycle`` defaults to 16 (64 GB/s-class HBM lane against
+    a GHz-class accelerator clock with 4-byte words); it only matters when a
+    finite global buffer forces spills.
+    """
+
+    bw_elements_per_cycle: int = 16
+
+    def spill(self, intermediate_elements: int, gb_free_elements: int | None) -> SpillReport:
+        """Spill whatever part of the intermediate does not fit on-chip.
+
+        The spilled portion is written to DRAM by the producer phase and
+        read back by the consumer phase (one round trip, paper Fig. 6).
+        """
+        if intermediate_elements < 0:
+            raise ValueError("intermediate_elements must be >= 0")
+        if gb_free_elements is None:
+            return SpillReport(0, 0, 0, 0)
+        spilled = max(0, intermediate_elements - max(0, gb_free_elements))
+        cycles = (
+            int(math.ceil(2 * spilled / self.bw_elements_per_cycle)) if spilled else 0
+        )
+        return SpillReport(
+            spilled_elements=spilled,
+            dram_reads=spilled,
+            dram_writes=spilled,
+            transfer_cycles=cycles,
+        )

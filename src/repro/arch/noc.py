@@ -1,0 +1,79 @@
+"""Distribution and collection network timing helpers.
+
+The substrate's distribution network (MAERI's single-cycle configurable
+tree) can deliver up to ``dist_bw`` distinct elements per cycle to the PE
+array, with hardware multicast: an element needed by many PEs counts once.
+The collection side drains up to ``red_bw`` outputs per cycle.
+
+The engines express each temporal step as "this step needs D distinct
+streamed elements and produces O outputs"; these helpers turn that into
+cycles, so every bandwidth-related assumption lives in one place
+(Fig. 16's case study sweeps these numbers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "distribution_cycles",
+    "collection_cycles",
+    "step_cycles",
+    "step_cycles_array",
+]
+
+
+def distribution_cycles(distinct_elements: float, bw: int) -> int:
+    """Cycles to deliver ``distinct_elements`` through a ``bw``-wide network."""
+    if bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    if distinct_elements <= 0:
+        return 0
+    return int(np.ceil(distinct_elements / bw))
+
+
+def collection_cycles(outputs: float, bw: int) -> int:
+    """Cycles to drain ``outputs`` elements through the reduction network."""
+    if bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    if outputs <= 0:
+        return 0
+    return int(np.ceil(outputs / bw))
+
+
+def step_cycles(
+    streamed: float,
+    outputs: float,
+    dist_bw: int,
+    red_bw: int,
+    *,
+    compute: int = 1,
+) -> int:
+    """Cycles for one spatial tile step.
+
+    The step's latency is the max of its compute beat (one MAC wavefront),
+    the cycles to stream its operands, and the cycles to drain its outputs —
+    distribution, compute, and collection are pipelined across steps, so the
+    slowest stage sets the steady-state rate.
+    """
+    return max(
+        compute,
+        distribution_cycles(streamed, dist_bw),
+        collection_cycles(outputs, red_bw),
+    )
+
+
+def step_cycles_array(
+    streamed: np.ndarray,
+    outputs: np.ndarray,
+    dist_bw: int,
+    red_bw: int,
+    *,
+    compute: int = 1,
+) -> np.ndarray:
+    """Vectorized :func:`step_cycles` over per-step operand/output counts."""
+    if dist_bw < 1 or red_bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    s = np.ceil(np.asarray(streamed, dtype=np.float64) / dist_bw)
+    o = np.ceil(np.asarray(outputs, dtype=np.float64) / red_bw)
+    return np.maximum(compute, np.maximum(s, o)).astype(np.int64)

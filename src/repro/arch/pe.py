@@ -1,0 +1,50 @@
+"""Processing-element and register-file capacity model.
+
+Each PE owns a small banked register file (64 B in the paper, i.e. 16 fp32
+words).  The RF determines two things in the cost model:
+
+1. whether a *stationary* operand tile share fits inside the PE, and
+2. whether temporally-accumulated partial sums can stay resident between
+   revisits of the same output tile — if not, they spill to the global
+   buffer as the paper's ``Psum`` traffic (the SPhighV pathology, §V-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RegisterFile", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class RegisterFile:
+    """Per-PE register file with a word-granularity capacity."""
+
+    capacity_elements: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_elements < 1:
+            raise ValueError("register file must hold at least one element")
+
+    def can_hold(self, num_elements: int) -> bool:
+        """True when ``num_elements`` resident words fit simultaneously."""
+        return 0 <= num_elements <= self.capacity_elements
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """A MAC unit plus its private register file.
+
+    The tile-level engines only consult capacity; the event-driven
+    validator in :mod:`repro.engine.cycle_model` simulates the per-cycle
+    behaviour (operand latch, multiply, temporal accumulate or forward to
+    the adder tree).
+    """
+
+    rf: RegisterFile
+    macs_per_cycle: int = 1
+
+    def psum_resident(self, live_outputs: int, stationary_elems: int = 0) -> bool:
+        """Can ``live_outputs`` partial sums stay in RF next to the
+        stationary operand share already pinned there?"""
+        return self.rf.can_hold(live_outputs + stationary_elems)

@@ -1,0 +1,137 @@
+"""Structural models of the configurable distribution/reduction networks.
+
+The paper's substrate (Fig. 1) uses MAERI/SIGMA-style networks: a fat
+distribution tree that multicasts operands to PE subsets, and a
+configurable reduction tree (MAERI's Augmented Reduction Tree) that sums
+disjoint contiguous PE groups.  The tile-level engines only need the
+bandwidth abstraction in :mod:`repro.arch.noc`; this module adds the
+*structural* view — how many adders/links a mapping occupies, the tree
+latency of a spatial reduction, and whether a set of simultaneous
+reduction groups is even realizable — used by the flexibility case study
+(§V-D) and the hardware-cost discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ReductionTree", "DistributionTree", "tree_levels"]
+
+
+def tree_levels(width: int) -> int:
+    """Depth of a binary reduction over ``width`` inputs (0 for width 1)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return math.ceil(math.log2(width)) if width > 1 else 0
+
+
+@dataclass(frozen=True)
+class ReductionTree:
+    """An augmented (MAERI-style) binary reduction tree over the PE row.
+
+    The tree can sum any partition of the PEs into contiguous groups
+    simultaneously; each group of width ``w`` uses ``w - 1`` adders and
+    completes in ``ceil(log2 w)`` pipelined levels.
+    """
+
+    num_pes: int
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+
+    @property
+    def total_adders(self) -> int:
+        """Adders in a full binary tree over the PE row."""
+        return self.num_pes - 1
+
+    def groups_for(self, group_width: int) -> int:
+        """How many disjoint reduction groups of ``group_width`` fit."""
+        if group_width < 1:
+            raise ValueError("group_width must be >= 1")
+        return self.num_pes // group_width
+
+    def adders_used(self, group_width: int) -> int:
+        """Adders occupied when the row is partitioned into equal groups."""
+        groups = self.groups_for(group_width)
+        return groups * (group_width - 1)
+
+    def latency(self, group_width: int) -> int:
+        """Pipelined levels traversed by one group's reduction."""
+        return tree_levels(group_width)
+
+    def utilization(self, group_width: int) -> float:
+        """Fraction of the tree's adders a mapping keeps busy."""
+        if self.total_adders == 0:
+            return 0.0
+        return self.adders_used(group_width) / self.total_adders
+
+    def realizable(self, group_widths: list[int]) -> bool:
+        """Can these simultaneous contiguous groups coexist on the row?
+
+        The augmented tree sums any *contiguous, disjoint* groups, so the
+        only constraint is total width.
+        """
+        if any(w < 1 for w in group_widths):
+            raise ValueError("group widths must be >= 1")
+        return sum(group_widths) <= self.num_pes
+
+
+@dataclass(frozen=True)
+class DistributionTree:
+    """A fat distribution tree with multicast support.
+
+    A value multicast to a contiguous PE range occupies one path from the
+    root plus the subtree covering the range; ``links_for`` counts edges
+    touched, which bounds how many distinct operands fit per cycle.
+    """
+
+    num_pes: int
+    root_bandwidth: int | None = None  # elements/cycle entering the tree
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+        if self.root_bandwidth is not None and self.root_bandwidth < 1:
+            raise ValueError("root_bandwidth must be >= 1 or None")
+
+    @property
+    def levels(self) -> int:
+        return tree_levels(self.num_pes)
+
+    @property
+    def total_links(self) -> int:
+        """Edges of a full binary tree over the PE row."""
+        return 2 * (self.num_pes - 1)
+
+    def links_for(self, multicast_width: int) -> int:
+        """Edges a single multicast of the given width occupies."""
+        if not 1 <= multicast_width <= self.num_pes:
+            raise ValueError("multicast width out of range")
+        # Path to the covering subtree root + the subtree's internal edges.
+        subtree_levels = tree_levels(multicast_width)
+        path = self.levels - subtree_levels
+        internal = 2 * (multicast_width - 1)
+        return path + internal
+
+    def multicast_saving(self, width: int, consumers: int) -> float:
+        """Link-traversals saved vs unicasting to ``consumers`` PEs.
+
+        This is the structural reason Table I's spatial multicasts are
+        cheap: one tree traversal feeds every consumer in the range.
+        """
+        if consumers < 1:
+            raise ValueError("consumers must be >= 1")
+        unicast = consumers * self.levels
+        multicast = self.links_for(min(width * consumers, self.num_pes))
+        if unicast == 0:
+            return 0.0
+        return max(0.0, 1.0 - multicast / unicast)
+
+    def cycles(self, distinct_elements: int) -> int:
+        """Root-bandwidth-limited injection time (matches noc helpers)."""
+        bw = self.root_bandwidth if self.root_bandwidth else self.num_pes
+        if distinct_elements <= 0:
+            return 0
+        return math.ceil(distinct_elements / bw)

@@ -1,0 +1,330 @@
+"""Command-line interface: run OMEGA experiments without writing code.
+
+Subcommands
+-----------
+``run``        cost one dataflow on one dataset
+``sweep``      all Table V configurations on one or all datasets (Fig. 11)
+``search``     mapping optimizer (paper §VI)
+``enumerate``  design-space counts (Table II's 6,656)
+``datasets``   list the Table IV workloads and their synthesized stats
+``describe``   narrate a dataflow's behaviour (Tables I-III, in prose)
+``study``      parametric crossover studies (density / skew / phase order)
+
+Examples::
+
+    python -m repro run --dataset citeseer --dataflow "PP_AC(VtFsNt, VsGsFt)"
+    python -m repro sweep --dataset collab --normalize
+    python -m repro search --dataset cora --objective edp --budget 200
+    python -m repro enumerate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .arch.config import AcceleratorConfig
+from .analysis.report import format_table, gb_breakdown_row
+from .core.configs import paper_config_names, paper_dataflow
+from .core.enumeration import count_design_space
+from .core.omega import run_gnn_dataflow
+from .core.optimizer import MappingOptimizer, search_paper_configs
+from .core.taxonomy import SPVariant, parse_dataflow
+from .core.workload import workload_from_dataset
+from .graphs.datasets import dataset_names, load_dataset
+from .graphs.stats import graph_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def _hw_from_args(args: argparse.Namespace) -> AcceleratorConfig:
+    return AcceleratorConfig(
+        num_pes=args.pes,
+        dist_bw=args.bandwidth,
+        red_bw=args.bandwidth,
+        gb_bytes=args.gb_kib * 1024 if args.gb_kib else None,
+    )
+
+
+def _add_hw_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--pes", type=int, default=512, help="PE count (default 512)")
+    p.add_argument(
+        "--bandwidth",
+        type=int,
+        default=None,
+        help="GB distribution/reduction width in elements/cycle (default: sufficient)",
+    )
+    p.add_argument(
+        "--gb-kib",
+        type=int,
+        default=None,
+        help="finite global-buffer capacity in KiB (default: sufficient)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="dataset synthesis seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMEGA: multiphase GNN dataflow cost model (IPDPS 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="cost one dataflow on one dataset")
+    p_run.add_argument("--dataset", required=True, choices=dataset_names())
+    p_run.add_argument(
+        "--dataflow",
+        required=True,
+        help="taxonomy notation, e.g. 'PP_AC(VtFsNt, VsGsFt)', or a Table V name like SP2",
+    )
+    p_run.add_argument("--sp-optimized", action="store_true")
+    p_run.add_argument("--pe-split", type=float, default=0.5)
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_hw_args(p_run)
+
+    p_sweep = sub.add_parser("sweep", help="Table V sweep (Fig. 11 row)")
+    p_sweep.add_argument("--dataset", choices=dataset_names(), default=None,
+                         help="default: all datasets")
+    p_sweep.add_argument("--normalize", action="store_true",
+                         help="normalize runtimes to Seq1")
+    p_sweep.add_argument("--json", action="store_true")
+    _add_hw_args(p_sweep)
+
+    p_search = sub.add_parser("search", help="mapping optimizer (paper §VI)")
+    p_search.add_argument("--dataset", required=True, choices=dataset_names())
+    p_search.add_argument("--objective", choices=("cycles", "energy", "edp"),
+                          default="cycles")
+    p_search.add_argument("--budget", type=int, default=200)
+    p_search.add_argument("--json", action="store_true")
+    _add_hw_args(p_search)
+
+    p_enum = sub.add_parser("enumerate", help="design-space counts (Table II)")
+    p_enum.add_argument("--json", action="store_true")
+
+    p_desc = sub.add_parser("describe", help="explain a dataflow in prose")
+    p_desc.add_argument("dataflow", help="taxonomy notation or Table V name")
+    p_desc.add_argument("--sp-optimized", action="store_true")
+    p_desc.add_argument("--pe-split", type=float, default=0.5)
+
+    p_ds = sub.add_parser("datasets", help="list Table IV workloads")
+    p_ds.add_argument("--seed", type=int, default=0)
+    p_ds.add_argument("--json", action="store_true")
+
+    p_study = sub.add_parser("study", help="parametric crossover studies")
+    p_study.add_argument(
+        "kind", choices=("density", "skew", "order"),
+        help="density: temporal vs spatial N; skew: low vs high T_V; order: AC vs CA",
+    )
+    p_study.add_argument("--json", action="store_true")
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    wl = workload_from_dataset(load_dataset(args.dataset, seed=args.seed))
+    hw = _hw_from_args(args)
+    if args.dataflow in paper_config_names():
+        df, hint = paper_dataflow(args.dataflow, pe_split=args.pe_split)
+    else:
+        df = parse_dataflow(
+            args.dataflow,
+            sp_variant=SPVariant.OPTIMIZED if args.sp_optimized else None,
+            pe_split=args.pe_split,
+        )
+        hint = None
+    res = run_gnn_dataflow(wl, df, hw, hint=hint)
+    payload = {
+        **res.summary(),
+        "agg_cycles": res.agg.cycles,
+        "cmb_cycles": res.cmb.cycles,
+        "gb_breakdown": gb_breakdown_row(res),
+        "energy_breakdown": res.energy.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"dataflow:   {res.dataflow}")
+        print(f"dataset:    {args.dataset} (V={wl.num_vertices}, E={wl.num_edges}, "
+              f"F={wl.in_features}, G={wl.out_features})")
+        print(f"cycles:     {res.total_cycles:,} "
+              f"(agg {res.agg.cycles:,} / cmb {res.cmb.cycles:,})")
+        print(f"energy:     {res.energy_pj / 1e6:.3f} uJ")
+        print(f"buffering:  {res.intermediate_buffer_elements:,} elements"
+              + (f" (granularity: {res.granularity.value}, Pel={res.pel:,})"
+                 if res.granularity else ""))
+        rows = [[k, int(v)] for k, v in gb_breakdown_row(res).items()]
+        print(format_table(["operand", "GB accesses"], rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    hw = _hw_from_args(args)
+    targets = [args.dataset] if args.dataset else dataset_names()
+    table: list[list[object]] = []
+    payload: dict = {}
+    for ds_name in targets:
+        wl = workload_from_dataset(load_dataset(ds_name, seed=args.seed))
+        row: dict[str, float] = {}
+        for cfg in paper_config_names():
+            df, hint = paper_dataflow(cfg)
+            row[cfg] = run_gnn_dataflow(wl, df, hw, hint=hint).total_cycles
+        if args.normalize:
+            base = row["Seq1"]
+            row = {k: v / base for k, v in row.items()}
+        payload[ds_name] = row
+        table.append([ds_name] + [row[c] for c in paper_config_names()])
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        fmt = "{:.2f}" if args.normalize else "{:.0f}"
+        print(
+            format_table(
+                ["dataset"] + paper_config_names(),
+                table,
+                title="Table V sweep"
+                + (" (normalized to Seq1)" if args.normalize else " (cycles)"),
+                float_fmt=fmt,
+            )
+        )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    wl = workload_from_dataset(load_dataset(args.dataset, seed=args.seed))
+    hw = _hw_from_args(args)
+    paper = search_paper_configs(wl, hw, objective=args.objective)
+    opt = MappingOptimizer(wl, hw, objective=args.objective)
+    full = opt.exhaustive(budget=args.budget)
+    payload = {
+        "objective": args.objective,
+        "paper_best": paper.top(1)[0],
+        "search_best": str(full.best.dataflow),
+        "search_score": full.best_score,
+        "evaluated": full.evaluated,
+        "gain": paper.best_score / full.best_score,
+        "top5": full.top(5),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"objective: {args.objective}")
+        print(f"best Table V config: {paper.top(1)[0][0]} ({paper.best_score:.4g})")
+        print(f"best found ({full.evaluated} evaluated): "
+              f"{full.best.dataflow} ({full.best_score:.4g})")
+        print(f"gain over Table V: {payload['gain']:.2f}x")
+        for label, score in full.top(5):
+            print(f"  {score:.4g}  {label}")
+    return 0
+
+
+def _cmd_enumerate(args: argparse.Namespace) -> int:
+    counts = count_design_space()
+    if args.json:
+        print(json.dumps(counts, indent=2))
+    else:
+        print(
+            format_table(
+                ["strategy", "choices"],
+                [[k, v] for k, v in counts.items()],
+                title="Design-space size (paper §III-C: 6,656)",
+            )
+        )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = []
+    payload = {}
+    for name in dataset_names():
+        ds = load_dataset(name, seed=args.seed)
+        s = graph_stats(ds.graph)
+        payload[name] = ds.summary()
+        rows.append(
+            [
+                name,
+                ds.category,
+                s.num_vertices,
+                s.num_edges,
+                ds.num_features,
+                ds.hidden,
+                round(s.avg_degree, 2),
+                s.max_degree,
+            ]
+        )
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            format_table(
+                ["dataset", "cat", "V", "nnz", "F", "G", "avg_deg", "max_deg"],
+                rows,
+                title="Table IV workloads (synthesized)",
+            )
+        )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    from .core.describe import describe_dataflow
+
+    if args.dataflow in paper_config_names():
+        df, _ = paper_dataflow(args.dataflow, pe_split=args.pe_split)
+    else:
+        df = parse_dataflow(
+            args.dataflow,
+            sp_variant=SPVariant.OPTIMIZED if args.sp_optimized else None,
+            pe_split=args.pe_split,
+        )
+    print(describe_dataflow(df))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .analysis.studies import (
+        density_crossover_study,
+        order_crossover_study,
+        skew_study,
+    )
+
+    runner = {
+        "density": density_crossover_study,
+        "skew": skew_study,
+        "order": order_crossover_study,
+    }[args.kind]
+    xlabel = {"density": "avg_deg", "skew": "#hubs", "order": "F/G"}[args.kind]
+    rows = runner()
+    if args.json:
+        print(json.dumps([{"x": r.x, **r.values} for r in rows], indent=2))
+    else:
+        keys = list(rows[0].values)
+        print(
+            format_table(
+                [xlabel] + keys + ["winner"],
+                [[r.x] + [r.values[k] for k in keys] + [r.winner()] for r in rows],
+                title=f"{args.kind} crossover study (cycles)",
+                float_fmt="{:.0f}",
+            )
+        )
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "describe": _cmd_describe,
+    "study": _cmd_study,
+    "sweep": _cmd_sweep,
+    "search": _cmd_search,
+    "enumerate": _cmd_enumerate,
+    "datasets": _cmd_datasets,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

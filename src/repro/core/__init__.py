@@ -1,0 +1,78 @@
+"""OMEGA core: taxonomy, legality, enumeration, cost model, DSE."""
+
+from .configs import PAPER_CONFIGS, PaperConfig, paper_config_names, paper_dataflow
+from .enumeration import (
+    TABLE_II_ROWS,
+    all_concrete_intra,
+    count_design_space,
+    enumerate_design_space,
+    enumerate_pairs,
+)
+from .granularity import GranuleSpec, granule_series, make_granule_spec
+from .interphase import RunResult, compose
+from .legality import (
+    LegalityError,
+    infer_granularity,
+    intermediate_axes,
+    phase_granule,
+    sp_optimized_ok,
+    validate_dataflow,
+)
+from .omega import phase_specs, run_gnn_dataflow
+from .pipeline import PipelineReport, bounded_pipeline
+from .taxonomy import (
+    Annot,
+    Dataflow,
+    Dim,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+    parse_dataflow,
+)
+from .tiling import TileHint, choose_tiles, concretize_intra
+from .workload import GNNWorkload, workload_from_dataset
+
+__all__ = [
+    "PAPER_CONFIGS",
+    "PaperConfig",
+    "paper_config_names",
+    "paper_dataflow",
+    "TABLE_II_ROWS",
+    "all_concrete_intra",
+    "count_design_space",
+    "enumerate_design_space",
+    "enumerate_pairs",
+    "GranuleSpec",
+    "granule_series",
+    "make_granule_spec",
+    "RunResult",
+    "compose",
+    "LegalityError",
+    "infer_granularity",
+    "intermediate_axes",
+    "phase_granule",
+    "sp_optimized_ok",
+    "validate_dataflow",
+    "phase_specs",
+    "run_gnn_dataflow",
+    "PipelineReport",
+    "bounded_pipeline",
+    "Annot",
+    "Dataflow",
+    "Dim",
+    "Granularity",
+    "InterPhase",
+    "IntraDataflow",
+    "Phase",
+    "PhaseOrder",
+    "SPVariant",
+    "parse_dataflow",
+    "TileHint",
+    "choose_tiles",
+    "concretize_intra",
+    "GNNWorkload",
+    "workload_from_dataset",
+]

@@ -1,0 +1,154 @@
+"""The paper's evaluated dataflow configurations (Table V).
+
+Each named configuration couples a (possibly wildcarded) dataflow notation
+with the tile-selection hint that realizes its "distinguishing property":
+
+==========  ===================================  ==============================
+name        notation                             distinguishing property
+==========  ===================================  ==============================
+Seq1        Seq_AC(VxFxNt, VxGxFx)               temporal Aggregation (T_N = 1)
+Seq2        Seq_AC(VxFxNs, VxGxFx)               spatial Aggregation (T_N > 1)
+SP1         SP_AC(VxFsNt, VxFsGx)                temporal Agg & high T_F
+SP2         SP_AC(VsFxNt, VsFxGx)                temporal Agg & high T_V
+SPhighV     SP_AC(VsFxNt, VsFxGx)                extremely high T_V (T_F = 1)
+PP1         PP_AC(VxFxNt, VxGxFx)                temporal Agg, few rows/granule
+PP2         PP_AC(VxFxNs, VxGxFx)                spatial Agg, low granularity
+PP3         PP_AC(VxFxNt, VsGxFx)                temporal Agg, high granularity
+PP4         PP_AC(VxFxNs, VsGxFx)                spatial Agg, high granularity
+==========  ===================================  ==============================
+
+The SP rows are run as SP-Optimized (the paper's §V-B2 notes SP "has no
+intermediate matrix accesses", which is the SP-Optimized property, and §V-D
+analyses SPhighV as the sole SP-Optimized mapping a temporal-reduction-only
+rigid substrate can realize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .taxonomy import Dataflow, Dim, Phase, SPVariant, parse_dataflow
+from .tiling import TileHint
+
+__all__ = ["PaperConfig", "PAPER_CONFIGS", "paper_dataflow", "paper_config_names"]
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """One Table V row: notation + tile hint + metadata."""
+
+    name: str
+    notation: str
+    hint: TileHint
+    sp_variant: SPVariant | None = None
+    pe_split: float = 0.5
+    description: str = ""
+
+    def dataflow(self, *, pe_split: float | None = None) -> Dataflow:
+        df = parse_dataflow(
+            self.notation,
+            sp_variant=self.sp_variant,
+            pe_split=pe_split if pe_split is not None else self.pe_split,
+        )
+        return df.with_name(self.name)
+
+
+_A = Phase.AGGREGATION
+_C = Phase.COMBINATION
+
+PAPER_CONFIGS: dict[str, PaperConfig] = {
+    "Seq1": PaperConfig(
+        "Seq1",
+        "Seq_AC(VxFxNt, VxGxFx)",
+        TileHint(agg_priority=(Dim.F, Dim.V, Dim.N), cmb_priority=(Dim.G, Dim.V, Dim.F)),
+        description="Temporal Aggregation (T_N=1)",
+    ),
+    "Seq2": PaperConfig(
+        "Seq2",
+        "Seq_AC(VxFxNs, VxGxFx)",
+        TileHint(agg_priority=(Dim.N, Dim.F, Dim.V), cmb_priority=(Dim.G, Dim.V, Dim.F)),
+        description="Spatial Aggregation (T_N>1)",
+    ),
+    "SP1": PaperConfig(
+        "SP1",
+        "SP_AC(VxFsNt, VxFsGx)",
+        TileHint(agg_priority=(Dim.F, Dim.V, Dim.N), cmb_priority=(Dim.G, Dim.V, Dim.F)),
+        sp_variant=SPVariant.OPTIMIZED,
+        description="Temporal Aggregation & high T_F",
+    ),
+    "SP2": PaperConfig(
+        "SP2",
+        "SP_AC(VsFxNt, VsFxGx)",
+        TileHint(
+            agg_priority=(Dim.V, Dim.F, Dim.N),
+            cmb_priority=(Dim.G, Dim.V, Dim.F),
+            caps={(_A, Dim.V): 64},
+        ),
+        sp_variant=SPVariant.OPTIMIZED,
+        description="Temporal Aggregation & high T_V",
+    ),
+    "SPhighV": PaperConfig(
+        "SPhighV",
+        "SP_AC(VsFxNt, VsFxGx)",
+        TileHint(
+            agg_priority=(Dim.V, Dim.F, Dim.N),
+            cmb_priority=(Dim.G, Dim.V, Dim.F),
+            caps={(_A, Dim.F): 1},
+        ),
+        sp_variant=SPVariant.OPTIMIZED,
+        description="SP dataflow; extremely high T_V (spatializing the sparse dim)",
+    ),
+    "PP1": PaperConfig(
+        "PP1",
+        "PP_AC(VxFxNt, VxGxFx)",
+        TileHint(
+            agg_priority=(Dim.F, Dim.V, Dim.N),
+            cmb_priority=(Dim.G, Dim.V, Dim.F),
+            caps={(_C, Dim.V): 16},
+        ),
+        description="Temporal Aggregation & granularity of fewer rows",
+    ),
+    "PP2": PaperConfig(
+        "PP2",
+        "PP_AC(VxFxNs, VxGxFx)",
+        TileHint(
+            agg_priority=(Dim.N, Dim.F, Dim.V),
+            cmb_priority=(Dim.G, Dim.V, Dim.F),
+            caps={(_C, Dim.V): 16},
+        ),
+        description="Spatial Aggregation & low granularity",
+    ),
+    "PP3": PaperConfig(
+        "PP3",
+        "PP_AC(VxFxNt, VsGxFx)",
+        TileHint(
+            agg_priority=(Dim.F, Dim.V, Dim.N),
+            cmb_priority=(Dim.V, Dim.G, Dim.F),
+            caps={(_C, Dim.V): 64},
+        ),
+        description="Temporal Aggregation & high granularity",
+    ),
+    "PP4": PaperConfig(
+        "PP4",
+        "PP_AC(VxFxNs, VsGxFx)",
+        TileHint(
+            agg_priority=(Dim.N, Dim.F, Dim.V),
+            cmb_priority=(Dim.V, Dim.G, Dim.F),
+            caps={(_C, Dim.V): 64},
+        ),
+        description="Spatial Aggregation & high granularity",
+    ),
+}
+
+
+def paper_config_names() -> list[str]:
+    """Table V order, as used on the x-axes of Figs. 11-13."""
+    return list(PAPER_CONFIGS.keys())
+
+
+def paper_dataflow(
+    name: str, *, pe_split: float | None = None
+) -> tuple[Dataflow, TileHint]:
+    """Resolve a Table V configuration to (dataflow, tile hint)."""
+    cfg = PAPER_CONFIGS[name]
+    return cfg.dataflow(pe_split=pe_split), cfg.hint

@@ -1,0 +1,155 @@
+"""Human-readable explanations of dataflows (the taxonomy, narrated).
+
+Turns a dataflow into the prose a reader would otherwise reconstruct from
+Tables I-III: what each phase parallelizes, which operand sits still,
+where partial sums live, how the phases share the chip, and what staging
+the intermediate needs.  Used by the CLI's ``describe`` subcommand and
+handy in notebooks/teaching.
+"""
+
+from __future__ import annotations
+
+from .legality import intermediate_axes, sp_optimized_ok, validate_dataflow
+from .taxonomy import (
+    Annot,
+    Dataflow,
+    Dim,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+)
+
+__all__ = ["describe_intra", "describe_dataflow"]
+
+_DIM_NOUN = {
+    Dim.V: "vertices",
+    Dim.F: "input features",
+    Dim.G: "output features",
+    Dim.N: "neighbors",
+}
+
+
+def describe_intra(intra: IntraDataflow) -> list[str]:
+    """Explain one phase's loop order and parallelism choices."""
+    lines: list[str] = []
+    phase = "Aggregation (SpMM)" if intra.phase is Phase.AGGREGATION else "Combination (GEMM)"
+    order_txt = " -> ".join(d.value for d in intra.order)
+    lines.append(f"{phase}: temporal loop order {order_txt} (outermost first).")
+    spatial = [d for d in intra.order if intra.annotation_of(d) is Annot.SPATIAL]
+    temporal = [d for d in intra.order if intra.annotation_of(d) is Annot.TEMPORAL]
+    either = [d for d in intra.order if intra.annotation_of(d) is Annot.EITHER]
+    if spatial:
+        lines.append(
+            "  parallel across PEs: "
+            + ", ".join(f"{_DIM_NOUN[d]} (T_{d.value} > 1)" for d in spatial)
+            + "."
+        )
+    if temporal:
+        lines.append(
+            "  iterated over time: " + ", ".join(_DIM_NOUN[d] for d in temporal) + "."
+        )
+    if either:
+        lines.append(
+            "  left open (x): " + ", ".join(_DIM_NOUN[d] for d in either)
+            + " — the tile chooser decides."
+        )
+    c = intra.contraction
+    pos = intra.position_of(c)
+    if intra.annotation_of(c) is Annot.SPATIAL:
+        lines.append(
+            f"  the {_DIM_NOUN[c]} reduction is spatial: partial products "
+            "meet in the adder tree."
+        )
+    elif pos == 2:
+        lines.append(
+            f"  the {_DIM_NOUN[c]} reduction is temporal and innermost: "
+            "each PE accumulates in its MAC register."
+        )
+    else:
+        lines.append(
+            f"  the {_DIM_NOUN[c]} reduction is temporal but *not* innermost: "
+            "partial sums must survive across the inner loops — expect "
+            "spills unless they fit the PE accumulators."
+        )
+    return lines
+
+
+def describe_dataflow(df: Dataflow) -> str:
+    """Narrate a complete multiphase dataflow."""
+    lines: list[str] = [f"{df}"]
+    if df.name:
+        lines[0] += f"  ({df.name})"
+    lines.append("")
+    if df.order is PhaseOrder.AC:
+        lines.append(
+            "Computation order AC: Aggregation produces the V x F "
+            "intermediate, Combination consumes it."
+        )
+    else:
+        lines.append(
+            "Computation order CA: Combination produces the V x G "
+            "intermediate; Aggregation then reads its rows as neighbors "
+            "(V x G becomes N x F)."
+        )
+    lines.append("")
+    lines.extend(describe_intra(df.agg))
+    lines.append("")
+    lines.extend(describe_intra(df.cmb))
+    lines.append("")
+
+    if df.inter is InterPhase.SEQ:
+        lines.append(
+            "Inter-phase Seq: phases run back to back; the whole "
+            "intermediate is staged through the global buffer (DRAM if it "
+            "does not fit).  Runtime = t_AGG + t_CMB."
+        )
+    elif df.inter is InterPhase.SP:
+        if df.sp_variant is SPVariant.OPTIMIZED:
+            ok, reason = sp_optimized_ok(df)
+            if ok:
+                lines.append(
+                    "Inter-phase SP-Optimized: phases interleave per tile; "
+                    "the intermediate never leaves the PE register files, "
+                    "so its buffer footprint is zero and the consumer's "
+                    "load time (t_load) is saved."
+                )
+            else:
+                lines.append(f"Inter-phase SP-Optimized — ILLEGAL here: {reason}")
+        else:
+            lines.append(
+                "Inter-phase SP-Generic: phases interleave per granule "
+                "through the global buffer; footprint is one granule (Pel) "
+                "but the runtime matches Seq."
+            )
+    else:
+        agg_pct = round(df.pe_split * 100)
+        lines.append(
+            f"Inter-phase PP: the array splits {agg_pct}-{100 - agg_pct} "
+            "between Aggregation and Combination; granules stream through "
+            "a 2 x Pel ping-pong buffer.  Runtime is the pipelined "
+            "sum(max(t_AGG, t_CMB)) — balance decides everything."
+        )
+
+    gran = validate_dataflow(df, strict=False)
+    if df.inter is not InterPhase.SEQ:
+        if gran is None:
+            lines.append(
+                "NOTE: these loop orders are not pipeline-compatible — the "
+                "producer's completion order cannot feed the consumer's "
+                "demand order.  Only Seq can run this pair."
+            )
+        else:
+            row, col, _ = intermediate_axes(df.producer, df.order)
+            unit = {
+                Granularity.ELEMENT: "one T_V x T_F tile",
+                Granularity.ROW: "whole intermediate row(s)",
+                Granularity.COLUMN: "whole intermediate column(s)",
+            }[gran]
+            lines.append(
+                f"Pipelining granularity: {gran.value} — each pipeline step "
+                f"hands over {unit}."
+            )
+    return "\n".join(lines)

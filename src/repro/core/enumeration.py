@@ -1,0 +1,232 @@
+"""Design-space enumeration (paper Table II and the 6,656 count).
+
+The paper reports "a total of 6,656 choices purely from the product of all
+feasible loop orders, parallelism choices, and phase order across the three
+inter-phase choices" (§III-C).  With the granularity-compatibility rule of
+:mod:`repro.core.legality` that count falls out naturally:
+
+- **Seq** accepts any pair of concrete intra-phase dataflows:
+  48 x 48 x 2 phase orders = 4,608 (each phase has 6 loop orders x 2^3
+  spatial/temporal annotations = 48 concrete dataflows);
+- **SP** and **PP** each accept only pipeline-compatible pairs: 8 loop-order
+  pairs per phase order (Table II rows 4-6 for AC, rows 7-9 for CA), each
+  with 2^6 annotation choices: 8 x 64 x 2 = 1,024 each.
+
+4,608 + 1,024 + 1,024 = **6,656**.  SP-Optimized is a *buffering* variant of
+the element-granularity SP loop orders, not an extra loop-order/parallelism
+choice, so it adds nothing to the count.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from .legality import infer_granularity, sp_optimized_ok
+from .taxonomy import (
+    AGG_DIMS,
+    CMB_DIMS,
+    Annot,
+    Dataflow,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+)
+
+__all__ = [
+    "all_loop_orders",
+    "all_concrete_intra",
+    "enumerate_pairs",
+    "enumerate_design_space",
+    "count_design_space",
+    "TableIIRow",
+    "TABLE_II_ROWS",
+    "table_ii_order_pairs",
+]
+
+
+def all_loop_orders(phase: Phase) -> list[tuple]:
+    """The 6 loop-order permutations of a phase's dimensions."""
+    dims = AGG_DIMS if phase is Phase.AGGREGATION else CMB_DIMS
+    return [tuple(p) for p in itertools.permutations(dims)]
+
+
+def all_concrete_intra(phase: Phase) -> list[IntraDataflow]:
+    """All 48 concrete intra-phase dataflows (6 orders x 2^3 annotations)."""
+    out: list[IntraDataflow] = []
+    st = (Annot.SPATIAL, Annot.TEMPORAL)
+    for order in all_loop_orders(phase):
+        for annot in itertools.product(st, st, st):
+            out.append(IntraDataflow(phase, order, annot))
+    return out
+
+
+def enumerate_pairs(
+    inter: InterPhase,
+    order: PhaseOrder,
+    *,
+    sp_variant: SPVariant | None = None,
+) -> Iterator[Dataflow]:
+    """All legal concrete (Agg, Cmb) pairs for one inter-phase strategy."""
+    variant = sp_variant if inter is InterPhase.SP else None
+    for agg in all_concrete_intra(Phase.AGGREGATION):
+        for cmb in all_concrete_intra(Phase.COMBINATION):
+            df = Dataflow(inter=inter, order=order, agg=agg, cmb=cmb, sp_variant=variant)
+            if inter is InterPhase.SEQ:
+                yield df
+                continue
+            if variant is SPVariant.OPTIMIZED:
+                if sp_optimized_ok(df)[0]:
+                    yield df
+                continue
+            if infer_granularity(df) is not None:
+                yield df
+
+
+def enumerate_design_space(
+    *, include_sp_optimized: bool = False
+) -> Iterator[Dataflow]:
+    """Every choice counted by the paper's 6,656 (optionally + SP-Opt).
+
+    SP-Optimized instances are loop-order/annotation duplicates of
+    SP-Generic element-granularity dataflows, so they are excluded from the
+    headline count by default.
+    """
+    for order in PhaseOrder:
+        yield from enumerate_pairs(InterPhase.SEQ, order)
+    for order in PhaseOrder:
+        yield from enumerate_pairs(InterPhase.SP, order, sp_variant=SPVariant.GENERIC)
+        if include_sp_optimized:
+            yield from enumerate_pairs(
+                InterPhase.SP, order, sp_variant=SPVariant.OPTIMIZED
+            )
+    for order in PhaseOrder:
+        yield from enumerate_pairs(InterPhase.PP, order)
+
+
+def count_design_space() -> dict[str, int]:
+    """Counts per inter-phase strategy plus the paper-comparable total."""
+    counts = {"Seq": 0, "SP": 0, "PP": 0}
+    for df in enumerate_design_space():
+        counts[df.inter.value] += 1
+    counts["SP-Optimized"] = sum(
+        1
+        for order in PhaseOrder
+        for _ in enumerate_pairs(InterPhase.SP, order, sp_variant=SPVariant.OPTIMIZED)
+    )
+    counts["total"] = counts["Seq"] + counts["SP"] + counts["PP"]
+    return counts
+
+
+@dataclass(frozen=True)
+class TableIIRow:
+    """One row of the paper's Table II, encoded as wildcard pair patterns."""
+
+    row: int
+    inter: InterPhase
+    order: PhaseOrder
+    pairs: tuple[tuple[str, str], ...]  # (agg pattern, cmb pattern)
+    granularity: Granularity | None
+    sp_variant: SPVariant | None
+    remark: str
+
+
+# Verbatim transcription of Table II's loop-order enumeration.  Row 1 (Seq)
+# admits all pairs and row 3 (SP-Generic) reuses rows 4-9, so only the
+# explicitly-enumerated rows appear here.  Tests assert that our
+# granularity-inference rule reproduces each row exactly.
+TABLE_II_ROWS: tuple[TableIIRow, ...] = (
+    TableIIRow(
+        2,
+        InterPhase.SP,
+        PhaseOrder.AC,
+        (("VxFxNt", "VxFxGt"), ("FxVxNt", "FxVxGt")),
+        Granularity.ELEMENT,
+        SPVariant.OPTIMIZED,
+        "SP-Optimized: intermediate stays in PE RF; EnGN-style",
+    ),
+    TableIIRow(
+        2,
+        InterPhase.SP,
+        PhaseOrder.CA,
+        (("NxFxVt", "VxGxFt"), ("FxNxVt", "GxVxFt")),
+        Granularity.ELEMENT,
+        SPVariant.OPTIMIZED,
+        "SP-Optimized, Combination-first",
+    ),
+    TableIIRow(
+        4,
+        InterPhase.PP,
+        PhaseOrder.AC,
+        (("VxFxNx", "VxFxGx"), ("FxVxNx", "FxVxGx")),
+        Granularity.ELEMENT,
+        None,
+        "Element(s)-wise granularity",
+    ),
+    TableIIRow(
+        5,
+        InterPhase.PP,
+        PhaseOrder.AC,
+        (("VxFxNx", "VxGxFx"), ("VxNxFx", "VxGxFx"), ("VxNxFx", "VxFxGx")),
+        Granularity.ROW,
+        None,
+        "Row(s)-wise granularity; HyGCN dataflow lives here",
+    ),
+    TableIIRow(
+        6,
+        InterPhase.PP,
+        PhaseOrder.AC,
+        (("FxVxNx", "FxGxVx"), ("FxNxVx", "FxGxVx"), ("FxNxVx", "FxVxGx")),
+        Granularity.COLUMN,
+        None,
+        "Column(s)-wise granularity",
+    ),
+    TableIIRow(
+        7,
+        InterPhase.PP,
+        PhaseOrder.CA,
+        (("NxFxVx", "VxGxFx"), ("FxNxVx", "GxVxFx")),
+        Granularity.ELEMENT,
+        None,
+        "Element(s)-wise granularity; V x G becomes N x F for Agg",
+    ),
+    TableIIRow(
+        8,
+        InterPhase.PP,
+        PhaseOrder.CA,
+        (("NxVxFx", "VxGxFx"), ("NxVxFx", "VxFxGx"), ("NxFxVx", "VxFxGx")),
+        Granularity.ROW,
+        None,
+        "Row(s)-wise granularity; Combination-first",
+    ),
+    TableIIRow(
+        9,
+        InterPhase.PP,
+        PhaseOrder.CA,
+        (("FxVxNx", "GxVxFx"), ("FxVxNx", "GxFxVx"), ("FxNxVx", "GxFxVx")),
+        Granularity.COLUMN,
+        None,
+        "Column(s)-wise granularity; AWB-GCN dataflow lives here",
+    ),
+)
+
+
+def table_ii_order_pairs(
+    inter: InterPhase, order: PhaseOrder
+) -> set[tuple[tuple, tuple]]:
+    """Loop-order pairs Table II enumerates for (inter, order)."""
+    out: set[tuple[tuple, tuple]] = set()
+    for row in TABLE_II_ROWS:
+        if row.inter is not inter or row.order is not order:
+            continue
+        if inter is InterPhase.SP and row.sp_variant is not SPVariant.OPTIMIZED:
+            continue
+        for agg_pat, cmb_pat in row.pairs:
+            agg = IntraDataflow.parse(agg_pat, Phase.AGGREGATION)
+            cmb = IntraDataflow.parse(cmb_pat, Phase.COMBINATION)
+            out.add((agg.order, cmb.order))
+    return out

@@ -1,0 +1,172 @@
+"""Pipelining granularity: Pel sizing and granule-series construction.
+
+The paper (§IV-D, Table III) pipelines the intermediate matrix at one of
+three granularities; ``Pel`` is the number of intermediate elements per
+pipeline step:
+
+========  =======================  =========================
+grain     granule shape            Pel
+========  =======================  =========================
+element   T_Vmax x T_Fmax tile     ``T_Vmax * T_Fmax``
+row       T_Vmax whole rows        ``T_Vmax * F``
+column    T_Fmax whole columns     ``V * T_Fmax``
+========  =======================  =========================
+
+(for CA the column axis binds to G).  ``T_Dimmax`` is the larger of the two
+phases' tile sizes on the shared axis — the paper only considers mappings
+where the larger is a multiple of the smaller, and our construction chunks
+*per-unit* cost arrays so any pair of tile sizes composes consistently.
+
+This module turns the two phase engines' per-unit cost views into aligned
+producer/consumer granule-time series for :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..engine.gemm import GemmResult
+from ..engine.spmm import SpmmResult
+from .taxonomy import Dataflow, Granularity, PhaseOrder
+from .legality import _row_major  # shared definition of walk direction
+from .workload import GNNWorkload
+
+__all__ = ["GranuleSpec", "make_granule_spec", "granule_series", "chunk_sums"]
+
+
+def chunk_sums(values: np.ndarray, chunk: int) -> np.ndarray:
+    """Sum ``values`` in consecutive chunks of ``chunk`` (last may be short)."""
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    n = math.ceil(len(values) / chunk)
+    pad = n * chunk - len(values)
+    padded = np.concatenate([np.asarray(values, dtype=np.float64), np.zeros(pad)])
+    return padded.reshape(n, chunk).sum(axis=1)
+
+
+@dataclass(frozen=True)
+class GranuleSpec:
+    """Resolved pipelining parameters for one dataflow on one workload."""
+
+    granularity: Granularity
+    rows_per_granule: int
+    cols_per_granule: int
+    rows_extent: int  # V
+    cols_extent: int  # F for AC, G for CA
+    pel: int
+    num_granules: int
+    row_major: bool
+
+    @property
+    def buffering_elements(self) -> int:
+        """PP ping-pong capacity: 2 x Pel (paper Table III)."""
+        return 2 * self.pel
+
+
+def make_granule_spec(
+    df: Dataflow,
+    wl: GNNWorkload,
+    granularity: Granularity,
+    agg_res: SpmmResult,
+    cmb_res: GemmResult,
+) -> GranuleSpec:
+    """Compute granule shape/Pel from the realized tile sizes."""
+    ac = df.order is PhaseOrder.AC
+    rows_extent = wl.num_vertices
+    cols_extent = wl.in_features if ac else wl.out_features
+    t_v_agg = agg_res.stats.tile_sizes["T_V"]
+    t_v_cmb = cmb_res.stats.tile_sizes["T_V"]
+    # The intermediate column axis is F under AC (Agg's T_F vs Cmb's T_F)
+    # and G under CA (Cmb's T_G vs Agg's T_F, which binds the G extent).
+    t_c_agg = agg_res.stats.tile_sizes["T_F"]
+    t_c_cmb = cmb_res.stats.tile_sizes["T_F" if ac else "T_G"]
+    rows_per = min(rows_extent, max(t_v_agg, t_v_cmb))
+    cols_per = min(cols_extent, max(t_c_agg, t_c_cmb))
+
+    if granularity is Granularity.ROW:
+        pel = rows_per * cols_extent
+        num = math.ceil(rows_extent / rows_per)
+    elif granularity is Granularity.COLUMN:
+        pel = rows_extent * cols_per
+        num = math.ceil(cols_extent / cols_per)
+    else:
+        pel = rows_per * cols_per
+        num = math.ceil(rows_extent / rows_per) * math.ceil(cols_extent / cols_per)
+    return GranuleSpec(
+        granularity=granularity,
+        rows_per_granule=rows_per,
+        cols_per_granule=cols_per,
+        rows_extent=rows_extent,
+        cols_extent=cols_extent,
+        pel=pel,
+        num_granules=num,
+        row_major=_row_major(df.producer, df.order),
+    )
+
+
+def _grid_series(
+    row_units: np.ndarray,
+    col_units: np.ndarray,
+    spec: GranuleSpec,
+    total: float,
+) -> np.ndarray:
+    """Element-granularity grid: outer product of per-axis shares.
+
+    ``row_units``/``col_units`` each sum to the phase's total cycles; the
+    grid redistributes that total across (row-chunk, col-chunk) cells.
+    """
+    r = chunk_sums(row_units, spec.rows_per_granule)
+    c = chunk_sums(col_units, spec.cols_per_granule)
+    if total <= 0:
+        return np.zeros(r.size * c.size)
+    grid = np.outer(r, c) / total
+    if not spec.row_major:
+        grid = grid.T
+    return grid.ravel()
+
+
+def granule_series(
+    df: Dataflow,
+    spec: GranuleSpec,
+    agg_res: SpmmResult,
+    cmb_res: GemmResult,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(producer_times, consumer_times) per granule, aligned and ordered.
+
+    Producer times say when each granule's data becomes available relative
+    to work done; consumer times say how long each granule takes to digest.
+    Both arrays sum to ~their phase's total cycles.
+    """
+    ac = df.order is PhaseOrder.AC
+    if ac:
+        prod_rows = agg_res.per_unit_cycles("row")
+        prod_cols = agg_res.per_unit_cycles("col")
+        prod_total = float(agg_res.stats.cycles)
+        cons_rows = cmb_res.per_unit_cycles("row")
+        cons_cols = cmb_res.per_unit_cycles("col", col_extent=spec.cols_extent)
+        cons_total = float(cmb_res.stats.cycles)
+    else:
+        prod_rows = cmb_res.per_unit_cycles("row")
+        prod_cols = cmb_res.per_unit_cycles("col", col_extent=spec.cols_extent)
+        prod_total = float(cmb_res.stats.cycles)
+        cons_rows = agg_res.consumption_per_unit_rows()
+        cons_cols = agg_res.per_unit_cycles("col")
+        cons_total = float(agg_res.stats.cycles)
+
+    if spec.granularity is Granularity.ROW:
+        return (
+            chunk_sums(prod_rows, spec.rows_per_granule),
+            chunk_sums(cons_rows, spec.rows_per_granule),
+        )
+    if spec.granularity is Granularity.COLUMN:
+        return (
+            chunk_sums(prod_cols, spec.cols_per_granule),
+            chunk_sums(cons_cols, spec.cols_per_granule),
+        )
+    return (
+        _grid_series(prod_rows, prod_cols, spec, prod_total),
+        _grid_series(cons_rows, cons_cols, spec, cons_total),
+    )

@@ -1,0 +1,215 @@
+"""Legality rules and granularity inference for multiphase dataflows.
+
+The interdependence of the two phases (paper §III-B, Table II) is what makes
+the multiphase design space non-trivial:
+
+- **Pipelining granularity** is dictated by both phases' loop orders.  The
+  producer completes intermediate-matrix axes that sit *outside* its
+  contraction loop; the consumer requires axes that sit *outside* its
+  non-intermediate loop.  The pipeline granule is the coarser of the two
+  "natural" granules; a row-producer feeding a column-consumer cannot be
+  pipelined at all and must fall back to Seq.
+- **SP-Optimized** (paper §IV-B) additionally requires element granularity
+  with both phases' innermost loops temporal (the intermediate tile stays
+  pinned in PE register files while the second phase streams over it) and
+  matching tile sizes on the shared axes.
+
+These rules reproduce, rather than merely restate, the explicit loop-order
+enumeration of Table II — the tests check every row of the table against
+:func:`infer_granularity`.
+"""
+
+from __future__ import annotations
+
+
+
+from .taxonomy import (
+    Annot,
+    Dataflow,
+    Dim,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+)
+
+__all__ = [
+    "intermediate_axes",
+    "phase_granule",
+    "infer_granularity",
+    "sp_optimized_ok",
+    "LegalityError",
+    "validate_dataflow",
+]
+
+
+class LegalityError(ValueError):
+    """Raised when a dataflow violates the taxonomy's composition rules."""
+
+
+def intermediate_axes(
+    intra: IntraDataflow, order: PhaseOrder
+) -> tuple[Dim, Dim, Dim]:
+    """(row_axis, col_axis, other_dim) of the intermediate for this phase.
+
+    AC: the intermediate is V x F, produced by Aggregation and consumed by
+    Combination.  CA: the intermediate is V x G; Aggregation consumes it
+    with rows indexed by neighbor position N and columns by its F axis
+    (which binds to the G extent).
+    """
+    if order is PhaseOrder.AC:
+        if intra.phase is Phase.AGGREGATION:
+            return (Dim.V, Dim.F, Dim.N)
+        return (Dim.V, Dim.F, Dim.G)
+    # CA
+    if intra.phase is Phase.COMBINATION:
+        return (Dim.V, Dim.G, Dim.F)
+    return (Dim.N, Dim.F, Dim.V)
+
+
+def phase_granule(intra: IntraDataflow, order: PhaseOrder) -> Granularity | None:
+    """The phase's natural granule over the intermediate matrix.
+
+    ``None`` means the phase only completes/consumes the intermediate as a
+    whole (its non-intermediate dim is outermost), which rules pipelining
+    out.
+    """
+    row, col, other = intermediate_axes(intra, order)
+    p_other = intra.position_of(other)
+    row_out = intra.position_of(row) < p_other
+    col_out = intra.position_of(col) < p_other
+    if row_out and col_out:
+        return Granularity.ELEMENT
+    if row_out:
+        return Granularity.ROW
+    if col_out:
+        return Granularity.COLUMN
+    return None
+
+
+def _row_major(intra: IntraDataflow, order: PhaseOrder) -> bool:
+    """True when the phase walks the intermediate row axis outermost."""
+    row, col, _ = intermediate_axes(intra, order)
+    return intra.position_of(row) < intra.position_of(col)
+
+
+def infer_granularity(df: Dataflow) -> Granularity | None:
+    """Pipeline granularity implied by both phases' loop orders.
+
+    Returns the coarser of the producer's and consumer's natural granules.
+    Beyond coarseness, *delivery order* must line up: a row-granularity
+    pipeline needs both phases to walk intermediate rows outermost (a
+    column-major element producer completes row 0 only at the very end of
+    its run, so it cannot feed a row consumer).  ``None`` means the pair is
+    not pipeline-compatible and must run Seq — this rule reproduces exactly
+    the loop-order pairs enumerated in Table II rows 4-9.
+    """
+    prod = phase_granule(df.producer, df.order)
+    cons = phase_granule(df.consumer, df.order)
+    if prod is None or cons is None:
+        return None
+    p_rm = _row_major(df.producer, df.order)
+    c_rm = _row_major(df.consumer, df.order)
+    if prod is Granularity.ELEMENT and cons is Granularity.ELEMENT:
+        # Both walk element tiles; the walk orders must agree (a row-major
+        # producer cannot feed a column-major consumer at element grain).
+        return Granularity.ELEMENT if p_rm == c_rm else None
+
+    def compatible(g: Granularity, rm: bool, target: Granularity) -> bool:
+        if g is target:
+            return True
+        if g is Granularity.ELEMENT:
+            # Element phases can join a coarser pipeline only if they walk
+            # the intermediate in the pipeline's direction.
+            return rm if target is Granularity.ROW else not rm
+        return False
+
+    for target in (Granularity.ROW, Granularity.COLUMN):
+        if Granularity(target) in (prod, cons):
+            if compatible(prod, p_rm, target) and compatible(cons, c_rm, target):
+                return target
+            return None
+    return None  # unreachable: one side must be row/column here
+
+
+def sp_optimized_ok(df: Dataflow) -> tuple[bool, str]:
+    """Check the SP-Optimized constraints (paper §IV-B, Table II row 2).
+
+    Returns ``(ok, reason)``; ``reason`` explains the first violation.
+    The requirements:
+
+    1. element granularity (the intermediate tile lives in the PE RF);
+    2. both phases' non-intermediate ("other") dims innermost and temporal
+       — the producer's contraction reduces temporally into the RF
+       (``T_N = 1`` for AC) and the consumer streams its free dim over the
+       pinned tile;
+    3. matching spatial/temporal annotations on the shared intermediate
+       axes (the paper's ``T_V_AGG = T_V_CMB``, ``T_F_AGG = T_F_CMB``).
+    """
+    if infer_granularity(df) is not Granularity.ELEMENT:
+        return False, "SP-Optimized requires element-granularity loop orders"
+    for role, intra in (("producer", df.producer), ("consumer", df.consumer)):
+        row, col, other = intermediate_axes(intra, df.order)
+        if intra.position_of(other) != 2:
+            return False, f"{role} must keep its {other.value} loop innermost"
+        a = intra.annotation_of(other)
+        if a is Annot.SPATIAL:
+            return (
+                False,
+                f"{role} {other.value} must be temporal (T_{other.value}=1) "
+                "so the intermediate stays in the register file",
+            )
+    # Shared-axis tile agreement: annotations must match pairwise.
+    p_row, p_col, _ = intermediate_axes(df.producer, df.order)
+    c_row, c_col, _ = intermediate_axes(df.consumer, df.order)
+    for (pd, cd) in ((p_row, c_row), (p_col, c_col)):
+        pa = df.producer.annotation_of(pd)
+        ca = df.consumer.annotation_of(cd)
+        if Annot.EITHER in (pa, ca):
+            continue
+        if pa is not ca:
+            return (
+                False,
+                f"shared intermediate axis {pd.value}/{cd.value} must have "
+                f"matching tile sizes across phases ({pa.value} vs {ca.value})",
+            )
+    return True, ""
+
+
+def validate_dataflow(df: Dataflow, *, strict: bool = True) -> Granularity | None:
+    """Validate inter-phase composition; returns the effective granularity.
+
+    Seq accepts any pair of intra-phase dataflows (Table II row 1) and has
+    no granularity.  SP-Generic and PP require pipeline-compatible loop
+    orders; SP-Optimized additionally passes :func:`sp_optimized_ok`.
+    With ``strict=False``, incompatibilities return ``None`` instead of
+    raising.
+    """
+    if df.inter is InterPhase.SEQ:
+        return None
+    if df.inter is InterPhase.SP and df.sp_variant is SPVariant.OPTIMIZED:
+        ok, reason = sp_optimized_ok(df)
+        if not ok:
+            if strict:
+                raise LegalityError(f"{df}: {reason}")
+            return None
+        return Granularity.ELEMENT
+    gran = infer_granularity(df)
+    if gran is None:
+        if strict:
+            raise LegalityError(
+                f"{df}: loop orders are not pipeline-compatible; the "
+                "producer's completion granule and the consumer's demand "
+                "granule cannot be reconciled (use Seq)"
+            )
+        return None
+    if df.granularity is not None and df.granularity is not gran:
+        if strict:
+            raise LegalityError(
+                f"{df}: declared granularity {df.granularity.value} "
+                f"conflicts with inferred {gran.value}"
+            )
+        return None
+    return gran

@@ -1,0 +1,310 @@
+"""Mapping optimizer / design-space exploration on top of OMEGA.
+
+The paper (§VI, "Mapping Optimizer") anticipates a mapper that searches the
+multiphase dataflow space using OMEGA as its cost model.  This module
+implements three complementary strategies:
+
+- :func:`search_paper_configs` — the ten Table V configurations (a strong,
+  cheap baseline sweep);
+- :meth:`MappingOptimizer.exhaustive` — every pipeline-legal loop-order
+  pair x inter-phase strategy x a hint portfolio, bounded by a budget;
+- :meth:`MappingOptimizer.random_search` and
+  :meth:`MappingOptimizer.refine_tiles` — randomized exploration plus a
+  factor-of-two hill climb on explicit tile sizes.
+
+Objectives: ``cycles``, ``energy`` or ``edp`` (energy-delay product).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..engine.gemm import GemmTiling
+from ..engine.spmm import SpmmTiling
+from .configs import PAPER_CONFIGS
+from .enumeration import table_ii_order_pairs
+from .interphase import RunResult
+from .legality import LegalityError
+from .omega import run_gnn_dataflow
+from .taxonomy import (
+    Annot,
+    Dataflow,
+    Dim,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+)
+from .tiling import TileHint
+from .workload import GNNWorkload
+
+__all__ = ["Objective", "SearchResult", "MappingOptimizer", "search_paper_configs"]
+
+Objective = Callable[[RunResult], float]
+
+OBJECTIVES: dict[str, Objective] = {
+    "cycles": lambda r: float(r.total_cycles),
+    "energy": lambda r: r.energy_pj,
+    "edp": lambda r: float(r.total_cycles) * r.energy_pj,
+}
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search: the best run plus the evaluation trace."""
+
+    best: RunResult
+    objective: str
+    evaluated: int
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def best_score(self) -> float:
+        return OBJECTIVES[self.objective](self.best)
+
+    def top(self, k: int = 5) -> list[tuple[str, float]]:
+        return sorted(self.history, key=lambda t: t[1])[:k]
+
+
+def search_paper_configs(
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    *,
+    objective: str = "cycles",
+) -> SearchResult:
+    """Evaluate the ten Table V configurations and pick the winner."""
+    score = OBJECTIVES[objective]
+    best: RunResult | None = None
+    history: list[tuple[str, float]] = []
+    for name, cfg in PAPER_CONFIGS.items():
+        res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
+        s = score(res)
+        history.append((name, s))
+        if best is None or s < score(best):
+            best = res
+    assert best is not None
+    return SearchResult(best=best, objective=objective, evaluated=len(history), history=history)
+
+
+def _hint_portfolio() -> list[TileHint]:
+    """A small diverse set of tile-selection strategies."""
+    hints = [TileHint()]
+    hints.append(TileHint(agg_priority=(Dim.V, Dim.F, Dim.N)))
+    hints.append(
+        TileHint(
+            agg_priority=(Dim.V, Dim.F, Dim.N),
+            caps={(Phase.AGGREGATION, Dim.V): 64},
+        )
+    )
+    hints.append(TileHint(agg_priority=(Dim.N, Dim.F, Dim.V)))
+    hints.append(
+        TileHint(
+            cmb_priority=(Dim.V, Dim.G, Dim.F),
+            caps={(Phase.COMBINATION, Dim.V): 64},
+        )
+    )
+    return hints
+
+
+class MappingOptimizer:
+    """Searches multiphase dataflows for one workload on one substrate."""
+
+    def __init__(
+        self,
+        wl: GNNWorkload,
+        hw: AcceleratorConfig,
+        *,
+        objective: str = "cycles",
+    ) -> None:
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; pick from {sorted(OBJECTIVES)}"
+            )
+        self.wl = wl
+        self.hw = hw
+        self.objective = objective
+        self._score = OBJECTIVES[objective]
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        candidates: Iterable[tuple[Dataflow, TileHint | None]],
+        budget: int | None,
+    ) -> SearchResult:
+        best: RunResult | None = None
+        history: list[tuple[str, float]] = []
+        n = 0
+        for df, hint in candidates:
+            if budget is not None and n >= budget:
+                break
+            try:
+                res = run_gnn_dataflow(self.wl, df, self.hw, hint=hint)
+            except (LegalityError, ValueError):
+                continue
+            n += 1
+            s = self._score(res)
+            label = df.name or str(df)
+            history.append((label, s))
+            if best is None or s < self._score(best):
+                best = res
+        if best is None:
+            raise LegalityError("no legal candidate dataflow found")
+        return SearchResult(
+            best=best, objective=self.objective, evaluated=n, history=history
+        )
+
+    # ------------------------------------------------------------------
+    def _pipeline_candidates(self) -> Iterator[tuple[Dataflow, TileHint | None]]:
+        """All SP/PP loop-order pairs (Table II rows 2-9) x hint portfolio."""
+        hints = _hint_portfolio()
+        for order in PhaseOrder:
+            pairs = table_ii_order_pairs(InterPhase.PP, order)
+            for agg_order, cmb_order in sorted(pairs, key=str):
+                agg = IntraDataflow(
+                    Phase.AGGREGATION, agg_order, (Annot.EITHER,) * 3
+                )
+                cmb = IntraDataflow(
+                    Phase.COMBINATION, cmb_order, (Annot.EITHER,) * 3
+                )
+                for hint in hints:
+                    for inter, variant, split in (
+                        (InterPhase.SP, SPVariant.GENERIC, 0.5),
+                        (InterPhase.SP, SPVariant.OPTIMIZED, 0.5),
+                        (InterPhase.PP, None, 0.25),
+                        (InterPhase.PP, None, 0.5),
+                        (InterPhase.PP, None, 0.75),
+                    ):
+                        try:
+                            df = Dataflow(
+                                inter=inter,
+                                order=order,
+                                agg=agg,
+                                cmb=cmb,
+                                sp_variant=variant,
+                                pe_split=split,
+                            )
+                        except ValueError:
+                            continue
+                        yield df, hint
+
+    def _seq_candidates(self) -> Iterator[tuple[Dataflow, TileHint | None]]:
+        """A representative Seq sample: canonical orders x hint portfolio."""
+        hints = _hint_portfolio()
+        agg_orders = [
+            (Dim.V, Dim.F, Dim.N),
+            (Dim.F, Dim.V, Dim.N),
+            (Dim.V, Dim.N, Dim.F),
+        ]
+        cmb_orders = [
+            (Dim.V, Dim.G, Dim.F),
+            (Dim.V, Dim.F, Dim.G),
+            (Dim.G, Dim.V, Dim.F),
+        ]
+        for order in PhaseOrder:
+            for ao, co in itertools.product(agg_orders, cmb_orders):
+                agg = IntraDataflow(Phase.AGGREGATION, ao, (Annot.EITHER,) * 3)
+                cmb = IntraDataflow(Phase.COMBINATION, co, (Annot.EITHER,) * 3)
+                for hint in hints:
+                    yield Dataflow(
+                        inter=InterPhase.SEQ, order=order, agg=agg, cmb=cmb
+                    ), hint
+
+    def exhaustive(self, *, budget: int | None = None) -> SearchResult:
+        """Sweep Seq samples plus every pipeline-legal pair (bounded)."""
+        return self._evaluate(
+            itertools.chain(self._seq_candidates(), self._pipeline_candidates()),
+            budget,
+        )
+
+    def random_search(self, n: int, *, seed: int = 0) -> SearchResult:
+        """Uniform random draws from the pipeline candidate pool."""
+        pool = list(self._pipeline_candidates()) + list(self._seq_candidates())
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(pool), size=min(n, len(pool)), replace=False)
+        return self._evaluate((pool[i] for i in idx), None)
+
+    # ------------------------------------------------------------------
+    def refine_tiles(
+        self,
+        df: Dataflow,
+        spmm_tiling: SpmmTiling,
+        gemm_tiling: GemmTiling,
+        *,
+        max_steps: int = 32,
+    ) -> tuple[RunResult, SpmmTiling, GemmTiling]:
+        """Factor-of-two hill climb on explicit tile sizes.
+
+        Neighbor moves halve one tile dimension and double another within
+        the same phase (preserving the PE budget).  Stops at a local
+        optimum or after ``max_steps`` improvements.
+        """
+
+        def concretized(st: SpmmTiling, gt: GemmTiling) -> Dataflow:
+            # Re-derive s/t annotations from the tile sizes so halving a
+            # spatial dim to 1 legally turns it temporal (paper Fig. 4).
+            from .tiling import concretize_intra
+
+            agg = replace(df.agg, annot=(Annot.EITHER,) * 3)
+            cmb = replace(df.cmb, annot=(Annot.EITHER,) * 3)
+            return replace(
+                df,
+                agg=concretize_intra(
+                    agg, {Dim.V: st.t_v, Dim.F: st.t_f, Dim.N: st.t_n}
+                ),
+                cmb=concretize_intra(
+                    cmb, {Dim.V: gt.t_v, Dim.F: gt.t_f, Dim.G: gt.t_g}
+                ),
+            )
+
+        def run(st: SpmmTiling, gt: GemmTiling) -> RunResult | None:
+            try:
+                return run_gnn_dataflow(
+                    self.wl,
+                    concretized(st, gt),
+                    self.hw,
+                    spmm_tiling=st,
+                    gemm_tiling=gt,
+                )
+            except (LegalityError, ValueError):
+                return None
+
+        cur = run(spmm_tiling, gemm_tiling)
+        if cur is None:
+            raise LegalityError(f"initial tiling is illegal for {df}")
+        cur_s, cur_g = spmm_tiling, gemm_tiling
+
+        def neighbors(
+            st: SpmmTiling, gt: GemmTiling
+        ) -> Iterator[tuple[SpmmTiling, GemmTiling]]:
+            s_dims = [st.t_v, st.t_f, st.t_n]
+            for i, j in itertools.permutations(range(3), 2):
+                if s_dims[i] >= 2:
+                    nd = list(s_dims)
+                    nd[i] //= 2
+                    nd[j] *= 2
+                    yield SpmmTiling(*nd), gt
+            g_dims = [gt.t_v, gt.t_f, gt.t_g]
+            for i, j in itertools.permutations(range(3), 2):
+                if g_dims[i] >= 2:
+                    nd = list(g_dims)
+                    nd[i] //= 2
+                    nd[j] *= 2
+                    yield st, GemmTiling(*nd)
+
+        for _ in range(max_steps):
+            improved = False
+            for st, gt in neighbors(cur_s, cur_g):
+                res = run(st, gt)
+                if res is not None and self._score(res) < self._score(cur):
+                    cur, cur_s, cur_g = res, st, gt
+                    improved = True
+                    break
+            if not improved:
+                break
+        return cur, cur_s, cur_g

@@ -1,0 +1,320 @@
+"""The paper's GNN dataflow taxonomy (§III).
+
+A complete GNN dataflow is written ``<Inter><order>(<AggIntra>, <CmbIntra>)``:
+
+- ``Inter`` — inter-phase strategy: ``Seq`` (sequential), ``SP``
+  (sequential pipeline) or ``PP`` (parallel pipeline);
+- ``order`` — ``AC`` (Aggregation then Combination) or ``CA``;
+- each intra-phase dataflow is a permutation of the phase's three loop
+  dimensions, each annotated ``s`` (spatial, tile size > 1), ``t``
+  (temporal, tile size = 1) or ``x`` (either — used when describing
+  families of dataflows, Table II).
+
+Aggregation loops over ``(V, F, N)`` — vertices, features, neighbors (the
+contraction); Combination over ``(V, G, F)`` — vertices, output features,
+input features (the contraction).  Note the paper keeps this naming for
+both phase orders: in CA execution Aggregation's ``F`` axis binds to the
+``G``-sized intermediate, which the engine layer resolves.
+
+Example round trips::
+
+    >>> str(IntraDataflow.parse("VtFsNt", Phase.AGGREGATION))
+    'VtFsNt'
+    >>> str(parse_dataflow("PP_AC(VtFsNt, VsGsFt)"))
+    'PP_AC(VtFsNt, VsGsFt)'
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Iterator
+
+__all__ = [
+    "Dim",
+    "Annot",
+    "Phase",
+    "PhaseOrder",
+    "InterPhase",
+    "SPVariant",
+    "Granularity",
+    "IntraDataflow",
+    "Dataflow",
+    "parse_dataflow",
+    "AGG_DIMS",
+    "CMB_DIMS",
+]
+
+
+class Dim(str, Enum):
+    """Loop dimensions of the two GNN phases (paper Fig. 3)."""
+
+    V = "V"  # vertices
+    F = "F"  # input features (Combination contraction)
+    G = "G"  # output features
+    N = "N"  # neighbors (Aggregation contraction, data-dependent)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Annot(str, Enum):
+    """Spatial/temporal annotation of a loop dimension (paper Fig. 4)."""
+
+    SPATIAL = "s"  # T_Dim > 1: unrolled across PEs
+    TEMPORAL = "t"  # T_Dim = 1: iterated over time
+    EITHER = "x"  # wildcard used by Table II families
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Phase(str, Enum):
+    AGGREGATION = "aggregation"
+    COMBINATION = "combination"
+
+
+class PhaseOrder(str, Enum):
+    """Computation order: (A·X)·W is AC, A·(X·W) is CA (paper Fig. 3)."""
+
+    AC = "AC"
+    CA = "CA"
+
+
+class InterPhase(str, Enum):
+    """Inter-phase dataflow strategy (paper §III-B, Fig. 6)."""
+
+    SEQ = "Seq"
+    SP = "SP"
+    PP = "PP"
+
+
+class SPVariant(str, Enum):
+    """Sequential-pipeline flavours (paper §IV-B)."""
+
+    GENERIC = "generic"  # intermediate staged through the global buffer
+    OPTIMIZED = "optimized"  # intermediate pinned in PE register files
+
+
+class Granularity(str, Enum):
+    """Pipelining granularity of the intermediate matrix (paper §IV-D)."""
+
+    ELEMENT = "element"  # T_Vmax x T_Fmax tile per pipeline step
+    ROW = "row"  # T_Vmax whole rows per step
+    COLUMN = "column"  # T_Fmax whole columns per step
+
+
+AGG_DIMS: tuple[Dim, Dim, Dim] = (Dim.V, Dim.F, Dim.N)
+CMB_DIMS: tuple[Dim, Dim, Dim] = (Dim.V, Dim.G, Dim.F)
+
+_INTRA_RE = re.compile(r"^([VFGN])([stx])([VFGN])([stx])([VFGN])([stx])$")
+
+
+@dataclass(frozen=True)
+class IntraDataflow:
+    """One phase's loop order plus spatial/temporal annotations.
+
+    ``order`` lists dimensions outermost first; ``annot[i]`` annotates
+    ``order[i]``.  ``VtFsNt`` means a temporal V loop around a spatial F
+    around a temporal N (paper Fig. 5c).
+    """
+
+    phase: Phase
+    order: tuple[Dim, Dim, Dim]
+    annot: tuple[Annot, Annot, Annot]
+
+    def __post_init__(self) -> None:
+        expected = set(AGG_DIMS if self.phase is Phase.AGGREGATION else CMB_DIMS)
+        if set(self.order) != expected or len(self.order) != 3:
+            raise ValueError(
+                f"{self.phase.value} loop order must be a permutation of "
+                f"{sorted(d.value for d in expected)}, got {self.order}"
+            )
+        if len(self.annot) != 3:
+            raise ValueError("annot must have exactly three entries")
+
+    # -- construction ---------------------------------------------------
+    @staticmethod
+    def parse(text: str, phase: Phase) -> "IntraDataflow":
+        """Parse compact notation like ``'VtFsNt'`` (paper Fig. 4)."""
+        m = _INTRA_RE.match(text.strip())
+        if not m:
+            raise ValueError(f"malformed intra-phase dataflow {text!r}")
+        dims = tuple(Dim(m.group(i)) for i in (1, 3, 5))
+        annots = tuple(Annot(m.group(i)) for i in (2, 4, 6))
+        return IntraDataflow(phase, dims, annots)  # validates the dim set
+
+    # -- accessors ------------------------------------------------------
+    def annotation_of(self, dim: Dim) -> Annot:
+        return self.annot[self.order.index(dim)]
+
+    def position_of(self, dim: Dim) -> int:
+        """0 = outermost, 2 = innermost."""
+        return self.order.index(dim)
+
+    @property
+    def contraction(self) -> Dim:
+        """The reduction dimension: N for Aggregation, F for Combination."""
+        return Dim.N if self.phase is Phase.AGGREGATION else Dim.F
+
+    @property
+    def spatial_dims(self) -> tuple[Dim, ...]:
+        return tuple(
+            d for d, a in zip(self.order, self.annot) if a is Annot.SPATIAL
+        )
+
+    @property
+    def temporal_dims(self) -> tuple[Dim, ...]:
+        return tuple(
+            d for d, a in zip(self.order, self.annot) if a is Annot.TEMPORAL
+        )
+
+    @property
+    def is_concrete(self) -> bool:
+        """True when no dimension is left as an ``x`` wildcard."""
+        return Annot.EITHER not in self.annot
+
+    def expand(self) -> Iterator["IntraDataflow"]:
+        """All concrete dataflows obtained by resolving ``x`` wildcards."""
+        choices = [
+            (Annot.SPATIAL, Annot.TEMPORAL) if a is Annot.EITHER else (a,)
+            for a in self.annot
+        ]
+        for combo in itertools.product(*choices):
+            yield replace(self, annot=tuple(combo))
+
+    def matches(self, concrete: "IntraDataflow") -> bool:
+        """Whether ``concrete`` instantiates this (possibly-wildcard) one."""
+        if self.phase is not concrete.phase or self.order != concrete.order:
+            return False
+        return all(
+            a is Annot.EITHER or a is b
+            for a, b in zip(self.annot, concrete.annot)
+        )
+
+    def __str__(self) -> str:
+        return "".join(f"{d.value}{a.value}" for d, a in zip(self.order, self.annot))
+
+
+_DATAFLOW_RE = re.compile(
+    r"^(Seq|SP|PP)[-_]?(AC|CA)\s*\(\s*([A-Zstx]+)\s*,\s*([A-Zstx]+)\s*\)$"
+)
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """A complete multiphase GNN dataflow (paper §III-C).
+
+    ``sp_variant`` selects SP-Generic vs SP-Optimized (only meaningful for
+    ``InterPhase.SP``); ``granularity`` selects the pipelining granularity
+    for SP-Generic and PP (inferred from the loop orders when ``None``);
+    ``pe_split`` is PP's fraction of PEs given to the Aggregation phase
+    (the paper's Fig. 14 sweeps 0.25/0.5/0.75).
+    """
+
+    inter: InterPhase
+    order: PhaseOrder
+    agg: IntraDataflow
+    cmb: IntraDataflow
+    sp_variant: SPVariant | None = None
+    granularity: Granularity | None = None
+    pe_split: float = 0.5
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.agg.phase is not Phase.AGGREGATION:
+            raise ValueError("agg must be an Aggregation intra-phase dataflow")
+        if self.cmb.phase is not Phase.COMBINATION:
+            raise ValueError("cmb must be a Combination intra-phase dataflow")
+        if self.inter is InterPhase.SP and self.sp_variant is None:
+            object.__setattr__(self, "sp_variant", SPVariant.GENERIC)
+        if self.inter is not InterPhase.SP and self.sp_variant is not None:
+            raise ValueError("sp_variant only applies to the SP inter-phase dataflow")
+        if not 0.0 < self.pe_split < 1.0:
+            raise ValueError("pe_split must lie strictly between 0 and 1")
+
+    @property
+    def producer(self) -> IntraDataflow:
+        """The phase that writes the intermediate matrix."""
+        return self.agg if self.order is PhaseOrder.AC else self.cmb
+
+    @property
+    def consumer(self) -> IntraDataflow:
+        """The phase that reads the intermediate matrix."""
+        return self.cmb if self.order is PhaseOrder.AC else self.agg
+
+    @property
+    def is_concrete(self) -> bool:
+        return self.agg.is_concrete and self.cmb.is_concrete
+
+    def expand(self) -> Iterator["Dataflow"]:
+        """All concrete dataflows from resolving both phases' wildcards."""
+        for a in self.agg.expand():
+            for c in self.cmb.expand():
+                yield replace(self, agg=a, cmb=c)
+
+    def with_name(self, name: str) -> "Dataflow":
+        return replace(self, name=name)
+
+    def to_dict(self) -> dict:
+        """JSON-safe description; inverse of :meth:`from_dict`."""
+        return {
+            "notation": str(self),
+            "sp_variant": self.sp_variant.value if self.sp_variant else None,
+            "granularity": self.granularity.value if self.granularity else None,
+            "pe_split": self.pe_split,
+            "name": self.name,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Dataflow":
+        """Rebuild a dataflow from :meth:`to_dict` output."""
+        df = parse_dataflow(
+            data["notation"],
+            sp_variant=(
+                SPVariant(data["sp_variant"]) if data.get("sp_variant") else None
+            ),
+            granularity=(
+                Granularity(data["granularity"]) if data.get("granularity") else None
+            ),
+            pe_split=data.get("pe_split", 0.5),
+            name=data.get("name", ""),
+        )
+        return df
+
+    def __str__(self) -> str:
+        return f"{self.inter.value}_{self.order.value}({self.agg}, {self.cmb})"
+
+
+def parse_dataflow(
+    text: str,
+    *,
+    sp_variant: SPVariant | None = None,
+    granularity: Granularity | None = None,
+    pe_split: float = 0.5,
+    name: str = "",
+) -> Dataflow:
+    """Parse the paper's full notation, e.g. ``'PP_AC(VtFsNt, VsGsFt)'``.
+
+    The separator between inter-phase tag and order may be ``_``, ``-`` or
+    absent (the paper typesets the order as a subscript).
+    """
+    m = _DATAFLOW_RE.match(text.strip())
+    if not m:
+        raise ValueError(f"malformed dataflow notation {text!r}")
+    inter = InterPhase(m.group(1))
+    order = PhaseOrder(m.group(2))
+    agg = IntraDataflow.parse(m.group(3), Phase.AGGREGATION)
+    cmb = IntraDataflow.parse(m.group(4), Phase.COMBINATION)
+    return Dataflow(
+        inter=inter,
+        order=order,
+        agg=agg,
+        cmb=cmb,
+        sp_variant=sp_variant if inter is InterPhase.SP else None,
+        granularity=granularity,
+        pe_split=pe_split,
+        name=name,
+    )

@@ -1,0 +1,213 @@
+"""Tile-size selection: realize a dataflow at ~100% static utilization.
+
+The paper (§V-A3) chooses tile sizes "such that they satisfy the dataflow
+description in Table V and the static utilization is nearly 100% of the
+PEs".  This module implements that selection as a greedy budgeted split of
+the PE count across the dimensions each dataflow wants spatial, driven by a
+priority list plus optional per-dimension caps (e.g. SP2 caps ``T_V`` at 64
+so V parallelism is "high but not extreme", while SPhighV leaves it
+uncapped to exhibit the evil-row pathology).
+
+Wildcard (``x``) annotations are resolved by the resulting tile sizes:
+``T_Dim > 1`` becomes spatial, ``T_Dim = 1`` temporal (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from ..arch.config import AcceleratorConfig
+from ..engine.gemm import GemmTiling
+from ..engine.spmm import SpmmTiling
+from .taxonomy import Annot, Dataflow, Dim, InterPhase, IntraDataflow, Phase, PhaseOrder, SPVariant
+from .workload import GNNWorkload
+
+__all__ = ["TileHint", "choose_phase_tiles", "choose_tiles", "concretize_intra"]
+
+
+def _pow2_floor(x: float) -> int:
+    """Largest power of two <= max(x, 1)."""
+    return 1 << max(0, int(math.floor(math.log2(max(1.0, x)))))
+
+
+# Widest contiguous operand slice the distribution network delivers to one
+# row gather per cycle (a global-buffer bank row of 128 words).  Tile sizes
+# along F are capped here so a single dimension cannot absorb the whole PE
+# budget with an unrealizable multicast fan-out.
+DEFAULT_MAX_TF = 128
+
+
+@dataclass(frozen=True)
+class TileHint:
+    """Guides the greedy PE split for one named dataflow configuration.
+
+    ``agg_priority``/``cmb_priority`` order the dimensions by who gets PE
+    budget first; ``caps`` bounds individual tile sizes (keyed by
+    ``(phase, dim)``); ``avg_degree_cap_n`` caps ``T_N`` near the workload's
+    typical row so spatial Aggregation is sized to ordinary vertices rather
+    than the evil row.  ``max_tf`` is the bank-row fetch-width cap applied
+    to the F dimension of both phases (overridable per config).
+    """
+
+    agg_priority: tuple[Dim, ...] = (Dim.F, Dim.V, Dim.N)
+    cmb_priority: tuple[Dim, ...] = (Dim.G, Dim.V, Dim.F)
+    caps: dict = field(default_factory=dict)
+    avg_degree_cap_n: bool = True
+    max_tf: int = DEFAULT_MAX_TF
+
+    def cap(self, phase: Phase, dim: Dim) -> int | None:
+        explicit = self.caps.get((phase, dim))
+        if dim is Dim.F:
+            return self.max_tf if explicit is None else min(explicit, self.max_tf)
+        return explicit
+
+
+def _extent(wl: GNNWorkload, phase: Phase, dim: Dim) -> int:
+    if dim is Dim.V:
+        return wl.num_vertices
+    if dim is Dim.F:
+        return wl.in_features
+    if dim is Dim.G:
+        return wl.out_features
+    # N: the useful spatial neighbor parallelism is bounded by the largest
+    # row; typical rows set the cap below.
+    return max(1, wl.graph.max_degree)
+
+
+def _greedy_split(
+    budget: int,
+    dims: list[tuple[Dim, int, int | None, Annot]],
+) -> dict[Dim, int]:
+    """Assign tile sizes under a multiplicative PE budget.
+
+    ``dims`` holds (dim, extent, cap, annotation) in priority order.
+    Explicitly temporal dims stay at 1.  Explicitly spatial dims are
+    *reserved* a factor of 2 up front so a low-priority spatial dim is
+    never starved into an annotation contradiction; the main pass then
+    grows dims to their cap/extent in priority order, and a final pass
+    soaks leftover budget into uncapped dims.
+    """
+    budget = max(1, budget)
+    tiles: dict[Dim, int] = {d: 1 for d, _, _, _ in dims}
+
+    def used() -> int:
+        out = 1
+        for t in tiles.values():
+            out *= t
+        return out
+
+    # Reserve a factor of 2 for every explicitly spatial dim first, so a
+    # low-priority spatial dim is never starved into a contradiction.
+    for dim, extent, cap, annot in dims:
+        if annot is not Annot.SPATIAL:
+            continue
+        limit = extent if cap is None else min(extent, cap)
+        if limit >= 2 and budget // used() >= 2:
+            tiles[dim] = 2
+    # Main pass: grow each dim to min(cap, extent, available budget).
+    for dim, extent, cap, annot in dims:
+        if annot is Annot.TEMPORAL:
+            tiles[dim] = 1
+            continue
+        limit = extent if cap is None else min(extent, cap)
+        avail = budget // max(1, used() // tiles[dim])
+        tiles[dim] = max(tiles[dim], min(limit, avail))
+    # Growth pass: leftover budget flows into uncapped dims up to extent.
+    for dim, extent, cap, annot in dims:
+        if annot is Annot.TEMPORAL or cap is not None:
+            continue
+        avail = budget // max(1, used() // tiles[dim])
+        tiles[dim] = max(tiles[dim], min(extent, avail))
+    return tiles
+
+
+def concretize_intra(intra: IntraDataflow, tiles: dict[Dim, int]) -> IntraDataflow:
+    """Resolve ``x`` wildcards from realized tile sizes (T>1 => spatial)."""
+    new = []
+    for dim, annot in zip(intra.order, intra.annot):
+        t = tiles[dim]
+        resolved = Annot.SPATIAL if t > 1 else Annot.TEMPORAL
+        if annot is not Annot.EITHER and annot is not resolved:
+            raise ValueError(
+                f"tile T_{dim.value}={t} contradicts annotation {annot.value}"
+            )
+        new.append(resolved)
+    return replace(intra, annot=tuple(new))
+
+
+def choose_phase_tiles(
+    intra: IntraDataflow,
+    wl: GNNWorkload,
+    num_pes: int,
+    hint: TileHint,
+    *,
+    ca_order: bool = False,
+) -> dict[Dim, int]:
+    """Pick one phase's tile sizes under a PE budget."""
+    agg = intra.phase is Phase.AGGREGATION
+    priority = hint.agg_priority if agg else hint.cmb_priority
+    dims: list[tuple[Dim, int, int | None, Annot]] = []
+    for dim in priority:
+        extent = _extent(wl, intra.phase, dim)
+        if agg and dim is Dim.F and ca_order:
+            extent = wl.out_features  # Aggregation's F binds to G under CA
+        cap = hint.cap(intra.phase, dim)
+        if dim is Dim.N and cap is None and hint.avg_degree_cap_n:
+            # Size spatial-N to a power-of-two fraction of the typical row:
+            # large enough to exploit dense rows, small enough that
+            # ceil(deg / T_N) rounding does not waste lanes on the many
+            # rows near the mean.
+            cap = max(2, _pow2_floor(wl.graph.avg_degree / 2))
+        dims.append((dim, extent, cap, intra.annotation_of(dim)))
+    return _greedy_split(num_pes, dims)
+
+
+def choose_tiles(
+    df: Dataflow,
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    hint: TileHint | None = None,
+) -> tuple[SpmmTiling, GemmTiling, Dataflow]:
+    """Pick tile sizes for both phases and return the concretized dataflow.
+
+    - Seq and SP run each phase on the full array (SP additionally shares
+      the intermediate axes' tile sizes between phases, paper §IV-B).
+    - PP partitions the array by ``df.pe_split`` (Fig. 14's knob).
+    """
+    h = hint if hint is not None else TileHint()
+    ca = df.order is PhaseOrder.CA
+    if df.inter is InterPhase.PP:
+        agg_pes = max(1, min(hw.num_pes - 1, round(hw.num_pes * df.pe_split)))
+        cmb_pes = max(1, hw.num_pes - agg_pes)
+    else:
+        agg_pes = cmb_pes = hw.num_pes
+
+    agg_tiles = choose_phase_tiles(df.agg, wl, agg_pes, h, ca_order=ca)
+    cmb_tiles = choose_phase_tiles(df.cmb, wl, cmb_pes, h)
+
+    if df.inter is InterPhase.SP:
+        # Shared intermediate axes: T_V and T_F(AC)/T_G(CA) must match so
+        # the same PE-resident tile serves both phases (paper §IV-B).
+        cmb_tiles[Dim.V] = agg_tiles[Dim.V]
+        if not ca:
+            cmb_tiles[Dim.F] = agg_tiles[Dim.F]
+            budget = max(1, cmb_pes // max(1, cmb_tiles[Dim.V] * cmb_tiles[Dim.F]))
+            cmb_tiles[Dim.G] = min(
+                wl.out_features if df.cmb.annotation_of(Dim.G) is not Annot.TEMPORAL else 1,
+                budget,
+            )
+            if df.sp_variant is SPVariant.OPTIMIZED:
+                cmb_tiles[Dim.G] = 1
+                agg_tiles[Dim.N] = 1
+        else:
+            cmb_tiles[Dim.G] = agg_tiles[Dim.F]
+
+    spmm = SpmmTiling(agg_tiles[Dim.V], agg_tiles[Dim.F], agg_tiles[Dim.N])
+    gemm = GemmTiling(cmb_tiles[Dim.V], cmb_tiles[Dim.F], cmb_tiles[Dim.G])
+    concrete = replace(
+        df,
+        agg=concretize_intra(df.agg, agg_tiles),
+        cmb=concretize_intra(df.cmb, cmb_tiles),
+    )
+    return spmm, gemm, concrete

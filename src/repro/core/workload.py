@@ -1,0 +1,61 @@
+"""Workload description consumed by the OMEGA cost model.
+
+A GNN layer is fully characterized, for dataflow-cost purposes, by the
+adjacency structure and the two feature extents: ``F`` input features and
+``G`` output features (paper Fig. 3).  Multi-layer models are sequences of
+these (see :mod:`repro.gnn.model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..graphs.csr import CSRGraph
+from ..graphs.datasets import Dataset
+
+__all__ = ["GNNWorkload", "workload_from_dataset"]
+
+
+@dataclass(frozen=True)
+class GNNWorkload:
+    """One GNN layer's shape: adjacency + feature extents."""
+
+    graph: CSRGraph
+    in_features: int  # F
+    out_features: int  # G
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature extents must be positive")
+        if self.graph.num_vertices != self.graph.num_cols:
+            raise ValueError("GNN workloads need a square adjacency")
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def intermediate_elements(self, order_ac: bool) -> int:
+        """Size of the inter-phase matrix: V x F for AC, V x G for CA."""
+        width = self.in_features if order_ac else self.out_features
+        return self.num_vertices * width
+
+    def next_layer(self, out_features: int) -> "GNNWorkload":
+        """The following layer's workload (its F is this layer's G)."""
+        return replace(
+            self, in_features=self.out_features, out_features=out_features
+        )
+
+
+def workload_from_dataset(ds: Dataset, *, name: str | None = None) -> GNNWorkload:
+    """Build the single-layer GCN workload the paper evaluates (§V-A)."""
+    return GNNWorkload(
+        graph=ds.graph,
+        in_features=ds.num_features,
+        out_features=ds.hidden,
+        name=name if name is not None else ds.name,
+    )

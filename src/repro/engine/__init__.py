@@ -1,0 +1,19 @@
+"""Intra-phase engines: tiled GEMM/SpMM timing, traffic, and validation."""
+
+from .gemm import GemmResult, GemmSpec, GemmTiling, simulate_gemm
+from .spmm import SpmmResult, SpmmSpec, SpmmTiling, simulate_spmm
+from .stats import OPERANDS, PhaseStats, merge_counts
+
+__all__ = [
+    "GemmResult",
+    "GemmSpec",
+    "GemmTiling",
+    "simulate_gemm",
+    "SpmmResult",
+    "SpmmSpec",
+    "SpmmTiling",
+    "simulate_spmm",
+    "OPERANDS",
+    "PhaseStats",
+    "merge_counts",
+]

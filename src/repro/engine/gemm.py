@@ -1,0 +1,326 @@
+"""Tile-level timing/traffic engine for the dense Combination phase (GEMM).
+
+Models a tiled ``(rows x inner) @ (inner x cols)`` GEMM mapped onto the
+spatial array under a Combination intra-phase dataflow (loop order over
+``V``-rows, ``F``-inner/contraction, ``G``-cols plus tile sizes).  The model
+is cycle-faithful at tile-step granularity (validated against the
+event-driven micro-simulator in :mod:`repro.engine.cycle_model`):
+
+- each innermost temporal step maps one ``T_V x T_F x T_G`` tile of MACs;
+- operand reuse follows the classic loop-nest analysis: a matrix tile is
+  re-fetched from the global buffer once per iteration of every temporal
+  loop at or above the innermost loop that indexes it (Table I's
+  stationary/streaming classification falls out of this rule);
+- partial sums accumulate in the PE register file when the contraction
+  loop's visits to an output tile are contiguous or when the live psums fit
+  in RF; otherwise they spill to the global buffer as read-modify-write
+  ``psum`` traffic (the paper's SPhighV pathology, §V-B2/§V-D);
+- runtime is a pipelined roofline over compute steps, distribution
+  bandwidth, and collection bandwidth, plus serialized stationary-tile
+  load stalls (the ``t_load`` that SP-Optimized elides, Table III).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..core.taxonomy import Annot, Dim, IntraDataflow, Phase
+from .stats import PhaseStats
+
+__all__ = ["GemmSpec", "GemmTiling", "GemmResult", "simulate_gemm"]
+
+
+@dataclass(frozen=True)
+class GemmSpec:
+    """Problem shape and operand naming for one GEMM phase.
+
+    ``left_name``/``right_name``/``out_name`` map the three matrices onto
+    the paper's Fig. 13 operand categories; AC Combination uses
+    ``(intermediate, weight, output)`` while CA Combination uses
+    ``(input, weight, intermediate)``.
+    """
+
+    rows: int  # V extent
+    inner: int  # F extent (contraction)
+    cols: int  # G extent
+    left_name: str = "intermediate"
+    right_name: str = "weight"
+    out_name: str = "output"
+
+    def __post_init__(self) -> None:
+        if min(self.rows, self.inner, self.cols) < 1:
+            raise ValueError("GEMM extents must be positive")
+
+
+@dataclass(frozen=True)
+class GemmTiling:
+    """Spatial tile sizes (elements mapped in parallel) per dimension."""
+
+    t_v: int
+    t_f: int
+    t_g: int
+
+    def __post_init__(self) -> None:
+        if min(self.t_v, self.t_f, self.t_g) < 1:
+            raise ValueError("tile sizes must be >= 1")
+
+    def of(self, dim: Dim) -> int:
+        return {Dim.V: self.t_v, Dim.F: self.t_f, Dim.G: self.t_g}[dim]
+
+    @property
+    def pes_used(self) -> int:
+        return self.t_v * self.t_f * self.t_g
+
+
+_LEFT_DIMS = frozenset({Dim.V, Dim.F})
+_RIGHT_DIMS = frozenset({Dim.F, Dim.G})
+_OUT_DIMS = frozenset({Dim.V, Dim.G})
+
+
+@dataclass
+class GemmResult:
+    """Engine output: a :class:`PhaseStats` plus granule decomposition."""
+
+    stats: PhaseStats
+    spec: GemmSpec
+    intra: IntraDataflow
+    tiling: GemmTiling
+    steps: dict[str, int]  # temporal trip count per dim name
+    slowdown: float  # cycles / compute_steps (bandwidth stall factor)
+
+    def per_unit_cycles(self, axis: str, col_extent: int | None = None) -> np.ndarray:
+        """Cycles attributed to each intermediate row/column (uniform).
+
+        Dense GEMM work is uniform, so each row (column) carries an equal
+        share of total cycles.  ``col_extent`` names the extent the
+        intermediate's column axis binds to: the contraction ``F`` when
+        this GEMM *consumes* the AC intermediate, or ``G`` when it
+        *produces* the CA intermediate.
+        """
+        total = float(self.stats.cycles)
+        if axis == "row":
+            return np.full(self.spec.rows, total / self.spec.rows)
+        if axis == "col":
+            n = self.spec.inner if col_extent is None else col_extent
+            return np.full(n, total / n)
+        raise ValueError(f"unknown axis {axis!r}")
+
+    def granule_cycles(
+        self,
+        *,
+        axis: str,
+        rows_per_granule: int = 0,
+        cols_per_granule: int = 0,
+        col_extent: int | None = None,
+        row_major: bool = True,
+    ) -> np.ndarray:
+        """Per-granule cycle cost over the (rows x cols') iteration space.
+
+        ``axis`` is ``'row'``, ``'column'`` or ``'element'`` and refers to
+        the *intermediate matrix* this GEMM produces or consumes.  For AC
+        Combination the intermediate axis 'column' is the contraction
+        extent; CA Combination produces columns along ``G``.  The caller
+        passes ``col_extent`` to say which extent the column axis binds to
+        (defaults to the contraction extent, the AC case).
+
+        Dense GEMM work is uniform across tiles, so granule times are
+        proportional shares of total cycles; the array sums to ~cycles.
+        """
+        total = float(self.stats.cycles)
+        rows = self.spec.rows
+        cols = col_extent if col_extent is not None else self.spec.inner
+        if axis == "row":
+            n = math.ceil(rows / max(1, rows_per_granule))
+            sizes = np.full(n, rows_per_granule, dtype=np.float64)
+            sizes[-1] = rows - rows_per_granule * (n - 1)
+            return total * sizes / rows
+        if axis == "column":
+            n = math.ceil(cols / max(1, cols_per_granule))
+            sizes = np.full(n, cols_per_granule, dtype=np.float64)
+            sizes[-1] = cols - cols_per_granule * (n - 1)
+            return total * sizes / cols
+        if axis == "element":
+            nr = math.ceil(rows / max(1, rows_per_granule))
+            nc = math.ceil(cols / max(1, cols_per_granule))
+            r_sizes = np.full(nr, rows_per_granule, dtype=np.float64)
+            r_sizes[-1] = rows - rows_per_granule * (nr - 1)
+            c_sizes = np.full(nc, cols_per_granule, dtype=np.float64)
+            c_sizes[-1] = cols - cols_per_granule * (nc - 1)
+            grid = np.outer(r_sizes, c_sizes) / (rows * cols)
+            if not row_major:
+                grid = grid.T
+            return total * grid.ravel()
+        raise ValueError(f"unknown granule axis {axis!r}")
+
+
+def _check_annotations(intra: IntraDataflow, tiling: GemmTiling) -> None:
+    """Tile sizes must realize the dataflow's s/t annotations (Fig. 4)."""
+    for dim, annot in zip(intra.order, intra.annot):
+        t = tiling.of(dim)
+        if annot is Annot.SPATIAL and t <= 1:
+            raise ValueError(
+                f"dimension {dim.value} is spatial but T_{dim.value}={t}"
+            )
+        if annot is Annot.TEMPORAL and t != 1:
+            raise ValueError(
+                f"dimension {dim.value} is temporal but T_{dim.value}={t}"
+            )
+
+
+def simulate_gemm(
+    spec: GemmSpec,
+    intra: IntraDataflow,
+    tiling: GemmTiling,
+    hw: AcceleratorConfig,
+) -> GemmResult:
+    """Run the tile-level GEMM model; see the module docstring for rules."""
+    if intra.phase is not Phase.COMBINATION:
+        raise ValueError("simulate_gemm requires a Combination intra-phase dataflow")
+    if not intra.is_concrete:
+        raise ValueError(f"dataflow {intra} still has 'x' wildcards")
+    _check_annotations(intra, tiling)
+
+    size = {Dim.V: spec.rows, Dim.F: spec.inner, Dim.G: spec.cols}
+    # Clamp tiles to extents: a 512-wide tile over a 16-deep dim behaves as 16.
+    t = {d: min(tiling.of(d), size[d]) for d in (Dim.V, Dim.F, Dim.G)}
+    pes_used = t[Dim.V] * t[Dim.F] * t[Dim.G]
+    if pes_used > hw.num_pes:
+        raise ValueError(
+            f"tiling uses {pes_used} PEs but only {hw.num_pes} exist"
+        )
+    steps = {d: math.ceil(size[d] / t[d]) for d in (Dim.V, Dim.F, Dim.G)}
+    order = intra.order
+    pos = {d: order.index(d) for d in order}
+
+    base_steps = steps[Dim.V] * steps[Dim.F] * steps[Dim.G]
+    macs = spec.rows * spec.inner * spec.cols
+
+    matrices = {
+        spec.left_name: _LEFT_DIMS,
+        spec.right_name: _RIGHT_DIMS,
+    }
+
+    def innermost_dep(dims: frozenset) -> int:
+        return max(pos[d] for d in dims)
+
+    def elems(dims: frozenset) -> int:
+        out = 1
+        for d in dims:
+            out *= size[d]
+        return out
+
+    def tile_elems(dims: frozenset) -> int:
+        out = 1
+        for d in dims:
+            out *= t[d]
+        return out
+
+    # ---- global buffer reads per input matrix ------------------------
+    gb_reads: dict[str, float] = {}
+    load_stalls = 0
+    int_load_stalls = 0
+    dist_bw = hw.effective_dist_bw
+    red_bw = hw.effective_red_bw
+    streamed_read_elems = 0.0
+    for name, dims in matrices.items():
+        p = innermost_dep(dims)
+        refetch = 1
+        for i in range(p + 1):
+            if order[i] not in dims:
+                refetch *= steps[order[i]]
+        reads = float(elems(dims) * refetch)
+        gb_reads[name] = gb_reads.get(name, 0.0) + reads
+        if p == 2:
+            streamed_read_elems += reads
+        else:
+            # Stationary at some level: each tile load serializes with
+            # compute (no double buffering in the substrate's RF).
+            n_fetch = 1
+            for i in range(p + 1):
+                n_fetch *= steps[order[i]]
+            stall = n_fetch * math.ceil(tile_elems(dims) / dist_bw)
+            load_stalls += stall
+            if name == "intermediate":
+                int_load_stalls += stall
+
+    # ---- partial-sum / output handling --------------------------------
+    pos_c = pos[Dim.F]
+    inner_out = [d for d in order[pos_c + 1 :] if d in _OUT_DIMS]
+    out_elems = spec.rows * spec.cols
+    gb_writes: dict[str, float] = {spec.out_name: float(out_elems)}
+    rf_reads = 0.0
+    rf_writes = 0.0
+    psum_gb = 0.0
+    # Live partial sums each PE must retain between contraction revisits of
+    # the same output element; they accumulate for free only inside the
+    # PE's MAC accumulator(s).
+    live_per_pe = 1
+    for d in inner_out:
+        live_per_pe *= steps[d]
+    resident = (
+        hw.supports_temporal_reduction and live_per_pe <= hw.pe_accumulators
+    )
+    if steps[Dim.F] <= 1:
+        # Fully spatial contraction: single visit, nothing to accumulate.
+        rf_writes += float(out_elems)
+    elif resident:
+        # Temporal accumulation in the PE across contraction steps.
+        accum = float(out_elems * steps[Dim.F])
+        rf_reads += accum
+        rf_writes += accum
+    else:
+        # Every non-final contraction step round-trips psums through GB
+        # (the SPhighV pathology: low T_F => many revisits, §V-B2/§V-D).
+        psum_gb = float((steps[Dim.F] - 1) * out_elems)
+        gb_writes["psum"] = psum_gb
+        gb_reads["psum"] = gb_reads.get("psum", 0.0) + psum_gb
+
+    # ---- register-file staging convention -----------------------------
+    # Every element delivered from GB is latched into an RF/pipeline
+    # register (one write), and every MAC reads its two operands.
+    total_reads = float(sum(gb_reads.values()))
+    rf_writes += total_reads
+    rf_reads += 2.0 * macs
+
+    # ---- runtime roofline ---------------------------------------------
+    # Stationary-tile loads serialize with the compute wavefront but can
+    # overlap the (pipelined) distribution and collection servers, so they
+    # extend the compute lane rather than the whole roofline.
+    total_writes = float(sum(gb_writes.values()))
+    streamed_read_elems += gb_reads.get("psum", 0.0)
+    dist_cycles = math.ceil(streamed_read_elems / dist_bw)
+    red_cycles = math.ceil(total_writes / red_bw)
+    cycles = max(base_steps + load_stalls, dist_cycles, red_cycles)
+
+    util = pes_used / hw.num_pes
+    streamed_ops = tuple(
+        name for name, dims in matrices.items() if innermost_dep(dims) == 2
+    ) + (("psum",) if "psum" in gb_reads else ())
+    stats = PhaseStats(
+        phase="combination",
+        cycles=int(cycles),
+        compute_steps=int(base_steps),
+        macs=int(macs),
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        rf_reads=rf_reads,
+        rf_writes=rf_writes,
+        load_stall_cycles=int(load_stalls),
+        intermediate_load_stall_cycles=int(int_load_stalls),
+        streamed_reads=float(streamed_read_elems),
+        streamed_operands=streamed_ops,
+        static_utilization=util,
+        tile_sizes={"T_V": t[Dim.V], "T_F": t[Dim.F], "T_G": t[Dim.G]},
+    )
+    return GemmResult(
+        stats=stats,
+        spec=spec,
+        intra=intra,
+        tiling=GemmTiling(t[Dim.V], t[Dim.F], t[Dim.G]),
+        steps={d.value: steps[d] for d in (Dim.V, Dim.F, Dim.G)},
+        slowdown=cycles / base_steps if base_steps else 1.0,
+    )

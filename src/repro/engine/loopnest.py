@@ -1,0 +1,157 @@
+"""Loop-nest reuse analysis: the Table I classification as a public API.
+
+Given a loop order, tile sizes, and an operand's index dimensions, these
+helpers answer the questions the paper's Table I tabulates: which operand
+is stationary, how often each is re-fetched, where partial sums
+accumulate.  The GEMM/SpMM engines implement the same rules internally;
+tests cross-check the two so this module doubles as executable
+documentation of the cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+from ..core.taxonomy import Dim, IntraDataflow
+
+__all__ = [
+    "Residency",
+    "OperandAnalysis",
+    "analyze_operand",
+    "psum_behavior",
+    "PsumBehavior",
+    "classify_stationary",
+]
+
+
+class Residency(str, Enum):
+    """Where an operand tile lives across innermost temporal steps."""
+
+    STREAMED = "streamed"  # re-delivered every innermost step
+    STATIONARY = "stationary"  # pinned in the PEs across an inner loop
+
+
+@dataclass(frozen=True)
+class OperandAnalysis:
+    """Reuse profile of one input operand under one mapping."""
+
+    dims: tuple[Dim, ...]
+    residency: Residency
+    innermost_dep_level: int  # 0 outer .. 2 inner
+    refetch_factor: int  # times each element is read from GB
+    tile_elements: int
+
+    def gb_reads(self, extents: dict[Dim, int]) -> int:
+        """Total GB element reads: |operand| x refetch factor."""
+        elems = 1
+        for d in self.dims:
+            elems *= extents[d]
+        return elems * self.refetch_factor
+
+
+def analyze_operand(
+    intra: IntraDataflow,
+    operand_dims: tuple[Dim, ...],
+    tiles: dict[Dim, int],
+    extents: dict[Dim, int],
+) -> OperandAnalysis:
+    """Classify one operand's residency and re-fetch behaviour.
+
+    The rule (MAESTRO/Timeloop-style): an operand tile must be re-fetched
+    whenever any temporal loop at or above its innermost dependent level
+    advances; loops *below* that level reuse the resident tile.  The
+    re-fetch factor multiplies the trip counts of non-dependent loops at
+    or above that level.
+    """
+    order = intra.order
+    pos = {d: i for i, d in enumerate(order)}
+    missing = [d for d in operand_dims if d not in pos]
+    if missing:
+        raise ValueError(f"operand dims {missing} not in the loop nest")
+    level = max(pos[d] for d in operand_dims)
+    trip = {
+        d: math.ceil(extents[d] / min(tiles.get(d, 1), extents[d]))
+        for d in order
+    }
+    refetch = 1
+    for i in range(level + 1):
+        if order[i] not in operand_dims:
+            refetch *= trip[order[i]]
+    tile_elems = 1
+    for d in operand_dims:
+        tile_elems *= min(tiles.get(d, 1), extents[d])
+    residency = Residency.STREAMED if level == 2 else Residency.STATIONARY
+    return OperandAnalysis(
+        dims=tuple(operand_dims),
+        residency=residency,
+        innermost_dep_level=level,
+        refetch_factor=refetch,
+        tile_elements=tile_elems,
+    )
+
+
+class PsumBehavior(str, Enum):
+    """How partial sums survive between contraction revisits."""
+
+    SINGLE_VISIT = "single-visit"  # contraction fully spatial: no revisits
+    ACCUMULATOR = "accumulator"  # temporal accumulation inside the PE
+    SPILL = "spill"  # GB read-modify-write round trips
+
+
+def psum_behavior(
+    intra: IntraDataflow,
+    output_dims: tuple[Dim, ...],
+    tiles: dict[Dim, int],
+    extents: dict[Dim, int],
+    *,
+    pe_accumulators: int = 1,
+    temporal_reduction: bool = True,
+) -> PsumBehavior:
+    """The engines' partial-sum rule, standalone.
+
+    Contraction steps of one output element accumulate in the PE only when
+    the live outputs per PE (the product of inner-to-contraction output
+    loop trip counts) fit in its accumulators.
+    """
+    order = intra.order
+    contraction = intra.contraction
+    pos_c = order.index(contraction)
+    trip_c = math.ceil(
+        extents[contraction]
+        / min(tiles.get(contraction, 1), extents[contraction])
+    )
+    if trip_c <= 1:
+        return PsumBehavior.SINGLE_VISIT
+    live = 1
+    for d in order[pos_c + 1 :]:
+        if d in output_dims:
+            live *= math.ceil(extents[d] / min(tiles.get(d, 1), extents[d]))
+    if temporal_reduction and live <= pe_accumulators:
+        return PsumBehavior.ACCUMULATOR
+    return PsumBehavior.SPILL
+
+
+def classify_stationary(
+    intra: IntraDataflow,
+    tiles: dict[Dim, int],
+    extents: dict[Dim, int],
+) -> dict[str, str]:
+    """Table I in one call: residency of left/right/output for a GEMM.
+
+    Output "stationary" means its partial sums never leave the PE
+    (accumulator behaviour); otherwise it is written through (or spilled).
+    """
+    left = analyze_operand(intra, (Dim.V, Dim.F), tiles, extents)
+    right = analyze_operand(intra, (Dim.F, Dim.G), tiles, extents)
+    out = psum_behavior(intra, (Dim.V, Dim.G), tiles, extents)
+    return {
+        "left": left.residency.value,
+        "right": right.residency.value,
+        "output": (
+            "stationary"
+            if out in (PsumBehavior.ACCUMULATOR, PsumBehavior.SINGLE_VISIT)
+            else "spilled"
+        ),
+    }

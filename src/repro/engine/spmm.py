@@ -1,0 +1,327 @@
+"""Tile-level timing/traffic engine for the sparse Aggregation phase (SpMM).
+
+Models ``A @ X`` where ``A`` is the CSR adjacency and ``X`` a dense
+``V x feat`` operand, mapped under an Aggregation intra-phase dataflow
+(loop order over ``V``-vertices, ``F``-features, ``N``-neighbors plus tile
+sizes).  The distinctive sparse behaviours the paper builds its analysis on:
+
+- **Data-dependent N loop**: vertex ``v`` needs ``ceil(deg(v) / T_N)``
+  neighbor steps.  With ``T_V`` vertex lanes running in lock step, a vertex
+  tile costs ``max`` over its lanes — one dense "evil row" stalls all its
+  tile-mates (§V-B1, the SPhighV pathology on HF datasets).
+- **Irregular reuse**: neighbor feature rows are gathered per edge with no
+  multicast (each (edge, feature) element is read exactly once), while the
+  CSR structure itself is re-read once per feature step unless the feature
+  loop is innermost and the edge index can be latched.
+- **Spatial vs temporal reduction**: ``T_N > 1`` reduces neighbor partials
+  through the adder tree; remaining cross-step accumulation stays in the PE
+  register file when contiguous (or small enough), else spills as ``psum``
+  global-buffer read-modify-write traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..core.taxonomy import Annot, Dim, IntraDataflow, Phase
+from ..graphs.csr import CSRGraph
+from .stats import PhaseStats
+
+__all__ = ["SpmmSpec", "SpmmTiling", "SpmmResult", "simulate_spmm"]
+
+
+@dataclass(frozen=True)
+class SpmmSpec:
+    """Problem shape and operand naming for one SpMM phase.
+
+    AC Aggregation reads ``input`` (X0) and writes ``intermediate``;
+    CA Aggregation reads ``intermediate`` (X·W) and writes ``output``.
+    ``feat`` is the dense operand width: F for AC, G for CA.
+    """
+
+    graph: CSRGraph
+    feat: int
+    x_name: str = "input"
+    out_name: str = "intermediate"
+
+    def __post_init__(self) -> None:
+        if self.feat < 1:
+            raise ValueError("feature width must be positive")
+
+
+@dataclass(frozen=True)
+class SpmmTiling:
+    """Spatial tile sizes per Aggregation dimension."""
+
+    t_v: int
+    t_f: int
+    t_n: int
+
+    def __post_init__(self) -> None:
+        if min(self.t_v, self.t_f, self.t_n) < 1:
+            raise ValueError("tile sizes must be >= 1")
+
+    def of(self, dim: Dim) -> int:
+        return {Dim.V: self.t_v, Dim.F: self.t_f, Dim.N: self.t_n}[dim]
+
+    @property
+    def pes_used(self) -> int:
+        return self.t_v * self.t_f * self.t_n
+
+
+@dataclass
+class SpmmResult:
+    """Engine output: :class:`PhaseStats` plus per-vertex-tile structure."""
+
+    stats: PhaseStats
+    spec: SpmmSpec
+    intra: IntraDataflow
+    tiling: SpmmTiling
+    vtile_steps: np.ndarray  # neighbor steps per vertex tile (lock-step max)
+    f_steps: int
+    slowdown: float  # cycles / compute_steps
+
+    # ------------------------------------------------------------------
+    def _per_vertex_cycles(self) -> np.ndarray:
+        """Lock-step tile cost spread evenly over the tile's real vertices.
+
+        This lets granule boundaries fall anywhere, not only on vertex-tile
+        boundaries (the tile sizes of the two PP partitions need not divide
+        each other).  The array sums to ``cycles / f_steps``.
+        """
+        t_v = self.tiling.t_v
+        num_v = self.spec.graph.num_vertices
+        per_vertex = np.zeros(num_v, dtype=np.float64)
+        cost = self.vtile_steps.astype(np.float64) * self.slowdown
+        for i, c in enumerate(cost):
+            lo = i * t_v
+            hi = min(num_v, lo + t_v)
+            if hi > lo:
+                per_vertex[lo:hi] = c / (hi - lo)
+        return per_vertex
+
+    @staticmethod
+    def _chunk_sums(values: np.ndarray, chunk: int) -> np.ndarray:
+        n = math.ceil(len(values) / max(1, chunk))
+        pad = n * chunk - len(values)
+        padded = np.concatenate([values, np.zeros(pad)])
+        return padded.reshape(n, chunk).sum(axis=1)
+
+    def granule_cycles(
+        self,
+        *,
+        axis: str,
+        rows_per_granule: int = 0,
+        cols_per_granule: int = 0,
+        row_major: bool = True,
+    ) -> np.ndarray:
+        """Per-granule cycles over the produced (V x feat) intermediate.
+
+        Row granules are non-uniform because of the data-dependent neighbor
+        steps — exactly what drives PP load imbalance on skewed graphs
+        (Fig. 14).  Column granules split the feature sweep uniformly.
+        """
+        per_vertex = self._per_vertex_cycles()
+        t_f = self.stats.tile_sizes["T_F"]
+        if axis == "row":
+            return self._chunk_sums(per_vertex, rows_per_granule) * self.f_steps
+        if axis == "column":
+            fsteps = max(1, math.ceil(cols_per_granule / t_f))
+            n = math.ceil(self.f_steps / fsteps)
+            sizes = np.full(n, fsteps, dtype=np.float64)
+            sizes[-1] = self.f_steps - fsteps * (n - 1)
+            return per_vertex.sum() * sizes
+        if axis == "element":
+            v_cost = self._chunk_sums(per_vertex, rows_per_granule)
+            fsteps = max(1, math.ceil(cols_per_granule / t_f))
+            nf = math.ceil(self.f_steps / fsteps)
+            f_sizes = np.full(nf, fsteps, dtype=np.float64)
+            f_sizes[-1] = self.f_steps - fsteps * (nf - 1)
+            grid = np.outer(v_cost, f_sizes)
+            if not row_major:
+                grid = grid.T
+            return grid.ravel()
+        raise ValueError(f"unknown granule axis {axis!r}")
+
+    def per_unit_cycles(self, axis: str) -> np.ndarray:
+        """Cycles attributed to each intermediate row (or column).
+
+        Rows carry the data-dependent lock-step cost; columns split the
+        feature sweep uniformly.  Each array sums to ~``stats.cycles`` so
+        any chunking of it yields consistent granule times.
+        """
+        if axis == "row":
+            return self._per_vertex_cycles() * self.f_steps
+        if axis == "col":
+            total = float(self.stats.cycles)
+            return np.full(self.spec.feat, total / self.spec.feat)
+        raise ValueError(f"unknown axis {axis!r}")
+
+    def consumption_per_unit_rows(self) -> np.ndarray:
+        """CA consumer view: cycles per intermediate row *read as neighbors*.
+
+        Aggregation work is proportional to the edges destined to each row
+        of the intermediate (paper §III-B: V x G after Combination becomes
+        N x F for Aggregation).
+        """
+        g = self.spec.graph
+        counts = np.bincount(g.edge_dst, minlength=g.num_cols).astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return np.full(g.num_cols, float(self.stats.cycles) / max(1, g.num_cols))
+        return counts / total * float(self.stats.cycles)
+
+    def consumption_weights_by_row(self, rows_per_granule: int) -> np.ndarray:
+        """CA pipelines: fraction of Aggregation work unlocked per granule
+        of intermediate *rows* (which Aggregation reads as neighbors).
+
+        Work is proportional to the number of edges whose destination falls
+        in each granule's row range.
+        """
+        g = self.spec.graph
+        n = math.ceil(g.num_cols / max(1, rows_per_granule))
+        buckets = np.minimum(g.edge_dst // rows_per_granule, n - 1)
+        counts = np.bincount(buckets, minlength=n).astype(np.float64)
+        total = counts.sum()
+        if total == 0:
+            return np.full(n, 1.0 / n)
+        return counts / total
+
+
+def _check_annotations(intra: IntraDataflow, tiling: SpmmTiling) -> None:
+    for dim, annot in zip(intra.order, intra.annot):
+        t = tiling.of(dim)
+        if annot is Annot.SPATIAL and t <= 1:
+            raise ValueError(
+                f"dimension {dim.value} is spatial but T_{dim.value}={t}"
+            )
+        if annot is Annot.TEMPORAL and t != 1:
+            raise ValueError(
+                f"dimension {dim.value} is temporal but T_{dim.value}={t}"
+            )
+
+
+def simulate_spmm(
+    spec: SpmmSpec,
+    intra: IntraDataflow,
+    tiling: SpmmTiling,
+    hw: AcceleratorConfig,
+) -> SpmmResult:
+    """Run the tile-level SpMM model; see the module docstring for rules."""
+    if intra.phase is not Phase.AGGREGATION:
+        raise ValueError("simulate_spmm requires an Aggregation intra-phase dataflow")
+    if not intra.is_concrete:
+        raise ValueError(f"dataflow {intra} still has 'x' wildcards")
+    _check_annotations(intra, tiling)
+    if tiling.t_n > 1 and not hw.supports_spatial_reduction:
+        raise ValueError("T_N > 1 needs spatial-reduction (adder tree) support")
+
+    g = spec.graph
+    num_v = g.num_vertices
+    nnz = g.num_edges
+    deg = g.degrees
+
+    t_v = min(tiling.t_v, max(1, num_v))
+    t_f = min(tiling.t_f, spec.feat)
+    t_n = tiling.t_n
+    if t_v * t_f * t_n > hw.num_pes:
+        raise ValueError(
+            f"tiling uses {t_v * t_f * t_n} PEs but only {hw.num_pes} exist"
+        )
+    f_steps = math.ceil(spec.feat / t_f)
+    pos = {d: intra.order.index(d) for d in intra.order}
+
+    # ---- lock-step neighbor steps per vertex tile ---------------------
+    per_v_steps = np.ceil(deg / t_n).astype(np.int64)
+    n_vtiles = math.ceil(num_v / t_v) if num_v else 0
+    pad = n_vtiles * t_v - num_v
+    padded = np.concatenate([per_v_steps, np.zeros(pad, dtype=np.int64)])
+    vtile_steps = padded.reshape(n_vtiles, t_v).max(axis=1) if n_vtiles else np.zeros(0, dtype=np.int64)
+    base_steps = int(vtile_steps.sum()) * f_steps
+    macs = int(nnz) * spec.feat
+
+    # ---- global buffer traffic ----------------------------------------
+    # CSR structure: edge indices re-read once per feature step unless the
+    # feature loop is innermost (edge index latched across f-iterations);
+    # row pointers read once per sweep of the structure.
+    adj_sweeps = 1 if pos[Dim.F] == 2 else f_steps
+    adj_reads = float(nnz * adj_sweeps + (num_v + 1))
+    x_reads = float(nnz) * spec.feat  # gathered per edge, no multicast
+    gb_reads: dict[str, float] = {"adj": adj_reads, spec.x_name: x_reads}
+
+    out_elems = num_v * spec.feat
+    gb_writes: dict[str, float] = {spec.out_name: float(out_elems)}
+    rf_reads = 0.0
+    rf_writes = 0.0
+
+    # ---- partial sums --------------------------------------------------
+    # Output dims are (V, F); contributions accumulate across the temporal
+    # neighbor steps of each vertex.  They stay in the PE's MAC
+    # accumulator(s) only when the neighbor visits of each output element
+    # are (near-)contiguous — no large output sweep inside the N loop.
+    inner_out = [d for d in intra.order[pos[Dim.N] + 1 :] if d in (Dim.V, Dim.F)]
+    spill_each_way = float(
+        np.maximum(per_v_steps - 1, 0).sum() * spec.feat
+    )  # one RMW per extra neighbor revisit of each (v, f) output element
+    live_per_pe = 1
+    if Dim.V in inner_out:
+        live_per_pe *= max(1, math.ceil(num_v / t_v))
+    if Dim.F in inner_out:
+        live_per_pe *= f_steps
+    resident = (
+        hw.supports_temporal_reduction and live_per_pe <= hw.pe_accumulators
+    )
+    if resident:
+        accum = float((per_v_steps * spec.feat).sum())
+        rf_reads += accum
+        rf_writes += accum
+    elif spill_each_way > 0:
+        gb_writes["psum"] = spill_each_way
+        gb_reads["psum"] = spill_each_way
+
+    total_reads = float(sum(gb_reads.values()))
+    rf_writes += total_reads
+    rf_reads += 2.0 * macs
+
+    # ---- runtime roofline ----------------------------------------------
+    # CSR index traffic rides the dedicated pointer/index channel (STONNE's
+    # CSR decoding logic), so only data elements consume distribution
+    # bandwidth; index reads still cost global-buffer energy.
+    streamed_data_reads = total_reads - adj_reads
+    dist_bw = hw.effective_dist_bw
+    red_bw = hw.effective_red_bw
+    total_writes = float(sum(gb_writes.values()))
+    dist_cycles = math.ceil(streamed_data_reads / dist_bw)
+    red_cycles = math.ceil(total_writes / red_bw)
+    cycles = max(base_steps, dist_cycles, red_cycles)
+
+    util = (t_v * t_f * t_n) / hw.num_pes
+    stats = PhaseStats(
+        phase="aggregation",
+        cycles=int(cycles),
+        compute_steps=int(base_steps),
+        macs=macs,
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        rf_reads=rf_reads,
+        rf_writes=rf_writes,
+        load_stall_cycles=0,
+        intermediate_load_stall_cycles=0,
+        streamed_reads=streamed_data_reads,
+        streamed_operands=tuple(k for k in gb_reads if k != "adj"),
+        static_utilization=util,
+        tile_sizes={"T_V": t_v, "T_F": t_f, "T_N": t_n},
+    )
+    return SpmmResult(
+        stats=stats,
+        spec=spec,
+        intra=intra,
+        tiling=SpmmTiling(t_v, t_f, t_n),
+        vtile_steps=vtile_steps,
+        f_steps=f_steps,
+        slowdown=cycles / base_steps if base_steps else 1.0,
+    )

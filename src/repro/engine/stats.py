@@ -1,0 +1,91 @@
+"""Per-phase statistics produced by the intra-phase engines.
+
+A :class:`PhaseStats` is the contract between the intra-phase engines
+(:mod:`repro.engine.gemm`, :mod:`repro.engine.spmm`) and the inter-phase
+cost model (:mod:`repro.core.interphase`): cycle counts, global-buffer
+traffic broken down by operand (the paper's Fig. 13 categories — Adj, Inp,
+Int, Wt, Op, Psum), register-file traffic, and enough per-tile structure to
+reconstruct per-granule production/consumption times for pipelining.
+
+Operand keys
+------------
+``adj``            CSR structure reads (edge indices + row pointers)
+``input``          the X0 dense feature matrix
+``intermediate``   the inter-phase matrix (V x F for AC, V x G for CA)
+``weight``         the W matrix
+``output``         the final X1 matrix
+``psum``           partial-sum spill traffic (read-modify-write in GB)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+OPERANDS = ("adj", "input", "intermediate", "weight", "output", "psum")
+
+__all__ = ["PhaseStats", "OPERANDS", "merge_counts"]
+
+
+def merge_counts(*dicts: dict[str, float]) -> dict[str, float]:
+    """Sum operand-keyed access-count dictionaries."""
+    out: dict[str, float] = {}
+    for d in dicts:
+        for k, v in d.items():
+            out[k] = out.get(k, 0.0) + v
+    return out
+
+
+@dataclass
+class PhaseStats:
+    """Cost summary of one phase under one mapping.
+
+    ``cycles`` already includes bandwidth stalls and stationary-tile load
+    stalls; ``load_stall_cycles`` reports the latter separately because
+    SP-Optimized elides them for the intermediate operand (Table III's
+    ``t_load``).  ``gb_reads_by_operand``/``gb_writes_by_operand`` count
+    *elements*, not bytes.
+    """
+
+    phase: str  # "aggregation" | "combination"
+    cycles: int
+    compute_steps: int  # temporal tile steps (cycles at full bandwidth)
+    macs: int
+    gb_reads: dict[str, float] = field(default_factory=dict)
+    gb_writes: dict[str, float] = field(default_factory=dict)
+    rf_reads: float = 0.0
+    rf_writes: float = 0.0
+    load_stall_cycles: int = 0
+    intermediate_load_stall_cycles: int = 0  # share attributable to Int
+    streamed_reads: float = 0.0  # dist-roofline numerator (excl. stationary)
+    streamed_operands: tuple[str, ...] = ()
+    static_utilization: float = 0.0
+    tile_sizes: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0 or self.compute_steps < 0 or self.macs < 0:
+            raise ValueError("cycle/step/mac counts must be non-negative")
+        for d in (self.gb_reads, self.gb_writes):
+            for key, v in d.items():
+                if key not in OPERANDS:
+                    raise KeyError(f"unknown operand key {key!r}")
+                if v < 0:
+                    raise ValueError(f"negative access count for {key!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_gb_reads(self) -> float:
+        return float(sum(self.gb_reads.values()))
+
+    @property
+    def total_gb_writes(self) -> float:
+        return float(sum(self.gb_writes.values()))
+
+    def gb_accesses(self, operand: str) -> float:
+        """Read + write element accesses for one operand."""
+        return self.gb_reads.get(operand, 0.0) + self.gb_writes.get(operand, 0.0)
+
+    def scaled_cycles(self, factor: float) -> int:
+        """Cycles rescaled by a uniform slowdown factor (>= 1)."""
+        return int(np.ceil(self.cycles * factor))

@@ -1,0 +1,33 @@
+"""Extensions beyond the paper's evaluation: other multiphase kernels and
+the GCNAX-style off-chip contrast study."""
+
+from .dlrm import DLRMResult, DLRMWorkload, make_dlrm_workload, run_dlrm
+from .interlayer import InterLayerResult, readiness_profile, run_two_layers_pipelined
+from .offchip import OffchipPlan, analyze_offchip, fusion_saving
+from .reordering import (
+    ReorderingReport,
+    degree_sorted_order,
+    evaluate_reordering,
+    permute_vertices,
+    random_order,
+    striped_order,
+)
+
+__all__ = [
+    "DLRMResult",
+    "DLRMWorkload",
+    "make_dlrm_workload",
+    "run_dlrm",
+    "InterLayerResult",
+    "readiness_profile",
+    "run_two_layers_pipelined",
+    "OffchipPlan",
+    "analyze_offchip",
+    "fusion_saving",
+    "ReorderingReport",
+    "degree_sorted_order",
+    "evaluate_reordering",
+    "permute_vertices",
+    "random_order",
+    "striped_order",
+]

@@ -1,0 +1,250 @@
+"""Multiphase dataflows beyond GNNs: a DLRM-style SpMM+GEMM pipeline.
+
+The paper's discussion (§VI) points out that the taxonomy and inter-phase
+analysis generalize to other multiphase kernels, naming Deep Learning
+Recommendation Models: *"an SpMM and a DenseGEMM in parallel followed by
+concatenation followed by a DenseGEMM"*.
+
+This module realizes that example on the same substrate:
+
+- **Embedding reduction** — each request gathers and sum-reduces a
+  multi-hot set of embedding-table rows: an SpMM whose "adjacency" is the
+  (requests x table-rows) multi-hot indicator matrix;
+- **Bottom MLP** — a dense GEMM over the request's continuous features;
+- **Top MLP** — a dense GEMM over the concatenation of the two.
+
+The first two phases are *independent*, so they can run sequentially on
+the full array or in parallel on PE partitions (the PP analog); the top
+MLP consumes both and always runs after.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..arch.energy import EnergyBreakdown
+from ..core.taxonomy import IntraDataflow, Phase
+from ..engine.gemm import GemmSpec, GemmTiling, simulate_gemm
+from ..engine.spmm import SpmmSpec, SpmmTiling, simulate_spmm
+from ..engine.stats import PhaseStats
+from ..graphs.csr import CSRGraph
+
+__all__ = ["DLRMWorkload", "DLRMResult", "make_dlrm_workload", "run_dlrm"]
+
+
+@dataclass(frozen=True)
+class DLRMWorkload:
+    """Shapes of one DLRM inference batch.
+
+    ``lookups`` is the multi-hot indicator CSR: row = request, columns =
+    embedding-table rows, nnz per row = that request's categorical
+    features (typically 20-80, vastly sparser than the table).
+    """
+
+    lookups: CSRGraph
+    emb_dim: int  # embedding vector width (SpMM dense operand width)
+    dense_features: int  # continuous features into the bottom MLP
+    top_hidden: int  # top MLP output width
+
+    def __post_init__(self) -> None:
+        if min(self.emb_dim, self.dense_features, self.top_hidden) < 1:
+            raise ValueError("all widths must be positive")
+
+    @property
+    def batch(self) -> int:
+        return self.lookups.num_vertices
+
+    @property
+    def table_rows(self) -> int:
+        return self.lookups.num_cols
+
+    @property
+    def concat_width(self) -> int:
+        """Top-MLP input: embedding reduction || bottom-MLP output."""
+        return 2 * self.emb_dim
+
+
+def make_dlrm_workload(
+    rng: np.random.Generator,
+    *,
+    batch: int = 256,
+    table_rows: int = 100_000,
+    multi_hot: int = 40,
+    emb_dim: int = 64,
+    dense_features: int = 256,
+    top_hidden: int = 16,
+) -> DLRMWorkload:
+    """Synthesize a DLRM batch with Zipf-ish popular embedding rows.
+
+    Real recommendation traffic hits a few hot rows constantly (the
+    analog of the GNN evil row lives in the *columns* here, which the
+    row-major SpMM tolerates — a nice contrast baked into the tests).
+    """
+    if batch < 1 or table_rows < 1 or multi_hot < 1:
+        raise ValueError("batch, table_rows and multi_hot must be positive")
+    # Zipf-like popularity via exponential scores over row IDs.
+    pop = rng.exponential(scale=1.0, size=table_rows)
+    pop /= pop.sum()
+    counts = np.full(batch, min(multi_hot, table_rows), dtype=np.int64)
+    vptr = np.zeros(batch + 1, dtype=np.int64)
+    np.cumsum(counts, out=vptr[1:])
+    dst = np.empty(int(vptr[-1]), dtype=np.int64)
+    for i in range(batch):
+        dst[vptr[i] : vptr[i + 1]] = rng.choice(
+            table_rows, size=int(counts[i]), replace=False, p=pop
+        )
+    lookups = CSRGraph(vptr, dst, table_rows, name="dlrm-lookups")
+    return DLRMWorkload(
+        lookups=lookups,
+        emb_dim=emb_dim,
+        dense_features=dense_features,
+        top_hidden=top_hidden,
+    )
+
+
+@dataclass
+class DLRMResult:
+    """Cost of one DLRM batch under one inter-phase strategy."""
+
+    total_cycles: int
+    embedding: PhaseStats
+    bottom_mlp: PhaseStats
+    top_mlp: PhaseStats
+    parallel: bool
+    energy: EnergyBreakdown
+
+    def summary(self) -> dict:
+        return {
+            "strategy": "parallel" if self.parallel else "sequential",
+            "cycles": self.total_cycles,
+            "energy_pj": self.energy.total_pj,
+            "embedding_cycles": self.embedding.cycles,
+            "bottom_cycles": self.bottom_mlp.cycles,
+            "top_cycles": self.top_mlp.cycles,
+        }
+
+
+def _default_spmm_mapping(hw: AcceleratorConfig, emb_dim: int):
+    t_f = min(emb_dim, 128, hw.num_pes)
+    t_v = max(1, hw.num_pes // t_f)
+    intra = IntraDataflow.parse(
+        f"V{'s' if t_v > 1 else 't'}F{'s' if t_f > 1 else 't'}Nt",
+        Phase.AGGREGATION,
+    )
+    return intra, SpmmTiling(t_v, t_f, 1)
+
+
+def _default_gemm_mapping(hw: AcceleratorConfig, rows: int, cols: int):
+    t_g = min(cols, hw.num_pes)
+    t_v = max(1, min(rows, hw.num_pes // t_g))
+    intra = IntraDataflow.parse(
+        f"V{'s' if t_v > 1 else 't'}G{'s' if t_g > 1 else 't'}Ft",
+        Phase.COMBINATION,
+    )
+    return intra, GemmTiling(t_v, 1, t_g)
+
+
+def run_dlrm(
+    wl: DLRMWorkload,
+    hw: AcceleratorConfig,
+    *,
+    parallel: bool = True,
+    split: float = 0.5,
+) -> DLRMResult:
+    """Cost one DLRM batch.
+
+    ``parallel=True`` runs the embedding SpMM and the bottom MLP on PE
+    partitions simultaneously (``split`` = fraction of PEs given to the
+    embedding phase); the runtime of that stage is the slower partition,
+    exactly like the PP inter-phase dataflow.  ``parallel=False`` runs all
+    three phases back to back on the full array (the Seq analog).
+    """
+    if not 0.0 < split < 1.0:
+        raise ValueError("split must lie strictly between 0 and 1")
+    if parallel:
+        emb_pes = max(1, min(hw.num_pes - 1, round(hw.num_pes * split)))
+        hw_emb = hw.partition(emb_pes)
+        hw_bot = hw.partition(hw.num_pes - emb_pes)
+    else:
+        hw_emb = hw_bot = hw
+
+    emb_intra, emb_tiles = _default_spmm_mapping(hw_emb, wl.emb_dim)
+    emb = simulate_spmm(
+        SpmmSpec(
+            graph=wl.lookups,
+            feat=wl.emb_dim,
+            x_name="input",  # the embedding table
+            out_name="intermediate",
+        ),
+        emb_intra,
+        emb_tiles,
+        hw_emb,
+    )
+
+    bot_intra, bot_tiles = _default_gemm_mapping(hw_bot, wl.batch, wl.emb_dim)
+    bottom = simulate_gemm(
+        GemmSpec(
+            rows=wl.batch,
+            inner=wl.dense_features,
+            cols=wl.emb_dim,
+            left_name="input",
+            right_name="weight",
+            out_name="intermediate",
+        ),
+        bot_intra,
+        bot_tiles,
+        hw_bot,
+    )
+
+    top_intra, top_tiles = _default_gemm_mapping(hw, wl.batch, wl.top_hidden)
+    top = simulate_gemm(
+        GemmSpec(
+            rows=wl.batch,
+            inner=wl.concat_width,
+            cols=wl.top_hidden,
+            left_name="intermediate",
+            right_name="weight",
+            out_name="output",
+        ),
+        top_intra,
+        top_tiles,
+        hw,
+    )
+
+    stage1 = (
+        max(emb.stats.cycles, bottom.stats.cycles)
+        if parallel
+        else emb.stats.cycles + bottom.stats.cycles
+    )
+    total = stage1 + top.stats.cycles
+
+    e = hw.energy
+    gb = sum(
+        s.total_gb_reads + s.total_gb_writes
+        for s in (emb.stats, bottom.stats, top.stats)
+    )
+    rf_r = sum(s.rf_reads for s in (emb.stats, bottom.stats, top.stats))
+    rf_w = sum(s.rf_writes for s in (emb.stats, bottom.stats, top.stats))
+    energy = EnergyBreakdown(
+        gb_read_pj=sum(
+            s.total_gb_reads for s in (emb.stats, bottom.stats, top.stats)
+        )
+        * e.gb_pj,
+        gb_write_pj=sum(
+            s.total_gb_writes for s in (emb.stats, bottom.stats, top.stats)
+        )
+        * e.gb_pj,
+        rf_read_pj=rf_r * e.rf_pj,
+        rf_write_pj=rf_w * e.rf_pj,
+    )
+    return DLRMResult(
+        total_cycles=int(total),
+        embedding=emb.stats,
+        bottom_mlp=bottom.stats,
+        top_mlp=top.stats,
+        parallel=parallel,
+        energy=energy,
+    )

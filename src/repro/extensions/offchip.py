@@ -1,0 +1,143 @@
+"""Off-chip (DRAM) dataflow analysis — the GCNAX-style contrast (§II-B).
+
+The paper positions itself against GCNAX: *"GCNAX primarily targets
+off-chip dataflows with a small global buffer and 16 PEs, while our work
+focuses on on-chip dataflow strategies for large programmable spatial
+accelerators."*  This module supplies that missing half so the contrast
+can be studied quantitatively: given a small global buffer that cannot
+hold whole operands, how much DRAM traffic does each loop order and
+fusion choice cost?
+
+The model is a classic capacity-based reuse analysis over the two-phase
+GCN (AC order):
+
+- the adjacency streams once per full feature sweep it participates in;
+- X0 is read once if it fits in the buffer share; otherwise the irregular
+  neighbor gather defeats blocking and every edge re-fetches its row slice;
+- the weight matrix re-streams once per vertex block that doesn't stay
+  resident;
+- **fusion** (GCNAX's headline optimization, = the paper's SP/PP at DRAM
+  scale) forwards the intermediate between phases in buffer-sized chunks
+  instead of spilling all of ``V x F`` and reading it back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.workload import GNNWorkload
+
+__all__ = ["OffchipPlan", "analyze_offchip", "fusion_saving"]
+
+
+@dataclass(frozen=True)
+class OffchipPlan:
+    """DRAM traffic (elements) of one off-chip execution plan."""
+
+    gb_elements: int
+    fused: bool
+    adj_reads: int
+    x_reads: int
+    intermediate_writes: int
+    intermediate_reads: int
+    weight_reads: int
+    output_writes: int
+    vertex_block: int  # rows processed per buffer residency period
+
+    @property
+    def total_elements(self) -> int:
+        return (
+            self.adj_reads
+            + self.x_reads
+            + self.intermediate_writes
+            + self.intermediate_reads
+            + self.weight_reads
+            + self.output_writes
+        )
+
+    def dram_energy_pj(self, pj_per_access: float = 104.6) -> float:
+        return self.total_elements * pj_per_access
+
+    def as_dict(self) -> dict:
+        return {
+            "gb_elements": self.gb_elements,
+            "fused": self.fused,
+            "adj": self.adj_reads,
+            "x": self.x_reads,
+            "int_wr": self.intermediate_writes,
+            "int_rd": self.intermediate_reads,
+            "weight": self.weight_reads,
+            "output": self.output_writes,
+            "total": self.total_elements,
+        }
+
+
+def analyze_offchip(
+    wl: GNNWorkload,
+    gb_elements: int,
+    *,
+    fused: bool = True,
+) -> OffchipPlan:
+    """DRAM traffic for one AC-order GCN layer with a small global buffer.
+
+    The buffer is partitioned between (a) a resident slice of X0 rows for
+    the gather, (b) the current intermediate chunk, and (c) the weight
+    matrix when it fits.  ``fused=False`` is the Seq-at-DRAM-scale plan:
+    the whole intermediate round-trips memory.
+    """
+    if gb_elements < 4:
+        raise ValueError("global buffer must hold at least a few elements")
+    v, f, g = wl.num_vertices, wl.in_features, wl.out_features
+    nnz = wl.num_edges
+
+    w_elems = f * g
+    w_resident = w_elems <= gb_elements // 4  # keep W pinned in a quadrant
+    budget = gb_elements - (w_elems if w_resident else 0)
+
+    # X0: resident once if it fits next to at least one working block row;
+    # otherwise the irregular gather re-fetches a row slice per edge.
+    row_cost = 2 * f + g  # intermediate row + gathered X slice + output row
+    x_fits = v * f + row_cost <= budget
+    x_reads = v * f if x_fits else nnz * f
+    block_budget = budget - v * f if x_fits else budget
+
+    # Vertex block: rows of the intermediate (width F) staged on chip at a
+    # time within whatever capacity X0 residency leaves over.
+    vertex_block = max(1, min(v, block_budget // max(1, row_cost)))
+    n_blocks = math.ceil(v / vertex_block)
+
+    adj_reads = nnz + (v + 1)
+
+    if fused:
+        int_writes = 0
+        int_reads = 0
+    else:
+        int_writes = v * f
+        int_reads = v * f
+
+    weight_reads = w_elems if w_resident else n_blocks * w_elems
+    output_writes = v * g
+
+    return OffchipPlan(
+        gb_elements=gb_elements,
+        fused=fused,
+        adj_reads=adj_reads,
+        x_reads=x_reads,
+        intermediate_writes=int_writes,
+        intermediate_reads=int_reads,
+        weight_reads=weight_reads,
+        output_writes=output_writes,
+        vertex_block=vertex_block,
+    )
+
+
+def fusion_saving(wl: GNNWorkload, gb_elements: int) -> float:
+    """Fraction of DRAM traffic eliminated by phase fusion at this buffer
+    size (GCNAX's central result, and the DRAM-scale analog of the paper's
+    SP/PP intermediate-buffering argument)."""
+    unfused = analyze_offchip(wl, gb_elements, fused=False).total_elements
+    fused = analyze_offchip(wl, gb_elements, fused=True).total_elements
+    if unfused == 0:
+        return 0.0
+    return 1.0 - fused / unfused

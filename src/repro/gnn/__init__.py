@@ -1,0 +1,17 @@
+"""GNN layer/model abstractions on top of the OMEGA cost model."""
+
+from .layers import GCNLayer, GINLayer, SAGELayer, relu
+from .model import GNNModel, ModelRunResult, run_model
+from .reference import gcn_layer_reference, gcn_model_reference
+
+__all__ = [
+    "GCNLayer",
+    "GINLayer",
+    "SAGELayer",
+    "relu",
+    "GNNModel",
+    "ModelRunResult",
+    "run_model",
+    "gcn_layer_reference",
+    "gcn_model_reference",
+]

@@ -1,0 +1,150 @@
+"""GNN layer abstractions: phase decompositions of GCN/GraphSAGE/GIN.
+
+The paper (§II-A) observes that GCN, GraphSAGE and GINConv inference all
+decompose into Aggregation (SpMM) and Combination (GEMM) phases; GCN admits
+either phase order, GraphSAGE fixes Aggregation first.  Each layer class
+reports its phase structure as :class:`repro.core.workload.GNNWorkload`
+shapes so the OMEGA cost model can price it, and provides a NumPy forward
+for functional verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.taxonomy import PhaseOrder
+from ..core.workload import GNNWorkload
+from ..graphs.csr import CSRGraph
+
+__all__ = ["GCNLayer", "SAGELayer", "GINLayer", "relu"]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise ReLU (the paper's cost model ignores activations;
+    functional verification applies them between layers)."""
+    return np.maximum(x, 0.0)
+
+
+@dataclass(frozen=True)
+class GCNLayer:
+    """Kipf-Welling GCN layer: X1 = sigma(Â X0 W).
+
+    ``allowed_orders`` is (AC, CA): GCN's associativity lets a mapper pick
+    either computation order (paper Fig. 3 caption).
+    """
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature extents must be positive")
+
+    @property
+    def allowed_orders(self) -> tuple[PhaseOrder, ...]:
+        return (PhaseOrder.AC, PhaseOrder.CA)
+
+    def workloads(self, graph: CSRGraph) -> list[GNNWorkload]:
+        """One Aggregation+Combination pair."""
+        return [GNNWorkload(graph, self.in_features, self.out_features, "gcn")]
+
+    def forward(
+        self, graph: CSRGraph, x: np.ndarray, weights: list[np.ndarray]
+    ) -> np.ndarray:
+        (w,) = weights
+        return relu(graph.to_scipy() @ x @ w)
+
+    def init_weights(self, rng: np.random.Generator) -> list[np.ndarray]:
+        scale = 1.0 / np.sqrt(self.in_features)
+        return [rng.uniform(-scale, scale, (self.in_features, self.out_features))]
+
+
+@dataclass(frozen=True)
+class SAGELayer:
+    """GraphSAGE (mean aggregator): X1 = sigma([X0 || mean(N(v))] W).
+
+    Aggregation must precede Combination (paper §II-A), and the concat
+    doubles the Combination contraction extent.
+    """
+
+    in_features: int
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.in_features < 1 or self.out_features < 1:
+            raise ValueError("feature extents must be positive")
+
+    @property
+    def allowed_orders(self) -> tuple[PhaseOrder, ...]:
+        return (PhaseOrder.AC,)
+
+    def workloads(self, graph: CSRGraph) -> list[GNNWorkload]:
+        # The concat [self || mean-agg] makes the GEMM contraction 2F wide;
+        # we model it as one AC pair whose Combination sees 2F in-features.
+        return [
+            GNNWorkload(graph, 2 * self.in_features, self.out_features, "sage")
+        ]
+
+    def forward(
+        self, graph: CSRGraph, x: np.ndarray, weights: list[np.ndarray]
+    ) -> np.ndarray:
+        (w,) = weights
+        deg = np.maximum(graph.degrees, 1).astype(np.float64)
+        agg = (graph.to_scipy() @ x) / deg[:, None]
+        h = np.concatenate([x, agg], axis=1)
+        return relu(h @ w)
+
+    def init_weights(self, rng: np.random.Generator) -> list[np.ndarray]:
+        scale = 1.0 / np.sqrt(2 * self.in_features)
+        return [
+            rng.uniform(-scale, scale, (2 * self.in_features, self.out_features))
+        ]
+
+
+@dataclass(frozen=True)
+class GINLayer:
+    """GIN layer: X1 = MLP((1 + eps) X0 + sum-agg(X0)).
+
+    The two-layer MLP makes this a *three-phase* kernel (SpMM + GEMM +
+    GEMM) — exactly the "multiphase beyond two phases" generalization the
+    paper's discussion section points at.  The extra GEMM is modeled as a
+    second workload whose Aggregation part is trivial (identity over an
+    empty graph is not expressible, so the cost model treats it as a
+    standalone Combination; see :func:`repro.gnn.model.model_workloads`).
+    """
+
+    in_features: int
+    hidden: int
+    out_features: int
+    eps: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.in_features, self.hidden, self.out_features) < 1:
+            raise ValueError("feature extents must be positive")
+
+    @property
+    def allowed_orders(self) -> tuple[PhaseOrder, ...]:
+        return (PhaseOrder.AC,)
+
+    def workloads(self, graph: CSRGraph) -> list[GNNWorkload]:
+        return [
+            GNNWorkload(graph, self.in_features, self.hidden, "gin-mlp1"),
+            GNNWorkload(graph, self.hidden, self.out_features, "gin-mlp2"),
+        ]
+
+    def forward(
+        self, graph: CSRGraph, x: np.ndarray, weights: list[np.ndarray]
+    ) -> np.ndarray:
+        w1, w2 = weights
+        h = (1.0 + self.eps) * x + graph.to_scipy() @ x
+        return relu(relu(h @ w1) @ w2)
+
+    def init_weights(self, rng: np.random.Generator) -> list[np.ndarray]:
+        s1 = 1.0 / np.sqrt(self.in_features)
+        s2 = 1.0 / np.sqrt(self.hidden)
+        return [
+            rng.uniform(-s1, s1, (self.in_features, self.hidden)),
+            rng.uniform(-s2, s2, (self.hidden, self.out_features)),
+        ]

@@ -1,0 +1,154 @@
+"""Multi-layer GNN models costed layer by layer through OMEGA.
+
+The paper evaluates single GCN layers; real inference stacks several, and
+each layer may prefer a *different* dataflow (its F shrinks from thousands
+of input features to a small hidden width after layer 1 — exactly the
+workload-dependence the paper's flexibility argument rests on).  This
+module runs a whole model under per-layer dataflow choices and aggregates
+runtime/energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..arch.config import AcceleratorConfig
+from ..arch.energy import EnergyBreakdown
+from ..core.interphase import RunResult
+from ..core.omega import run_gnn_dataflow
+from ..core.taxonomy import Dataflow
+from ..core.tiling import TileHint
+from ..core.workload import GNNWorkload
+from ..graphs.csr import CSRGraph
+from .layers import GCNLayer, GINLayer, SAGELayer
+
+__all__ = ["GNNModel", "ModelRunResult", "run_model"]
+
+Layer = GCNLayer | SAGELayer | GINLayer
+
+
+@dataclass(frozen=True)
+class GNNModel:
+    """A stack of GNN layers over one graph."""
+
+    graph: CSRGraph
+    layers: tuple[Layer, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.layers:
+            raise ValueError("a model needs at least one layer")
+        prev_out: int | None = None
+        for i, layer in enumerate(self.layers):
+            if prev_out is not None and layer.in_features != prev_out:
+                raise ValueError(
+                    f"layer {i} expects {layer.in_features} features but the "
+                    f"previous layer produces {prev_out}"
+                )
+            prev_out = layer.out_features
+
+    @staticmethod
+    def gcn(
+        graph: CSRGraph, dims: Sequence[int], *, name: str = "gcn"
+    ) -> "GNNModel":
+        """A GCN stack from a dims list [F0, H1, ..., classes]."""
+        if len(dims) < 2:
+            raise ValueError("dims needs at least (in, out)")
+        layers = tuple(
+            GCNLayer(dims[i], dims[i + 1]) for i in range(len(dims) - 1)
+        )
+        return GNNModel(graph, layers, name=name)
+
+    def workloads(self) -> list[GNNWorkload]:
+        out: list[GNNWorkload] = []
+        for layer in self.layers:
+            out.extend(layer.workloads(self.graph))
+        return out
+
+    def forward(
+        self, x: np.ndarray, weights: list[list[np.ndarray]]
+    ) -> np.ndarray:
+        h = x
+        for layer, w in zip(self.layers, weights):
+            h = layer.forward(self.graph, h, w)
+        return h
+
+    def init_weights(self, rng: np.random.Generator) -> list[list[np.ndarray]]:
+        return [layer.init_weights(rng) for layer in self.layers]
+
+
+@dataclass
+class ModelRunResult:
+    """Aggregated cost of a whole model."""
+
+    per_layer: list[RunResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(r.total_cycles for r in self.per_layer)
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for r in self.per_layer:
+            total = total + r.energy
+        return total
+
+    @property
+    def energy_pj(self) -> float:
+        return self.energy.total_pj
+
+    def summary(self) -> dict:
+        return {
+            "layers": len(self.per_layer),
+            "cycles": self.total_cycles,
+            "energy_pj": self.energy_pj,
+        }
+
+
+def run_model(
+    model: GNNModel,
+    dataflows: Dataflow | Sequence[Dataflow],
+    hw: AcceleratorConfig,
+    *,
+    hints: TileHint | Sequence[TileHint | None] | None = None,
+) -> ModelRunResult:
+    """Cost every (Agg, Cmb) pair of the model under per-layer dataflows.
+
+    ``dataflows`` may be a single dataflow applied to every layer-pair or a
+    sequence matching :meth:`GNNModel.workloads`.  Layers that forbid CA
+    execution (GraphSAGE, GIN) reject CA dataflows.
+    """
+    wls = model.workloads()
+    if isinstance(dataflows, Dataflow):
+        dfs: list[Dataflow] = [dataflows] * len(wls)
+    else:
+        dfs = list(dataflows)
+        if len(dfs) != len(wls):
+            raise ValueError(
+                f"{len(dfs)} dataflows for {len(wls)} layer workloads"
+            )
+    if hints is None or isinstance(hints, TileHint):
+        hint_list: list[TileHint | None] = [hints] * len(wls)  # type: ignore[list-item]
+    else:
+        hint_list = list(hints)
+        if len(hint_list) != len(wls):
+            raise ValueError("hints length must match workloads")
+
+    # Per-layer order legality: map each workload back to its layer.
+    layer_of: list[Layer] = []
+    for layer in model.layers:
+        layer_of.extend([layer] * len(layer.workloads(model.graph)))
+
+    result = ModelRunResult()
+    for wl, df, hint, layer in zip(wls, dfs, hint_list, layer_of):
+        if df.order not in layer.allowed_orders:
+            raise ValueError(
+                f"layer {type(layer).__name__} does not allow "
+                f"{df.order.value} execution (paper §II-A)"
+            )
+        result.per_layer.append(run_gnn_dataflow(wl, df, hw, hint=hint))
+    return result

@@ -1,0 +1,53 @@
+"""NumPy reference forward passes (functional oracles for GNN models).
+
+Used by tests to confirm that the tiled functional executor
+(:mod:`repro.engine.functional`) computes the same values as plain linear
+algebra, layer by layer, for any legal mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.taxonomy import PhaseOrder
+from ..graphs.csr import CSRGraph
+
+__all__ = ["gcn_layer_reference", "gcn_model_reference"]
+
+
+def gcn_layer_reference(
+    graph: CSRGraph,
+    x: np.ndarray,
+    w: np.ndarray,
+    *,
+    order: PhaseOrder = PhaseOrder.AC,
+    activation: bool = True,
+) -> np.ndarray:
+    """One GCN layer, computed in the requested phase order.
+
+    AC and CA produce identical values (associativity); computing both ways
+    and asserting equality is itself a useful test.
+    """
+    a = graph.to_scipy()
+    if order is PhaseOrder.AC:
+        out = (a @ x) @ w
+    else:
+        out = a @ (x @ w)
+    return np.maximum(out, 0.0) if activation else out
+
+
+def gcn_model_reference(
+    graph: CSRGraph,
+    x: np.ndarray,
+    weights: list[np.ndarray],
+    *,
+    activation_last: bool = False,
+) -> np.ndarray:
+    """A GCN stack with ReLU between layers."""
+    h = x
+    for i, w in enumerate(weights):
+        last = i == len(weights) - 1
+        h = gcn_layer_reference(
+            graph, h, w, activation=(not last) or activation_last
+        )
+    return h

@@ -1,0 +1,31 @@
+"""Graph substrate: CSR adjacency, synthetic datasets, degree statistics."""
+
+from .csr import CSRGraph, batch_graphs
+from .datasets import DATASETS, Dataset, DatasetSpec, dataset_names, load_dataset
+from .generators import (
+    clique_union_graph,
+    erdos_renyi_graph,
+    hub_thread_graph,
+    molecular_graph,
+    preferential_attachment_graph,
+)
+from .stats import GraphStats, classify_category, graph_stats, lockstep_inflation
+
+__all__ = [
+    "CSRGraph",
+    "batch_graphs",
+    "DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "dataset_names",
+    "load_dataset",
+    "molecular_graph",
+    "clique_union_graph",
+    "hub_thread_graph",
+    "preferential_attachment_graph",
+    "erdos_renyi_graph",
+    "GraphStats",
+    "graph_stats",
+    "lockstep_inflation",
+    "classify_category",
+]

@@ -1,0 +1,125 @@
+"""Graph file I/O: edge lists and a compact NPZ container.
+
+Lets users bring their own graphs to the cost model (the real TU/Planetoid
+files, traces, anything expressible as an edge list) and archive
+synthesized ones.  Formats:
+
+- **edge list** (``.txt``/``.edges``): one ``src dst [weight]`` pair per
+  line; ``#`` comments; whitespace separated.  The de-facto SNAP format.
+- **NPZ** (``.npz``): the CSR arrays verbatim — loss-free and fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["load_edge_list", "save_edge_list", "load_npz", "save_npz"]
+
+
+def load_edge_list(
+    path: str | Path,
+    *,
+    num_vertices: int | None = None,
+    comment: str = "#",
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a ``src dst [weight]`` text file into a CSR graph.
+
+    ``num_vertices`` defaults to ``max(vertex id) + 1``.  Weighted rows
+    (three columns) produce a weighted graph; mixing arities is an error.
+    """
+    p = Path(path)
+    srcs: list[int] = []
+    dsts: list[int] = []
+    weights: list[float] = []
+    arity: int | None = None
+    with p.open("r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise ValueError(f"{p}:{lineno}: expected 2 or 3 columns")
+            if arity is None:
+                arity = len(parts)
+            elif arity != len(parts):
+                raise ValueError(f"{p}:{lineno}: inconsistent column count")
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            if len(parts) == 3:
+                weights.append(float(parts[2]))
+    if not srcs:
+        n = num_vertices if num_vertices is not None else 0
+        return CSRGraph(
+            np.zeros(n + 1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            n,
+            name=name or p.stem,
+        )
+    n = (
+        num_vertices
+        if num_vertices is not None
+        else int(max(max(srcs), max(dsts))) + 1
+    )
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    counts = np.bincount(src, minlength=n)
+    vptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=vptr[1:])
+    vals = None
+    if weights:
+        vals = np.asarray(weights, dtype=np.float64)[order]
+    return CSRGraph(vptr, dst, n, edge_val=vals, name=name or p.stem)
+
+
+def save_edge_list(graph: CSRGraph, path: str | Path) -> Path:
+    """Write the graph as a ``src dst [weight]`` text file."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    with p.open("w", encoding="utf-8") as fh:
+        fh.write(f"# {graph.name or 'graph'}: {graph.num_vertices} vertices, "
+                 f"{graph.num_edges} edges\n")
+        for v in range(graph.num_vertices):
+            nbrs = graph.neighbors(v)
+            vals = graph.values(v) if graph.edge_val is not None else None
+            for i, u in enumerate(nbrs):
+                if vals is None:
+                    fh.write(f"{v} {int(u)}\n")
+                else:
+                    fh.write(f"{v} {int(u)} {vals[i]:.17g}\n")
+    return p
+
+
+def save_npz(graph: CSRGraph, path: str | Path) -> Path:
+    """Archive the CSR arrays loss-free."""
+    p = Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "vertex_ptr": graph.vertex_ptr,
+        "edge_dst": graph.edge_dst,
+        "num_cols": np.asarray(graph.num_cols, dtype=np.int64),
+        "name": np.asarray(graph.name),
+    }
+    if graph.edge_val is not None:
+        payload["edge_val"] = graph.edge_val
+    np.savez_compressed(p, **payload)
+    return p
+
+
+def load_npz(path: str | Path) -> CSRGraph:
+    """Load a graph archived by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return CSRGraph(
+            data["vertex_ptr"],
+            data["edge_dst"],
+            int(data["num_cols"]),
+            edge_val=data["edge_val"] if "edge_val" in data else None,
+            name=str(data["name"]),
+        )

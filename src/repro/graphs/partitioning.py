@@ -1,0 +1,96 @@
+"""Graph slicing: running graphs that exceed on-chip capacity (§V-A2).
+
+The paper's methodology notes *"The large graph sets are generally sliced
+to fit on-chip [HyGCN, EnGN]"*.  This module implements the standard
+row-wise slicing: the vertex set is cut into contiguous ranges; each
+slice aggregates its own rows (reading neighbor features from the full
+feature matrix) and combines them independently.  Costs compose additively
+across slices, plus the DRAM traffic of streaming each slice's operands in
+and results out when the global buffer only holds one slice at a time.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = ["GraphSlice", "slice_rows", "slice_count_for_budget"]
+
+
+@dataclass(frozen=True)
+class GraphSlice:
+    """One row-range slice of a larger adjacency.
+
+    ``graph`` holds rows ``row_lo:row_hi`` of the parent with the full
+    column space (neighbor IDs are global, so the dense operand is indexed
+    unchanged).  ``halo_columns`` counts the distinct neighbor rows the
+    slice gathers — the working set it pulls from off-slice storage.
+    """
+
+    graph: CSRGraph
+    row_lo: int
+    row_hi: int
+    halo_columns: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_hi - self.row_lo
+
+    def operand_elements(self, feat: int) -> int:
+        """Elements streamed on-chip to process this slice: gathered
+        neighbor rows plus the slice's own output rows."""
+        return self.halo_columns * feat + self.num_rows * feat
+
+
+def slice_rows(graph: CSRGraph, num_slices: int) -> list[GraphSlice]:
+    """Cut the adjacency into ``num_slices`` contiguous row ranges."""
+    if num_slices < 1:
+        raise ValueError("num_slices must be >= 1")
+    n = graph.num_vertices
+    num_slices = min(num_slices, max(1, n))
+    bounds = [round(i * n / num_slices) for i in range(num_slices + 1)]
+    out: list[GraphSlice] = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        if hi <= lo:
+            continue
+        e_lo, e_hi = int(graph.vertex_ptr[lo]), int(graph.vertex_ptr[hi])
+        vptr = (graph.vertex_ptr[lo : hi + 1] - e_lo).astype(np.int64)
+        dst = graph.edge_dst[e_lo:e_hi]
+        vals = graph.edge_val[e_lo:e_hi] if graph.edge_val is not None else None
+        sub = CSRGraph(
+            vptr, dst, graph.num_cols, edge_val=vals, name=f"{graph.name}[{lo}:{hi}]"
+        )
+        halo = int(np.unique(dst).size) if dst.size else 0
+        out.append(GraphSlice(graph=sub, row_lo=lo, row_hi=hi, halo_columns=halo))
+    return out
+
+
+def slice_count_for_budget(
+    graph: CSRGraph,
+    feat: int,
+    gb_elements: int,
+    *,
+    overhead_fraction: float = 0.5,
+) -> int:
+    """Slices needed so one slice's working set fits the global buffer.
+
+    ``overhead_fraction`` reserves buffer space for weights, outputs, and
+    double buffering; the remainder must hold the slice's gathered feature
+    rows and intermediate rows.  A conservative uniform estimate (halo ~=
+    slice edges) is refined by re-measuring the actual slicing.
+    """
+    if gb_elements < 1:
+        raise ValueError("gb_elements must be >= 1")
+    budget = int(gb_elements * (1.0 - overhead_fraction))
+    if budget < 1:
+        raise ValueError("overhead_fraction leaves no budget")
+    for k in (2**i for i in range(0, 16)):
+        slices = slice_rows(graph, k)
+        worst = max(s.operand_elements(feat) for s in slices)
+        if worst <= budget:
+            return len(slices)
+    return len(slice_rows(graph, 2**15))

@@ -1,0 +1,116 @@
+"""Tests for reports, sweeps, and ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.plotting import ascii_bars, grouped_bars
+from repro.analysis.report import (
+    energy_breakdown_row,
+    format_table,
+    gb_breakdown_row,
+    normalized_runtime_row,
+)
+from repro.analysis.sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
+from repro.arch.config import AcceleratorConfig
+from repro.core.configs import paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+from repro.core.workload import GNNWorkload
+
+
+@pytest.fixture(scope="module")
+def results(request):
+    import numpy as np
+
+    from repro.graphs.generators import erdos_renyi_graph
+
+    g = erdos_renyi_graph(np.random.default_rng(0), 60, 300)
+    wl = GNNWorkload(g, in_features=24, out_features=4, name="er60")
+    hw = AcceleratorConfig(num_pes=64)
+    out = {}
+    for name in ("Seq1", "SP1", "PP1"):
+        df, hint = paper_dataflow(name)
+        out[name] = run_gnn_dataflow(wl, df, hw, hint=hint)
+    return wl, hw, out
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        t = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = t.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        t = format_table(["x"], [])
+        assert "x" in t
+
+
+class TestRows:
+    def test_normalized_runtime(self, results):
+        _, _, res = results
+        row = normalized_runtime_row("er60", res, baseline="Seq1")
+        assert row.values["Seq1"] == pytest.approx(1.0)
+        assert all(v > 0 for v in row.values.values())
+
+    def test_missing_baseline(self, results):
+        _, _, res = results
+        with pytest.raises(KeyError):
+            normalized_runtime_row("er60", res, baseline="nope")
+
+    def test_energy_breakdown_sums(self, results):
+        _, _, res = results
+        row = energy_breakdown_row(res["Seq1"])
+        parts = sum(v for k, v in row.items() if k != "total")
+        assert row["total"] == pytest.approx(parts)
+
+    def test_gb_breakdown_labels(self, results):
+        _, _, res = results
+        row = gb_breakdown_row(res["Seq1"])
+        assert set(row) == {"Adj", "Inp", "Int", "Wt", "Op", "Psum"}
+        assert row["Int"] > 0  # Seq stages the intermediate in GB
+
+    def test_gb_breakdown_pp_has_no_int(self, results):
+        _, _, res = results
+        row = gb_breakdown_row(res["PP1"])
+        assert row["Int"] == 0  # moved to the ping-pong buffer
+
+
+class TestSweeps:
+    def test_pe_allocation_rows(self, results):
+        wl, hw, _ = results
+        rows = sweep_pe_allocation(wl, hw, config_names=("PP1",), splits=(0.25, 0.5, 0.75))
+        assert len(rows) == 3
+        assert {r["alloc"] for r in rows} == {"25-75", "50-50", "75-25"}
+        assert all(r["cycles"] > 0 for r in rows)
+
+    def test_num_pes_rows(self, results):
+        wl, _, _ = results
+        rows = sweep_num_pes(wl, pe_counts=(64, 128), config_names=("Seq1", "SP1"))
+        assert len(rows) == 4
+        by_pes = {r["num_pes"] for r in rows}
+        assert by_pes == {64, 128}
+        base_rows = [r for r in rows if r["config"] == "Seq1"]
+        assert all(r["normalized"] == pytest.approx(1.0) for r in base_rows)
+
+    def test_bandwidth_rows_monotone(self, results):
+        wl, _, _ = results
+        rows = sweep_bandwidth(
+            wl, bandwidths=(64, 16, 4), config_names=("Seq1",), num_pes=64
+        )
+        cycles = [r["cycles"] for r in rows]
+        assert cycles == sorted(cycles)  # lower bw never faster
+
+
+class TestAsciiCharts:
+    def test_bars_render(self):
+        s = ascii_bars({"a": 1.0, "bb": 2.0}, width=10, title="t")
+        assert "t" in s and "##########" in s
+
+    def test_bars_empty(self):
+        assert ascii_bars({}, title="empty") == "empty"
+
+    def test_grouped(self):
+        s = grouped_bars({"g1": {"a": 1.0}, "g2": {"b": 3.0}}, width=9)
+        assert "[g1]" in s and "[g2]" in s

@@ -1,0 +1,195 @@
+"""Tests for the accelerator substrate: config, energy, buffers, NoC, DRAM."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.buffer import GlobalBuffer, PingPongBuffer
+from repro.arch.config import AcceleratorConfig
+from repro.arch.energy import EnergyBreakdown, EnergyModel
+from repro.arch.memory import DramModel
+from repro.arch.noc import (
+    collection_cycles,
+    distribution_cycles,
+    step_cycles,
+    step_cycles_array,
+)
+from repro.arch.pe import ProcessingElement, RegisterFile
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        """§V-A3: 512 PEs, 64 B RF, sufficient bandwidth."""
+        hw = AcceleratorConfig()
+        assert hw.num_pes == 512
+        assert hw.rf_bytes == 64
+        assert hw.rf_elements == 16
+        assert hw.effective_dist_bw == 512
+        assert hw.effective_red_bw == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(num_pes=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(rf_bytes=2, bytes_per_element=4)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(dist_bw=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(pe_accumulators=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                supports_spatial_reduction=False,
+                supports_temporal_reduction=False,
+            )
+
+    def test_partition_scales_bandwidth(self):
+        """§V-C3: PP partitions share the GB bandwidth proportionally."""
+        hw = AcceleratorConfig(num_pes=512, dist_bw=256, red_bw=128)
+        half = hw.partition(256)
+        assert half.num_pes == 256
+        assert half.dist_bw == 128
+        assert half.red_bw == 64
+
+    def test_partition_sufficient_stays_sufficient(self):
+        hw = AcceleratorConfig(num_pes=512)
+        part = hw.partition(128)
+        assert part.dist_bw is None
+        assert part.effective_dist_bw == 128
+
+    def test_partition_bounds(self):
+        hw = AcceleratorConfig(num_pes=512)
+        with pytest.raises(ValueError):
+            hw.partition(0)
+        with pytest.raises(ValueError):
+            hw.partition(513)
+
+    def test_gb_fits(self):
+        hw = AcceleratorConfig(gb_bytes=1024, bytes_per_element=4)
+        assert hw.gb_fits(256)
+        assert not hw.gb_fits(257)
+        assert AcceleratorConfig().gb_fits(10**9)  # sufficient GB
+
+
+class TestEnergyModel:
+    def test_paper_constants(self):
+        """§V-B2: GB 1.046 pJ (1 MB bank), RF 0.053 pJ."""
+        e = EnergyModel()
+        assert e.gb_pj == pytest.approx(1.046)
+        assert e.rf_pj == pytest.approx(0.053)
+
+    def test_buffer_scaling_sqrt(self):
+        e = EnergyModel()
+        quarter = e.buffer_pj((1 << 20) // 4)
+        assert quarter == pytest.approx(1.046 * 0.5)
+
+    def test_buffer_clamps(self):
+        e = EnergyModel()
+        assert e.buffer_pj(0) == e.rf_pj
+        assert e.buffer_pj(1) >= e.rf_pj
+        assert e.buffer_pj(1 << 30) == e.gb_pj  # never above GB
+
+    def test_breakdown_total_and_add(self):
+        a = EnergyBreakdown(gb_read_pj=1.0, rf_read_pj=2.0)
+        b = EnergyBreakdown(gb_write_pj=3.0, dram_pj=4.0)
+        c = a + b
+        assert c.total_pj == pytest.approx(10.0)
+        assert c.as_dict()["total_pj"] == pytest.approx(10.0)
+
+
+class TestBuffers:
+    def test_global_buffer_accounting(self):
+        gb = GlobalBuffer(capacity_bytes=64, bytes_per_element=4)
+        assert gb.allocate(10)
+        assert not gb.allocate(7)  # 17 * 4 > 64
+        assert gb.allocate(6)
+        assert gb.high_water_elements == 16
+        gb.release(10)
+        assert gb.occupied_elements == 6
+
+    def test_global_buffer_release_guard(self):
+        gb = GlobalBuffer(capacity_bytes=64)
+        gb.allocate(4)
+        with pytest.raises(ValueError):
+            gb.release(5)
+
+    def test_unbounded_buffer(self):
+        gb = GlobalBuffer()
+        assert gb.allocate(10**9)
+
+    def test_pingpong_capacity(self):
+        """Table III: PP intermediate buffering = 2 x Pel."""
+        pp = PingPongBuffer(granule_elements=100, bytes_per_element=4)
+        assert pp.capacity_elements == 200
+        assert pp.capacity_bytes == 800
+        assert pp.producer_lead_limit() == 2
+
+    def test_pingpong_validation(self):
+        with pytest.raises(ValueError):
+            PingPongBuffer(granule_elements=-1)
+        with pytest.raises(ValueError):
+            PingPongBuffer(granule_elements=1, depth=0)
+
+
+class TestNoC:
+    def test_distribution_cycles(self):
+        assert distribution_cycles(0, 8) == 0
+        assert distribution_cycles(8, 8) == 1
+        assert distribution_cycles(9, 8) == 2
+
+    def test_collection_cycles(self):
+        assert collection_cycles(16, 4) == 4
+
+    def test_bw_validation(self):
+        with pytest.raises(ValueError):
+            distribution_cycles(1, 0)
+        with pytest.raises(ValueError):
+            collection_cycles(1, 0)
+
+    def test_step_cycles_max_semantics(self):
+        assert step_cycles(32, 4, dist_bw=8, red_bw=4) == 4
+        assert step_cycles(4, 32, dist_bw=8, red_bw=4) == 8
+        assert step_cycles(0, 0, dist_bw=8, red_bw=4) == 1  # compute beat
+
+    def test_step_cycles_array_matches_scalar(self):
+        s = np.array([32, 4, 0])
+        o = np.array([4, 32, 0])
+        arr = step_cycles_array(s, o, dist_bw=8, red_bw=4)
+        ref = [step_cycles(a, b, 8, 4) for a, b in zip(s, o)]
+        assert arr.tolist() == ref
+
+
+class TestPE:
+    def test_register_file(self):
+        rf = RegisterFile(16)
+        assert rf.can_hold(16)
+        assert not rf.can_hold(17)
+        with pytest.raises(ValueError):
+            RegisterFile(0)
+
+    def test_pe_psum_residency(self):
+        pe = ProcessingElement(RegisterFile(16))
+        assert pe.psum_resident(15, stationary_elems=1)
+        assert not pe.psum_resident(16, stationary_elems=1)
+
+
+class TestDram:
+    def test_no_spill_when_fits(self):
+        r = DramModel().spill(1000, 2000)
+        assert not r.spilled and r.transfer_cycles == 0
+
+    def test_no_spill_when_unbounded(self):
+        r = DramModel().spill(10**9, None)
+        assert not r.spilled
+
+    def test_spill_round_trip(self):
+        r = DramModel(bw_elements_per_cycle=16).spill(1000, 200)
+        assert r.spilled_elements == 800
+        assert r.dram_reads == 800 and r.dram_writes == 800
+        assert r.transfer_cycles == math.ceil(1600 / 16)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().spill(-1, 0)

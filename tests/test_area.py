@@ -1,0 +1,68 @@
+"""Tests for the first-order area model (§V-D flexibility pricing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.area import AreaModel, flexible_area, rigid_two_engine_area
+from repro.arch.config import AcceleratorConfig
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=512)
+
+
+class TestFlexible:
+    def test_components_positive(self, hw):
+        rep = flexible_area(hw)
+        for v in rep.as_dict().values():
+            assert v > 0
+
+    def test_total_is_sum(self, hw):
+        rep = flexible_area(hw)
+        assert rep.total == pytest.approx(sum(
+            v for k, v in rep.as_dict().items() if k != "total"
+        ))
+
+    def test_scales_with_pes(self):
+        small = flexible_area(AcceleratorConfig(num_pes=128))
+        big = flexible_area(AcceleratorConfig(num_pes=512))
+        assert big.pes == 4 * small.pes
+        assert big.total > small.total
+
+
+class TestRigid:
+    def test_dedicated_buffer_costs_extra(self, hw):
+        """§V-D quantified: the rigid design's inter-engine buffer is area
+        the flexible design does not pay."""
+        flex = flexible_area(hw)
+        rigid = rigid_two_engine_area(hw)
+        assert rigid.buffers > flex.buffers
+
+    def test_configurability_is_cheap(self, hw):
+        """The flexible substrate's programmability overhead is small
+        relative to the rigid design's dedicated buffer."""
+        flex = flexible_area(hw)
+        rigid = rigid_two_engine_area(hw)
+        extra_buffer = rigid.buffers - flex.buffers
+        assert flex.configurability < extra_buffer
+
+    def test_pe_count_conserved(self, hw):
+        rigid = rigid_two_engine_area(hw, split=0.25)
+        assert rigid.pes == flexible_area(hw).pes
+
+    def test_split_validation(self, hw):
+        with pytest.raises(ValueError):
+            rigid_two_engine_area(hw, split=0.0)
+
+    def test_split_trees_use_fewer_adders(self, hw):
+        """Two half trees have fewer internal nodes than one full tree."""
+        flex = flexible_area(hw)
+        rigid = rigid_two_engine_area(hw)
+        assert rigid.reduction_network < flex.reduction_network
+
+    def test_custom_model(self, hw):
+        model = AreaModel(mac=2.0)
+        rep = flexible_area(hw, model=model)
+        assert rep.pes == 2.0 * hw.num_pes

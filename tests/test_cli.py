@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "nope", "--dataflow", "SP1"])
+
+    def test_commands_registered(self):
+        p = build_parser()
+        for cmd in ("run", "sweep", "search", "enumerate", "datasets"):
+            assert p.parse_args([cmd] + (
+                ["--dataset", "mutag", "--dataflow", "SP1"] if cmd == "run"
+                else ["--dataset", "mutag"] if cmd == "search" else []
+            )).command == cmd
+
+
+class TestEnumerate:
+    def test_text(self, capsys):
+        out = run_cli(capsys, "enumerate")
+        assert "6656" in out
+
+    def test_json(self, capsys):
+        out = run_cli(capsys, "enumerate", "--json")
+        data = json.loads(out)
+        assert data["total"] == 6656
+
+
+class TestRun:
+    def test_table_v_name(self, capsys):
+        out = run_cli(capsys, "run", "--dataset", "mutag", "--dataflow", "SP2")
+        assert "cycles" in out and "energy" in out
+
+    def test_notation(self, capsys):
+        out = run_cli(
+            capsys, "run", "--dataset", "mutag",
+            "--dataflow", "PP_AC(VtFsNt, VsGsFt)",
+        )
+        assert "granularity: row" in out
+
+    def test_json_payload(self, capsys):
+        out = run_cli(
+            capsys, "run", "--dataset", "mutag", "--dataflow", "Seq1", "--json"
+        )
+        data = json.loads(out)
+        assert data["cycles"] > 0
+        assert set(data["gb_breakdown"]) == {"Adj", "Inp", "Int", "Wt", "Op", "Psum"}
+
+    def test_hw_overrides(self, capsys):
+        small = json.loads(
+            run_cli(
+                capsys, "run", "--dataset", "mutag", "--dataflow", "Seq1",
+                "--json", "--pes", "64",
+            )
+        )
+        big = json.loads(
+            run_cli(
+                capsys, "run", "--dataset", "mutag", "--dataflow", "Seq1",
+                "--json", "--pes", "512",
+            )
+        )
+        assert small["cycles"] > big["cycles"]
+
+    def test_bandwidth_override(self, capsys):
+        slow = json.loads(
+            run_cli(
+                capsys, "run", "--dataset", "mutag", "--dataflow", "Seq1",
+                "--json", "--bandwidth", "32",
+            )
+        )
+        fast = json.loads(
+            run_cli(
+                capsys, "run", "--dataset", "mutag", "--dataflow", "Seq1", "--json",
+            )
+        )
+        assert slow["cycles"] >= fast["cycles"]
+
+
+class TestSweep:
+    def test_single_dataset_normalized(self, capsys):
+        out = run_cli(capsys, "sweep", "--dataset", "mutag", "--normalize")
+        assert "Seq1" in out and "1.00" in out
+
+    def test_json(self, capsys):
+        out = run_cli(capsys, "sweep", "--dataset", "mutag", "--json")
+        data = json.loads(out)
+        assert "mutag" in data and "SP2" in data["mutag"]
+
+
+class TestSearch:
+    def test_search_runs(self, capsys):
+        out = run_cli(
+            capsys, "search", "--dataset", "mutag", "--budget", "30",
+            "--pes", "64",
+        )
+        assert "best found" in out
+
+    def test_search_json(self, capsys):
+        out = run_cli(
+            capsys, "search", "--dataset", "mutag", "--budget", "30",
+            "--pes", "64", "--json",
+        )
+        data = json.loads(out)
+        assert data["evaluated"] <= 30
+        assert data["gain"] > 0
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        out = run_cli(capsys, "datasets")
+        for name in ("mutag", "collab", "cora"):
+            assert name in out
+
+    def test_json(self, capsys):
+        out = run_cli(capsys, "datasets", "--json")
+        data = json.loads(out)
+        assert data["citeseer"]["features"] == 3703
+
+
+class TestStudy:
+    def test_order_study(self, capsys):
+        out = run_cli(capsys, "study", "order")
+        assert "winner" in out and "CA" in out
+
+    def test_study_json(self, capsys):
+        out = run_cli(capsys, "study", "order", "--json")
+        data = json.loads(out)
+        assert all("x" in row for row in data)

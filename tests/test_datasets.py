@@ -1,0 +1,127 @@
+"""Tests for the Table IV dataset registry and synthesis calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import DATASETS, dataset_names, load_dataset
+from repro.graphs.stats import graph_stats
+
+
+class TestRegistry:
+    def test_table_iv_names(self):
+        assert dataset_names() == [
+            "mutag",
+            "proteins",
+            "imdb-bin",
+            "collab",
+            "reddit-bin",
+            "citeseer",
+            "cora",
+        ]
+
+    def test_categories(self):
+        assert DATASETS["mutag"].category == "LEF"
+        assert DATASETS["proteins"].category == "LEF"
+        assert DATASETS["imdb-bin"].category == "HE"
+        assert DATASETS["collab"].category == "HE"
+        assert DATASETS["reddit-bin"].category == "HF"
+        assert DATASETS["citeseer"].category == "HF"
+        assert DATASETS["cora"].category == "HF"
+
+    def test_feature_dims_match_paper(self):
+        assert DATASETS["mutag"].num_features == 28
+        assert DATASETS["proteins"].num_features == 29
+        assert DATASETS["imdb-bin"].num_features == 136
+        assert DATASETS["collab"].num_features == 492
+        assert DATASETS["reddit-bin"].num_features == 3782
+        assert DATASETS["citeseer"].num_features == 3703
+        assert DATASETS["cora"].num_features == 1433
+
+    def test_batch_sizes_match_paper(self):
+        """§V-A2: one batch of 64 graphs (32 for Reddit-bin)."""
+        for name, spec in DATASETS.items():
+            if spec.task == "graph":
+                assert spec.batch_size == (32 if name == "reddit-bin" else 64)
+            else:
+                assert spec.batch_size == 1
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("pubmed")
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_vertex_count_tracks_table_iv(self, name):
+        ds = load_dataset(name)
+        spec = ds.spec
+        expected = spec.avg_nodes * spec.batch_size
+        assert abs(ds.graph.num_vertices - expected) <= 0.15 * expected
+
+    @pytest.mark.parametrize("name", ["citeseer", "cora"])
+    def test_node_dataset_edges(self, name):
+        ds = load_dataset(name)
+        spec = ds.spec
+        assert abs(ds.graph.num_edges - spec.avg_edges) <= 0.1 * spec.avg_edges
+
+    @pytest.mark.parametrize("name", ["mutag", "imdb-bin", "collab"])
+    def test_graph_dataset_edges(self, name):
+        ds = load_dataset(name)
+        spec = ds.spec
+        target = 2 * spec.avg_edges * spec.batch_size  # undirected -> nnz
+        assert abs(ds.graph.num_edges - target) <= 0.35 * target
+
+    def test_determinism(self):
+        a = load_dataset("mutag", seed=9)
+        b = load_dataset("mutag", seed=9)
+        np.testing.assert_array_equal(a.graph.edge_dst, b.graph.edge_dst)
+
+    def test_seeds_differ(self):
+        a = load_dataset("mutag", seed=1)
+        b = load_dataset("mutag", seed=2)
+        assert a.graph.num_edges != b.graph.num_edges or not np.array_equal(
+            a.graph.edge_dst, b.graph.edge_dst
+        )
+
+    def test_category_degree_shapes(self):
+        """HE must be dense, HF heavy-tailed, LEF uniform — the structure
+        the paper's dataflow conclusions depend on."""
+        lef = graph_stats(load_dataset("mutag").graph)
+        he = graph_stats(load_dataset("imdb-bin").graph)
+        hf = graph_stats(load_dataset("citeseer").graph)
+        assert he.avg_degree > 2 * lef.avg_degree
+        assert hf.max_degree > 10 * hf.avg_degree  # evil rows
+        assert lef.max_degree <= 3 * lef.avg_degree  # uniform
+
+    def test_batch_size_override(self):
+        ds = load_dataset("mutag", batch_size=8)
+        assert ds.graph.num_vertices < load_dataset("mutag").graph.num_vertices
+
+    def test_hidden_override(self):
+        ds = load_dataset("citeseer", hidden=32)
+        assert ds.hidden == 32
+
+    def test_default_hidden_is_class_count(self):
+        assert load_dataset("mutag").hidden == 2
+        assert load_dataset("collab").hidden == 3
+        assert load_dataset("citeseer").hidden == 6
+        assert load_dataset("cora").hidden == 7
+
+    def test_gcn_normalize(self):
+        plain = load_dataset("citeseer")
+        norm = load_dataset("citeseer", gcn_normalize=True)
+        # Self loops add ~V edges.
+        assert norm.graph.num_edges >= plain.graph.num_edges
+        assert norm.graph.edge_val is not None
+
+    def test_features_lazy_and_shaped(self):
+        ds = load_dataset("mutag")
+        x = ds.make_features()
+        assert x.shape == (ds.graph.num_vertices, ds.num_features)
+
+    def test_summary_keys(self):
+        s = load_dataset("cora").summary()
+        for key in ("name", "category", "vertices", "edges", "features", "hidden"):
+            assert key in s

@@ -1,0 +1,112 @@
+"""Tests for the dataflow describer and its CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.describe import describe_dataflow, describe_intra
+from repro.core.taxonomy import (
+    Dataflow,
+    IntraDataflow,
+    Phase,
+    SPVariant,
+    parse_dataflow,
+)
+
+
+class TestDescribeIntra:
+    def test_spatial_and_temporal_named(self):
+        intra = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        text = "\n".join(describe_intra(intra))
+        assert "input features (T_F > 1)" in text
+        assert "vertices" in text and "neighbors" in text
+
+    def test_innermost_temporal_reduction(self):
+        intra = IntraDataflow.parse("VsGsFt", Phase.COMBINATION)
+        text = "\n".join(describe_intra(intra))
+        assert "MAC register" in text
+
+    def test_spatial_reduction(self):
+        intra = IntraDataflow.parse("VtFtNs", Phase.AGGREGATION)
+        text = "\n".join(describe_intra(intra))
+        assert "adder tree" in text
+
+    def test_interrupted_reduction_warns(self):
+        intra = IntraDataflow.parse("VsFtGt", Phase.COMBINATION)
+        text = "\n".join(describe_intra(intra))
+        assert "spills" in text
+
+    def test_wildcards_mentioned(self):
+        intra = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        text = "\n".join(describe_intra(intra))
+        assert "tile chooser" in text
+
+
+class TestDescribeDataflow:
+    def test_pp_mentions_granularity(self):
+        text = describe_dataflow(parse_dataflow("PP_AC(VtFsNt, VsGsFt)"))
+        assert "row" in text and "ping-pong" in text
+
+    def test_ca_explains_binding(self):
+        text = describe_dataflow(parse_dataflow("Seq_CA(NtFsVt, VsGsFt)"))
+        assert "N x F" in text
+
+    def test_sp_optimized_legal(self):
+        df = parse_dataflow(
+            "SP_AC(VsFsNt, VsFsGt)", sp_variant=SPVariant.OPTIMIZED
+        )
+        text = describe_dataflow(df)
+        assert "register files" in text and "ILLEGAL" not in text
+
+    def test_sp_optimized_illegal_explained(self):
+        df = parse_dataflow(
+            "SP_AC(VsNtFs, VsGsFt)", sp_variant=SPVariant.OPTIMIZED
+        )
+        text = describe_dataflow(df)
+        assert "ILLEGAL" in text
+
+    def test_incompatible_pair_noted(self):
+        df = parse_dataflow("PP_AC(FsVtNt, VsGsFt)")
+        text = describe_dataflow(df)
+        assert "not pipeline-compatible" in text
+
+    def test_named_dataflow_shows_name(self):
+        df = parse_dataflow("Seq_AC(VtFsNt, VsGsFt)").with_name("Seq1")
+        assert "Seq1" in describe_dataflow(df)
+
+
+class TestCli:
+    def test_describe_notation(self, capsys):
+        assert main(["describe", "PP_AC(VtFsNt, VsGsFt)"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipelining granularity" in out
+
+    def test_describe_table_v_name(self, capsys):
+        assert main(["describe", "SPhighV"]) == 0
+        out = capsys.readouterr().out
+        assert "SP" in out
+
+
+class TestSerialization:
+    def test_to_from_dict_roundtrip(self):
+        df = parse_dataflow(
+            "PP_AC(VtFsNt, VsGsFt)", pe_split=0.25, name="hygcn"
+        )
+        again = Dataflow.from_dict(df.to_dict())
+        assert str(again) == str(df)
+        assert again.pe_split == 0.25
+        assert again.name == "hygcn"
+
+    def test_sp_variant_preserved(self):
+        df = parse_dataflow(
+            "SP_AC(VsFsNt, VsFsGt)", sp_variant=SPVariant.OPTIMIZED
+        )
+        again = Dataflow.from_dict(df.to_dict())
+        assert again.sp_variant is SPVariant.OPTIMIZED
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        df = parse_dataflow("Seq_AC(VtFsNt, VsGsFt)")
+        assert json.loads(json.dumps(df.to_dict())) == df.to_dict()

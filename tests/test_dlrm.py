@@ -1,0 +1,114 @@
+"""Tests for the DLRM multiphase extension (paper §VI generalization)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.extensions.dlrm import DLRMWorkload, make_dlrm_workload, run_dlrm
+from repro.graphs.csr import CSRGraph
+
+
+@pytest.fixture
+def wl(rng):
+    return make_dlrm_workload(
+        rng, batch=64, table_rows=2000, multi_hot=20,
+        emb_dim=32, dense_features=64, top_hidden=8,
+    )
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=128)
+
+
+class TestWorkload:
+    def test_multi_hot_structure(self, wl):
+        assert wl.batch == 64
+        assert wl.table_rows == 2000
+        assert (wl.lookups.degrees == 20).all()  # exact multi-hot count
+
+    def test_no_duplicate_lookups_per_request(self, wl):
+        for v in range(wl.batch):
+            nbrs = wl.lookups.neighbors(v)
+            assert len(np.unique(nbrs)) == len(nbrs)
+
+    def test_popularity_skew(self, rng):
+        wl = make_dlrm_workload(
+            rng, batch=512, table_rows=1000, multi_hot=10,
+        )
+        hits = np.bincount(wl.lookups.edge_dst, minlength=1000)
+        # Zipf-ish: the hottest rows are hit far more than the median.
+        assert hits.max() > 5 * max(1, np.median(hits))
+
+    def test_concat_width(self, wl):
+        assert wl.concat_width == 2 * wl.emb_dim
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            make_dlrm_workload(rng, batch=0)
+        with pytest.raises(ValueError):
+            DLRMWorkload(
+                lookups=CSRGraph(np.array([0]), np.array([], dtype=np.int64), 1),
+                emb_dim=0,
+                dense_features=1,
+                top_hidden=1,
+            )
+
+    def test_deterministic(self):
+        a = make_dlrm_workload(np.random.default_rng(3), batch=16, table_rows=100, multi_hot=5)
+        b = make_dlrm_workload(np.random.default_rng(3), batch=16, table_rows=100, multi_hot=5)
+        np.testing.assert_array_equal(a.lookups.edge_dst, b.lookups.edge_dst)
+
+
+class TestRun:
+    def test_sequential_is_sum(self, wl, hw):
+        r = run_dlrm(wl, hw, parallel=False)
+        assert r.total_cycles == (
+            r.embedding.cycles + r.bottom_mlp.cycles + r.top_mlp.cycles
+        )
+
+    def test_parallel_is_max_plus_top(self, wl, hw):
+        r = run_dlrm(wl, hw, parallel=True, split=0.5)
+        assert r.total_cycles == (
+            max(r.embedding.cycles, r.bottom_mlp.cycles) + r.top_mlp.cycles
+        )
+
+    def test_split_changes_balance(self, wl, hw):
+        lo = run_dlrm(wl, hw, parallel=True, split=0.25)
+        hi = run_dlrm(wl, hw, parallel=True, split=0.75)
+        assert hi.embedding.cycles <= lo.embedding.cycles
+        assert hi.bottom_mlp.cycles >= lo.bottom_mlp.cycles
+
+    def test_split_validation(self, wl, hw):
+        with pytest.raises(ValueError):
+            run_dlrm(wl, hw, split=0.0)
+        with pytest.raises(ValueError):
+            run_dlrm(wl, hw, split=1.5)
+
+    def test_energy_positive(self, wl, hw):
+        r = run_dlrm(wl, hw)
+        assert r.energy.total_pj > 0
+
+    def test_summary_keys(self, wl, hw):
+        s = run_dlrm(wl, hw).summary()
+        for k in ("strategy", "cycles", "energy_pj", "top_cycles"):
+            assert k in s
+
+    def test_parallel_beats_sequential_when_balanced(self, rng, hw):
+        """When the SpMM and bottom MLP are comparable, overlap wins."""
+        wl = make_dlrm_workload(
+            rng, batch=128, table_rows=4000, multi_hot=64,
+            emb_dim=64, dense_features=64, top_hidden=8,
+        )
+        seq = run_dlrm(wl, hw, parallel=False)
+        best_par = min(
+            run_dlrm(wl, hw, parallel=True, split=s).total_cycles
+            for s in (0.25, 0.5, 0.75)
+        )
+        # Parallel stage 1 = max of two partition runtimes; with balanced
+        # work this beats running both back to back on the full array
+        # only if the partitions stay efficient — assert it is at least
+        # competitive (within 2x) and report the common case.
+        assert best_par <= 2 * seq.total_cycles

@@ -1,0 +1,95 @@
+"""Tests for the design-space enumeration (the paper's 6,656 count)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import (
+    all_concrete_intra,
+    all_loop_orders,
+    count_design_space,
+    enumerate_design_space,
+    enumerate_pairs,
+    table_ii_order_pairs,
+)
+from repro.core.legality import infer_granularity, sp_optimized_ok
+from repro.core.taxonomy import InterPhase, Phase, PhaseOrder, SPVariant
+
+
+class TestCounts:
+    def test_loop_orders_per_phase(self):
+        assert len(all_loop_orders(Phase.AGGREGATION)) == 6
+        assert len(all_loop_orders(Phase.COMBINATION)) == 6
+
+    def test_concrete_intra_per_phase(self):
+        assert len(all_concrete_intra(Phase.AGGREGATION)) == 48
+        assert len(all_concrete_intra(Phase.COMBINATION)) == 48
+
+    def test_paper_total_6656(self):
+        """Headline reproduction: the paper's §III-C count."""
+        counts = count_design_space()
+        assert counts["total"] == 6656
+
+    def test_per_strategy_counts(self):
+        counts = count_design_space()
+        assert counts["Seq"] == 48 * 48 * 2  # any pair x phase order
+        assert counts["SP"] == 1024  # 8 order-pairs x 2^6 annot x 2 orders
+        assert counts["PP"] == 1024
+        assert counts["SP-Optimized"] == 16
+
+    def test_enumerate_matches_count(self):
+        assert sum(1 for _ in enumerate_design_space()) == 6656
+
+    def test_include_sp_optimized_adds_16(self):
+        n = sum(1 for _ in enumerate_design_space(include_sp_optimized=True))
+        assert n == 6656 + 16
+
+
+class TestPairLegality:
+    @pytest.mark.parametrize("order", list(PhaseOrder))
+    def test_pp_pairs_match_table_ii(self, order):
+        inferred = {
+            (df.agg.order, df.cmb.order)
+            for df in enumerate_pairs(InterPhase.PP, order)
+        }
+        assert inferred == table_ii_order_pairs(InterPhase.PP, order)
+
+    @pytest.mark.parametrize("order", list(PhaseOrder))
+    def test_pp_pairs_count_8_per_order(self, order):
+        pairs = {
+            (df.agg.order, df.cmb.order)
+            for df in enumerate_pairs(InterPhase.PP, order)
+        }
+        assert len(pairs) == 8
+
+    def test_all_enumerated_pp_are_pipeline_legal(self):
+        for order in PhaseOrder:
+            for df in enumerate_pairs(InterPhase.PP, order):
+                assert infer_granularity(df) is not None
+
+    def test_all_enumerated_sp_opt_pass_checks(self):
+        for order in PhaseOrder:
+            for df in enumerate_pairs(
+                InterPhase.SP, order, sp_variant=SPVariant.OPTIMIZED
+            ):
+                assert sp_optimized_ok(df)[0]
+
+    def test_seq_accepts_everything(self):
+        n = sum(1 for _ in enumerate_pairs(InterPhase.SEQ, PhaseOrder.AC))
+        assert n == 48 * 48
+
+    def test_enumerated_dataflows_are_concrete(self):
+        for df in enumerate_pairs(InterPhase.PP, PhaseOrder.AC):
+            assert df.is_concrete
+
+    def test_sp_generic_equals_pp_pairs(self):
+        """Table II row 3: SP-Generic loop orders == rows 4-9."""
+        sp = {
+            (df.agg.order, df.agg.annot, df.cmb.order, df.cmb.annot)
+            for df in enumerate_pairs(InterPhase.SP, PhaseOrder.AC)
+        }
+        pp = {
+            (df.agg.order, df.agg.annot, df.cmb.order, df.cmb.annot)
+            for df in enumerate_pairs(InterPhase.PP, PhaseOrder.AC)
+        }
+        assert sp == pp

@@ -1,0 +1,72 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is executed as a subprocess (the way a user runs it); slow
+parameterizations are swapped for fast ones via argv where supported.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *argv: str, timeout: int = 300) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *argv],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "cycles:" in out and "Seq baseline" in out
+
+
+def test_taxonomy_tour():
+    out = run_example("taxonomy_tour.py")
+    assert "6656" in out
+    assert "pipeline-compatible AC loop-order pairs: 8" in out
+
+
+def test_dataflow_comparison_fast_dataset():
+    out = run_example("dataflow_comparison.py", "mutag")
+    assert "best runtime" in out
+    assert "SPhighV" in out
+
+
+def test_recommendation_dlrm():
+    out = run_example("recommendation_dlrm.py")
+    assert "DLRM" in out and "best parallel split" in out
+
+
+def test_load_balancing_study():
+    out = run_example("load_balancing_study.py")
+    assert "best allocation for collab" in out
+    assert "best allocation for citeseer" in out
+
+
+def test_generate_report(tmp_path):
+    out = run_example("generate_report.py", str(tmp_path))
+    assert "wrote 63 records" in out
+    assert (tmp_path / "table5_sweep.jsonl").exists()
+
+
+@pytest.mark.slow
+def test_multilayer_gcn():
+    out = run_example("multilayer_gcn.py")
+    assert "flexibility gain" in out
+
+
+@pytest.mark.slow
+def test_mapping_search_fast_args():
+    out = run_example("mapping_search.py", "mutag", "cycles")
+    assert "search gain" in out

@@ -1,0 +1,69 @@
+"""Tests for experiment serialization (jsonl records)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    read_records,
+    record_to_json,
+    run_result_to_record,
+    write_records,
+)
+from repro.arch.config import AcceleratorConfig
+from repro.core.omega import run_gnn_dataflow
+from repro.core.taxonomy import parse_dataflow
+from repro.core.workload import GNNWorkload
+
+
+@pytest.fixture
+def result(er_graph):
+    wl = GNNWorkload(er_graph, in_features=24, out_features=6, name="er")
+    hw = AcceleratorConfig(num_pes=64)
+    return run_gnn_dataflow(wl, parse_dataflow("PP_AC(VsFtNt, VsGsFt)"), hw)
+
+
+class TestRecord:
+    def test_core_fields(self, result):
+        rec = run_result_to_record(result)
+        assert rec["cycles"] == result.total_cycles
+        assert rec["inter"] == "PP"
+        assert rec["granularity"] == "row"
+        assert rec["pipeline"]["num_granules"] > 0
+
+    def test_extra_fields_merged(self, result):
+        rec = run_result_to_record(result, dataset="er", seed=0)
+        assert rec["dataset"] == "er" and rec["seed"] == 0
+
+    def test_reserved_collision_rejected(self, result):
+        with pytest.raises(KeyError):
+            run_result_to_record(result, cycles=1)
+
+    def test_json_roundtrip(self, result):
+        rec = run_result_to_record(result)
+        again = json.loads(record_to_json(rec))
+        assert again == json.loads(record_to_json(again))  # stable
+        assert again["cycles"] == rec["cycles"]
+
+    def test_json_deterministic(self, result):
+        rec = run_result_to_record(result)
+        assert record_to_json(rec) == record_to_json(rec)
+
+
+class TestFiles:
+    def test_write_read_roundtrip(self, result, tmp_path):
+        recs = [
+            run_result_to_record(result, idx=i) for i in range(3)
+        ]
+        path = write_records(tmp_path / "sub" / "runs.jsonl", recs)
+        back = read_records(path)
+        assert len(back) == 3
+        assert [r["idx"] for r in back] == [0, 1, 2]
+        assert back[0]["cycles"] == result.total_cycles
+
+    def test_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "runs.jsonl"
+        p.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert [r["a"] for r in read_records(p)] == [1, 2]

@@ -1,0 +1,150 @@
+"""Functional tests: tiled schedule execution equals plain linear algebra.
+
+Any legal mapping must compute the same numbers; these tests (including
+hypothesis-driven ones) establish that the loop-nest schedules the cost
+model prices are actually *correct* programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.taxonomy import Annot, Dim, IntraDataflow, Phase, PhaseOrder
+from repro.core.workload import GNNWorkload
+from repro.engine.functional import (
+    execute_gemm,
+    execute_layer,
+    execute_spmm,
+    reference_gemm,
+    reference_layer,
+    reference_spmm,
+)
+from repro.engine.gemm import GemmTiling
+from repro.engine.spmm import SpmmTiling
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi_graph
+
+
+def _annot(order, t):
+    return tuple(Annot.SPATIAL if t[d] > 1 else Annot.TEMPORAL for d in order)
+
+
+class TestGemmFunctional:
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations((Dim.V, Dim.G, Dim.F))),
+        ids=lambda o: "".join(d.value for d in o),
+    )
+    def test_all_orders_match_reference(self, rng, order):
+        left = rng.standard_normal((9, 7))
+        right = rng.standard_normal((7, 5))
+        for tv, tf, tg in [(1, 1, 1), (3, 2, 2), (9, 7, 5), (4, 3, 1)]:
+            intra = IntraDataflow(
+                Phase.COMBINATION, order, _annot(order, {Dim.V: tv, Dim.F: tf, Dim.G: tg})
+            )
+            out = execute_gemm(left, right, intra, GemmTiling(tv, tf, tg))
+            np.testing.assert_allclose(out, reference_gemm(left, right), atol=1e-10)
+
+    def test_shape_mismatch(self, rng):
+        intra = IntraDataflow.parse("VtGtFt", Phase.COMBINATION)
+        with pytest.raises(ValueError):
+            execute_gemm(
+                rng.standard_normal((3, 4)),
+                rng.standard_normal((5, 2)),
+                intra,
+                GemmTiling(1, 1, 1),
+            )
+
+
+class TestSpmmFunctional:
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations((Dim.V, Dim.F, Dim.N))),
+        ids=lambda o: "".join(d.value for d in o),
+    )
+    def test_all_orders_match_reference(self, rng, er_graph, order):
+        x = rng.standard_normal((er_graph.num_cols, 6))
+        for tv, tf, tn in [(1, 1, 1), (4, 2, 2), (8, 6, 1), (1, 3, 4)]:
+            intra = IntraDataflow(
+                Phase.AGGREGATION, order, _annot(order, {Dim.V: tv, Dim.F: tf, Dim.N: tn})
+            )
+            out = execute_spmm(er_graph, x, intra, SpmmTiling(tv, tf, tn))
+            np.testing.assert_allclose(out, reference_spmm(er_graph, x), atol=1e-10)
+
+    def test_weighted_graph(self, rng, tiny_graph):
+        weighted = tiny_graph.with_gcn_normalization()
+        x = rng.standard_normal((5, 3))
+        intra = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        out = execute_spmm(weighted, x, intra, SpmmTiling(1, 3, 1))
+        np.testing.assert_allclose(out, reference_spmm(weighted, x), atol=1e-10)
+
+    def test_x_shape_checked(self, rng, tiny_graph):
+        intra = IntraDataflow.parse("VtFtNt", Phase.AGGREGATION)
+        with pytest.raises(ValueError):
+            execute_spmm(
+                tiny_graph, rng.standard_normal((7, 3)), intra, SpmmTiling(1, 1, 1)
+            )
+
+
+class TestLayerFunctional:
+    def test_ac_equals_ca(self, rng, er_graph):
+        """(A X) W == A (X W): both phase orders compute the same layer."""
+        wl = GNNWorkload(er_graph, 6, 4)
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        w = rng.standard_normal((6, 4))
+        agg = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        cmb = IntraDataflow.parse("VsGsFt", Phase.COMBINATION)
+        st_, gt = SpmmTiling(1, 4, 1), GemmTiling(4, 1, 2)
+        out_ac = execute_layer(wl, x, w, PhaseOrder.AC, agg, cmb, st_, gt)
+        out_ca = execute_layer(wl, x, w, PhaseOrder.CA, agg, cmb, st_, gt)
+        np.testing.assert_allclose(out_ac, out_ca, atol=1e-9)
+        np.testing.assert_allclose(
+            out_ac, reference_layer(er_graph, x, w, PhaseOrder.AC), atol=1e-9
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    v=st.integers(2, 12),
+    f=st.integers(1, 8),
+    g=st.integers(1, 6),
+    tv=st.integers(1, 12),
+    tf=st.integers(1, 8),
+    tg=st.integers(1, 6),
+    seed=st.integers(0, 2**16),
+)
+def test_gemm_any_tiling_matches(v, f, g, tv, tf, tg, seed):
+    """Property: every tiling of every size computes the exact GEMM."""
+    rng = np.random.default_rng(seed)
+    left = rng.standard_normal((v, f))
+    right = rng.standard_normal((f, g))
+    order = (Dim.V, Dim.G, Dim.F)
+    t = {Dim.V: min(tv, v), Dim.F: min(tf, f), Dim.G: min(tg, g)}
+    intra = IntraDataflow(Phase.COMBINATION, order, _annot(order, t))
+    out = execute_gemm(left, right, intra, GemmTiling(t[Dim.V], t[Dim.F], t[Dim.G]))
+    np.testing.assert_allclose(out, left @ right, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(2, 15),
+    e=st.integers(0, 60),
+    feat=st.integers(1, 6),
+    tv=st.integers(1, 8),
+    tf=st.integers(1, 6),
+    tn=st.integers(1, 5),
+    seed=st.integers(0, 2**16),
+)
+def test_spmm_any_tiling_matches(n, e, feat, tv, tf, tn, seed):
+    """Property: every tiling computes the exact SpMM on random graphs."""
+    rng = np.random.default_rng(seed)
+    graph = erdos_renyi_graph(rng, n, e)
+    x = rng.standard_normal((n, feat))
+    order = (Dim.V, Dim.F, Dim.N)
+    t = {Dim.V: min(tv, n), Dim.F: min(tf, feat), Dim.N: tn}
+    intra = IntraDataflow(Phase.AGGREGATION, order, _annot(order, t))
+    out = execute_spmm(graph, x, intra, SpmmTiling(t[Dim.V], t[Dim.F], t[Dim.N]))
+    np.testing.assert_allclose(out, graph.to_scipy() @ x, atol=1e-9)

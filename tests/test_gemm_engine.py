@@ -1,0 +1,238 @@
+"""Tests for the tile-level GEMM engine (Combination phase).
+
+Hand-computed small cases pin down cycle counts, Table I's
+stationary/streaming classification, partial-sum behaviour, and bandwidth
+stalls.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import IntraDataflow, Phase
+from repro.engine.gemm import GemmSpec, GemmTiling, simulate_gemm
+
+
+def intra(text: str) -> IntraDataflow:
+    return IntraDataflow.parse(text, Phase.COMBINATION)
+
+
+@pytest.fixture
+def hw64():
+    return AcceleratorConfig(num_pes=64)
+
+
+class TestBasicCycles:
+    def test_fully_spatial_single_step(self, hw64):
+        spec = GemmSpec(rows=4, inner=4, cols=4)
+        res = simulate_gemm(spec, intra("VsGsFs"), GemmTiling(4, 4, 4), hw64)
+        assert res.stats.compute_steps == 1
+        assert res.stats.macs == 64
+
+    def test_all_temporal_steps_equal_volume(self, hw64):
+        spec = GemmSpec(rows=3, inner=5, cols=2)
+        res = simulate_gemm(spec, intra("VtGtFt"), GemmTiling(1, 1, 1), hw64)
+        assert res.stats.compute_steps == 3 * 5 * 2
+
+    def test_steps_use_ceiling(self, hw64):
+        spec = GemmSpec(rows=5, inner=4, cols=4)
+        res = simulate_gemm(spec, intra("VsGsFs"), GemmTiling(2, 4, 4), hw64)
+        assert res.steps == {"V": 3, "F": 1, "G": 1}
+        assert res.stats.compute_steps == 3
+
+    def test_tiles_clamped_to_extents(self, hw64):
+        spec = GemmSpec(rows=2, inner=2, cols=2)
+        res = simulate_gemm(spec, intra("VsGsFs"), GemmTiling(8, 4, 4), hw64)
+        assert res.tiling.t_v == 2 and res.tiling.t_f == 2 and res.tiling.t_g == 2
+
+    def test_too_many_pes_rejected(self, hw64):
+        spec = GemmSpec(rows=64, inner=64, cols=64)
+        with pytest.raises(ValueError):
+            simulate_gemm(spec, intra("VsGsFs"), GemmTiling(8, 8, 8), hw64)
+
+    def test_annotation_mismatch_rejected(self, hw64):
+        spec = GemmSpec(rows=8, inner=8, cols=8)
+        with pytest.raises(ValueError):
+            simulate_gemm(spec, intra("VsGsFt"), GemmTiling(1, 1, 4), hw64)
+        with pytest.raises(ValueError):
+            simulate_gemm(spec, intra("VtGsFt"), GemmTiling(2, 1, 4), hw64)
+
+    def test_wildcard_rejected(self, hw64):
+        spec = GemmSpec(rows=8, inner=8, cols=8)
+        with pytest.raises(ValueError):
+            simulate_gemm(spec, intra("VxGsFt"), GemmTiling(2, 1, 4), hw64)
+
+
+class TestTableI:
+    """Table I: implications of loop order + spatial dims on data movement."""
+
+    def setup_method(self):
+        self.spec = GemmSpec(rows=8, inner=8, cols=8)
+        self.hw = AcceleratorConfig(num_pes=64)
+
+    def test_vsgsft_output_stationary(self):
+        """VsGsFt: output stationary; both inputs stream every cycle."""
+        res = simulate_gemm(self.spec, intra("VsGsFt"), GemmTiling(8, 1, 8), self.hw)
+        # Inputs stream F-step by F-step: every element refetched per the
+        # partner dim's tiling (here once since V, G fully spatial).
+        assert res.stats.gb_reads["intermediate"] == 64
+        assert res.stats.gb_reads["weight"] == 64
+        assert "psum" not in res.stats.gb_writes  # temporal reduction in PE
+        assert res.stats.gb_writes["output"] == 64
+        assert res.stats.load_stall_cycles == 0  # nothing stationary to load
+
+    def test_gsfsvt_weight_stationary(self):
+        """GsFsVt: weights resident, input streams, spatial reduction."""
+        res = simulate_gemm(self.spec, intra("GsFsVt"), GemmTiling(1, 8, 8), self.hw)
+        # Weight tile loaded once (G, F fully spatial): 64 elements.
+        assert res.stats.gb_reads["weight"] == 64
+        assert res.stats.load_stall_cycles > 0
+        # Input streams every step.
+        assert res.stats.gb_reads["intermediate"] == 64
+
+    def test_vsfsgt_input_stationary(self):
+        """VsFsGt: input resident, weights stream."""
+        res = simulate_gemm(self.spec, intra("VsFsGt"), GemmTiling(8, 8, 1), self.hw)
+        assert res.stats.gb_reads["intermediate"] == 64  # loaded once
+        assert res.stats.gb_reads["weight"] == 64
+        assert res.stats.load_stall_cycles > 0
+
+    def test_weight_refetch_scales_with_row_tiles(self):
+        """Small T_V => weights re-streamed per vertex tile (SP1-vs-SP2
+        energy asymmetry in §V-B2)."""
+        hw = AcceleratorConfig(num_pes=64)
+        spec = GemmSpec(rows=32, inner=8, cols=8)
+        res_small_tv = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(2, 1, 1), hw)
+        res_big_tv = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(16, 1, 1), hw)
+        assert (
+            res_small_tv.stats.gb_reads["weight"]
+            == 8 * res_big_tv.stats.gb_reads["weight"]
+        )
+
+
+class TestPsums:
+    def test_contraction_innermost_no_spill(self, hw64):
+        spec = GemmSpec(rows=8, inner=16, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(8, 1, 1), hw64)
+        assert "psum" not in res.stats.gb_writes
+
+    def test_inner_output_dim_spills(self, hw64):
+        """G inside F with one accumulator per PE => GB round trips.
+
+        This is the §V-B2 SPhighV pathology: (s_F - 1) x V x G each way."""
+        spec = GemmSpec(rows=8, inner=16, cols=4)
+        res = simulate_gemm(spec, intra("VsFtGt"), GemmTiling(8, 1, 1), hw64)
+        expected = (16 - 1) * 8 * 4
+        assert res.stats.gb_writes["psum"] == expected
+        assert res.stats.gb_reads["psum"] == expected
+
+    def test_spill_shrinks_with_tf(self, hw64):
+        """High T_F (SP1) cuts psum traffic vs low T_F (SPhighV)."""
+        spec = GemmSpec(rows=4, inner=16, cols=4)
+        low = simulate_gemm(spec, intra("VsFtGt"), GemmTiling(4, 1, 1), hw64)
+        high = simulate_gemm(spec, intra("VsFsGt"), GemmTiling(4, 8, 1), hw64)
+        assert high.stats.gb_writes.get("psum", 0) < low.stats.gb_writes["psum"]
+
+    def test_more_accumulators_avoid_spill(self):
+        hw = AcceleratorConfig(num_pes=64, pe_accumulators=8)
+        spec = GemmSpec(rows=8, inner=16, cols=4)
+        res = simulate_gemm(spec, intra("VsFtGt"), GemmTiling(8, 1, 1), hw)
+        assert "psum" not in res.stats.gb_writes  # 4 live psums fit in 8
+
+    def test_rigid_spatial_only_substrate_spills(self):
+        """§V-D: hardware without temporal reduction spills psums."""
+        hw = AcceleratorConfig(
+            num_pes=64, supports_temporal_reduction=False
+        )
+        spec = GemmSpec(rows=8, inner=16, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(8, 1, 1), hw)
+        assert res.stats.gb_writes["psum"] == (16 - 1) * 8 * 4
+
+    def test_single_contraction_step_never_spills(self, hw64):
+        spec = GemmSpec(rows=8, inner=4, cols=2)
+        res = simulate_gemm(spec, intra("VsFsGt"), GemmTiling(8, 4, 1), hw64)
+        assert "psum" not in res.stats.gb_writes
+
+
+class TestBandwidth:
+    def test_distribution_bound(self):
+        """Streamed operands throttle runtime when bw is low (Fig. 16)."""
+        spec = GemmSpec(rows=16, inner=16, cols=16)
+        fast = AcceleratorConfig(num_pes=64, dist_bw=64, red_bw=64)
+        slow = AcceleratorConfig(num_pes=64, dist_bw=4, red_bw=64)
+        df, tiles = intra("VsGsFt"), GemmTiling(8, 1, 8)
+        r_fast = simulate_gemm(spec, df, tiles, fast)
+        r_slow = simulate_gemm(spec, df, tiles, slow)
+        assert r_slow.stats.cycles > r_fast.stats.cycles
+        streamed = r_slow.stats.streamed_reads
+        assert r_slow.stats.cycles == max(
+            r_fast.stats.compute_steps, math.ceil(streamed / 4)
+        )
+
+    def test_reduction_bound(self):
+        spec = GemmSpec(rows=16, inner=2, cols=16)
+        slow = AcceleratorConfig(num_pes=64, dist_bw=64, red_bw=2)
+        res = simulate_gemm(spec, intra("VsGsFt"), GemmTiling(8, 1, 8), slow)
+        assert res.stats.cycles >= math.ceil(16 * 16 / 2)
+
+    def test_slowdown_factor(self):
+        spec = GemmSpec(rows=16, inner=16, cols=16)
+        slow = AcceleratorConfig(num_pes=64, dist_bw=4, red_bw=64)
+        res = simulate_gemm(spec, intra("VsGsFt"), GemmTiling(8, 1, 8), slow)
+        assert res.slowdown == pytest.approx(
+            res.stats.cycles / res.stats.compute_steps
+        )
+
+
+class TestGranules:
+    def test_per_unit_rows_sum_to_cycles(self, hw64):
+        spec = GemmSpec(rows=12, inner=8, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(4, 1, 1), hw64)
+        units = res.per_unit_cycles("row")
+        assert units.shape == (12,)
+        assert units.sum() == pytest.approx(res.stats.cycles)
+
+    def test_per_unit_cols_custom_extent(self, hw64):
+        spec = GemmSpec(rows=12, inner=8, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(4, 1, 1), hw64)
+        units = res.per_unit_cycles("col", col_extent=4)
+        assert units.shape == (4,)
+        assert units.sum() == pytest.approx(res.stats.cycles)
+
+    def test_granule_cycles_row_axis(self, hw64):
+        spec = GemmSpec(rows=12, inner=8, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(4, 1, 1), hw64)
+        g = res.granule_cycles(axis="row", rows_per_granule=5)
+        assert len(g) == 3  # ceil(12 / 5)
+        assert g.sum() == pytest.approx(res.stats.cycles)
+
+    def test_granule_cycles_element_grid(self, hw64):
+        spec = GemmSpec(rows=8, inner=6, cols=4)
+        res = simulate_gemm(spec, intra("VsGtFt"), GemmTiling(4, 1, 1), hw64)
+        g = res.granule_cycles(
+            axis="element", rows_per_granule=4, cols_per_granule=3
+        )
+        assert len(g) == 2 * 2
+        assert g.sum() == pytest.approx(res.stats.cycles)
+
+    def test_unknown_axis(self, hw64):
+        spec = GemmSpec(rows=4, inner=4, cols=4)
+        res = simulate_gemm(spec, intra("VsGsFs"), GemmTiling(4, 4, 4), hw64)
+        with pytest.raises(ValueError):
+            res.granule_cycles(axis="diagonal")
+
+
+class TestUtilization:
+    def test_static_utilization(self, hw64):
+        spec = GemmSpec(rows=64, inner=64, cols=64)
+        res = simulate_gemm(spec, intra("VsGsFt"), GemmTiling(8, 1, 8), hw64)
+        assert res.stats.static_utilization == pytest.approx(1.0)
+
+    def test_rf_traffic_positive(self, hw64):
+        spec = GemmSpec(rows=8, inner=8, cols=8)
+        res = simulate_gemm(spec, intra("VsGsFt"), GemmTiling(8, 1, 8), hw64)
+        assert res.stats.rf_reads >= 2 * res.stats.macs
+        assert res.stats.rf_writes > 0

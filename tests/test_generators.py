@@ -1,0 +1,134 @@
+"""Tests for the synthetic graph generators (category-shape guarantees)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    clique_union_graph,
+    erdos_renyi_graph,
+    hub_thread_graph,
+    molecular_graph,
+    preferential_attachment_graph,
+)
+
+
+class TestMolecular:
+    def test_degree_concentration(self, rng):
+        """LEF shape: degrees tightly concentrated (no evil rows)."""
+        g = molecular_graph(rng, 50, 120)
+        deg = g.degrees
+        assert deg.min() >= 2
+        assert deg.max() <= 5  # ring + at most a few matching rounds
+
+    def test_edge_target(self, rng):
+        g = molecular_graph(rng, 40, 110)
+        assert abs(g.num_edges - 110) <= 12
+
+    def test_singleton(self, rng):
+        g = molecular_graph(rng, 1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_symmetric(self, rng):
+        g = molecular_graph(rng, 30, 80)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_deterministic(self):
+        a = molecular_graph(np.random.default_rng(7), 30, 80)
+        b = molecular_graph(np.random.default_rng(7), 30, 80)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+
+    def test_rejects_nonpositive(self, rng):
+        with pytest.raises(ValueError):
+            molecular_graph(rng, 0)
+
+
+class TestCliqueUnion:
+    def test_he_density(self, rng):
+        """HE shape: uniformly dense rows (clique members)."""
+        g = clique_union_graph(rng, 40, 600)
+        assert g.avg_degree > 8.0
+        # Density is uniform: few near-empty rows among clique members.
+        deg = g.degrees
+        assert np.median(deg) >= 0.4 * deg.max()
+
+    def test_edge_target_tracking(self, rng):
+        g = clique_union_graph(rng, 60, 1200)
+        assert abs(g.num_edges - 1200) <= 0.35 * 1200
+
+    def test_symmetric(self, rng):
+        g = clique_union_graph(rng, 25, 300)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_deterministic(self):
+        a = clique_union_graph(np.random.default_rng(3), 30, 400)
+        b = clique_union_graph(np.random.default_rng(3), 30, 400)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+
+
+class TestHubThread:
+    def test_evil_rows_exist(self, rng):
+        """HF shape: a few hubs dominate (the paper's evil rows)."""
+        g = hub_thread_graph(rng, 200, 500, num_hubs=2)
+        deg = g.degrees
+        assert deg.max() > 20 * np.median(deg)
+
+    def test_hub_count(self, rng):
+        g = hub_thread_graph(rng, 100, 240, num_hubs=3)
+        deg = g.degrees
+        # The three hubs should be the three largest rows by far.
+        top3 = np.sort(deg)[-3:]
+        assert top3.min() > np.sort(deg)[-4]
+
+    def test_connected_leaves(self, rng):
+        g = hub_thread_graph(rng, 50, 100, num_hubs=1)
+        assert (g.degrees > 0).all()
+
+    def test_symmetric(self, rng):
+        g = hub_thread_graph(rng, 40, 120)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+
+class TestPreferentialAttachment:
+    def test_heavy_tail(self, rng):
+        g = preferential_attachment_graph(rng, 500, 1600)
+        deg = g.degrees.astype(float)
+        assert deg.max() > 8 * deg.mean()  # hubs exist
+        assert np.median(deg) <= 4  # most rows sparse
+
+    def test_edge_target(self, rng):
+        g = preferential_attachment_graph(rng, 400, 1300)
+        assert abs(g.num_edges - 1300) <= 0.2 * 1300
+
+    def test_all_connected(self, rng):
+        g = preferential_attachment_graph(rng, 100, 300)
+        assert (g.degrees > 0).all()
+
+    def test_symmetric(self, rng):
+        g = preferential_attachment_graph(rng, 80, 250)
+        dense = g.to_dense()
+        np.testing.assert_array_equal(dense, dense.T)
+
+    def test_deterministic(self):
+        a = preferential_attachment_graph(np.random.default_rng(5), 60, 200)
+        b = preferential_attachment_graph(np.random.default_rng(5), 60, 200)
+        np.testing.assert_array_equal(a.edge_dst, b.edge_dst)
+
+
+class TestErdosRenyi:
+    def test_edge_target(self, rng):
+        g = erdos_renyi_graph(rng, 50, 400)
+        assert abs(g.num_edges - 400) <= 4  # trimmed to the target
+
+    def test_saturation_clamp(self, rng):
+        g = erdos_renyi_graph(rng, 5, 10_000)
+        assert g.num_edges <= 5 * 4  # complete graph bound
+
+    def test_no_self_loops(self, rng):
+        g = erdos_renyi_graph(rng, 30, 200)
+        for v in range(30):
+            assert v not in g.neighbors(v)

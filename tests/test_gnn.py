@@ -1,0 +1,141 @@
+"""Tests for GNN layer abstractions and multi-layer model costing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import PhaseOrder, SPVariant, parse_dataflow
+from repro.gnn.layers import GCNLayer, GINLayer, SAGELayer
+from repro.gnn.model import GNNModel, run_model
+from repro.gnn.reference import gcn_layer_reference, gcn_model_reference
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=64)
+
+
+class TestLayers:
+    def test_gcn_allows_both_orders(self):
+        assert set(GCNLayer(8, 4).allowed_orders) == {PhaseOrder.AC, PhaseOrder.CA}
+
+    def test_sage_forces_ac(self):
+        assert SAGELayer(8, 4).allowed_orders == (PhaseOrder.AC,)
+
+    def test_gin_is_three_phase(self, er_graph):
+        wls = GINLayer(8, 16, 4).workloads(er_graph)
+        assert len(wls) == 2  # SpMM+GEMM then a second GEMM pair
+        assert wls[0].out_features == 16
+        assert wls[1].in_features == 16
+
+    def test_sage_doubles_contraction(self, er_graph):
+        wls = SAGELayer(8, 4).workloads(er_graph)
+        assert wls[0].in_features == 16
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            GCNLayer(0, 4)
+        with pytest.raises(ValueError):
+            GINLayer(4, 0, 2)
+
+    def test_gcn_forward_matches_reference(self, rng, er_graph):
+        layer = GCNLayer(6, 4)
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        w = layer.init_weights(rng)
+        out = layer.forward(er_graph, x, w)
+        ref = np.maximum(er_graph.to_scipy() @ x @ w[0], 0)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_sage_forward_shape(self, rng, er_graph):
+        layer = SAGELayer(6, 4)
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        out = layer.forward(er_graph, x, layer.init_weights(rng))
+        assert out.shape == (er_graph.num_vertices, 4)
+
+    def test_gin_forward_shape(self, rng, er_graph):
+        layer = GINLayer(6, 12, 4, eps=0.1)
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        out = layer.forward(er_graph, x, layer.init_weights(rng))
+        assert out.shape == (er_graph.num_vertices, 4)
+
+
+class TestModel:
+    def test_gcn_stack_builder(self, er_graph):
+        m = GNNModel.gcn(er_graph, [8, 16, 4])
+        assert len(m.layers) == 2
+        assert m.layers[0].out_features == m.layers[1].in_features
+
+    def test_dim_mismatch_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            GNNModel(er_graph, (GCNLayer(8, 16), GCNLayer(8, 4)))
+
+    def test_empty_rejected(self, er_graph):
+        with pytest.raises(ValueError):
+            GNNModel(er_graph, ())
+
+    def test_forward_matches_reference(self, rng, er_graph):
+        m = GNNModel.gcn(er_graph, [6, 8, 3])
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        weights = m.init_weights(rng)
+        out = m.forward(x, weights)
+        ref = gcn_model_reference(
+            er_graph, x, [w[0] for w in weights], activation_last=True
+        )
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+
+class TestRunModel:
+    def test_single_dataflow_broadcast(self, er_graph, hw):
+        m = GNNModel.gcn(er_graph, [24, 8, 4])
+        df = parse_dataflow("Seq_AC(VxFxNt, VxGxFx)")
+        res = run_model(m, df, hw)
+        assert len(res.per_layer) == 2
+        assert res.total_cycles == sum(r.total_cycles for r in res.per_layer)
+
+    def test_per_layer_dataflows(self, er_graph, hw):
+        m = GNNModel.gcn(er_graph, [24, 8, 4])
+        dfs = [
+            parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"),
+            parse_dataflow("Seq_CA(VxFxNt, VxGxFx)"),
+        ]
+        res = run_model(m, dfs, hw)
+        assert len(res.per_layer) == 2
+
+    def test_dataflow_count_mismatch(self, er_graph, hw):
+        m = GNNModel.gcn(er_graph, [24, 8, 4])
+        with pytest.raises(ValueError):
+            run_model(m, [parse_dataflow("Seq_AC(VxFxNt, VxGxFx)")], hw)
+
+    def test_sage_rejects_ca(self, er_graph, hw):
+        m = GNNModel(er_graph, (SAGELayer(24, 4),))
+        with pytest.raises(ValueError):
+            run_model(m, parse_dataflow("Seq_CA(VxFxNt, VxGxFx)"), hw)
+
+    def test_energy_aggregates(self, er_graph, hw):
+        m = GNNModel.gcn(er_graph, [24, 8, 4])
+        res = run_model(m, parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"), hw)
+        assert res.energy_pj == pytest.approx(
+            sum(r.energy_pj for r in res.per_layer)
+        )
+
+    def test_layer_dataflow_choice_matters(self, er_graph, hw):
+        """The per-layer flexibility argument: CA beats AC when F >> G."""
+        m = GNNModel.gcn(er_graph, [24, 2])
+        ac = run_model(m, parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"), hw)
+        ca = run_model(m, parse_dataflow("Seq_CA(VxFxNt, VxGxFx)"), hw)
+        # CA's intermediate is V x 2 instead of V x 24.
+        assert (
+            ca.per_layer[0].intermediate_buffer_elements
+            < ac.per_layer[0].intermediate_buffer_elements
+        )
+
+
+class TestReference:
+    def test_ac_equals_ca_values(self, rng, er_graph):
+        x = rng.standard_normal((er_graph.num_vertices, 6))
+        w = rng.standard_normal((6, 4))
+        ac = gcn_layer_reference(er_graph, x, w, order=PhaseOrder.AC)
+        ca = gcn_layer_reference(er_graph, x, w, order=PhaseOrder.CA)
+        np.testing.assert_allclose(ac, ca, atol=1e-9)

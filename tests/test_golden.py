@@ -1,0 +1,69 @@
+"""Golden-record regression: the cost model must stay bit-deterministic.
+
+``tests/golden/table5_mutag_citeseer.jsonl`` archives every (dataset,
+Table V config) run for Mutag and Citeseer.  Re-running the model must
+reproduce those records exactly — any intentional model change must
+regenerate the golden file (see the command in the module docstring of
+the generator snippet in EXPERIMENTS.md / git history).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.export import read_records, run_result_to_record
+from repro.analysis.regression import compare_records
+from repro.arch.config import AcceleratorConfig
+from repro.core.configs import paper_config_names, paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+from repro.core.workload import workload_from_dataset
+from repro.graphs.datasets import load_dataset
+
+GOLDEN = Path(__file__).parent / "golden" / "table5_mutag_citeseer.jsonl"
+
+
+@pytest.fixture(scope="module")
+def fresh_records():
+    hw = AcceleratorConfig(num_pes=512)
+    records = []
+    for ds_name in ("mutag", "citeseer"):
+        wl = workload_from_dataset(load_dataset(ds_name))
+        for cfg in paper_config_names():
+            df, hint = paper_dataflow(cfg)
+            res = run_gnn_dataflow(wl, df, hw, hint=hint)
+            records.append(
+                run_result_to_record(res, dataset=ds_name, config=cfg, seed=0)
+            )
+    return records
+
+
+def test_golden_file_exists():
+    assert GOLDEN.exists(), "golden records missing — regenerate them"
+
+
+def test_model_matches_golden_exactly(fresh_records):
+    golden = read_records(GOLDEN)
+    report = compare_records(golden, fresh_records)
+    assert report.matched == len(golden)
+    worst = report.worst(3)
+    assert report.passes(tolerance=0.0), f"model drifted: {worst}"
+
+
+def test_golden_covers_all_configs():
+    golden = read_records(GOLDEN)
+    configs = {r["config"] for r in golden}
+    assert configs == set(paper_config_names())
+    assert {r["dataset"] for r in golden} == {"mutag", "citeseer"}
+
+
+def test_golden_shapes_still_hold():
+    """The headline Fig. 11 facts, pinned against the archive."""
+    golden = {(r["dataset"], r["config"]): r for r in read_records(GOLDEN)}
+    cite_seq1 = golden[("citeseer", "Seq1")]["cycles"]
+    cite_sphighv = golden[("citeseer", "SPhighV")]["cycles"]
+    assert cite_sphighv > 2 * cite_seq1  # evil-row pathology
+    mutag_seq1 = golden[("mutag", "Seq1")]["cycles"]
+    mutag_sphighv = golden[("mutag", "SPhighV")]["cycles"]
+    assert mutag_sphighv < 2 * mutag_seq1  # benign on LEF

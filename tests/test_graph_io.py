@@ -1,0 +1,92 @@
+"""Tests for graph file I/O (edge lists and NPZ archives)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.io import load_edge_list, load_npz, save_edge_list, save_npz
+
+
+class TestEdgeList:
+    def test_roundtrip_unweighted(self, tiny_graph, tmp_path):
+        p = save_edge_list(tiny_graph, tmp_path / "g.edges")
+        back = load_edge_list(p, num_vertices=5)
+        np.testing.assert_array_equal(back.vertex_ptr, tiny_graph.vertex_ptr)
+        np.testing.assert_array_equal(back.edge_dst, tiny_graph.edge_dst)
+
+    def test_roundtrip_weighted(self, tiny_graph, tmp_path):
+        weighted = tiny_graph.with_gcn_normalization()
+        p = save_edge_list(weighted, tmp_path / "w.edges")
+        back = load_edge_list(p, num_vertices=5)
+        assert back.edge_val is not None
+        np.testing.assert_allclose(back.to_dense(), weighted.to_dense())
+
+    def test_comments_and_blanks(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# header\n\n0 1\n1 2\n\n# trailing\n2 0\n")
+        g = load_edge_list(p)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_vertex_count_inferred(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 9\n")
+        assert load_edge_list(p).num_vertices == 10
+
+    def test_unsorted_input_sorted(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("2 0\n0 2\n0 1\n")
+        g = load_edge_list(p)
+        assert g.neighbors(0).tolist() == [1, 2]
+
+    def test_bad_arity_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1 2 3\n")
+        with pytest.raises(ValueError):
+            load_edge_list(p)
+
+    def test_mixed_arity_rejected(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("0 1\n1 2 0.5\n")
+        with pytest.raises(ValueError):
+            load_edge_list(p)
+
+    def test_empty_file(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# nothing\n")
+        g = load_edge_list(p, num_vertices=4)
+        assert g.num_vertices == 4 and g.num_edges == 0
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        p = tmp_path / "mygraph.edges"
+        p.write_text("0 1\n")
+        assert load_edge_list(p).name == "mygraph"
+
+
+class TestNpz:
+    def test_roundtrip(self, er_graph, tmp_path):
+        p = save_npz(er_graph, tmp_path / "g.npz")
+        back = load_npz(p)
+        np.testing.assert_array_equal(back.vertex_ptr, er_graph.vertex_ptr)
+        np.testing.assert_array_equal(back.edge_dst, er_graph.edge_dst)
+        assert back.num_cols == er_graph.num_cols
+        assert back.name == er_graph.name
+
+    def test_roundtrip_weighted(self, tiny_graph, tmp_path):
+        weighted = tiny_graph.with_gcn_normalization()
+        back = load_npz(save_npz(weighted, tmp_path / "w.npz"))
+        np.testing.assert_allclose(back.to_dense(), weighted.to_dense())
+
+    def test_loaded_graph_runs_through_model(self, er_graph, tmp_path):
+        from repro.arch.config import AcceleratorConfig
+        from repro.core.omega import run_gnn_dataflow
+        from repro.core.taxonomy import parse_dataflow
+        from repro.core.workload import GNNWorkload
+
+        back = load_npz(save_npz(er_graph, tmp_path / "g.npz"))
+        wl = GNNWorkload(back, 8, 4)
+        r = run_gnn_dataflow(
+            wl, parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"), AcceleratorConfig(num_pes=64)
+        )
+        assert r.total_cycles > 0

@@ -1,0 +1,246 @@
+"""Tests for the inter-phase cost model (paper §IV, Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.interphase import RunResult
+from repro.core.legality import LegalityError
+from repro.core.omega import run_gnn_dataflow
+from repro.core.taxonomy import (
+    Granularity,
+    InterPhase,
+    PhaseOrder,
+    SPVariant,
+    parse_dataflow,
+)
+from repro.core.workload import GNNWorkload
+from repro.engine.gemm import GemmTiling
+from repro.engine.spmm import SpmmTiling
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=64)
+
+
+@pytest.fixture
+def wl(er_graph):
+    return GNNWorkload(er_graph, in_features=24, out_features=6, name="er")
+
+
+def run(wl, hw, text, st=None, gt=None, **kw):
+    df = parse_dataflow(text, **kw)
+    return run_gnn_dataflow(wl, df, hw, spmm_tiling=st, gemm_tiling=gt)
+
+
+class TestSeq:
+    def test_runtime_is_sum_of_phases(self, wl, hw):
+        r = run(
+            wl, hw, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.total_cycles == r.agg.cycles + r.cmb.cycles
+
+    def test_buffering_is_v_times_f(self, wl, hw):
+        """Table III: Seq intermediate buffering = V x F."""
+        r = run(
+            wl, hw, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.intermediate_buffer_elements == wl.num_vertices * wl.in_features
+
+    def test_ca_buffering_is_v_times_g(self, wl, hw):
+        r = run(
+            wl, hw, "Seq_CA(NtFsVt, VsGsFt)",
+            SpmmTiling(1, 6, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.intermediate_buffer_elements == wl.num_vertices * wl.out_features
+
+    def test_intermediate_traffic_in_gb(self, wl, hw):
+        r = run(
+            wl, hw, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.gb_writes["intermediate"] == wl.num_vertices * wl.in_features
+        assert r.gb_reads["intermediate"] > 0
+
+    def test_spill_with_finite_gb(self, wl):
+        """Fig. 6: oversized Seq intermediates round-trip DRAM."""
+        tiny_gb = AcceleratorConfig(num_pes=64, gb_bytes=8 * 1024)
+        r = run(
+            wl, tiny_gb, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.spill is not None and r.spill.spilled
+        assert r.energy.dram_pj > 0
+
+    def test_no_spill_with_sufficient_gb(self, wl, hw):
+        r = run(
+            wl, hw, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        assert r.spill is None
+        assert r.energy.dram_pj == 0
+
+
+class TestSPGeneric:
+    def test_runtime_same_as_seq(self, wl, hw):
+        """Table III: SP-Generic runtime = t_AGG + t_CMB (same as Seq)."""
+        st, gt = SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6)
+        seq = run(wl, hw, "Seq_AC(VsFtNt, VsGsFt)", st, gt)
+        spg = run(
+            wl, hw, "SP_AC(VsFtNt, VsGsFt)", st, gt,
+            sp_variant=SPVariant.GENERIC,
+        )
+        assert spg.total_cycles == seq.total_cycles
+
+    def test_buffering_is_pel(self, wl, hw):
+        r = run(
+            wl, hw, "SP_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+            sp_variant=SPVariant.GENERIC,
+        )
+        assert r.granularity is Granularity.ROW
+        assert r.intermediate_buffer_elements == r.pel
+        assert r.pel == 8 * wl.in_features
+
+
+class TestSPOptimized:
+    def test_zero_buffering(self, wl, hw):
+        """Table III: SP-Optimized intermediate buffering = 0."""
+        r = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)",
+            SpmmTiling(8, 8, 1), GemmTiling(8, 8, 1),
+            sp_variant=SPVariant.OPTIMIZED,
+        )
+        assert r.intermediate_buffer_elements == 0
+
+    def test_no_intermediate_gb_traffic(self, wl, hw):
+        """§IV-B: the intermediate never leaves the PEs."""
+        r = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)",
+            SpmmTiling(8, 8, 1), GemmTiling(8, 8, 1),
+            sp_variant=SPVariant.OPTIMIZED,
+        )
+        assert r.gb_reads.get("intermediate", 0) == 0
+        assert r.gb_writes.get("intermediate", 0) == 0
+
+    def test_saves_t_load(self, wl, hw):
+        """Table III: runtime = t_AGG + t_CMB - t_load."""
+        st, gt = SpmmTiling(8, 8, 1), GemmTiling(8, 8, 1)
+        opt = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)", st, gt,
+            sp_variant=SPVariant.OPTIMIZED,
+        )
+        gen = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)", st, gt,
+            sp_variant=SPVariant.GENERIC,
+        )
+        assert opt.total_cycles < gen.total_cycles
+        assert opt.total_cycles >= gen.total_cycles - gen.cmb.cycles
+
+    def test_traffic_moves_to_rf(self, wl, hw):
+        st, gt = SpmmTiling(8, 8, 1), GemmTiling(8, 8, 1)
+        opt = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)", st, gt,
+            sp_variant=SPVariant.OPTIMIZED,
+        )
+        gen = run(
+            wl, hw, "SP_AC(VsFsNt, VsFsGt)", st, gt,
+            sp_variant=SPVariant.GENERIC,
+        )
+        assert opt.rf_writes > gen.rf_writes  # intermediate staged in RF
+        assert opt.energy_pj < gen.energy_pj
+
+    def test_illegal_orders_raise(self, wl, hw):
+        with pytest.raises(LegalityError):
+            run(
+                wl, hw, "SP_AC(VsNtFt, VsGsFt)",
+                SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+                sp_variant=SPVariant.OPTIMIZED,
+            )
+
+    def test_needs_temporal_reduction(self, wl):
+        rigid = AcceleratorConfig(num_pes=64, supports_temporal_reduction=False)
+        with pytest.raises(LegalityError):
+            run(
+                wl, rigid, "SP_AC(VsFsNt, VsFsGt)",
+                SpmmTiling(8, 8, 1), GemmTiling(8, 8, 1),
+                sp_variant=SPVariant.OPTIMIZED,
+            )
+
+
+class TestPP:
+    def test_buffering_is_2pel(self, wl, hw):
+        """Table III: PP intermediate buffering = 2 x Pel."""
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        assert r.granularity is Granularity.ROW
+        assert r.intermediate_buffer_elements == 2 * r.pel
+
+    def test_pipeline_report_attached(self, wl, hw):
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        assert r.pipeline is not None
+        assert r.pipeline.num_granules > 1
+        assert r.total_cycles == r.pipeline.total_cycles
+
+    def test_runtime_bounded_by_phases(self, wl, hw):
+        """sum(max) semantics: max phase <= PP total <= sum of phases."""
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        lo = max(r.agg.cycles, r.cmb.cycles)
+        hi = r.agg.cycles + r.cmb.cycles
+        assert lo <= r.total_cycles <= hi + r.pipeline.fill_cycles + 1
+
+    def test_intermediate_through_pingpong(self, wl, hw):
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        assert r.intermediate_writes > 0
+        assert r.intermediate_reads > 0
+        assert r.gb_writes.get("intermediate", 0) == 0
+        assert r.energy.intermediate_pj > 0
+
+    def test_pingpong_energy_cheaper_than_gb(self, wl, hw):
+        """§V-B2: the small intermediate partition costs less per access."""
+        pp = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        seq = run(
+            wl, hw, "Seq_AC(VsFtNt, VsGsFt)",
+            SpmmTiling(8, 1, 1), GemmTiling(8, 1, 6),
+        )
+        seq_int_pj = (
+            seq.gb_reads["intermediate"] + seq.gb_writes["intermediate"]
+        ) * hw.energy.gb_pj
+        pp_int_pj = pp.energy.intermediate_pj
+        pp_int_traffic = pp.intermediate_reads + pp.intermediate_writes
+        assert pp_int_pj / pp_int_traffic < hw.energy.gb_pj
+
+    def test_pe_split_partitions_phases(self, wl, hw):
+        r25 = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)", pe_split=0.25)
+        r75 = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)", pe_split=0.75)
+        # More PEs for Aggregation => faster Aggregation phase.
+        assert r75.agg.cycles <= r25.agg.cycles
+        assert r75.cmb.cycles >= r25.cmb.cycles
+
+    def test_illegal_pair_raises(self, wl, hw):
+        with pytest.raises(LegalityError):
+            run(wl, hw, "PP_AC(NtVtFs, VsGsFt)")
+
+
+class TestRunResult:
+    def test_summary_keys(self, wl, hw):
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        s = r.summary()
+        for key in ("dataflow", "cycles", "energy_pj", "granularity"):
+            assert key in s
+
+    def test_gb_breakdown_nonnegative(self, wl, hw):
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        assert all(v >= 0 for v in r.gb_breakdown().values())
+
+    def test_energy_total_consistent(self, wl, hw):
+        r = run(wl, hw, "PP_AC(VsFtNt, VsGsFt)")
+        e = r.energy
+        parts = (
+            e.gb_read_pj + e.gb_write_pj + e.rf_read_pj + e.rf_write_pj
+            + e.intermediate_pj + e.dram_pj
+        )
+        assert e.total_pj == pytest.approx(parts)

@@ -1,0 +1,176 @@
+"""Cross-cutting property tests: invariants every mapping must satisfy.
+
+Hypothesis drives random workloads, dataflows, and tilings through the
+full stack; each test states one physical law of the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.enumeration import enumerate_pairs
+from repro.core.legality import LegalityError
+from repro.core.omega import run_gnn_dataflow
+from repro.core.taxonomy import InterPhase, PhaseOrder, parse_dataflow
+from repro.core.workload import GNNWorkload
+from repro.graphs.generators import erdos_renyi_graph
+
+# A pool of pipeline-legal AC dataflows to sample from.
+PP_POOL = [
+    df
+    for df in enumerate_pairs(InterPhase.PP, PhaseOrder.AC)
+][::7]  # thin the 512 to ~74 for test speed
+
+
+def _workload(seed: int, v: int, e: int, f: int, g: int) -> GNNWorkload:
+    graph = erdos_renyi_graph(np.random.default_rng(seed), v, e)
+    return GNNWorkload(graph, in_features=f, out_features=g)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+    idx=st.integers(0, len(PP_POOL) - 1),
+)
+def test_pp_bounded_by_phase_times(seed, v, e, f, g, idx):
+    """PP runtime lies between max(phases) and sum(phases) + fill."""
+    wl = _workload(seed, v, e, f, g)
+    hw = AcceleratorConfig(num_pes=64)
+    df = PP_POOL[idx]
+    try:
+        r = run_gnn_dataflow(wl, df, hw)
+    except (LegalityError, ValueError):
+        return
+    assert r.total_cycles >= max(r.agg.cycles, r.cmb.cycles)
+    assert r.total_cycles <= (
+        r.agg.cycles + r.cmb.cycles + r.pipeline.fill_cycles + 2
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+)
+def test_bandwidth_monotonicity(seed, v, e, f, g):
+    """Halving bandwidth never makes any phase faster."""
+    wl = _workload(seed, v, e, f, g)
+    df = parse_dataflow("Seq_AC(VxFxNt, VxGxFx)")
+    prev = None
+    for bw in (64, 16, 4):
+        hw = AcceleratorConfig(num_pes=64, dist_bw=bw, red_bw=bw)
+        r = run_gnn_dataflow(wl, df, hw)
+        if prev is not None:
+            assert r.total_cycles >= prev
+        prev = r.total_cycles
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+)
+def test_macs_invariant_across_mappings(seed, v, e, f, g):
+    """Every mapping computes exactly nnz*F + V*F*G MACs (AC order)."""
+    wl = _workload(seed, v, e, f, g)
+    hw = AcceleratorConfig(num_pes=64)
+    expected = wl.num_edges * f + v * f * g
+    for text in (
+        "Seq_AC(VxFxNt, VxGxFx)",
+        "Seq_AC(FxVxNx, GxVxFx)",
+        "PP_AC(VxFxNt, VxGxFx)",
+    ):
+        r = run_gnn_dataflow(wl, parse_dataflow(text), hw)
+        assert r.agg.macs + r.cmb.macs == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+)
+def test_energy_is_priced_traffic(seed, v, e, f, g):
+    """Energy must equal access counts times the per-level unit costs."""
+    wl = _workload(seed, v, e, f, g)
+    hw = AcceleratorConfig(num_pes=64)
+    r = run_gnn_dataflow(wl, parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"), hw)
+    e_model = hw.energy
+    expected = (
+        sum(r.gb_reads.values()) * e_model.gb_pj
+        + sum(r.gb_writes.values()) * e_model.gb_pj
+        + r.rf_reads * e_model.rf_pj
+        + r.rf_writes * e_model.rf_pj
+    )
+    assert r.energy_pj == pytest.approx(expected)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+)
+def test_compulsory_traffic_lower_bounds(seed, v, e, f, g):
+    """Each input element must be read at least once from GB (or more)."""
+    wl = _workload(seed, v, e, f, g)
+    hw = AcceleratorConfig(num_pes=64)
+    r = run_gnn_dataflow(wl, parse_dataflow("Seq_AC(VxFxNt, VxGxFx)"), hw)
+    assert r.gb_reads["input"] >= wl.num_edges * min(f, r.agg.tile_sizes["T_F"])
+    assert r.gb_reads["weight"] >= f * g
+    assert r.gb_writes["output"] >= v * g
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+    split=st.sampled_from([0.25, 0.5, 0.75]),
+)
+def test_pp_partition_conservation(seed, v, e, f, g, split):
+    """PP partitions never exceed the machine and never overlap."""
+    wl = _workload(seed, v, e, f, g)
+    hw = AcceleratorConfig(num_pes=64)
+    df = parse_dataflow("PP_AC(VxFxNt, VxGxFx)", pe_split=split)
+    r = run_gnn_dataflow(wl, df, hw)
+    agg_pes = r.agg.static_utilization * round(hw.num_pes * split)
+    cmb_pes = r.cmb.static_utilization * (hw.num_pes - round(hw.num_pes * split))
+    assert agg_pes + cmb_pes <= hw.num_pes + 1e-6
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 100),
+    v=st.integers(8, 60),
+    e=st.integers(10, 250),
+    f=st.integers(2, 48),
+    g=st.integers(1, 12),
+)
+def test_more_pes_never_slower(seed, v, e, f, g):
+    """Scaling the array up cannot hurt (tile chooser re-runs)."""
+    wl = _workload(seed, v, e, f, g)
+    df = parse_dataflow("Seq_AC(VxFxNt, VxGxFx)")
+    small = run_gnn_dataflow(wl, df, AcceleratorConfig(num_pes=32))
+    big = run_gnn_dataflow(wl, df, AcceleratorConfig(num_pes=256))
+    assert big.total_cycles <= small.total_cycles * 1.05

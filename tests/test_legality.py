@@ -1,0 +1,198 @@
+"""Tests for granularity inference and SP-Optimized legality (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumeration import TABLE_II_ROWS
+from repro.core.legality import (
+    LegalityError,
+    infer_granularity,
+    intermediate_axes,
+    phase_granule,
+    sp_optimized_ok,
+    validate_dataflow,
+)
+from repro.core.taxonomy import (
+    Dataflow,
+    Dim,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+    parse_dataflow,
+)
+
+
+def _df(inter, order, agg, cmb, variant=None):
+    return Dataflow(
+        inter=inter,
+        order=PhaseOrder(order),
+        agg=IntraDataflow.parse(agg, Phase.AGGREGATION),
+        cmb=IntraDataflow.parse(cmb, Phase.COMBINATION),
+        sp_variant=variant,
+    )
+
+
+class TestIntermediateAxes:
+    def test_ac_aggregation(self):
+        agg = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        assert intermediate_axes(agg, PhaseOrder.AC) == (Dim.V, Dim.F, Dim.N)
+
+    def test_ac_combination(self):
+        cmb = IntraDataflow.parse("VxGxFx", Phase.COMBINATION)
+        assert intermediate_axes(cmb, PhaseOrder.AC) == (Dim.V, Dim.F, Dim.G)
+
+    def test_ca_combination_produces_vg(self):
+        cmb = IntraDataflow.parse("VxGxFx", Phase.COMBINATION)
+        assert intermediate_axes(cmb, PhaseOrder.CA) == (Dim.V, Dim.G, Dim.F)
+
+    def test_ca_aggregation_reads_nf(self):
+        agg = IntraDataflow.parse("NxFxVx", Phase.AGGREGATION)
+        assert intermediate_axes(agg, PhaseOrder.CA) == (Dim.N, Dim.F, Dim.V)
+
+
+class TestPhaseGranule:
+    @pytest.mark.parametrize(
+        "order,expected",
+        [
+            ("VxFxNx", Granularity.ELEMENT),  # contraction innermost
+            ("FxVxNx", Granularity.ELEMENT),
+            ("VxNxFx", Granularity.ROW),  # col axis inside contraction
+            ("FxNxVx", Granularity.COLUMN),
+            ("NxVxFx", None),  # contraction outermost: whole matrix
+            ("NxFxVx", None),
+        ],
+    )
+    def test_agg_producer_granule(self, order, expected):
+        agg = IntraDataflow.parse(order, Phase.AGGREGATION)
+        assert phase_granule(agg, PhaseOrder.AC) == expected
+
+    @pytest.mark.parametrize(
+        "order,expected",
+        [
+            ("VxFxGx", Granularity.ELEMENT),  # G innermost
+            ("FxVxGx", Granularity.ELEMENT),
+            ("VxGxFx", Granularity.ROW),
+            ("FxGxVx", Granularity.COLUMN),
+            ("GxVxFx", None),
+            ("GxFxVx", None),
+        ],
+    )
+    def test_cmb_consumer_granule(self, order, expected):
+        cmb = IntraDataflow.parse(order, Phase.COMBINATION)
+        assert phase_granule(cmb, PhaseOrder.AC) == expected
+
+
+class TestTableII:
+    """Our inference must reproduce each explicitly enumerated table row."""
+
+    @pytest.mark.parametrize(
+        "row", [r for r in TABLE_II_ROWS if r.inter is InterPhase.PP], ids=lambda r: f"row{r.row}-{r.order.value}"
+    )
+    def test_pp_rows_granularity(self, row):
+        for agg_pat, cmb_pat in row.pairs:
+            df = _df(InterPhase.PP, row.order.value, agg_pat, cmb_pat)
+            assert infer_granularity(df) is row.granularity, (agg_pat, cmb_pat)
+
+    def test_sp_optimized_rows_pass(self):
+        for row in TABLE_II_ROWS:
+            if row.sp_variant is not SPVariant.OPTIMIZED:
+                continue
+            for agg_pat, cmb_pat in row.pairs:
+                df = _df(
+                    InterPhase.SP, row.order.value, agg_pat, cmb_pat,
+                    SPVariant.OPTIMIZED,
+                )
+                ok, reason = sp_optimized_ok(df)
+                assert ok, f"{agg_pat},{cmb_pat}: {reason}"
+
+    def test_unlisted_pair_rejected(self):
+        # Column-major element producer cannot feed a row consumer: (FVN,
+        # VGF) appears nowhere in Table II.
+        df = _df(InterPhase.PP, "AC", "FxVxNx", "VxGxFx")
+        assert infer_granularity(df) is None
+
+    def test_row_column_mix_rejected(self):
+        df = _df(InterPhase.PP, "AC", "VxNxFx", "FxGxVx")  # row prod, col cons
+        assert infer_granularity(df) is None
+
+    def test_whole_matrix_producer_rejected(self):
+        df = _df(InterPhase.PP, "AC", "NxVxFx", "VxGxFx")
+        assert infer_granularity(df) is None
+
+
+class TestSpOptimized:
+    def test_requires_element_orders(self):
+        df = _df(InterPhase.SP, "AC", "VxNxFx", "VxGxFx", SPVariant.OPTIMIZED)
+        ok, reason = sp_optimized_ok(df)
+        assert not ok and "element" in reason
+
+    def test_requires_temporal_contraction(self):
+        df = _df(InterPhase.SP, "AC", "VxFxNs", "VxFxGt", SPVariant.OPTIMIZED)
+        ok, reason = sp_optimized_ok(df)
+        assert not ok and "temporal" in reason
+
+    def test_requires_innermost_other(self):
+        # N temporal but not innermost.
+        df = _df(InterPhase.SP, "AC", "VxNtFx", "VxFxGt", SPVariant.OPTIMIZED)
+        ok, _ = sp_optimized_ok(df)
+        assert not ok
+
+    def test_requires_matching_shared_axes(self):
+        df = _df(InterPhase.SP, "AC", "VsFtNt", "VtFsGt", SPVariant.OPTIMIZED)
+        ok, reason = sp_optimized_ok(df)
+        assert not ok and "matching" in reason
+
+    def test_wildcards_allowed_on_shared_axes(self):
+        df = _df(InterPhase.SP, "AC", "VxFxNt", "VxFxGt", SPVariant.OPTIMIZED)
+        ok, _ = sp_optimized_ok(df)
+        assert ok
+
+    def test_ca_variant(self):
+        df = _df(InterPhase.SP, "CA", "NsFsVt", "VsGsFt", SPVariant.OPTIMIZED)
+        ok, reason = sp_optimized_ok(df)
+        assert ok, reason
+
+
+class TestValidateDataflow:
+    def test_seq_always_legal(self):
+        df = _df(InterPhase.SEQ, "AC", "NtVtFt", "GtVtFt")
+        assert validate_dataflow(df) is None
+
+    def test_pp_returns_granularity(self):
+        df = parse_dataflow("PP_AC(VtFsNt, VsGsFt)")
+        assert validate_dataflow(df) is Granularity.ROW
+
+    def test_illegal_pp_raises(self):
+        df = _df(InterPhase.PP, "AC", "NxVxFx", "VxGxFx")
+        with pytest.raises(LegalityError):
+            validate_dataflow(df)
+
+    def test_illegal_pp_nonstrict_returns_none(self):
+        df = _df(InterPhase.PP, "AC", "NxVxFx", "VxGxFx")
+        assert validate_dataflow(df, strict=False) is None
+
+    def test_declared_granularity_must_match(self):
+        df = parse_dataflow(
+            "PP_AC(VtFsNt, VsGsFt)", granularity=Granularity.COLUMN
+        )
+        with pytest.raises(LegalityError):
+            validate_dataflow(df)
+
+    def test_sp_optimized_violation_raises(self):
+        df = _df(InterPhase.SP, "AC", "VxNxFx", "VxGxFx", SPVariant.OPTIMIZED)
+        with pytest.raises(LegalityError):
+            validate_dataflow(df)
+
+    def test_hygcn_dataflow_is_row_granularity(self):
+        """Paper: HyGCN = PP_AC(VxFsNt, VsGsFt), a row(s)-wise pipeline."""
+        df = parse_dataflow("PP_AC(VsFsNt, VsGsFt)")
+        assert validate_dataflow(df) is Granularity.ROW
+
+    def test_awbgcn_dataflow_is_column_granularity(self):
+        """Paper: AWB-GCN = PP_CA(FsNtVs, GtFtVs), column(s)-wise."""
+        df = parse_dataflow("PP_CA(FsNtVs, GtFtVs)")
+        assert validate_dataflow(df) is Granularity.COLUMN

@@ -1,0 +1,139 @@
+"""Tests for the standalone reuse calculator — and its agreement with the
+GEMM engine (a third independent view of Table I)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import Annot, Dim, IntraDataflow, Phase
+from repro.engine.gemm import GemmSpec, GemmTiling, simulate_gemm
+from repro.engine.loopnest import (
+    PsumBehavior,
+    Residency,
+    analyze_operand,
+    classify_stationary,
+    psum_behavior,
+)
+
+
+def intra(text: str) -> IntraDataflow:
+    return IntraDataflow.parse(text, Phase.COMBINATION)
+
+
+EXTENTS = {Dim.V: 16, Dim.F: 8, Dim.G: 4}
+
+
+class TestTableI:
+    def test_vsgsft_output_stationary(self):
+        tiles = {Dim.V: 16, Dim.G: 4, Dim.F: 1}
+        c = classify_stationary(intra("VsGsFt"), tiles, EXTENTS)
+        assert c == {"left": "streamed", "right": "streamed", "output": "stationary"}
+
+    def test_gsfsvt_weight_stationary(self):
+        tiles = {Dim.V: 1, Dim.G: 4, Dim.F: 8}
+        c = classify_stationary(intra("GsFsVt"), tiles, EXTENTS)
+        assert c["right"] == "stationary"
+        assert c["left"] == "streamed"
+
+    def test_vsfsgt_input_stationary(self):
+        tiles = {Dim.V: 16, Dim.G: 1, Dim.F: 8}
+        c = classify_stationary(intra("VsFsGt"), tiles, EXTENTS)
+        assert c["left"] == "stationary"
+        assert c["right"] == "streamed"
+
+
+class TestAnalyzeOperand:
+    def test_streamed_refetch_factor(self):
+        tiles = {Dim.V: 4, Dim.G: 1, Dim.F: 1}
+        a = analyze_operand(intra("VsGtFt"), (Dim.F, Dim.G), tiles, EXTENTS)
+        # Weight depends on (F, G) at levels (2, 1): refetched per V tile.
+        assert a.residency is Residency.STREAMED
+        assert a.refetch_factor == 4  # ceil(16/4) vertex tiles
+
+    def test_stationary_fetched_once(self):
+        tiles = {Dim.V: 1, Dim.G: 4, Dim.F: 8}
+        a = analyze_operand(intra("GsFsVt"), (Dim.F, Dim.G), tiles, EXTENTS)
+        assert a.residency is Residency.STATIONARY
+        assert a.refetch_factor == 1
+
+    def test_gb_reads_product(self):
+        tiles = {Dim.V: 4, Dim.G: 1, Dim.F: 1}
+        a = analyze_operand(intra("VsGtFt"), (Dim.F, Dim.G), tiles, EXTENTS)
+        assert a.gb_reads(EXTENTS) == 8 * 4 * 4
+
+    def test_missing_dim_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_operand(intra("VsGtFt"), (Dim.N,), {}, EXTENTS)
+
+
+class TestPsum:
+    def test_single_visit_when_contraction_spatial(self):
+        tiles = {Dim.V: 2, Dim.G: 1, Dim.F: 8}
+        assert (
+            psum_behavior(intra("VsFsGt"), (Dim.V, Dim.G), tiles, EXTENTS)
+            is PsumBehavior.SINGLE_VISIT
+        )
+
+    def test_accumulator_when_contraction_innermost(self):
+        tiles = {Dim.V: 4, Dim.G: 4, Dim.F: 1}
+        assert (
+            psum_behavior(intra("VsGsFt"), (Dim.V, Dim.G), tiles, EXTENTS)
+            is PsumBehavior.ACCUMULATOR
+        )
+
+    def test_spill_when_output_inside_contraction(self):
+        tiles = {Dim.V: 4, Dim.G: 1, Dim.F: 1}
+        assert (
+            psum_behavior(intra("VsFtGt"), (Dim.V, Dim.G), tiles, EXTENTS)
+            is PsumBehavior.SPILL
+        )
+
+    def test_more_accumulators_flip_to_resident(self):
+        tiles = {Dim.V: 4, Dim.G: 1, Dim.F: 1}
+        assert (
+            psum_behavior(
+                intra("VsFtGt"), (Dim.V, Dim.G), tiles, EXTENTS,
+                pe_accumulators=4,
+            )
+            is PsumBehavior.ACCUMULATOR
+        )
+
+    def test_no_temporal_reduction_spills(self):
+        tiles = {Dim.V: 4, Dim.G: 4, Dim.F: 1}
+        assert (
+            psum_behavior(
+                intra("VsGsFt"), (Dim.V, Dim.G), tiles, EXTENTS,
+                temporal_reduction=False,
+            )
+            is PsumBehavior.SPILL
+        )
+
+
+class TestAgreementWithEngine:
+    """The calculator and the GEMM engine must tell the same story."""
+
+    @pytest.mark.parametrize(
+        "order", list(itertools.permutations((Dim.V, Dim.G, Dim.F))),
+        ids=lambda o: "".join(d.value for d in o),
+    )
+    def test_reads_and_psums_match(self, order):
+        hw = AcceleratorConfig(num_pes=64)
+        spec = GemmSpec(rows=16, inner=8, cols=4)
+        for tv, tf, tg in [(4, 2, 2), (1, 8, 4), (16, 1, 4), (2, 2, 1)]:
+            tiles_d = {Dim.V: tv, Dim.F: tf, Dim.G: tg}
+            annot = tuple(
+                Annot.SPATIAL if tiles_d[d] > 1 else Annot.TEMPORAL for d in order
+            )
+            df = IntraDataflow(Phase.COMBINATION, order, annot)
+            res = simulate_gemm(spec, df, GemmTiling(tv, tf, tg), hw)
+            left = analyze_operand(df, (Dim.V, Dim.F), tiles_d, EXTENTS)
+            right = analyze_operand(df, (Dim.F, Dim.G), tiles_d, EXTENTS)
+            assert res.stats.gb_reads["intermediate"] == left.gb_reads(EXTENTS)
+            assert res.stats.gb_reads["weight"] == right.gb_reads(EXTENTS)
+            behavior = psum_behavior(df, (Dim.V, Dim.G), tiles_d, EXTENTS)
+            assert ("psum" in res.stats.gb_writes) == (
+                behavior is PsumBehavior.SPILL
+            )

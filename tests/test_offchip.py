@@ -1,0 +1,79 @@
+"""Tests for the off-chip (GCNAX-contrast) traffic model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.workload import GNNWorkload
+from repro.extensions.offchip import analyze_offchip, fusion_saving
+
+
+@pytest.fixture
+def wl(er_graph):
+    return GNNWorkload(er_graph, in_features=24, out_features=6)
+
+
+class TestAnalyze:
+    def test_fused_has_no_intermediate_traffic(self, wl):
+        p = analyze_offchip(wl, 4096, fused=True)
+        assert p.intermediate_writes == 0
+        assert p.intermediate_reads == 0
+
+    def test_unfused_round_trips_intermediate(self, wl):
+        p = analyze_offchip(wl, 4096, fused=False)
+        expected = wl.num_vertices * wl.in_features
+        assert p.intermediate_writes == expected
+        assert p.intermediate_reads == expected
+
+    def test_big_buffer_reaches_compulsory_traffic(self, wl):
+        p = analyze_offchip(wl, 10**8, fused=True)
+        compulsory = (
+            wl.num_edges + wl.num_vertices + 1
+            + wl.num_vertices * wl.in_features
+            + wl.in_features * wl.out_features
+            + wl.num_vertices * wl.out_features
+        )
+        assert p.total_elements == compulsory
+
+    def test_small_buffer_gathers_per_edge(self, wl):
+        p = analyze_offchip(wl, 64, fused=True)
+        assert p.x_reads == wl.num_edges * wl.in_features
+
+    def test_weight_refetch_when_not_resident(self, wl):
+        small = analyze_offchip(wl, 64, fused=True)
+        big = analyze_offchip(wl, 10**7, fused=True)
+        assert small.weight_reads >= big.weight_reads
+        assert big.weight_reads == wl.in_features * wl.out_features
+
+    def test_traffic_monotone_in_buffer(self, wl):
+        sizes = [64, 256, 1024, 4096, 1 << 20]
+        totals = [
+            analyze_offchip(wl, s, fused=True).total_elements for s in sizes
+        ]
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_buffer_validation(self, wl):
+        with pytest.raises(ValueError):
+            analyze_offchip(wl, 2)
+
+    def test_as_dict_total(self, wl):
+        p = analyze_offchip(wl, 4096, fused=False)
+        d = p.as_dict()
+        assert d["total"] == p.total_elements
+        assert d["total"] == (
+            d["adj"] + d["x"] + d["int_wr"] + d["int_rd"] + d["weight"] + d["output"]
+        )
+
+    def test_dram_energy(self, wl):
+        p = analyze_offchip(wl, 4096, fused=True)
+        assert p.dram_energy_pj(100.0) == pytest.approx(p.total_elements * 100.0)
+
+
+class TestFusionSaving:
+    def test_saving_in_unit_interval(self, wl):
+        for size in (64, 1024, 1 << 18):
+            s = fusion_saving(wl, size)
+            assert 0 <= s < 1
+
+    def test_saving_positive_when_buffer_small(self, wl):
+        assert fusion_saving(wl, 256) > 0.05

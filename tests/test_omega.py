@@ -1,0 +1,164 @@
+"""End-to-end OMEGA tests: the paper's qualitative findings must hold.
+
+These are the reproduction's acceptance tests — each asserts one of the
+§V observations on appropriately-shaped synthetic workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.configs import PAPER_CONFIGS, paper_config_names, paper_dataflow
+from repro.core.omega import run_gnn_dataflow
+from repro.core.workload import GNNWorkload, workload_from_dataset
+from repro.graphs.datasets import load_dataset
+from repro.graphs.generators import (
+    clique_union_graph,
+    hub_thread_graph,
+    molecular_graph,
+)
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return AcceleratorConfig(num_pes=512)
+
+
+def run_config(wl, hw, name, **kw):
+    df, hint = paper_dataflow(name, **kw)
+    return run_gnn_dataflow(wl, df, hw, hint=hint)
+
+
+@pytest.fixture(scope="module")
+def hf_workload():
+    """Heavy-tailed sparse graph with many features (HF category)."""
+    g = hub_thread_graph(np.random.default_rng(0), 1500, 3600, num_hubs=12)
+    return GNNWorkload(g, in_features=1024, out_features=6, name="hf")
+
+
+@pytest.fixture(scope="module")
+def he_workload():
+    """Dense rows, moderate features (HE category)."""
+    g = clique_union_graph(np.random.default_rng(1), 600, 24000)
+    return GNNWorkload(g, in_features=256, out_features=3, name="he")
+
+
+@pytest.fixture(scope="module")
+def lef_workload():
+    """Uniform-degree molecular batch (LEF category)."""
+    g = molecular_graph(np.random.default_rng(2), 1000, 2400)
+    return GNNWorkload(g, in_features=28, out_features=2, name="lef")
+
+
+class TestRuntimeFindings:
+    def test_sphighv_pathology_on_hf(self, hf_workload, hw):
+        """§V-B1: extremely high T_V is crushed by evil rows on HF."""
+        sp2 = run_config(hf_workload, hw, "SP2")
+        sphighv = run_config(hf_workload, hw, "SPhighV")
+        assert sphighv.total_cycles > 1.5 * sp2.total_cycles
+
+    def test_sphighv_tolerable_on_lef(self, lef_workload, hw):
+        """§V-B1: Mutag-like uniform graphs tolerate extreme T_V."""
+        seq1 = run_config(lef_workload, hw, "Seq1")
+        sphighv = run_config(lef_workload, hw, "SPhighV")
+        assert sphighv.total_cycles < 1.8 * seq1.total_cycles
+
+    def test_spatial_aggregation_wins_on_he(self, he_workload, hw):
+        """§V-B1: densely-connected graphs favour spatial Aggregation."""
+        seq1 = run_config(he_workload, hw, "Seq1")
+        seq2 = run_config(he_workload, hw, "Seq2")
+        assert seq2.total_cycles < seq1.total_cycles
+
+    def test_pp_load_imbalance_on_he(self, he_workload, hw):
+        """§V-B1: PP performs worst on Collab-like aggregation-bound
+        workloads at the default 50-50 allocation."""
+        seq1 = run_config(he_workload, hw, "Seq1")
+        pp1 = run_config(he_workload, hw, "PP1")
+        assert pp1.total_cycles > seq1.total_cycles
+
+    def test_sp1_competitive_everywhere(self, hf_workload, he_workload, lef_workload, hw):
+        for wl in (hf_workload, he_workload, lef_workload):
+            seq1 = run_config(wl, hw, "Seq1")
+            sp1 = run_config(wl, hw, "SP1")
+            assert sp1.total_cycles <= 1.15 * seq1.total_cycles
+
+
+class TestEnergyFindings:
+    def test_gb_dominates_energy(self, lef_workload, hw):
+        """§V-B2: energy is dominated by GB accesses, then RF."""
+        r = run_config(lef_workload, hw, "Seq1")
+        gb = r.energy.gb_read_pj + r.energy.gb_write_pj
+        rf = r.energy.rf_read_pj + r.energy.rf_write_pj
+        assert gb > 0 and rf > 0
+        assert gb > 0.3 * r.energy_pj
+
+    def test_sphighv_psum_energy_on_hf(self, hf_workload, hw):
+        """§V-B2/§V-D: SPhighV pays enormous psum traffic on HF."""
+        sp1 = run_config(hf_workload, hw, "SP1")
+        sphighv = run_config(hf_workload, hw, "SPhighV")
+        psum_high = sphighv.gb_breakdown().get("psum", 0)
+        psum_sp1 = sp1.gb_breakdown().get("psum", 0)
+        assert psum_high > 5 * max(psum_sp1, 1)
+        assert sphighv.energy_pj > sp1.energy_pj
+
+    def test_sp_has_no_intermediate_accesses(self, lef_workload, hw):
+        """§V-B2: 'SP has no intermediate matrix accesses'."""
+        r = run_config(lef_workload, hw, "SP2")
+        assert r.gb_breakdown().get("intermediate", 0) == 0
+
+    def test_pp_intermediate_cheaper_than_seq(self, lef_workload, hw):
+        seq = run_config(lef_workload, hw, "Seq1")
+        pp = run_config(lef_workload, hw, "PP1")
+        seq_int = seq.gb_breakdown()["intermediate"] * hw.energy.gb_pj
+        assert pp.energy.intermediate_pj < seq_int
+
+
+class TestCaseStudies:
+    def test_load_balance_directionality(self, he_workload, hf_workload, hw):
+        """Fig. 14: agg-bound workloads want more agg PEs and vice versa."""
+        # HE (aggregation-heavy): starving agg at 25% is worse than 75%.
+        he_25 = run_config(he_workload, hw, "PP1", pe_split=0.25)
+        he_75 = run_config(he_workload, hw, "PP1", pe_split=0.75)
+        assert he_75.total_cycles < he_25.total_cycles
+        # HF (combination-heavy): the opposite.
+        hf_25 = run_config(hf_workload, hw, "PP1", pe_split=0.25)
+        hf_75 = run_config(hf_workload, hw, "PP1", pe_split=0.75)
+        assert hf_25.total_cycles < hf_75.total_cycles
+
+    def test_scalability_of_relative_ranking(self, lef_workload):
+        """Fig. 15: normalized runtimes similar at 512 and 2048 PEs."""
+        ranks = {}
+        for pes in (512, 2048):
+            hw = AcceleratorConfig(num_pes=pes)
+            base = run_config(lef_workload, hw, "Seq1").total_cycles
+            ranks[pes] = {
+                name: run_config(lef_workload, hw, name).total_cycles / base
+                for name in ("SP1", "SP2", "PP1")
+            }
+        for name in ranks[512]:
+            assert ranks[512][name] == pytest.approx(ranks[2048][name], rel=0.5)
+
+    def test_bandwidth_sensitivity(self, he_workload):
+        """Fig. 16: lower bandwidth slows everything; PP suffers most."""
+        def total(name, bw):
+            hw = AcceleratorConfig(num_pes=512, dist_bw=bw, red_bw=bw)
+            return run_config(he_workload, hw, name).total_cycles
+
+        for name in ("Seq1", "SP1", "PP1"):
+            assert total(name, 64) >= total(name, 512)
+        pp_slowdown = total("PP1", 64) / total("PP1", 512)
+        seq_slowdown = total("Seq1", 64) / total("Seq1", 512)
+        assert pp_slowdown >= seq_slowdown * 0.95  # PP at least as sensitive
+
+
+class TestAllConfigsOnDatasets:
+    @pytest.mark.parametrize("ds_name", ["mutag", "citeseer"])
+    def test_all_configs_run(self, ds_name, hw):
+        wl = workload_from_dataset(load_dataset(ds_name))
+        for name in paper_config_names():
+            r = run_config(wl, hw, name)
+            assert r.total_cycles > 0
+            assert r.energy_pj > 0
+            assert r.total_gb_accesses > 0

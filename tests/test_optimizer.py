@@ -1,0 +1,110 @@
+"""Tests for the mapping optimizer (paper §VI future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.optimizer import (
+    OBJECTIVES,
+    MappingOptimizer,
+    search_paper_configs,
+)
+from repro.core.taxonomy import parse_dataflow
+from repro.core.workload import GNNWorkload
+from repro.engine.gemm import GemmTiling
+from repro.engine.spmm import SpmmTiling
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=64)
+
+
+@pytest.fixture
+def wl(er_graph):
+    return GNNWorkload(er_graph, in_features=24, out_features=6, name="er")
+
+
+class TestPaperSweep:
+    def test_covers_all_configs(self, wl, hw):
+        r = search_paper_configs(wl, hw)
+        assert r.evaluated == 9
+        assert len(r.history) == 9
+
+    def test_best_is_minimum(self, wl, hw):
+        r = search_paper_configs(wl, hw, objective="cycles")
+        assert r.best_score == min(s for _, s in r.history)
+
+    def test_energy_objective(self, wl, hw):
+        r = search_paper_configs(wl, hw, objective="energy")
+        assert r.best_score == min(s for _, s in r.history)
+
+    def test_top_k_sorted(self, wl, hw):
+        r = search_paper_configs(wl, hw)
+        top = r.top(3)
+        assert len(top) == 3
+        assert top[0][1] <= top[1][1] <= top[2][1]
+
+
+class TestOptimizer:
+    def test_unknown_objective(self, wl, hw):
+        with pytest.raises(ValueError):
+            MappingOptimizer(wl, hw, objective="speed")
+
+    def test_exhaustive_beats_paper_sweep(self, wl, hw):
+        """A broader search can only improve on the fixed Table V set."""
+        paper = search_paper_configs(wl, hw)
+        opt = MappingOptimizer(wl, hw)
+        full = opt.exhaustive(budget=250)
+        assert full.best_score <= paper.best_score * 1.001
+
+    def test_budget_respected(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        r = opt.exhaustive(budget=20)
+        assert r.evaluated <= 20
+
+    def test_random_search_reproducible(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        a = opt.random_search(25, seed=3)
+        b = opt.random_search(25, seed=3)
+        assert [h for h in a.history] == [h for h in b.history]
+
+    def test_all_evaluated_are_legal(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        r = opt.exhaustive(budget=100)
+        assert r.evaluated > 0
+        assert all(s > 0 for _, s in r.history)
+
+    def test_edp_objective_combines(self, wl, hw):
+        opt = MappingOptimizer(wl, hw, objective="edp")
+        r = opt.exhaustive(budget=40)
+        best = r.best
+        assert r.best_score == pytest.approx(
+            best.total_cycles * best.energy_pj
+        )
+
+
+class TestRefineTiles:
+    def test_refinement_never_worse(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        df = parse_dataflow("Seq_AC(VsFsNt, VsGsFt)")
+        st, gt = SpmmTiling(4, 8, 1), GemmTiling(8, 1, 6)
+        from repro.core.omega import run_gnn_dataflow
+
+        start = run_gnn_dataflow(wl, df, hw, spmm_tiling=st, gemm_tiling=gt)
+        refined, rst, rgt = opt.refine_tiles(df, st, gt)
+        assert refined.total_cycles <= start.total_cycles
+
+    def test_refinement_respects_budget(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        df = parse_dataflow("Seq_AC(VsFsNt, VsGsFt)")
+        _, rst, rgt = opt.refine_tiles(
+            df, SpmmTiling(4, 8, 1), GemmTiling(8, 1, 6)
+        )
+        assert rst.t_v * rst.t_f * rst.t_n <= hw.num_pes
+        assert rgt.t_v * rgt.t_f * rgt.t_g <= hw.num_pes
+
+
+def test_objectives_registry():
+    assert set(OBJECTIVES) == {"cycles", "energy", "edp"}

@@ -1,0 +1,118 @@
+"""Tests for Pareto-frontier extraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import (
+    ParetoPoint,
+    dominates,
+    hypervolume_2d,
+    pareto_frontier,
+    points_from_results,
+)
+
+
+def P(label, c, e):
+    return ParetoPoint(label=label, cycles=c, energy=e)
+
+
+class TestDominates:
+    def test_strict(self):
+        assert dominates(P("a", 1, 1), P("b", 2, 2))
+
+    def test_one_axis(self):
+        assert dominates(P("a", 1, 2), P("b", 2, 2))
+
+    def test_equal_not_dominating(self):
+        assert not dominates(P("a", 1, 1), P("b", 1, 1))
+
+    def test_tradeoff_not_dominating(self):
+        assert not dominates(P("a", 1, 3), P("b", 3, 1))
+
+
+class TestFrontier:
+    def test_simple(self):
+        pts = [P("fast", 1, 10), P("cheap", 10, 1), P("bad", 11, 11), P("mid", 5, 5)]
+        f = pareto_frontier(pts)
+        assert [p.label for p in f] == ["fast", "mid", "cheap"]
+
+    def test_single_winner(self):
+        pts = [P("king", 1, 1), P("a", 2, 2), P("b", 3, 1.5)]
+        assert [p.label for p in pareto_frontier(pts)] == ["king"]
+
+    def test_duplicates_collapsed(self):
+        pts = [P("a", 1, 1), P("b", 1, 1)]
+        assert len(pareto_frontier(pts)) == 1
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+    def test_sorted_by_cycles(self):
+        pts = [P("c", 9, 1), P("a", 1, 9), P("b", 5, 5)]
+        f = pareto_frontier(pts)
+        assert [p.cycles for p in f] == sorted(p.cycles for p in f)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    pts=st.lists(
+        st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_frontier_properties(pts):
+    """No frontier member dominates another; every non-member is dominated."""
+    points = [P(str(i), c, e) for i, (c, e) in enumerate(pts)]
+    frontier = pareto_frontier(points)
+    labels = {p.label for p in frontier}
+    for a in frontier:
+        for b in frontier:
+            assert not dominates(a, b)
+    for p in points:
+        if p.label not in labels:
+            assert any(
+                dominates(f, p) or (f.cycles, f.energy) == (p.cycles, p.energy)
+                for f in frontier
+            )
+
+
+class TestHypervolume:
+    def test_known_area(self):
+        f = [P("a", 1, 3), P("b", 3, 1)]
+        hv = hypervolume_2d(f, ref_cycles=4, ref_energy=4)
+        # (4-1)*(4-3) + (4-3)*(3-1) = 3 + 2 = 5
+        assert hv == pytest.approx(5.0)
+
+    def test_clipping(self):
+        f = [P("out", 10, 10)]
+        assert hypervolume_2d(f, ref_cycles=4, ref_energy=4) == 0.0
+
+    def test_monotone_in_points(self):
+        base = [P("a", 2, 2)]
+        more = base + [P("b", 1, 3)]
+        hv1 = hypervolume_2d(base, ref_cycles=5, ref_energy=5)
+        hv2 = hypervolume_2d(more, ref_cycles=5, ref_energy=5)
+        assert hv2 >= hv1
+
+
+class TestAdapters:
+    def test_points_from_results(self, er_graph):
+        from repro.arch.config import AcceleratorConfig
+        from repro.core.omega import run_gnn_dataflow
+        from repro.core.taxonomy import parse_dataflow
+        from repro.core.workload import GNNWorkload
+
+        wl = GNNWorkload(er_graph, 24, 6)
+        hw = AcceleratorConfig(num_pes=64)
+        runs = [
+            (t, run_gnn_dataflow(wl, parse_dataflow(t), hw))
+            for t in ("Seq_AC(VxFxNt, VxGxFx)", "PP_AC(VxFxNt, VxGxFx)")
+        ]
+        pts = points_from_results(runs)
+        assert len(pts) == 2
+        assert all(p.cycles > 0 and p.energy > 0 for p in pts)
+        assert pareto_frontier(pts)  # non-empty

@@ -1,0 +1,71 @@
+"""Tests for the record-set regression comparator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.export import run_result_to_record
+from repro.analysis.regression import compare_records
+from repro.arch.config import AcceleratorConfig
+from repro.core.omega import run_gnn_dataflow
+from repro.core.taxonomy import parse_dataflow
+from repro.core.workload import GNNWorkload
+
+
+@pytest.fixture
+def records(er_graph):
+    wl = GNNWorkload(er_graph, 24, 6, name="er")
+    hw = AcceleratorConfig(num_pes=64)
+    out = []
+    for text in ("Seq_AC(VxFxNt, VxGxFx)", "PP_AC(VxFxNt, VxGxFx)"):
+        res = run_gnn_dataflow(wl, parse_dataflow(text), hw)
+        out.append(run_result_to_record(res))
+    return out
+
+
+class TestCompare:
+    def test_identical_sets_pass(self, records):
+        rep = compare_records(records, records)
+        assert rep.matched == 2
+        assert rep.passes(tolerance=0.0)
+        assert rep.max_drift() == 0.0
+
+    def test_drift_detected(self, records):
+        import copy
+
+        changed = copy.deepcopy(records)
+        changed[0]["cycles"] = int(changed[0]["cycles"] * 1.1)
+        rep = compare_records(records, changed)
+        assert not rep.passes(tolerance=0.05)
+        assert rep.passes(tolerance=0.2)
+        worst = rep.worst(1)[0]
+        assert worst.metric == "cycles"
+        assert worst.ratio == pytest.approx(1.1, rel=1e-3)
+
+    def test_missing_run_fails(self, records):
+        rep = compare_records(records, records[:1])
+        assert rep.missing and not rep.passes(tolerance=1.0)
+
+    def test_added_run_reported_but_passes(self, records):
+        rep = compare_records(records[:1], records)
+        assert rep.added
+        assert rep.passes(tolerance=0.0)
+
+    def test_energy_compared(self, records):
+        import copy
+
+        changed = copy.deepcopy(records)
+        changed[1]["energy"]["total_pj"] *= 2
+        rep = compare_records(records, changed)
+        assert any(d.metric == "energy.total_pj" and d.drift > 0.5 for d in rep.deltas)
+
+    def test_determinism_end_to_end(self, er_graph):
+        """The whole stack is deterministic: two fresh runs produce
+        bit-identical records (the property CI regression relies on)."""
+        wl = GNNWorkload(er_graph, 24, 6, name="er")
+        hw = AcceleratorConfig(num_pes=64)
+        df = parse_dataflow("PP_AC(VxFxNt, VxGxFx)")
+        a = run_result_to_record(run_gnn_dataflow(wl, df, hw))
+        b = run_result_to_record(run_gnn_dataflow(wl, df, hw))
+        rep = compare_records([a], [b])
+        assert rep.passes(tolerance=0.0)

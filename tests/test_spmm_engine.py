@@ -1,0 +1,228 @@
+"""Tests for the tile-level SpMM engine (Aggregation phase).
+
+Pins down the data-dependent lock-step behaviour (evil rows), adjacency
+re-read rules, psum spills, and the granule decomposition used by PP.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import IntraDataflow, Phase
+from repro.engine.spmm import SpmmSpec, SpmmTiling, simulate_spmm
+from repro.graphs.csr import CSRGraph
+
+
+def intra(text: str) -> IntraDataflow:
+    return IntraDataflow.parse(text, Phase.AGGREGATION)
+
+
+@pytest.fixture
+def hw64():
+    return AcceleratorConfig(num_pes=64)
+
+
+def chain_graph(degrees: list[int]) -> CSRGraph:
+    """A graph with prescribed row degrees; row v points at columns 0..d-1."""
+    vptr = np.concatenate([[0], np.cumsum(degrees)]).astype(np.int64)
+    n = len(degrees)
+    cols = max([n] + [d for d in degrees])
+    dst = (
+        np.concatenate([np.arange(d, dtype=np.int64) for d in degrees])
+        if sum(degrees)
+        else np.array([], dtype=np.int64)
+    )
+    return CSRGraph(vptr, dst, cols)
+
+
+class TestLockStep:
+    def test_fig3_temporal_steps(self, tiny_graph, hw64):
+        """T_V=1, T_N=1: steps = sum of degrees x feature steps."""
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 4, 1), hw64)
+        assert res.stats.compute_steps == 11  # sum(deg) x 1 f-step
+
+    def test_evil_row_dominates_tile(self, hw64):
+        """One dense row stalls all its lock-step tile mates (§V-B1)."""
+        g = chain_graph([32, 1, 1, 1])
+        spec = SpmmSpec(graph=g, feat=2)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(4, 1, 1), hw64)
+        # One tile of 4 vertices: max degree 32 dominates; 2 f-steps.
+        assert res.stats.compute_steps == 32 * 2
+
+    def test_balanced_rows_no_inflation(self, hw64):
+        g = chain_graph([4, 4, 4, 4])
+        spec = SpmmSpec(graph=g, feat=1)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(4, 1, 1), hw64)
+        assert res.stats.compute_steps == 4
+
+    def test_spatial_n_divides_steps(self, hw64):
+        g = chain_graph([16, 16])
+        spec = SpmmSpec(graph=g, feat=1)
+        t1 = simulate_spmm(spec, intra("VtFtNt"), SpmmTiling(1, 1, 1), hw64)
+        t4 = simulate_spmm(spec, intra("VtFtNs"), SpmmTiling(1, 1, 4), hw64)
+        assert t1.stats.compute_steps == 32
+        assert t4.stats.compute_steps == 8
+
+    def test_ceil_waste_with_mismatched_tn(self, hw64):
+        """T_N > degree wastes lanes: ceil(5/4) = 2 steps per row."""
+        g = chain_graph([5, 5])
+        spec = SpmmSpec(graph=g, feat=1)
+        res = simulate_spmm(spec, intra("VtFtNs"), SpmmTiling(1, 1, 4), hw64)
+        assert res.stats.compute_steps == 4
+
+    def test_vtile_steps_vector(self, hw64):
+        g = chain_graph([8, 2, 3, 1])
+        spec = SpmmSpec(graph=g, feat=1)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(2, 1, 1), hw64)
+        assert res.vtile_steps.tolist() == [8, 3]
+
+    def test_zero_degree_rows(self, hw64):
+        g = chain_graph([0, 3, 0])
+        spec = SpmmSpec(graph=g, feat=2)
+        res = simulate_spmm(spec, intra("VtFtNt"), SpmmTiling(1, 1, 1), hw64)
+        assert res.stats.compute_steps == 3 * 2
+        assert res.stats.gb_writes["intermediate"] == 3 * 2  # all rows flushed
+
+
+class TestTraffic:
+    def test_x_reads_once_per_edge_feature(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 4, 1), hw64)
+        assert res.stats.gb_reads["input"] == 11 * 4
+
+    def test_adj_reread_per_fstep_when_f_outer(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=8)
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 2, 1), hw64)
+        # F at position 1 (< N): edge indices re-read per f-step (4 steps).
+        assert res.stats.gb_reads["adj"] == 11 * 4 + 6
+
+    def test_adj_latched_when_f_innermost(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=8)
+        res = simulate_spmm(spec, intra("VtNtFs"), SpmmTiling(1, 2, 1), hw64)
+        assert res.stats.gb_reads["adj"] == 11 + 6
+
+    def test_output_written_once(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 4, 1), hw64)
+        assert res.stats.gb_writes["intermediate"] == 5 * 4
+
+    def test_ca_operand_names(self, tiny_graph, hw64):
+        spec = SpmmSpec(
+            graph=tiny_graph, feat=4, x_name="intermediate", out_name="output"
+        )
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 4, 1), hw64)
+        assert "intermediate" in res.stats.gb_reads
+        assert "output" in res.stats.gb_writes
+
+
+class TestPsums:
+    def test_n_innermost_accumulates_in_pe(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        res = simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 4, 1), hw64)
+        assert "psum" not in res.stats.gb_writes
+
+    def test_f_inside_n_spills(self, hw64):
+        """(V, N, F): features sweep inside the neighbor loop => psums
+        round-trip the GB once per extra neighbor step."""
+        g = chain_graph([4, 4])
+        spec = SpmmSpec(graph=g, feat=8)
+        res = simulate_spmm(spec, intra("VtNtFs"), SpmmTiling(1, 4, 1), hw64)
+        # T_N=1 temporal: 4 neighbor steps/row; spill = (4-1) x 8 per row.
+        expected = (4 - 1) * 8 * 2
+        assert res.stats.gb_writes["psum"] == expected
+        assert res.stats.gb_reads["psum"] == expected
+
+    def test_n_outer_spills(self, hw64):
+        g = chain_graph([3, 2])
+        spec = SpmmSpec(graph=g, feat=2)
+        res = simulate_spmm(spec, intra("NtVtFt"), SpmmTiling(1, 1, 1), hw64)
+        expected = ((3 - 1) + (2 - 1)) * 2
+        assert res.stats.gb_writes["psum"] == expected
+
+    def test_rigid_substrate_needs_spatial_reduction(self):
+        hw = AcceleratorConfig(num_pes=64, supports_spatial_reduction=False)
+        g = chain_graph([4])
+        spec = SpmmSpec(graph=g, feat=1)
+        with pytest.raises(ValueError):
+            simulate_spmm(spec, intra("VtFtNs"), SpmmTiling(1, 1, 4), hw)
+
+    def test_no_temporal_reduction_spills(self):
+        hw = AcceleratorConfig(num_pes=64, supports_temporal_reduction=False)
+        g = chain_graph([4, 4])
+        spec = SpmmSpec(graph=g, feat=2)
+        res = simulate_spmm(spec, intra("VtFtNt"), SpmmTiling(1, 1, 1), hw)
+        assert res.stats.gb_writes["psum"] == (4 - 1) * 2 * 2
+
+
+class TestGranules:
+    def test_per_unit_rows_sum(self, er_graph, hw64):
+        spec = SpmmSpec(graph=er_graph, feat=6)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(8, 1, 1), hw64)
+        rows = res.per_unit_cycles("row")
+        assert rows.shape == (er_graph.num_vertices,)
+        assert rows.sum() == pytest.approx(res.stats.cycles, rel=1e-6)
+
+    def test_per_unit_cols_sum(self, er_graph, hw64):
+        spec = SpmmSpec(graph=er_graph, feat=6)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(8, 1, 1), hw64)
+        cols = res.per_unit_cycles("col")
+        assert cols.shape == (6,)
+        assert cols.sum() == pytest.approx(res.stats.cycles, rel=1e-6)
+
+    def test_row_granules_nonuniform_on_skew(self, skewed_graph, hw64):
+        spec = SpmmSpec(graph=skewed_graph, feat=4)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(8, 1, 1), hw64)
+        g = res.granule_cycles(axis="row", rows_per_granule=8)
+        assert g.max() > 3 * g.mean()  # hub granules dominate
+
+    def test_row_granule_count_any_chunk(self, er_graph, hw64):
+        spec = SpmmSpec(graph=er_graph, feat=6)
+        res = simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(8, 1, 1), hw64)
+        for chunk in (3, 8, 13, 40):
+            g = res.granule_cycles(axis="row", rows_per_granule=chunk)
+            assert len(g) == math.ceil(er_graph.num_vertices / chunk)
+            assert g.sum() == pytest.approx(res.stats.cycles, rel=1e-6)
+
+    def test_consumption_per_unit_rows(self, er_graph, hw64):
+        spec = SpmmSpec(graph=er_graph, feat=6, x_name="intermediate")
+        res = simulate_spmm(spec, intra("NtFsVt"), SpmmTiling(1, 6, 1), hw64)
+        w = res.consumption_per_unit_rows()
+        assert w.shape == (er_graph.num_cols,)
+        assert w.sum() == pytest.approx(res.stats.cycles, rel=1e-6)
+
+    def test_consumption_weights_proportional_to_in_edges(self, hw64):
+        g = chain_graph([4])  # row 0 points at columns 0..3
+        spec = SpmmSpec(graph=g, feat=2, x_name="intermediate")
+        res = simulate_spmm(spec, intra("NtFtVt"), SpmmTiling(1, 1, 1), hw64)
+        w = res.consumption_weights_by_row(rows_per_granule=1)
+        assert w[0] == pytest.approx(0.25)
+
+
+class TestValidation:
+    def test_wrong_phase(self, tiny_graph, hw64):
+        from repro.core.taxonomy import IntraDataflow as ID
+
+        cmb = ID.parse("VsGsFt", Phase.COMBINATION)
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        with pytest.raises(ValueError):
+            simulate_spmm(spec, cmb, SpmmTiling(1, 4, 1), hw64)  # type: ignore[arg-type]
+
+    def test_annotation_check(self, tiny_graph, hw64):
+        spec = SpmmSpec(graph=tiny_graph, feat=4)
+        with pytest.raises(ValueError):
+            simulate_spmm(spec, intra("VsFtNt"), SpmmTiling(1, 1, 1), hw64)
+
+    def test_pe_budget(self, tiny_graph):
+        hw = AcceleratorConfig(num_pes=4)
+        spec = SpmmSpec(graph=tiny_graph, feat=16)
+        with pytest.raises(ValueError):
+            simulate_spmm(spec, intra("VtFsNt"), SpmmTiling(1, 16, 1), hw)
+
+    def test_feat_positive(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SpmmSpec(graph=tiny_graph, feat=0)

@@ -1,0 +1,55 @@
+"""Tests for the parametric crossover studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.studies import (
+    StudyRow,
+    density_crossover_study,
+    order_crossover_study,
+    skew_study,
+)
+
+
+class TestStudyRow:
+    def test_winner(self):
+        r = StudyRow(x=1.0, values={"a": 5.0, "b": 3.0})
+        assert r.winner() == "b"
+
+
+class TestDensity:
+    def test_shape_and_determinism(self):
+        a = density_crossover_study(avg_degrees=(2, 8), batch=4)
+        b = density_crossover_study(avg_degrees=(2, 8), batch=4)
+        assert [r.values for r in a] == [r.values for r in b]
+        assert [r.x for r in a] == [2.0, 8.0]
+
+    def test_spatial_wins_dense_ego_nets(self):
+        rows = density_crossover_study(avg_degrees=(16,), batch=8)
+        assert rows[0].winner() == "Seq2"
+
+
+class TestSkew:
+    def test_hubs_punish_high_tv(self):
+        rows = skew_study(num_hubs_values=(0, 4))
+        penalty0 = rows[0].values["SP2"] / rows[0].values["SP1"]
+        penalty4 = rows[1].values["SP2"] / rows[1].values["SP1"]
+        assert penalty4 > penalty0
+
+    def test_monotone_x(self):
+        rows = skew_study(num_hubs_values=(0, 1, 4))
+        assert [r.x for r in rows] == [0.0, 1.0, 4.0]
+
+
+class TestOrderCrossover:
+    def test_extremes(self):
+        rows = order_crossover_study(
+            f_over_g=((4, 64), (1024, 4)), num_vertices=256, edges=1024
+        )
+        assert rows[0].winner() == "AC"  # G >> F
+        assert rows[-1].winner() == "CA"  # F >> G
+
+    def test_x_is_ratio(self):
+        rows = order_crossover_study(f_over_g=((32, 8),))
+        assert rows[0].x == pytest.approx(4.0)

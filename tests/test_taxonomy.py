@@ -1,0 +1,190 @@
+"""Tests for the dataflow taxonomy: notation, round trips, wildcards."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.taxonomy import (
+    AGG_DIMS,
+    CMB_DIMS,
+    Annot,
+    Dataflow,
+    Dim,
+    Granularity,
+    InterPhase,
+    IntraDataflow,
+    Phase,
+    PhaseOrder,
+    SPVariant,
+    parse_dataflow,
+)
+
+
+class TestIntraParse:
+    def test_parse_paper_example_agg(self):
+        df = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        assert df.order == (Dim.V, Dim.F, Dim.N)
+        assert df.annot == (Annot.TEMPORAL, Annot.SPATIAL, Annot.TEMPORAL)
+
+    def test_parse_paper_example_cmb(self):
+        df = IntraDataflow.parse("VsGsFt", Phase.COMBINATION)
+        assert df.order == (Dim.V, Dim.G, Dim.F)
+        assert df.spatial_dims == (Dim.V, Dim.G)
+        assert df.temporal_dims == (Dim.F,)
+
+    def test_roundtrip_all_concrete(self):
+        for phase, dims in ((Phase.AGGREGATION, AGG_DIMS), (Phase.COMBINATION, CMB_DIMS)):
+            for order in itertools.permutations(dims):
+                for annot in itertools.product("st", repeat=3):
+                    text = "".join(f"{d.value}{a}" for d, a in zip(order, annot))
+                    parsed = IntraDataflow.parse(text, phase)
+                    assert str(parsed) == text
+
+    def test_wildcard_roundtrip(self):
+        df = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        assert str(df) == "VxFxNt"
+        assert not df.is_concrete
+
+    def test_wrong_dims_for_phase_rejected(self):
+        with pytest.raises(ValueError):
+            IntraDataflow.parse("VtGsFt", Phase.AGGREGATION)  # G not in Agg
+        with pytest.raises(ValueError):
+            IntraDataflow.parse("VtFsNt", Phase.COMBINATION)  # N not in Cmb
+
+    def test_duplicate_dim_rejected(self):
+        with pytest.raises(ValueError):
+            IntraDataflow.parse("VtVsNt", Phase.AGGREGATION)
+
+    def test_malformed_strings_rejected(self):
+        for bad in ("", "VtFs", "VtFsNtGt", "vtfsnt", "V1F2N3", "VFN"):
+            with pytest.raises(ValueError):
+                IntraDataflow.parse(bad, Phase.AGGREGATION)
+
+    def test_contraction_dim(self):
+        agg = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        cmb = IntraDataflow.parse("VsGsFt", Phase.COMBINATION)
+        assert agg.contraction is Dim.N
+        assert cmb.contraction is Dim.F
+
+    def test_position_and_annotation_of(self):
+        df = IntraDataflow.parse("FsVtNt", Phase.AGGREGATION)
+        assert df.position_of(Dim.F) == 0
+        assert df.position_of(Dim.V) == 1
+        assert df.position_of(Dim.N) == 2
+        assert df.annotation_of(Dim.F) is Annot.SPATIAL
+        assert df.annotation_of(Dim.V) is Annot.TEMPORAL
+
+
+class TestWildcardExpansion:
+    def test_expand_counts(self):
+        df = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        assert len(list(df.expand())) == 8
+        df2 = IntraDataflow.parse("VxFsNt", Phase.AGGREGATION)
+        assert len(list(df2.expand())) == 2
+        df3 = IntraDataflow.parse("VsFsNt", Phase.AGGREGATION)
+        assert len(list(df3.expand())) == 1
+
+    def test_expand_all_concrete(self):
+        df = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        assert all(c.is_concrete for c in df.expand())
+
+    def test_expand_unique(self):
+        df = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        seen = {str(c) for c in df.expand()}
+        assert len(seen) == 8
+
+    def test_matches_wildcard(self):
+        pattern = IntraDataflow.parse("VxFsNt", Phase.AGGREGATION)
+        yes = IntraDataflow.parse("VsFsNt", Phase.AGGREGATION)
+        no_annot = IntraDataflow.parse("VsFtNt", Phase.AGGREGATION)
+        no_order = IntraDataflow.parse("FsVsNt", Phase.AGGREGATION)
+        assert pattern.matches(yes)
+        assert not pattern.matches(no_annot)
+        assert not pattern.matches(no_order)
+
+    def test_matches_requires_same_phase(self):
+        a = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        c = IntraDataflow.parse("VxGxFx", Phase.COMBINATION)
+        assert not a.matches(c)  # type: ignore[arg-type]
+
+
+class TestDataflowParse:
+    def test_parse_hygcn(self):
+        df = parse_dataflow("PP_AC(VtFsNt, VsGsFt)")
+        assert df.inter is InterPhase.PP
+        assert df.order is PhaseOrder.AC
+        assert str(df.agg) == "VtFsNt"
+        assert str(df.cmb) == "VsGsFt"
+
+    def test_parse_separator_variants(self):
+        for text in ("PP_AC(VtFsNt, VsGsFt)", "PP-AC(VtFsNt,VsGsFt)", "PPAC(VtFsNt, VsGsFt)"):
+            assert parse_dataflow(text).inter is InterPhase.PP
+
+    def test_roundtrip_str(self):
+        df = parse_dataflow("Seq_CA(NtFsVt, VsGsFt)")
+        assert str(df) == "Seq_CA(NtFsVt, VsGsFt)"
+        again = parse_dataflow(str(df))
+        assert again.agg.order == df.agg.order
+        assert again.cmb.annot == df.cmb.annot
+
+    def test_sp_defaults_to_generic(self):
+        df = parse_dataflow("SP_AC(VtFsNt, VtFsGt)")
+        assert df.sp_variant is SPVariant.GENERIC
+
+    def test_sp_variant_only_for_sp(self):
+        with pytest.raises(ValueError):
+            Dataflow(
+                inter=InterPhase.SEQ,
+                order=PhaseOrder.AC,
+                agg=IntraDataflow.parse("VtFsNt", Phase.AGGREGATION),
+                cmb=IntraDataflow.parse("VsGsFt", Phase.COMBINATION),
+                sp_variant=SPVariant.OPTIMIZED,
+            )
+
+    def test_swapped_phases_rejected(self):
+        agg = IntraDataflow.parse("VtFsNt", Phase.AGGREGATION)
+        cmb = IntraDataflow.parse("VsGsFt", Phase.COMBINATION)
+        with pytest.raises(ValueError):
+            Dataflow(inter=InterPhase.SEQ, order=PhaseOrder.AC, agg=cmb, cmb=agg)  # type: ignore[arg-type]
+
+    def test_pe_split_bounds(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                parse_dataflow("PP_AC(VtFsNt, VsGsFt)", pe_split=bad)
+
+    def test_malformed_notation_rejected(self):
+        for bad in ("XX_AC(VtFsNt, VsGsFt)", "PP_AB(VtFsNt, VsGsFt)", "PP_AC(VtFsNt)", "PP_AC"):
+            with pytest.raises(ValueError):
+                parse_dataflow(bad)
+
+    def test_producer_consumer_by_order(self):
+        ac = parse_dataflow("PP_AC(VtFsNt, VsGsFt)")
+        ca = parse_dataflow("PP_CA(NtFsVt, VsGsFt)")
+        assert ac.producer.phase is Phase.AGGREGATION
+        assert ac.consumer.phase is Phase.COMBINATION
+        assert ca.producer.phase is Phase.COMBINATION
+        assert ca.consumer.phase is Phase.AGGREGATION
+
+    def test_dataflow_expand(self):
+        df = parse_dataflow("PP_AC(VxFxNt, VxGxFx)")
+        expanded = list(df.expand())
+        assert len(expanded) == 4 * 8
+        assert all(d.is_concrete for d in expanded)
+
+    def test_with_name(self):
+        df = parse_dataflow("Seq_AC(VtFsNt, VsGsFt)").with_name("Seq1")
+        assert df.name == "Seq1"
+        assert df.inter is InterPhase.SEQ
+
+
+class TestEnums:
+    def test_granularity_values(self):
+        assert {g.value for g in Granularity} == {"element", "row", "column"}
+
+    def test_interphase_values(self):
+        assert {i.value for i in InterPhase} == {"Seq", "SP", "PP"}
+
+    def test_dim_str(self):
+        assert str(Dim.V) == "V" and str(Annot.SPATIAL) == "s"

@@ -1,0 +1,120 @@
+"""Tests for the tile-size chooser (~100% static utilization, §V-A3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.taxonomy import Annot, Dim, Phase, SPVariant, parse_dataflow
+from repro.core.tiling import TileHint, choose_phase_tiles, choose_tiles, concretize_intra
+from repro.core.taxonomy import IntraDataflow
+from repro.core.workload import GNNWorkload
+
+
+@pytest.fixture
+def wl(er_graph):
+    return GNNWorkload(er_graph, in_features=24, out_features=6)
+
+
+@pytest.fixture
+def big_wl(skewed_graph):
+    return GNNWorkload(skewed_graph, in_features=512, out_features=8)
+
+
+class TestConcretize:
+    def test_resolves_wildcards(self):
+        intra = IntraDataflow.parse("VxFxNx", Phase.AGGREGATION)
+        out = concretize_intra(intra, {Dim.V: 4, Dim.F: 1, Dim.N: 2})
+        assert str(out) == "VsFtNs"
+
+    def test_contradiction_rejected(self):
+        intra = IntraDataflow.parse("VsFxNx", Phase.AGGREGATION)
+        with pytest.raises(ValueError):
+            concretize_intra(intra, {Dim.V: 1, Dim.F: 1, Dim.N: 1})
+
+    def test_explicit_annotations_kept(self):
+        intra = IntraDataflow.parse("VsFtNt", Phase.AGGREGATION)
+        out = concretize_intra(intra, {Dim.V: 8, Dim.F: 1, Dim.N: 1})
+        assert out.annot == intra.annot
+
+
+class TestPhaseTiles:
+    def test_high_utilization(self, big_wl):
+        intra = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        tiles = choose_phase_tiles(intra, big_wl, 512, TileHint())
+        used = tiles[Dim.V] * tiles[Dim.F] * tiles[Dim.N]
+        assert used >= 0.75 * 512
+
+    def test_temporal_dims_stay_one(self, big_wl):
+        intra = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        tiles = choose_phase_tiles(intra, big_wl, 512, TileHint())
+        assert tiles[Dim.N] == 1
+
+    def test_caps_respected(self, big_wl):
+        hint = TileHint(
+            agg_priority=(Dim.V, Dim.F, Dim.N),
+            caps={(Phase.AGGREGATION, Dim.V): 16},
+        )
+        intra = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        tiles = choose_phase_tiles(intra, big_wl, 512, hint)
+        assert tiles[Dim.V] <= 16
+
+    def test_default_tf_cap(self, big_wl):
+        """The bank-row fetch-width cap bounds T_F at 128 by default."""
+        intra = IntraDataflow.parse("FxVxNt", Phase.AGGREGATION)
+        tiles = choose_phase_tiles(intra, big_wl, 512, TileHint())
+        assert tiles[Dim.F] <= 128
+
+    def test_spatial_n_capped_near_typical_row(self, wl):
+        intra = IntraDataflow.parse("VxFxNs", Phase.AGGREGATION)
+        hint = TileHint(agg_priority=(Dim.N, Dim.F, Dim.V))
+        tiles = choose_phase_tiles(intra, wl, 512, hint)
+        assert 2 <= tiles[Dim.N] <= max(2, int(wl.graph.avg_degree))
+
+    def test_ca_binds_agg_f_to_g(self, wl):
+        intra = IntraDataflow.parse("VxFxNt", Phase.AGGREGATION)
+        tiles = choose_phase_tiles(intra, wl, 512, TileHint(), ca_order=True)
+        assert tiles[Dim.F] <= wl.out_features
+
+
+class TestChooseTiles:
+    def test_returns_concrete_dataflow(self, wl):
+        df = parse_dataflow("Seq_AC(VxFxNt, VxGxFx)")
+        st, gt, concrete = choose_tiles(df, wl, AcceleratorConfig())
+        assert concrete.is_concrete
+        assert st.pes_used >= 1 and gt.pes_used >= 1
+
+    def test_sp_shares_intermediate_axes(self, wl):
+        """§IV-B: SP requires T_V_AGG = T_V_CMB and T_F_AGG = T_F_CMB."""
+        df = parse_dataflow(
+            "SP_AC(VxFxNt, VxFxGx)", sp_variant=SPVariant.OPTIMIZED
+        )
+        st, gt, _ = choose_tiles(df, wl, AcceleratorConfig())
+        assert st.t_v == gt.t_v
+        assert st.t_f == gt.t_f
+
+    def test_sp_optimized_forces_temporal_n_and_g(self, wl):
+        df = parse_dataflow(
+            "SP_AC(VxFxNt, VxFxGx)", sp_variant=SPVariant.OPTIMIZED
+        )
+        st, gt, concrete = choose_tiles(df, wl, AcceleratorConfig())
+        assert st.t_n == 1
+        assert gt.t_g == 1
+        assert concrete.agg.annotation_of(Dim.N) is Annot.TEMPORAL
+
+    def test_pp_partitions_budget(self, wl):
+        df = parse_dataflow("PP_AC(VxFxNt, VxGxFx)", pe_split=0.25)
+        hw = AcceleratorConfig(num_pes=512)
+        st, gt, _ = choose_tiles(df, wl, hw)
+        assert st.pes_used <= 128
+        assert gt.pes_used <= 384
+
+    def test_spmm_tiles_fit_partition(self, wl):
+        df = parse_dataflow("PP_AC(VxFxNt, VxGxFx)", pe_split=0.5)
+        hw = AcceleratorConfig(num_pes=512)
+        st, gt, concrete = choose_tiles(df, wl, hw)
+        from repro.core.omega import run_gnn_dataflow
+
+        # Must run without PE-budget violations on both partitions.
+        res = run_gnn_dataflow(wl, df, hw)
+        assert res.total_cycles > 0

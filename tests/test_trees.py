@@ -1,0 +1,97 @@
+"""Tests for the structural network models (MAERI-style trees)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.trees import DistributionTree, ReductionTree, tree_levels
+
+
+class TestTreeLevels:
+    def test_known_values(self):
+        assert tree_levels(1) == 0
+        assert tree_levels(2) == 1
+        assert tree_levels(8) == 3
+        assert tree_levels(9) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tree_levels(0)
+
+
+class TestReductionTree:
+    def test_full_tree_adders(self):
+        assert ReductionTree(512).total_adders == 511
+
+    def test_group_accounting(self):
+        t = ReductionTree(64)
+        assert t.groups_for(8) == 8
+        assert t.adders_used(8) == 8 * 7
+        assert t.latency(8) == 3
+
+    def test_width_one_uses_no_adders(self):
+        t = ReductionTree(64)
+        assert t.adders_used(1) == 0
+        assert t.latency(1) == 0
+
+    def test_utilization_bounds(self):
+        t = ReductionTree(64)
+        for w in (1, 2, 4, 8, 64):
+            assert 0 <= t.utilization(w) <= 1
+        assert t.utilization(64) == 1.0
+
+    def test_realizable(self):
+        t = ReductionTree(16)
+        assert t.realizable([8, 4, 4])
+        assert not t.realizable([8, 8, 4])
+        with pytest.raises(ValueError):
+            t.realizable([0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(1, 512), w=st.integers(1, 512))
+    def test_adders_never_exceed_total(self, n, w):
+        t = ReductionTree(n)
+        if w <= n:
+            assert t.adders_used(w) <= t.total_adders
+
+
+class TestDistributionTree:
+    def test_levels_and_links(self):
+        d = DistributionTree(64)
+        assert d.levels == 6
+        assert d.total_links == 126
+
+    def test_links_for_monotone(self):
+        d = DistributionTree(64)
+        prev = 0
+        for w in (1, 2, 4, 8, 16, 32, 64):
+            links = d.links_for(w)
+            assert links >= prev - 6  # path shortens as subtree grows
+            prev = links
+        assert d.links_for(64) == 2 * 63
+
+    def test_multicast_saving_positive(self):
+        """Table I's 'spatial multicast': one traversal feeds many PEs."""
+        d = DistributionTree(256)
+        assert d.multicast_saving(1, 32) > 0.5
+
+    def test_unicast_no_saving(self):
+        d = DistributionTree(256)
+        assert d.multicast_saving(1, 1) <= 0.2
+
+    def test_cycles_matches_bandwidth(self):
+        d = DistributionTree(64, root_bandwidth=16)
+        assert d.cycles(64) == 4
+        assert d.cycles(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistributionTree(0)
+        with pytest.raises(ValueError):
+            DistributionTree(8, root_bandwidth=0)
+        with pytest.raises(ValueError):
+            DistributionTree(8).links_for(9)
+        with pytest.raises(ValueError):
+            DistributionTree(8).multicast_saving(1, 0)

@@ -1,0 +1,58 @@
+"""Tests for the GNN workload abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.taxonomy import PhaseOrder
+from repro.core.workload import GNNWorkload, workload_from_dataset
+from repro.graphs.csr import CSRGraph
+from repro.graphs.datasets import load_dataset
+
+
+class TestWorkload:
+    def test_shape_accessors(self, er_graph):
+        wl = GNNWorkload(er_graph, 24, 6, name="t")
+        assert wl.num_vertices == er_graph.num_vertices
+        assert wl.num_edges == er_graph.num_edges
+
+    def test_intermediate_elements_per_order(self, er_graph):
+        wl = GNNWorkload(er_graph, 24, 6)
+        assert wl.intermediate_elements(True) == er_graph.num_vertices * 24
+        assert wl.intermediate_elements(False) == er_graph.num_vertices * 6
+
+    def test_next_layer_chains_dims(self, er_graph):
+        wl = GNNWorkload(er_graph, 24, 6)
+        nxt = wl.next_layer(3)
+        assert nxt.in_features == 6
+        assert nxt.out_features == 3
+        assert nxt.graph is wl.graph
+
+    def test_validation(self, er_graph):
+        with pytest.raises(ValueError):
+            GNNWorkload(er_graph, 0, 6)
+        with pytest.raises(ValueError):
+            GNNWorkload(er_graph, 6, 0)
+
+    def test_square_adjacency_required(self):
+        import numpy as np
+
+        g = CSRGraph(np.array([0, 1]), np.array([0]), 3)
+        with pytest.raises(ValueError):
+            GNNWorkload(g, 4, 2)
+
+    def test_from_dataset(self):
+        ds = load_dataset("mutag")
+        wl = workload_from_dataset(ds)
+        assert wl.in_features == 28
+        assert wl.out_features == ds.hidden
+        assert wl.name == "mutag"
+
+    def test_from_dataset_name_override(self):
+        wl = workload_from_dataset(load_dataset("mutag"), name="custom")
+        assert wl.name == "custom"
+
+    def test_frozen(self, er_graph):
+        wl = GNNWorkload(er_graph, 24, 6)
+        with pytest.raises(AttributeError):
+            wl.in_features = 12  # type: ignore[misc]
