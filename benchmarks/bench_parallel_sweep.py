@@ -1,0 +1,110 @@
+"""Parallel evaluation service — record parity and wall-clock speedup.
+
+Two demonstrations around :class:`repro.core.evaluator.DataflowEvaluator`:
+
+1. the exhaustive Table V sweep produces *byte-identical* jsonl records
+   whether evaluated serially (``workers=0``) or fanned out over worker
+   processes — parallelism is purely a scheduling concern;
+2. fanning the mapping optimizer's exhaustive candidate pool out over 4
+   workers cuts wall-clock near-linearly on multi-core hosts (the >1.5x
+   assertion is skipped on boxes without enough CPUs to show it).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.export import record_to_json
+from repro.core.evaluator import DataflowEvaluator
+from repro.core.optimizer import MappingOptimizer
+from repro.analysis.report import format_table
+from repro.core.configs import PAPER_CONFIGS
+
+from conftest import CONFIGS, DATASETS
+
+SPEEDUP_WORKERS = 4
+SPEEDUP_BUDGET = 400
+SPEEDUP_TARGET = 1.5
+
+
+def _table5_records(workloads, hw512, workers: int) -> list[str]:
+    lines: list[str] = []
+    for ds in DATASETS:
+        with DataflowEvaluator(
+            workloads[ds], hw512, workers=workers, record_extra={"dataset": ds}
+        ) as ev:
+            outcomes = ev.evaluate(
+                [
+                    (PAPER_CONFIGS[c].dataflow(), PAPER_CONFIGS[c].hint, {"config": c})
+                    for c in CONFIGS
+                ]
+            )
+            lines.extend(record_to_json(ev.to_record(o)) for o in outcomes)
+    return lines
+
+
+def test_table5_records_parallel_parity(benchmark, workloads, hw512):
+    """workers=2 vs workers=0 on the full Table V sweep: byte-identical."""
+    serial = _table5_records(workloads, hw512, workers=0)
+
+    parallel = benchmark.pedantic(
+        lambda: _table5_records(workloads, hw512, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(serial) == len(DATASETS) * len(CONFIGS)
+    assert serial == parallel
+    print()
+    print(
+        f"Table V sweep: {len(serial)} records, serial == 2-worker "
+        "byte-for-byte"
+    )
+
+
+def test_exhaustive_sweep_speedup(benchmark, workloads, hw512):
+    """Exhaustive mapping sweep, serial vs 4 workers (near-linear on
+    multi-core hosts)."""
+    wl = workloads["citeseer"]
+
+    def sweep(workers: int):
+        with MappingOptimizer(wl, hw512, workers=workers) as opt:
+            start = time.perf_counter()
+            result = opt.exhaustive(budget=SPEEDUP_BUDGET)
+            return result, time.perf_counter() - start
+
+    serial_result, serial_s = sweep(0)
+    (parallel_result, parallel_s) = benchmark.pedantic(
+        lambda: sweep(SPEEDUP_WORKERS), rounds=1, iterations=1
+    )
+
+    assert serial_result.history == parallel_result.history
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print()
+    print(
+        format_table(
+            ["mode", "evaluated", "seconds", "speedup"],
+            [
+                ["serial (workers=0)", serial_result.evaluated, serial_s, 1.0],
+                [
+                    f"parallel (workers={SPEEDUP_WORKERS})",
+                    parallel_result.evaluated,
+                    parallel_s,
+                    speedup,
+                ],
+            ],
+            title="Exhaustive Table V design-space sweep, citeseer @ 512 PEs",
+            float_fmt="{:.2f}",
+        )
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < SPEEDUP_WORKERS:
+        print(
+            f"(only {cpus} CPU(s) visible: {SPEEDUP_TARGET}x wall-clock "
+            "assertion not meaningful on this host)"
+        )
+        return
+    assert speedup > SPEEDUP_TARGET, (
+        f"expected >{SPEEDUP_TARGET}x speedup at {SPEEDUP_WORKERS} workers "
+        f"on {cpus} CPUs, measured {speedup:.2f}x"
+    )

@@ -35,11 +35,15 @@ from .arch import (
     GlobalBuffer,
     PingPongBuffer,
 )
+from .analysis import ResultStore
 from .core import (
     PAPER_CONFIGS,
     Annot,
+    DataflowEvaluator,
     Dataflow,
     Dim,
+    EvalOutcome,
+    EvalStats,
     GNNWorkload,
     Granularity,
     InterPhase,
@@ -52,6 +56,7 @@ from .core import (
     SPVariant,
     TileHint,
     bounded_pipeline,
+    candidate_fingerprint,
     choose_tiles,
     count_design_space,
     enumerate_design_space,
@@ -93,8 +98,12 @@ __all__ = [
     "PAPER_CONFIGS",
     "Annot",
     "Dataflow",
+    "DataflowEvaluator",
     "Dim",
+    "EvalOutcome",
+    "EvalStats",
     "GNNWorkload",
+    "ResultStore",
     "Granularity",
     "InterPhase",
     "IntraDataflow",
@@ -106,6 +115,7 @@ __all__ = [
     "SPVariant",
     "TileHint",
     "bounded_pipeline",
+    "candidate_fingerprint",
     "choose_tiles",
     "count_design_space",
     "enumerate_design_space",

@@ -11,6 +11,7 @@ from .report import (
 )
 from .export import read_records, record_to_json, run_result_to_record, write_records
 from .regression import Delta, RegressionReport, compare_records
+from .store import ResultStore
 from .studies import StudyRow, density_crossover_study, order_crossover_study, skew_study
 from .sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
 
@@ -37,6 +38,7 @@ __all__ = [
     "Delta",
     "RegressionReport",
     "compare_records",
+    "ResultStore",
     "StudyRow",
     "density_crossover_study",
     "order_crossover_study",

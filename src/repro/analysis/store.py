@@ -1,0 +1,148 @@
+"""Persistent JSONL store for design-space evaluation records.
+
+Extends :mod:`repro.analysis.export`'s one-object-per-line schema with
+append/resume/dedup semantics so long sweep campaigns survive restarts:
+reopening an existing store indexes the fingerprints already on disk and
+silently skips re-appending them.  Records are keyed by the candidate
+fingerprint the evaluation service computes
+(:func:`repro.core.evaluator.candidate_fingerprint`); records lacking one
+fall back to a content hash of their canonical JSON encoding.
+
+Dedup is *evaluation*-keyed: two sweep points that map to the same
+fingerprint (e.g. a normalization baseline and its swept twin) persist a
+single record, so sweep coordinates for duplicates live in the sweep's
+returned rows, not in extra archive lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import IO, Iterator, Mapping
+
+from .export import record_to_json
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Append-only, deduplicated JSONL record archive.
+
+    Parameters
+    ----------
+    path:
+        The ``.jsonl`` file backing the store; parent directories are
+        created on first append.
+    resume:
+        When true (default) and ``path`` exists, its records' fingerprints
+        seed the dedup index, so a restarted campaign skips work already
+        persisted.  ``resume=False`` truncates the file instead.
+    """
+
+    def __init__(self, path: str | Path, *, resume: bool = True) -> None:
+        self.path = Path(path)
+        self._fingerprints: set[str] = set()
+        self._fh: IO[str] | None = None
+        if self.path.exists():
+            if resume:
+                for record in self._recover_disk():
+                    self._fingerprints.add(self.record_fingerprint(record))
+            else:
+                self.path.unlink()
+
+    def _recover_disk(self) -> list[dict]:
+        """Index the on-disk records, healing a torn final line.
+
+        A campaign killed mid-append leaves a partial JSON line at EOF
+        (possibly without its newline, which would corrupt the next
+        append too).  That lone record in flight is dropped and the file
+        truncated back to its last complete record.  Malformed content
+        anywhere *else* is real corruption and raises.
+        """
+        raw = self.path.read_text(encoding="utf-8")
+        lines = [l for l in raw.split("\n") if l.strip()]
+        records: list[dict] = []
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i != len(lines) - 1:
+                    raise ValueError(
+                        f"{self.path}: corrupt record on line {i + 1} "
+                        "(not a torn final append); refusing to resume"
+                    )
+                good = "".join(l + "\n" for l in lines[:-1])
+                self.path.write_text(good, encoding="utf-8")
+        return records
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def record_fingerprint(record: Mapping) -> str:
+        """The record's dedup key: its fingerprint field, else a content hash."""
+        fp = record.get("fingerprint")
+        if fp:
+            return str(fp)
+        blob = record_to_json(record).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    # ------------------------------------------------------------------
+    def append(self, record: Mapping) -> bool:
+        """Persist ``record`` unless its fingerprint is already stored.
+
+        Returns ``True`` when a line was written, ``False`` on a dedup
+        skip.  Lines are flushed eagerly so a killed campaign loses at
+        most the record in flight.
+        """
+        fp = self.record_fingerprint(record)
+        if fp in self._fingerprints:
+            return False
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(record_to_json(record))
+        self._fh.write("\n")
+        self._fh.flush()
+        self._fingerprints.add(fp)
+        return True
+
+    def extend(self, records: Iterator[Mapping] | list) -> int:
+        """Append many records; returns how many were newly written."""
+        return sum(1 for record in records if self.append(record))
+
+    # ------------------------------------------------------------------
+    def records(self) -> list[dict]:
+        """All records currently on disk, in append order."""
+        return list(self._iter_disk())
+
+    def _iter_disk(self) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    # ------------------------------------------------------------------
+    @property
+    def fingerprints(self) -> frozenset[str]:
+        return frozenset(self._fingerprints)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._fingerprints
+
+    def __len__(self) -> int:
+        return len(self._fingerprints)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,6 +3,13 @@
 Each sweep function runs the relevant dataflow family over one knob —
 PE allocation ratio, accelerator size, or global-buffer bandwidth — and
 returns tidy row dictionaries ready for :func:`repro.analysis.report.format_table`.
+
+All three sweeps route their runs through the
+:class:`~repro.core.evaluator.DataflowEvaluator` service: duplicate
+coordinates (each sweep's normalization baseline re-appears as a swept
+point) are answered from the memo, ``workers=N`` fans the batch out over
+worker processes with identical records, and passing a
+:class:`~repro.analysis.store.ResultStore` persists every evaluated point.
 """
 
 from __future__ import annotations
@@ -12,7 +19,7 @@ from typing import Sequence
 
 from ..arch.config import AcceleratorConfig
 from ..core.configs import PAPER_CONFIGS
-from ..core.omega import run_gnn_dataflow
+from ..core.evaluator import DataflowEvaluator
 from ..core.workload import GNNWorkload
 
 __all__ = ["sweep_pe_allocation", "sweep_num_pes", "sweep_bandwidth"]
@@ -24,39 +31,57 @@ def sweep_pe_allocation(
     *,
     config_names: Sequence[str] = ("PP1", "PP3"),
     splits: Sequence[float] = (0.25, 0.5, 0.75),
+    workers: int = 0,
+    store=None,
 ) -> list[dict]:
     """Fig. 14: PP runtimes under different Agg/Cmb PE allocations.
 
     Rows are normalized to the 50-50 low-granularity (first config) run,
     matching the paper's normalization.
     """
-    rows: list[dict] = []
-    base_cycles: int | None = None
+    base_cfg = PAPER_CONFIGS[config_names[0]]
+    # The baseline carries its sweep coordinates too: if it wins the
+    # store's fingerprint dedup against its swept twin, the persisted
+    # record still says which point it is.
+    candidates = [
+        (
+            base_cfg.dataflow(pe_split=0.5),
+            base_cfg.hint,
+            {"config": config_names[0], "pe_split": 0.5},
+        )
+    ]
+    coords: list[tuple[str, float]] = []
     for name in config_names:
         cfg = PAPER_CONFIGS[name]
         for split in splits:
-            df = cfg.dataflow(pe_split=split)
-            res = run_gnn_dataflow(wl, df, hw, hint=cfg.hint)
-            if base_cycles is None:
-                # paper normalizes to 50-50 low granularity
-                base_df = PAPER_CONFIGS[config_names[0]].dataflow(pe_split=0.5)
-                base_cycles = run_gnn_dataflow(
-                    wl, base_df, hw, hint=PAPER_CONFIGS[config_names[0]].hint
-                ).total_cycles
-            rows.append(
-                {
-                    "config": name,
-                    "alloc": f"{int(split * 100)}-{int((1 - split) * 100)}",
-                    "cycles": res.total_cycles,
-                    "normalized": res.total_cycles / base_cycles,
-                    "producer_util": (
-                        res.pipeline.producer_utilization if res.pipeline else 0.0
-                    ),
-                    "consumer_util": (
-                        res.pipeline.consumer_utilization if res.pipeline else 0.0
-                    ),
-                }
+            coords.append((name, split))
+            candidates.append(
+                (
+                    cfg.dataflow(pe_split=split),
+                    cfg.hint,
+                    {"config": name, "pe_split": split},
+                )
             )
+    with DataflowEvaluator(wl, hw, workers=workers, store=store) as ev:
+        outcomes = ev.evaluate(candidates)
+    base_cycles = outcomes[0].result.total_cycles
+    rows: list[dict] = []
+    for (name, split), outcome in zip(coords, outcomes[1:]):
+        res = outcome.result
+        rows.append(
+            {
+                "config": name,
+                "alloc": f"{int(split * 100)}-{int((1 - split) * 100)}",
+                "cycles": res.total_cycles,
+                "normalized": res.total_cycles / base_cycles,
+                "producer_util": (
+                    res.pipeline.producer_utilization if res.pipeline else 0.0
+                ),
+                "consumer_util": (
+                    res.pipeline.consumer_utilization if res.pipeline else 0.0
+                ),
+            }
+        )
     return rows
 
 
@@ -66,6 +91,8 @@ def sweep_num_pes(
     pe_counts: Sequence[int] = (512, 2048),
     config_names: Sequence[str] | None = None,
     baseline: str = "Seq1",
+    workers: int = 0,
+    store=None,
 ) -> list[dict]:
     """Fig. 15: normalized runtimes at different accelerator scales.
 
@@ -76,16 +103,23 @@ def sweep_num_pes(
     rows: list[dict] = []
     for num_pes in pe_counts:
         hw = AcceleratorConfig(num_pes=num_pes)
-        base = None
+        with DataflowEvaluator(wl, hw, workers=workers, store=store) as ev:
+            outcomes = ev.evaluate(
+                [
+                    (
+                        PAPER_CONFIGS[name].dataflow(),
+                        PAPER_CONFIGS[name].hint,
+                        {"config": name, "num_pes": num_pes},
+                    )
+                    for name in names
+                ]
+            )
+        by_name = dict(zip(names, outcomes))
+        assert baseline in by_name, f"baseline {baseline!r} not swept"
+        base = by_name[baseline].result.total_cycles
+        assert base > 0
         for name in names:
-            cfg = PAPER_CONFIGS[name]
-            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
-            if name == baseline:
-                base = res.total_cycles
-        assert base is not None and base > 0
-        for name in names:
-            cfg = PAPER_CONFIGS[name]
-            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
+            res = by_name[name].result
             rows.append(
                 {
                     "num_pes": num_pes,
@@ -103,40 +137,59 @@ def sweep_bandwidth(
     bandwidths: Sequence[int] = (512, 256, 128, 64),
     config_names: Sequence[str] = ("Seq1", "SP1", "PP1"),
     num_pes: int = 512,
+    workers: int = 0,
+    store=None,
 ) -> list[dict]:
     """Fig. 16: runtime vs distribution/reduction bandwidth.
 
-    Normalized to Seq1 at the full 512-element bandwidth.  PP partitions
-    share the bandwidth (each side gets its PE-proportional slice), which
-    is why the paper finds PP the most bandwidth-sensitive.
+    Normalized to Seq1 at the full (first-listed) bandwidth.  PP
+    partitions share the bandwidth (each side gets its PE-proportional
+    slice), which is why the paper finds PP the most bandwidth-sensitive.
     """
-    rows: list[dict] = []
-    base: int | None = None
-    for bw in bandwidths:
-        hw = AcceleratorConfig(num_pes=num_pes, dist_bw=bw, red_bw=bw)
-        for name in config_names:
-            cfg = PAPER_CONFIGS[name]
-            res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
-            if base is None:
-                if name != "Seq1" or bw != bandwidths[0]:
-                    # establish the Seq1 @ max-bandwidth baseline first
-                    base_hw = AcceleratorConfig(
-                        num_pes=num_pes,
-                        dist_bw=max(bandwidths),
-                        red_bw=max(bandwidths),
-                    )
-                    cfg0 = PAPER_CONFIGS["Seq1"]
-                    base = run_gnn_dataflow(
-                        wl, cfg0.dataflow(), base_hw, hint=cfg0.hint
-                    ).total_cycles
-                else:
-                    base = res.total_cycles
-            rows.append(
-                {
-                    "bandwidth": bw,
-                    "config": name,
-                    "cycles": res.total_cycles,
-                    "normalized": res.total_cycles / base,
-                }
+    # The baseline: Seq1 at the first swept bandwidth when it leads the
+    # sweep itself, otherwise at the widest bandwidth on offer.  One
+    # evaluator per bandwidth point, shared with the baseline run, so the
+    # swept Seq1 at base_bw is a memo hit rather than a second model run.
+    base_bw = bandwidths[0] if config_names[0] == "Seq1" else max(bandwidths)
+    evaluators: dict[int, DataflowEvaluator] = {}
+
+    def evaluator_for(bw: int) -> DataflowEvaluator:
+        if bw not in evaluators:
+            hw = AcceleratorConfig(num_pes=num_pes, dist_bw=bw, red_bw=bw)
+            evaluators[bw] = DataflowEvaluator(
+                wl, hw, workers=workers, store=store
             )
+        return evaluators[bw]
+
+    cfg0 = PAPER_CONFIGS["Seq1"]
+    rows: list[dict] = []
+    try:
+        base_outcome = evaluator_for(base_bw).evaluate(
+            [(cfg0.dataflow(), cfg0.hint, {"config": "Seq1", "bandwidth": base_bw})]
+        )[0]
+        base = base_outcome.result.total_cycles
+        for bw in bandwidths:
+            outcomes = evaluator_for(bw).evaluate(
+                [
+                    (
+                        PAPER_CONFIGS[name].dataflow(),
+                        PAPER_CONFIGS[name].hint,
+                        {"config": name, "bandwidth": bw},
+                    )
+                    for name in config_names
+                ]
+            )
+            for name, outcome in zip(config_names, outcomes):
+                res = outcome.result
+                rows.append(
+                    {
+                        "bandwidth": bw,
+                        "config": name,
+                        "cycles": res.total_cycles,
+                        "normalized": res.total_cycles / base,
+                    }
+                )
+    finally:
+        for ev in evaluators.values():
+            ev.close()
     return rows

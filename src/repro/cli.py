@@ -5,16 +5,24 @@ Subcommands
 ``run``        cost one dataflow on one dataset
 ``sweep``      all Table V configurations on one or all datasets (Fig. 11)
 ``search``     mapping optimizer (paper §VI)
+``golden``     regenerate or drift-check the golden regression records
 ``enumerate``  design-space counts (Table II's 6,656)
 ``datasets``   list the Table IV workloads and their synthesized stats
 ``describe``   narrate a dataflow's behaviour (Tables I-III, in prose)
 ``study``      parametric crossover studies (density / skew / phase order)
 
+``sweep``, ``search`` and ``golden`` route through the parallel
+evaluation service: ``--workers N`` fans candidates out over N processes
+(records stay byte-identical to serial), and ``--out results.jsonl``
+streams every evaluated point into a resumable, deduplicated store.
+
 Examples::
 
     python -m repro run --dataset citeseer --dataflow "PP_AC(VtFsNt, VsGsFt)"
     python -m repro sweep --dataset collab --normalize
+    python -m repro sweep --workers 4 --out runs/table5.jsonl
     python -m repro search --dataset cora --objective edp --budget 200
+    python -m repro golden --check
     python -m repro enumerate
 """
 
@@ -27,8 +35,10 @@ from typing import Sequence
 
 from .arch.config import AcceleratorConfig
 from .analysis.report import format_table, gb_breakdown_row
+from .analysis.store import ResultStore
 from .core.configs import paper_config_names, paper_dataflow
 from .core.enumeration import count_design_space
+from .core.evaluator import DataflowEvaluator
 from .core.omega import run_gnn_dataflow
 from .core.optimizer import MappingOptimizer, search_paper_configs
 from .core.taxonomy import SPVariant, parse_dataflow
@@ -65,6 +75,32 @@ def _add_hw_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0, help="dataset synthesis seed")
 
 
+def _add_service_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="evaluation worker processes (0 = serial, -1 = all CPUs)",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="JSONL",
+        help="stream evaluated records into this resumable jsonl store",
+    )
+    p.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate --out instead of resuming (skipping) persisted records",
+    )
+
+
+def _make_store(args: argparse.Namespace) -> ResultStore | None:
+    if not args.out:
+        return None
+    return ResultStore(args.out, resume=not args.no_resume)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="normalize runtimes to Seq1")
     p_sweep.add_argument("--json", action="store_true")
     _add_hw_args(p_sweep)
+    _add_service_args(p_sweep)
 
     p_search = sub.add_parser("search", help="mapping optimizer (paper §VI)")
     p_search.add_argument("--dataset", required=True, choices=dataset_names())
@@ -99,6 +136,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--budget", type=int, default=200)
     p_search.add_argument("--json", action="store_true")
     _add_hw_args(p_search)
+    _add_service_args(p_search)
+
+    p_golden = sub.add_parser(
+        "golden",
+        help="regenerate or drift-check tests/golden regression records",
+    )
+    p_golden.add_argument(
+        "--out",
+        default="tests/golden/table5_mutag_citeseer.jsonl",
+        help="golden jsonl path (default: the tier-1 test's archive)",
+    )
+    p_golden.add_argument(
+        "--check",
+        action="store_true",
+        help="compare freshly derived records against --out; exit 1 on drift",
+    )
+    p_golden.add_argument(
+        "--datasets", nargs="+", default=["mutag", "citeseer"],
+        choices=dataset_names(), metavar="DS",
+    )
+    p_golden.add_argument(
+        "--workers", type=int, default=0,
+        help="evaluation worker processes (0 = serial, -1 = all CPUs)",
+    )
 
     p_enum = sub.add_parser("enumerate", help="design-space counts (Table II)")
     p_enum.add_argument("--json", action="store_true")
@@ -162,19 +223,37 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     hw = _hw_from_args(args)
     targets = [args.dataset] if args.dataset else dataset_names()
+    store = _make_store(args)
     table: list[list[object]] = []
     payload: dict = {}
     for ds_name in targets:
         wl = workload_from_dataset(load_dataset(ds_name, seed=args.seed))
-        row: dict[str, float] = {}
-        for cfg in paper_config_names():
-            df, hint = paper_dataflow(cfg)
-            row[cfg] = run_gnn_dataflow(wl, df, hw, hint=hint).total_cycles
+        with DataflowEvaluator(
+            wl,
+            hw,
+            workers=args.workers,
+            store=store,
+            record_extra={"dataset": ds_name, "seed": args.seed},
+        ) as ev:
+            outcomes = ev.evaluate(
+                [
+                    (*paper_dataflow(cfg), {"config": cfg})
+                    for cfg in paper_config_names()
+                ]
+            )
+        row = {
+            cfg: o.result.total_cycles
+            for cfg, o in zip(paper_config_names(), outcomes)
+        }
         if args.normalize:
             base = row["Seq1"]
             row = {k: v / base for k, v in row.items()}
         payload[ds_name] = row
         table.append([ds_name] + [row[c] for c in paper_config_names()])
+    if store is not None:
+        store.close()
+        if not args.json:
+            print(f"[{len(store)} records in {store.path}]", file=sys.stderr)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -194,9 +273,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_search(args: argparse.Namespace) -> int:
     wl = workload_from_dataset(load_dataset(args.dataset, seed=args.seed))
     hw = _hw_from_args(args)
-    paper = search_paper_configs(wl, hw, objective=args.objective)
-    opt = MappingOptimizer(wl, hw, objective=args.objective)
-    full = opt.exhaustive(budget=args.budget)
+    store = _make_store(args)
+    with MappingOptimizer(
+        wl, hw, objective=args.objective, workers=args.workers, store=store
+    ) as opt:
+        # Share one evaluator so the Table V baseline and the exhaustive
+        # search draw from the same memo and stream to the same store.
+        paper = search_paper_configs(
+            wl, hw, objective=args.objective, evaluator=opt.evaluator
+        )
+        full = opt.exhaustive(budget=args.budget)
+    if store is not None:
+        store.close()
     payload = {
         "objective": args.objective,
         "paper_best": paper.top(1)[0],
@@ -216,6 +304,72 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"gain over Table V: {payload['gain']:.2f}x")
         for label, score in full.top(5):
             print(f"  {score:.4g}  {label}")
+    return 0
+
+
+def _derive_golden_records(
+    datasets: Sequence[str], *, workers: int = 0
+) -> list[dict]:
+    """Deterministically re-derive the golden record set.
+
+    Mirrors ``tests/test_golden.py`` exactly: 512 PEs, every Table V
+    configuration, seed-0 datasets, records tagged (dataset, config, seed).
+    The fingerprint field is deliberately omitted so the archive's bytes
+    depend only on the cost model, not the fingerprint algorithm.
+    """
+    from .analysis.export import run_result_to_record
+
+    hw = AcceleratorConfig(num_pes=512)
+    records: list[dict] = []
+    for ds_name in datasets:
+        wl = workload_from_dataset(load_dataset(ds_name))
+        with DataflowEvaluator(wl, hw, workers=workers) as ev:
+            outcomes = ev.evaluate(
+                [paper_dataflow(cfg) for cfg in paper_config_names()]
+            )
+        for cfg, outcome in zip(paper_config_names(), outcomes):
+            records.append(
+                run_result_to_record(
+                    outcome.result, dataset=ds_name, config=cfg, seed=0
+                )
+            )
+    return records
+
+
+def _cmd_golden(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.export import read_records, record_to_json, write_records
+    from .analysis.regression import compare_records
+
+    fresh = _derive_golden_records(args.datasets, workers=args.workers)
+    path = Path(args.out)
+    if args.check:
+        if not path.exists():
+            print(f"golden file missing: {path}", file=sys.stderr)
+            return 1
+        golden = read_records(path)
+        report = compare_records(golden, fresh)
+        identical = [record_to_json(r) for r in golden] == [
+            record_to_json(r) for r in fresh
+        ]
+        if report.matched == len(golden) and report.passes(tolerance=0.0) and identical:
+            print(f"golden records match ({report.matched} records, drift 0)")
+            return 0
+        print(
+            f"golden drift detected: matched={report.matched}/{len(golden)} "
+            f"missing={len(report.missing)} added={len(report.added)} "
+            f"max_drift={report.max_drift():.3g} byte_identical={identical}",
+            file=sys.stderr,
+        )
+        for delta in report.worst(5):
+            print(
+                f"  {delta.key} {delta.metric}: {delta.before} -> {delta.after}",
+                file=sys.stderr,
+            )
+        return 1
+    write_records(path, fresh)
+    print(f"wrote {len(fresh)} golden records to {path}")
     return 0
 
 
@@ -316,6 +470,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
     "search": _cmd_search,
+    "golden": _cmd_golden,
     "enumerate": _cmd_enumerate,
     "datasets": _cmd_datasets,
 }

@@ -8,6 +8,12 @@ from .enumeration import (
     enumerate_design_space,
     enumerate_pairs,
 )
+from .evaluator import (
+    DataflowEvaluator,
+    EvalOutcome,
+    EvalStats,
+    candidate_fingerprint,
+)
 from .granularity import GranuleSpec, granule_series, make_granule_spec
 from .interphase import RunResult, compose
 from .legality import (
@@ -45,6 +51,10 @@ __all__ = [
     "count_design_space",
     "enumerate_design_space",
     "enumerate_pairs",
+    "DataflowEvaluator",
+    "EvalOutcome",
+    "EvalStats",
+    "candidate_fingerprint",
     "GranuleSpec",
     "granule_series",
     "make_granule_spec",

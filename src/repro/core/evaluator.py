@@ -1,0 +1,414 @@
+"""Batched design-space evaluation service (the DSE chokepoint).
+
+Every exploration path in the library — the mapping optimizer, the Table V
+sweep, and the Figs. 14-16 case-study sweeps — needs the same three things
+around :func:`repro.core.omega.run_gnn_dataflow`: fan candidate mappings
+out over worker processes, avoid re-costing a candidate that was already
+costed, and persist what was learned so a campaign can be resumed.  This
+module centralizes all three.
+
+- :func:`candidate_fingerprint` derives a stable content hash of one
+  ``(workload, dataflow, hardware, tile hint)`` evaluation, the key for
+  both the in-memory memo and the on-disk :class:`~repro.analysis.store.ResultStore`.
+- :class:`DataflowEvaluator` accepts batches of ``(Dataflow, TileHint)``
+  candidates, schedules uncached ones over a ``multiprocessing`` pool in
+  chunks (``workers=0`` falls back to a plain serial loop, byte-identical
+  results either way), and reports every candidate back as an
+  :class:`EvalOutcome` — including illegal ones, whose
+  :class:`~repro.core.legality.LegalityError` is captured rather than
+  silently dropped.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from ..arch.config import AcceleratorConfig
+from .interphase import RunResult
+from .legality import LegalityError
+from .omega import run_gnn_dataflow
+from .taxonomy import Dataflow
+from .tiling import TileHint
+from .workload import GNNWorkload
+
+__all__ = [
+    "candidate_fingerprint",
+    "EvalOutcome",
+    "EvalStats",
+    "DataflowEvaluator",
+]
+
+# ----------------------------------------------------------------------
+# Canonical fingerprints
+# ----------------------------------------------------------------------
+
+def _hint_signature(hint: TileHint | None) -> dict | None:
+    if hint is None:
+        return None
+    return {
+        "agg_priority": [d.value for d in hint.agg_priority],
+        "cmb_priority": [d.value for d in hint.cmb_priority],
+        "caps": sorted(
+            (phase.value, dim.value, int(cap))
+            for (phase, dim), cap in hint.caps.items()
+        ),
+        "avg_degree_cap_n": bool(hint.avg_degree_cap_n),
+        "max_tf": int(hint.max_tf),
+    }
+
+
+def _dataflow_signature(df: Dataflow) -> dict:
+    # Deliberately excludes ``name``: Table V labels are presentation-level
+    # and must not defeat memoization of identical mappings.
+    return {
+        "notation": str(df),
+        "sp_variant": df.sp_variant.value if df.sp_variant else None,
+        "granularity": df.granularity.value if df.granularity else None,
+        "pe_split": df.pe_split,
+    }
+
+
+def _hw_signature(hw: AcceleratorConfig) -> dict:
+    sig: dict[str, Any] = {}
+    for f in fields(hw):
+        value = getattr(hw, f.name)
+        if f.name == "energy":
+            value = {g.name: getattr(value, g.name) for g in fields(value)}
+        sig[f.name] = value
+    return sig
+
+
+def _workload_signature(wl: GNNWorkload) -> dict:
+    g = wl.graph
+    digest = hashlib.sha256(g.vertex_ptr.tobytes())
+    digest.update(g.edge_dst.tobytes())
+    return {
+        "graph": digest.hexdigest()[:16],
+        "V": wl.num_vertices,
+        "E": wl.num_edges,
+        "F": wl.in_features,
+        "G": wl.out_features,
+    }
+
+
+def _context_signature(wl: GNNWorkload, hw: AcceleratorConfig) -> dict:
+    """The per-evaluator half of the fingerprint (graph digest is O(V+E),
+    so evaluators compute this once and reuse it per candidate)."""
+    return {"workload": _workload_signature(wl), "hw": _hw_signature(hw)}
+
+
+def _fingerprint(ctx: dict, df: Dataflow, hint: TileHint | None) -> str:
+    payload = {
+        **ctx,
+        "dataflow": _dataflow_signature(df),
+        "hint": _hint_signature(hint),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def candidate_fingerprint(
+    wl: GNNWorkload,
+    df: Dataflow,
+    hw: AcceleratorConfig,
+    hint: TileHint | None = None,
+) -> str:
+    """Stable content hash of one evaluation's full input set.
+
+    Two candidates share a fingerprint exactly when the cost model is
+    guaranteed to produce identical records for them, so the hash is safe
+    to use for memoization, store-level dedup, and campaign resume.
+    """
+    return _fingerprint(_context_signature(wl, hw), df, hint)
+
+
+# ----------------------------------------------------------------------
+# Worker-process entry points (module-level so they pickle under spawn)
+# ----------------------------------------------------------------------
+
+_WORKER_CTX: tuple[GNNWorkload, AcceleratorConfig] | None = None
+
+
+def _pool_init(wl: GNNWorkload, hw: AcceleratorConfig) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = (wl, hw)
+
+
+def _evaluate_candidate(
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    df: Dataflow,
+    hint: TileHint | None,
+) -> tuple[RunResult | None, str | None]:
+    try:
+        return run_gnn_dataflow(wl, df, hw, hint=hint), None
+    except (LegalityError, ValueError) as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _pool_eval(task: tuple[int, Dataflow, TileHint | None]):
+    assert _WORKER_CTX is not None, "pool initializer did not run"
+    wl, hw = _WORKER_CTX
+    idx, df, hint = task
+    result, error = _evaluate_candidate(wl, hw, df, hint)
+    return idx, result, error
+
+
+# ----------------------------------------------------------------------
+# Outcomes and statistics
+# ----------------------------------------------------------------------
+
+@dataclass
+class EvalOutcome:
+    """One candidate's evaluation, successful or not.
+
+    ``result`` is ``None`` exactly when the candidate was illegal (or its
+    tiling unrealizable); ``error`` then carries the exception text so
+    callers can report rather than silently drop it.
+    """
+
+    index: int
+    dataflow: Dataflow
+    hint: TileHint | None
+    fingerprint: str
+    result: RunResult | None = None
+    error: str | None = None
+    cached: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def label(self) -> str:
+        return self.dataflow.name or str(self.dataflow)
+
+
+@dataclass
+class EvalStats:
+    """Running counters across an evaluator's lifetime."""
+
+    evaluated: int = 0  # cost-model runs actually performed
+    cache_hits: int = 0  # candidates answered from the memo
+    errors: int = 0  # illegal candidates (LegalityError / ValueError)
+    persisted: int = 0  # records newly appended to the store
+    store_skips: int = 0  # records the store already held
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+# ----------------------------------------------------------------------
+# The evaluation service
+# ----------------------------------------------------------------------
+
+class DataflowEvaluator:
+    """Parallel, memoized evaluation of dataflow candidates on one
+    ``(workload, hardware)`` pair.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` (default) evaluates serially in-process; ``n > 0`` fans
+        uncached candidates out over an ``n``-process pool; a negative
+        value uses every available CPU.  Records are byte-identical
+        regardless of the setting.
+    chunksize:
+        Candidates handed to a worker per scheduling quantum.
+    store:
+        Optional :class:`~repro.analysis.store.ResultStore`; every fresh
+        successful evaluation is streamed into it as an export-schema
+        record tagged with the candidate fingerprint.
+    record_extra:
+        Constant key-values merged into every persisted record (e.g.
+        ``{"dataset": "cora"}``).
+    """
+
+    def __init__(
+        self,
+        wl: GNNWorkload,
+        hw: AcceleratorConfig,
+        *,
+        workers: int = 0,
+        chunksize: int = 8,
+        store: "Any | None" = None,
+        record_extra: Mapping[str, Any] | None = None,
+    ) -> None:
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.wl = wl
+        self.hw = hw
+        self.workers = (os.cpu_count() or 1) if workers < 0 else workers
+        self.chunksize = chunksize
+        self.store = store
+        self.record_extra = dict(record_extra or {})
+        self.stats = EvalStats()
+        self._memo: dict[str, tuple[RunResult | None, str | None]] = {}
+        self._pool = None
+        self._ctx_signature = _context_signature(wl, hw)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "DataflowEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            ctx = multiprocessing.get_context(method)
+            self._pool = ctx.Pool(
+                self.workers, initializer=_pool_init, initargs=(self.wl, self.hw)
+            )
+        return self._pool
+
+    # -- fingerprints and records --------------------------------------
+    def fingerprint(self, df: Dataflow, hint: TileHint | None = None) -> str:
+        return _fingerprint(self._ctx_signature, df, hint)
+
+    def to_record(self, outcome: EvalOutcome, **extra: Any) -> dict:
+        """Export-schema record of a successful outcome (+ fingerprint)."""
+        if outcome.result is None:
+            raise ValueError(f"cannot serialize failed candidate: {outcome.error}")
+        # Imported lazily: analysis sits above core in the layering.
+        from ..analysis.export import run_result_to_record
+
+        merged = {**self.record_extra, **outcome.extra, **extra}
+        return run_result_to_record(
+            outcome.result, fingerprint=outcome.fingerprint, **merged
+        )
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate_one(
+        self, df: Dataflow, hint: TileHint | None = None
+    ) -> EvalOutcome:
+        return self.evaluate([(df, hint)])[0]
+
+    def evaluate(
+        self,
+        candidates: Iterable[Sequence],
+        *,
+        budget: int | None = None,
+    ) -> list[EvalOutcome]:
+        """Evaluate candidates in order; returns one outcome per candidate.
+
+        Each candidate is ``(dataflow, hint)`` or ``(dataflow, hint,
+        extra)`` where ``extra`` is merged into the persisted record.
+        ``budget`` bounds the number of *successful* evaluations (matching
+        the optimizer's historical semantics: illegal candidates are
+        reported but do not consume budget); once reached, remaining
+        candidates are not pulled from the iterator.
+        """
+        it = iter(candidates)
+        batch_size = 1 if self.workers == 0 else max(32, self.workers * self.chunksize)
+        outcomes: list[EvalOutcome] = []
+        legal = 0
+        position = 0
+        while budget is None or legal < budget:
+            batch = list(itertools.islice(it, batch_size))
+            if not batch:
+                break
+            for outcome in self._evaluate_batch(batch, position):
+                if budget is not None and legal >= budget:
+                    break
+                outcomes.append(outcome)
+                if outcome.ok:
+                    legal += 1
+            position += len(batch)
+        return outcomes
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _unpack(candidate: Sequence) -> tuple[Dataflow, TileHint | None, dict]:
+        if len(candidate) == 2:
+            df, hint = candidate
+            return df, hint, {}
+        df, hint, extra = candidate
+        return df, hint, dict(extra)
+
+    def _evaluate_batch(
+        self, batch: list[Sequence], base_index: int
+    ) -> Iterator[EvalOutcome]:
+        prepared = []
+        pending: list[tuple[int, Dataflow, TileHint | None]] = []
+        first_seen: dict[str, int] = {}
+        for i, candidate in enumerate(batch):
+            df, hint, extra = self._unpack(candidate)
+            fp = self.fingerprint(df, hint)
+            prepared.append((df, hint, extra, fp))
+            if fp not in self._memo and fp not in first_seen:
+                first_seen[fp] = i
+                pending.append((i, df, hint))
+        fresh = self._run(pending)
+        for i, (df, hint, extra, fp) in enumerate(prepared):
+            cached = fp in self._memo  # batch-internal dups memoize too
+            if cached:
+                result, error = self._memo[fp]
+                self.stats.cache_hits += 1
+            else:
+                result, error = fresh[first_seen[fp]]
+                self._memo[fp] = (result, error)
+                self.stats.evaluated += 1
+                if error is not None:
+                    self.stats.errors += 1
+            outcome = EvalOutcome(
+                index=base_index + i,
+                dataflow=df,
+                hint=hint,
+                fingerprint=fp,
+                result=result,
+                error=error,
+                cached=cached,
+                extra=extra,
+            )
+            if not cached:
+                self._persist(outcome)
+            yield outcome
+
+    def _run(
+        self, pending: list[tuple[int, Dataflow, TileHint | None]]
+    ) -> dict[int, tuple[RunResult | None, str | None]]:
+        if not pending:
+            return {}
+        if self.workers and len(pending) > 1:
+            pool = self._ensure_pool()
+            mapped = pool.map(_pool_eval, pending, chunksize=self.chunksize)
+            return {idx: (result, error) for idx, result, error in mapped}
+        return {
+            idx: _evaluate_candidate(self.wl, self.hw, df, hint)
+            for idx, df, hint in pending
+        }
+
+    def _persist(self, outcome: EvalOutcome) -> None:
+        if self.store is None or not outcome.ok:
+            return
+        if self.store.append(self.to_record(outcome)):
+            self.stats.persisted += 1
+        else:
+            self.stats.store_skips += 1

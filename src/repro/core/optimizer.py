@@ -12,6 +12,12 @@ implements three complementary strategies:
   :meth:`MappingOptimizer.refine_tiles` — randomized exploration plus a
   factor-of-two hill climb on explicit tile sizes.
 
+All strategies route their candidates through the
+:class:`~repro.core.evaluator.DataflowEvaluator` service, so searches are
+memoized, optionally persisted to a
+:class:`~repro.analysis.store.ResultStore`, and parallelizable with
+``workers=N`` while staying record-identical to the serial path.
+
 Objectives: ``cycles``, ``energy`` or ``edp`` (energy-delay product).
 """
 
@@ -28,6 +34,7 @@ from ..engine.gemm import GemmTiling
 from ..engine.spmm import SpmmTiling
 from .configs import PAPER_CONFIGS
 from .enumeration import table_ii_order_pairs
+from .evaluator import DataflowEvaluator, EvalOutcome
 from .interphase import RunResult
 from .legality import LegalityError
 from .omega import run_gnn_dataflow
@@ -72,24 +79,59 @@ class SearchResult:
         return sorted(self.history, key=lambda t: t[1])[:k]
 
 
+def _collect(
+    outcomes: Iterable[EvalOutcome], objective: str
+) -> SearchResult:
+    """Fold evaluator outcomes into a :class:`SearchResult`.
+
+    Illegal candidates (outcome.error set) are excluded from the history,
+    matching the optimizer's historical skip-on-LegalityError semantics.
+    """
+    score = OBJECTIVES[objective]
+    best: RunResult | None = None
+    history: list[tuple[str, float]] = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        s = score(outcome.result)
+        history.append((outcome.label, s))
+        if best is None or s < score(best):
+            best = outcome.result
+    if best is None:
+        raise LegalityError("no legal candidate dataflow found")
+    return SearchResult(
+        best=best, objective=objective, evaluated=len(history), history=history
+    )
+
+
 def search_paper_configs(
     wl: GNNWorkload,
     hw: AcceleratorConfig,
     *,
     objective: str = "cycles",
+    evaluator: DataflowEvaluator | None = None,
+    workers: int = 0,
 ) -> SearchResult:
     """Evaluate the ten Table V configurations and pick the winner."""
-    score = OBJECTIVES[objective]
-    best: RunResult | None = None
-    history: list[tuple[str, float]] = []
-    for name, cfg in PAPER_CONFIGS.items():
-        res = run_gnn_dataflow(wl, cfg.dataflow(), hw, hint=cfg.hint)
-        s = score(res)
-        history.append((name, s))
-        if best is None or s < score(best):
-            best = res
-    assert best is not None
-    return SearchResult(best=best, objective=objective, evaluated=len(history), history=history)
+    if objective not in OBJECTIVES:
+        raise ValueError(
+            f"unknown objective {objective!r}; pick from {sorted(OBJECTIVES)}"
+        )
+    ev = evaluator or DataflowEvaluator(wl, hw, workers=workers)
+    try:
+        outcomes = ev.evaluate(
+            [
+                (cfg.dataflow(), cfg.hint, {"config": name})
+                for name, cfg in PAPER_CONFIGS.items()
+            ]
+        )
+    finally:
+        if evaluator is None:
+            ev.close()
+    for outcome in outcomes:
+        if not outcome.ok:  # Table V rows are all legal by construction
+            raise LegalityError(f"{outcome.label}: {outcome.error}")
+    return _collect(outcomes, objective)
 
 
 def _hint_portfolio() -> list[TileHint]:
@@ -113,7 +155,14 @@ def _hint_portfolio() -> list[TileHint]:
 
 
 class MappingOptimizer:
-    """Searches multiphase dataflows for one workload on one substrate."""
+    """Searches multiphase dataflows for one workload on one substrate.
+
+    All candidate evaluations flow through a single
+    :class:`DataflowEvaluator`, shared across this optimizer's searches:
+    repeated or overlapping searches hit its memo instead of re-running
+    the cost model, ``workers=N`` parallelizes candidate evaluation, and
+    ``store`` persists every evaluated mapping for later analysis.
+    """
 
     def __init__(
         self,
@@ -121,6 +170,9 @@ class MappingOptimizer:
         hw: AcceleratorConfig,
         *,
         objective: str = "cycles",
+        workers: int = 0,
+        store=None,
+        evaluator: DataflowEvaluator | None = None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -130,6 +182,19 @@ class MappingOptimizer:
         self.hw = hw
         self.objective = objective
         self._score = OBJECTIVES[objective]
+        self.evaluator = evaluator or DataflowEvaluator(
+            wl, hw, workers=workers, store=store
+        )
+
+    def close(self) -> None:
+        """Release the evaluator's worker pool."""
+        self.evaluator.close()
+
+    def __enter__(self) -> "MappingOptimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _evaluate(
@@ -137,27 +202,8 @@ class MappingOptimizer:
         candidates: Iterable[tuple[Dataflow, TileHint | None]],
         budget: int | None,
     ) -> SearchResult:
-        best: RunResult | None = None
-        history: list[tuple[str, float]] = []
-        n = 0
-        for df, hint in candidates:
-            if budget is not None and n >= budget:
-                break
-            try:
-                res = run_gnn_dataflow(self.wl, df, self.hw, hint=hint)
-            except (LegalityError, ValueError):
-                continue
-            n += 1
-            s = self._score(res)
-            label = df.name or str(df)
-            history.append((label, s))
-            if best is None or s < self._score(best):
-                best = res
-        if best is None:
-            raise LegalityError("no legal candidate dataflow found")
-        return SearchResult(
-            best=best, objective=self.objective, evaluated=n, history=history
-        )
+        outcomes = self.evaluator.evaluate(candidates, budget=budget)
+        return _collect(outcomes, self.objective)
 
     # ------------------------------------------------------------------
     def _pipeline_candidates(self) -> Iterator[tuple[Dataflow, TileHint | None]]:

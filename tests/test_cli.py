@@ -25,7 +25,7 @@ class TestParser:
 
     def test_commands_registered(self):
         p = build_parser()
-        for cmd in ("run", "sweep", "search", "enumerate", "datasets"):
+        for cmd in ("run", "sweep", "search", "golden", "enumerate", "datasets"):
             assert p.parse_args([cmd] + (
                 ["--dataset", "mutag", "--dataflow", "SP1"] if cmd == "run"
                 else ["--dataset", "mutag"] if cmd == "search" else []
@@ -102,6 +102,68 @@ class TestSweep:
         out = run_cli(capsys, "sweep", "--dataset", "mutag", "--json")
         data = json.loads(out)
         assert "mutag" in data and "SP2" in data["mutag"]
+
+    def test_parallel_matches_serial(self, capsys):
+        serial = json.loads(
+            run_cli(capsys, "sweep", "--dataset", "mutag", "--json")
+        )
+        parallel = json.loads(
+            run_cli(
+                capsys, "sweep", "--dataset", "mutag", "--json",
+                "--workers", "2",
+            )
+        )
+        assert serial == parallel
+
+    def test_out_store_written_and_resumed(self, capsys, tmp_path):
+        out_path = tmp_path / "t5.jsonl"
+        run_cli(
+            capsys, "sweep", "--dataset", "mutag", "--out", str(out_path)
+        )
+        from repro.analysis.export import read_records
+
+        records = read_records(out_path)
+        assert len(records) == 9
+        assert {r["config"] for r in records} == {
+            "Seq1", "Seq2", "SP1", "SP2", "SPhighV", "PP1", "PP2", "PP3", "PP4"
+        }
+        assert all(r["dataset"] == "mutag" for r in records)
+        # resumed rerun appends nothing new
+        run_cli(
+            capsys, "sweep", "--dataset", "mutag", "--out", str(out_path)
+        )
+        assert len(read_records(out_path)) == 9
+
+
+class TestGolden:
+    def test_generate_then_check(self, capsys, tmp_path):
+        out_path = tmp_path / "golden.jsonl"
+        out = run_cli(
+            capsys, "golden", "--out", str(out_path), "--datasets", "mutag"
+        )
+        assert "wrote 9 golden records" in out
+        out = run_cli(
+            capsys, "golden", "--check", "--out", str(out_path),
+            "--datasets", "mutag",
+        )
+        assert "match" in out
+
+    def test_check_detects_drift(self, capsys, tmp_path):
+        out_path = tmp_path / "golden.jsonl"
+        run_cli(capsys, "golden", "--out", str(out_path), "--datasets", "mutag")
+        lines = out_path.read_text().splitlines()
+        doctored = json.loads(lines[0])
+        doctored["cycles"] += 1
+        lines[0] = json.dumps(doctored, sort_keys=True)
+        out_path.write_text("\n".join(lines) + "\n")
+        assert main(
+            ["golden", "--check", "--out", str(out_path), "--datasets", "mutag"]
+        ) == 1
+
+    def test_check_missing_file_fails(self, tmp_path):
+        assert main(
+            ["golden", "--check", "--out", str(tmp_path / "absent.jsonl")]
+        ) == 1
 
 
 class TestSearch:

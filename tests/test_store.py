@@ -1,0 +1,105 @@
+"""Tests for the persistent JSONL result store."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.store import ResultStore
+
+
+def rec(i: int, **extra) -> dict:
+    return {"fingerprint": f"fp{i}", "cycles": 100 + i, "config": f"C{i}", **extra}
+
+
+class TestAppend:
+    def test_append_and_read_back(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert store.append(rec(1))
+        assert store.append(rec(2))
+        store.close()
+        assert [r["cycles"] for r in store.records()] == [101, 102]
+
+    def test_append_dedups_by_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert store.append(rec(1))
+        assert not store.append(rec(1, cycles=999))  # same fingerprint
+        assert len(store) == 1
+        assert len(store.records()) == 1
+
+    def test_extend_reports_new_count(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert store.extend([rec(1), rec(2), rec(1)]) == 2
+
+    def test_content_hash_fallback(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        plain = {"cycles": 5, "config": "X"}
+        assert store.append(plain)
+        assert not store.append(dict(plain))  # identical content dedups
+        assert store.append({"cycles": 6, "config": "X"})
+        assert len(store) == 2
+
+    def test_parent_dirs_created(self, tmp_path):
+        store = ResultStore(tmp_path / "deep" / "nest" / "r.jsonl")
+        assert store.append(rec(1))
+        assert store.path.exists()
+
+
+class TestResume:
+    def test_resume_skips_persisted_fingerprints(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.append(rec(2))
+
+        resumed = ResultStore(path)
+        assert len(resumed) == 2
+        assert "fp1" in resumed and "fp2" in resumed
+        assert not resumed.append(rec(2))
+        assert resumed.append(rec(3))
+        resumed.close()
+
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["fingerprint"] for r in lines] == ["fp1", "fp2", "fp3"]
+
+    def test_no_resume_truncates(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+        fresh = ResultStore(path, resume=False)
+        assert len(fresh) == 0
+        assert fresh.append(rec(1))
+        fresh.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_resume_heals_torn_final_line(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.append(rec(2))
+        # simulate a kill mid-append: partial JSON, no trailing newline
+        with path.open("a") as fh:
+            fh.write('{"fingerprint": "fp3", "cyc')
+
+        healed = ResultStore(path)
+        assert len(healed) == 2
+        assert "fp3" not in healed
+        assert healed.append(rec(3))  # the record in flight can be redone
+        healed.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["fingerprint"] for r in lines] == ["fp1", "fp2", "fp3"]
+
+    def test_resume_rejects_mid_file_corruption(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text('not json at all\n{"fingerprint": "fp1"}\n')
+        import pytest
+
+        with pytest.raises(ValueError, match="corrupt record"):
+            ResultStore(path)
+
+    def test_fingerprints_frozen_view(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        store.append(rec(1))
+        fps = store.fingerprints
+        assert fps == frozenset({"fp1"})
+        store.append(rec(2))
+        assert fps == frozenset({"fp1"})  # snapshot, not a live view
