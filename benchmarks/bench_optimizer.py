@@ -10,7 +10,11 @@ import pytest
 
 from repro.analysis.report import format_table
 from repro.arch.config import AcceleratorConfig
-from repro.core.optimizer import MappingOptimizer, search_paper_configs
+from repro.core.optimizer import (
+    MappingOptimizer,
+    outcome_score,
+    search_paper_configs,
+)
 from repro.core.tiling import choose_tiles
 from repro.core.workload import workload_from_dataset
 from repro.graphs.datasets import load_dataset
@@ -40,11 +44,12 @@ def test_optimizer_quality_ladder(benchmark, wl, hw):
         opt = MappingOptimizer(wl, hw, objective="edp")
         full = opt.exhaustive(budget=300)
         rows.append(["exhaustive(300)", full.evaluated, full.best_score])
-        df = full.best.dataflow
+        df = full.best_dataflow
         st, gt, concrete = choose_tiles(df, wl, hw)
         refined, _, _ = opt.refine_tiles(concrete, st, gt, max_steps=12)
         rows.append(
-            ["+ tile refinement", full.evaluated + 12, opt._score(refined)]
+            ["+ tile refinement", full.evaluated + 12,
+             outcome_score(refined, "edp")]
         )
         return rows
 

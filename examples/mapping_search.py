@@ -14,7 +14,11 @@ import sys
 
 from repro import AcceleratorConfig, load_dataset, workload_from_dataset
 from repro.analysis.report import format_table
-from repro.core.optimizer import MappingOptimizer, search_paper_configs
+from repro.core.optimizer import (
+    MappingOptimizer,
+    outcome_score,
+    search_paper_configs,
+)
 from repro.core.tiling import choose_tiles
 
 
@@ -48,16 +52,17 @@ def main() -> None:
         print(f"  {score:.3e}  {label}")
 
     # Stage 3: tile-size hill climb around the winner.
-    best_df = full.best.dataflow
+    best_df = full.best_dataflow
     st, gt, concrete = choose_tiles(best_df, workload, hw)
     refined, rst, rgt = opt.refine_tiles(concrete, st, gt)
+    refined_score = outcome_score(refined, objective)
     print(f"\nStage 3 — tile refinement of {concrete}")
-    print(f"  before: {opt._score(full.best):.3e}")
-    print(f"  after:  {opt._score(refined):.3e}")
+    print(f"  before: {full.best_score:.3e}")
+    print(f"  after:  {refined_score:.3e}")
     print(f"  tiles:  agg(T_V={rst.t_v}, T_F={rst.t_f}, T_N={rst.t_n})  "
           f"cmb(T_V={rgt.t_v}, T_F={rgt.t_f}, T_G={rgt.t_g})")
 
-    gain = paper.best_score / opt._score(refined)
+    gain = paper.best_score / refined_score
     print(
         f"\nsearch gain over the best Table V configuration: {gain:.2f}x "
         f"({objective})"

@@ -15,7 +15,11 @@ al., IPDPS 2022).  The library provides:
   element/row/column granularity) behind `run_gnn_dataflow`;
 - synthetic **datasets** calibrated to the paper's Table IV
   (`load_dataset`), GNN layer abstractions, a mapping **optimizer**, and
-  report helpers that regenerate every table and figure of the evaluation.
+  report helpers that regenerate every table and figure of the evaluation;
+- declarative **campaigns** (`CampaignSpec` -> `ExplorationSession` ->
+  `CampaignReport`, see `repro.campaign`): multi-dataset / multi-hardware
+  exploration through one shared worker pool and store-backed warm cache,
+  with checkpointed resume (`repro campaign run --spec FILE`).
 
 Quickstart::
 
@@ -36,6 +40,14 @@ from .arch import (
     PingPongBuffer,
 )
 from .analysis import ResultStore
+from .campaign import (
+    CampaignReport,
+    CampaignSpec,
+    CandidateSource,
+    ExplorationSession,
+    HardwarePoint,
+    run_campaign,
+)
 from .core import (
     PAPER_CONFIGS,
     Annot,
@@ -104,6 +116,12 @@ __all__ = [
     "EvalStats",
     "GNNWorkload",
     "ResultStore",
+    "CampaignReport",
+    "CampaignSpec",
+    "CandidateSource",
+    "ExplorationSession",
+    "HardwarePoint",
+    "run_campaign",
     "Granularity",
     "InterPhase",
     "IntraDataflow",

@@ -13,7 +13,13 @@ from .export import read_records, record_to_json, run_result_to_record, write_re
 from .regression import Delta, RegressionReport, compare_records
 from .store import ResultStore
 from .studies import StudyRow, density_crossover_study, order_crossover_study, skew_study
-from .sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
+from .sweep import (
+    SweepBaselineError,
+    SweepError,
+    sweep_bandwidth,
+    sweep_num_pes,
+    sweep_pe_allocation,
+)
 
 __all__ = [
     "ParetoPoint",
@@ -28,6 +34,8 @@ __all__ = [
     "format_table",
     "gb_breakdown_row",
     "normalized_runtime_row",
+    "SweepBaselineError",
+    "SweepError",
     "sweep_bandwidth",
     "sweep_num_pes",
     "sweep_pe_allocation",

@@ -21,7 +21,9 @@ __all__ = [
     "read_records",
 ]
 
-SCHEMA_VERSION = 1
+# v2 added pipeline busy/total cycles so warm-cache consumers can
+# reconstruct producer/consumer utilization from a persisted record.
+SCHEMA_VERSION = 2
 
 
 def run_result_to_record(result: RunResult, **extra: Any) -> dict:
@@ -61,6 +63,9 @@ def run_result_to_record(result: RunResult, **extra: Any) -> dict:
     if result.pipeline is not None:
         record["pipeline"] = {
             "num_granules": result.pipeline.num_granules,
+            "total_cycles": result.pipeline.total_cycles,
+            "producer_busy": result.pipeline.producer_busy,
+            "consumer_busy": result.pipeline.consumer_busy,
             "producer_stall": result.pipeline.producer_stall,
             "consumer_stall": result.pipeline.consumer_stall,
             "fill_cycles": result.pipeline.fill_cycles,

@@ -43,10 +43,15 @@ class ResultStore:
     def __init__(self, path: str | Path, *, resume: bool = True) -> None:
         self.path = Path(path)
         self._fingerprints: set[str] = set()
+        self._records: list[dict] = []
         self._fh: IO[str] | None = None
         if self.path.exists():
             if resume:
-                for record in self._recover_disk():
+                # The recovery parse is kept: campaign sessions preload
+                # these records as their warm cache, and re-reading the
+                # JSONL per session would repeat the whole-file parse.
+                self._records = self._recover_disk()
+                for record in self._records:
                     self._fingerprints.add(self.record_fingerprint(record))
             else:
                 self.path.unlink()
@@ -104,6 +109,7 @@ class ResultStore:
         self._fh.write("\n")
         self._fh.flush()
         self._fingerprints.add(fp)
+        self._records.append(dict(record))
         return True
 
     def extend(self, records: Iterator[Mapping] | list) -> int:
@@ -112,17 +118,13 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def records(self) -> list[dict]:
-        """All records currently on disk, in append order."""
-        return list(self._iter_disk())
+        """All records in the store, in append order.
 
-    def _iter_disk(self) -> Iterator[dict]:
-        if not self.path.exists():
-            return
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if line:
-                    yield json.loads(line)
+        Served from the in-memory mirror built at open time and extended
+        on every append (no disk re-read); the dicts are shared, not
+        copied — treat them as read-only.
+        """
+        return list(self._records)
 
     # ------------------------------------------------------------------
     @property

@@ -10,19 +10,68 @@ coordinates (each sweep's normalization baseline re-appears as a swept
 point) are answered from the memo, ``workers=N`` fans the batch out over
 worker processes with identical records, and passing a
 :class:`~repro.analysis.store.ResultStore` persists every evaluated point.
+Passing ``session=`` (an
+:class:`~repro.campaign.session.ExplorationSession`) instead shares one
+task-keyed worker pool and warm cache across sweeps, datasets, and
+hardware points — the multi-hardware sweeps (Figs. 15/16) then spawn no
+per-point pools at all, and a store-warmed session re-answers persisted
+points from disk.
+
+A sweep whose normalization baseline (or any swept point) is illegal on
+the given workload/hardware raises :class:`SweepError` /
+:class:`SweepBaselineError` — both ``LegalityError`` subclasses — naming
+the offending coordinate instead of crashing on a missing result.
 """
 
 from __future__ import annotations
 
 
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from ..arch.config import AcceleratorConfig
 from ..core.configs import PAPER_CONFIGS
-from ..core.evaluator import DataflowEvaluator
+from ..core.evaluator import EvalOutcome
+from ..core.legality import LegalityError
 from ..core.workload import GNNWorkload
 
-__all__ = ["sweep_pe_allocation", "sweep_num_pes", "sweep_bandwidth"]
+__all__ = [
+    "SweepError",
+    "SweepBaselineError",
+    "sweep_pe_allocation",
+    "sweep_num_pes",
+    "sweep_bandwidth",
+]
+
+
+class SweepError(LegalityError):
+    """A swept point could not be evaluated (illegal mapping/tiling)."""
+
+
+class SweepBaselineError(SweepError):
+    """The sweep's normalization baseline itself is illegal, so no row can
+    be normalized; pick a different baseline config or hardware point."""
+
+
+def _session_for(workers: int, store, session):
+    """The sweep's session: the caller's, or a private one-shot session.
+
+    Returns ``(session, owned)``; a private session must be closed by the
+    sweep before returning.
+    """
+    if session is not None:
+        return session, False
+    # Imported lazily: campaign sits above analysis in the layering.
+    from ..campaign.session import ExplorationSession
+
+    return ExplorationSession(workers=workers, store=store), True
+
+
+def _require_ok(outcome: EvalOutcome, what: str, *, baseline: bool = False) -> None:
+    if outcome.ok:
+        return
+    cls = SweepBaselineError if baseline else SweepError
+    role = "normalization baseline" if baseline else "swept point"
+    raise cls(f"{role} {what} is illegal on this workload/hardware: {outcome.error}")
 
 
 def sweep_pe_allocation(
@@ -33,6 +82,8 @@ def sweep_pe_allocation(
     splits: Sequence[float] = (0.25, 0.5, 0.75),
     workers: int = 0,
     store=None,
+    session=None,
+    record_extra: Mapping[str, Any] | None = None,
 ) -> list[dict]:
     """Fig. 14: PP runtimes under different Agg/Cmb PE allocations.
 
@@ -62,24 +113,28 @@ def sweep_pe_allocation(
                     {"config": name, "pe_split": split},
                 )
             )
-    with DataflowEvaluator(wl, hw, workers=workers, store=store) as ev:
+    ses, owned = _session_for(workers, store, session)
+    try:
+        ev = ses.evaluator(wl, hw, record_extra=record_extra)
         outcomes = ev.evaluate(candidates)
-    base_cycles = outcomes[0].result.total_cycles
+    finally:
+        if owned:
+            ses.close()
+    _require_ok(
+        outcomes[0], f"{config_names[0]} @ 50-50 allocation", baseline=True
+    )
+    base_cycles = outcomes[0].cycles
     rows: list[dict] = []
     for (name, split), outcome in zip(coords, outcomes[1:]):
-        res = outcome.result
+        _require_ok(outcome, f"{name} @ pe_split={split}")
         rows.append(
             {
                 "config": name,
                 "alloc": f"{int(split * 100)}-{int((1 - split) * 100)}",
-                "cycles": res.total_cycles,
-                "normalized": res.total_cycles / base_cycles,
-                "producer_util": (
-                    res.pipeline.producer_utilization if res.pipeline else 0.0
-                ),
-                "consumer_util": (
-                    res.pipeline.consumer_utilization if res.pipeline else 0.0
-                ),
+                "cycles": outcome.cycles,
+                "normalized": outcome.cycles / base_cycles,
+                "producer_util": outcome.producer_utilization,
+                "consumer_util": outcome.consumer_utilization,
             }
         )
     return rows
@@ -93,6 +148,8 @@ def sweep_num_pes(
     baseline: str = "Seq1",
     workers: int = 0,
     store=None,
+    session=None,
+    record_extra: Mapping[str, Any] | None = None,
 ) -> list[dict]:
     """Fig. 15: normalized runtimes at different accelerator scales.
 
@@ -100,10 +157,12 @@ def sweep_num_pes(
     2048 PEs, so relative dataflow rankings generalize across scales.
     """
     names = list(config_names) if config_names else list(PAPER_CONFIGS)
+    ses, owned = _session_for(workers, store, session)
     rows: list[dict] = []
-    for num_pes in pe_counts:
-        hw = AcceleratorConfig(num_pes=num_pes)
-        with DataflowEvaluator(wl, hw, workers=workers, store=store) as ev:
+    try:
+        for num_pes in pe_counts:
+            hw = AcceleratorConfig(num_pes=num_pes)
+            ev = ses.evaluator(wl, hw, record_extra=record_extra)
             outcomes = ev.evaluate(
                 [
                     (
@@ -114,20 +173,27 @@ def sweep_num_pes(
                     for name in names
                 ]
             )
-        by_name = dict(zip(names, outcomes))
-        assert baseline in by_name, f"baseline {baseline!r} not swept"
-        base = by_name[baseline].result.total_cycles
-        assert base > 0
-        for name in names:
-            res = by_name[name].result
-            rows.append(
-                {
-                    "num_pes": num_pes,
-                    "config": name,
-                    "cycles": res.total_cycles,
-                    "normalized": res.total_cycles / base,
-                }
+            by_name = dict(zip(names, outcomes))
+            assert baseline in by_name, f"baseline {baseline!r} not swept"
+            _require_ok(
+                by_name[baseline], f"{baseline} @ {num_pes} PEs", baseline=True
             )
+            base = by_name[baseline].cycles
+            assert base > 0
+            for name in names:
+                outcome = by_name[name]
+                _require_ok(outcome, f"{name} @ {num_pes} PEs")
+                rows.append(
+                    {
+                        "num_pes": num_pes,
+                        "config": name,
+                        "cycles": outcome.cycles,
+                        "normalized": outcome.cycles / base,
+                    }
+                )
+    finally:
+        if owned:
+            ses.close()
     return rows
 
 
@@ -139,6 +205,8 @@ def sweep_bandwidth(
     num_pes: int = 512,
     workers: int = 0,
     store=None,
+    session=None,
+    record_extra: Mapping[str, Any] | None = None,
 ) -> list[dict]:
     """Fig. 16: runtime vs distribution/reduction bandwidth.
 
@@ -148,17 +216,18 @@ def sweep_bandwidth(
     """
     # The baseline: Seq1 at the first swept bandwidth when it leads the
     # sweep itself, otherwise at the widest bandwidth on offer.  One
-    # evaluator per bandwidth point, shared with the baseline run, so the
-    # swept Seq1 at base_bw is a memo hit rather than a second model run.
+    # evaluator view per bandwidth point — all sharing the session's pool
+    # and memo — so the swept Seq1 at base_bw is a memo hit rather than a
+    # second model run.
     base_bw = bandwidths[0] if config_names[0] == "Seq1" else max(bandwidths)
-    evaluators: dict[int, DataflowEvaluator] = {}
+    ses, owned = _session_for(workers, store, session)
 
-    def evaluator_for(bw: int) -> DataflowEvaluator:
+    evaluators: dict[int, object] = {}
+
+    def evaluator_for(bw: int):
         if bw not in evaluators:
             hw = AcceleratorConfig(num_pes=num_pes, dist_bw=bw, red_bw=bw)
-            evaluators[bw] = DataflowEvaluator(
-                wl, hw, workers=workers, store=store
-            )
+            evaluators[bw] = ses.evaluator(wl, hw, record_extra=record_extra)
         return evaluators[bw]
 
     cfg0 = PAPER_CONFIGS["Seq1"]
@@ -167,7 +236,8 @@ def sweep_bandwidth(
         base_outcome = evaluator_for(base_bw).evaluate(
             [(cfg0.dataflow(), cfg0.hint, {"config": "Seq1", "bandwidth": base_bw})]
         )[0]
-        base = base_outcome.result.total_cycles
+        _require_ok(base_outcome, f"Seq1 @ bandwidth {base_bw}", baseline=True)
+        base = base_outcome.cycles
         for bw in bandwidths:
             outcomes = evaluator_for(bw).evaluate(
                 [
@@ -180,16 +250,16 @@ def sweep_bandwidth(
                 ]
             )
             for name, outcome in zip(config_names, outcomes):
-                res = outcome.result
+                _require_ok(outcome, f"{name} @ bandwidth {bw}")
                 rows.append(
                     {
                         "bandwidth": bw,
                         "config": name,
-                        "cycles": res.total_cycles,
-                        "normalized": res.total_cycles / base,
+                        "cycles": outcome.cycles,
+                        "normalized": outcome.cycles / base,
                     }
                 )
     finally:
-        for ev in evaluators.values():
-            ev.close()
+        if owned:
+            ses.close()
     return rows

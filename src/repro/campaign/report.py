@@ -1,0 +1,104 @@
+"""Campaign results: per-unit rows plus whole-campaign accounting.
+
+A :class:`CampaignReport` is what :func:`~repro.campaign.runner.run_campaign`
+returns and what ``repro campaign report`` re-renders from a checkpoint:
+one :class:`UnitResult` per ``(dataset, hardware)`` unit (its tidy row
+dictionaries, exactly what the underlying strategy produced) plus the
+session's evaluation counters, so "did the resume actually cost zero
+cost-model runs?" is a field, not a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["UnitResult", "CampaignReport"]
+
+
+@dataclass
+class UnitResult:
+    """One ``(dataset, hardware)`` unit's outcome."""
+
+    dataset: str
+    hw: str  # the hardware point's unit-key fragment
+    rows: list[dict]
+    resumed: bool = False  # answered wholesale from the checkpoint
+
+    @property
+    def key(self) -> str:
+        return f"{self.dataset}@{self.hw}"
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "hw": self.hw,
+            "resumed": self.resumed,
+            "rows": self.rows,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one campaign run (or resume)."""
+
+    name: str
+    spec_fingerprint: str
+    units: list[UnitResult] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)  # session EvalStats.as_dict()
+    store_path: str | None = None
+    store_records: int | None = None
+    checkpoint_path: str | None = None
+
+    @property
+    def resumed_units(self) -> int:
+        return sum(u.resumed for u in self.units)
+
+    def unit(self, dataset: str, hw: str | None = None) -> UnitResult:
+        for u in self.units:
+            if u.dataset == dataset and (hw is None or u.hw == hw):
+                return u
+        raise KeyError(f"no unit for ({dataset!r}, {hw!r})")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "spec_fingerprint": self.spec_fingerprint,
+            "units": [u.to_dict() for u in self.units],
+            "stats": self.stats,
+            "store_path": self.store_path,
+            "store_records": self.store_records,
+            "checkpoint_path": self.checkpoint_path,
+        }
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        from ..analysis.report import format_table
+
+        rows: list[list[Any]] = [
+            [
+                u.dataset,
+                u.hw,
+                len(u.rows),
+                "checkpoint" if u.resumed else "evaluated",
+            ]
+            for u in self.units
+        ]
+        table = format_table(
+            ["dataset", "hw", "rows", "how"],
+            rows,
+            title=f"campaign {self.name!r}: {len(self.units)} units "
+            f"({self.resumed_units} from checkpoint)",
+        )
+        lines = [table]
+        if self.stats:
+            lines.append(
+                "evaluations: {evaluated} fresh, {cache_hits} memo hits, "
+                "{warm_hits} warm-cache hits, {errors} illegal; "
+                "{persisted} records persisted".format(**self.stats)
+            )
+        if self.store_path is not None:
+            lines.append(f"store: {self.store_records} records in {self.store_path}")
+        if self.checkpoint_path is not None:
+            lines.append(f"checkpoint: {self.checkpoint_path}")
+        return "\n".join(lines)

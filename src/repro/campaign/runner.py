@@ -1,0 +1,304 @@
+"""Campaign execution: expand a spec into units, run them, checkpoint.
+
+A campaign's unit grid is ``datasets x hardware points``; every unit runs
+the spec's candidate source through one shared
+:class:`~repro.campaign.session.ExplorationSession`.  Two layers make a
+killed multi-dataset campaign cheap to restart:
+
+- the **checkpoint** (:class:`CampaignCheckpoint`, a JSONL sidecar)
+  records each *completed* unit with its result rows, so finished units
+  are skipped wholesale on the next invocation — their rows come from the
+  checkpoint, not the cost model;
+- the session's **store-backed warm cache** covers the unit that was in
+  flight when the campaign died: its already-persisted candidates are
+  answered from disk, so the re-run unit performs only the evaluations
+  that never completed.
+
+Together a resumed campaign whose units all finished performs **zero**
+new cost-model evaluations (asserted in ``tests/test_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from ..analysis.sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
+from ..core.configs import paper_dataflow, paper_config_names
+from ..core.legality import LegalityError
+from ..core.optimizer import MappingOptimizer, search_paper_configs
+from ..core.workload import workload_from_dataset
+from ..graphs.datasets import load_dataset
+from .report import CampaignReport, UnitResult
+from .session import ExplorationSession
+from .spec import CampaignSpec, HardwarePoint
+
+__all__ = [
+    "CampaignResumeError",
+    "CampaignCheckpoint",
+    "campaign_units",
+    "run_campaign",
+]
+
+CHECKPOINT_SCHEMA = 1
+
+
+class CampaignResumeError(RuntimeError):
+    """A checkpoint exists but cannot drive this campaign (spec drifted,
+    or the file is corrupt beyond a torn final append)."""
+
+
+class CampaignCheckpoint:
+    """Append-only JSONL journal of completed campaign units.
+
+    Line 1 is a header binding the file to one spec fingerprint; every
+    further line is one completed unit with its result rows.  A campaign
+    killed mid-append leaves a torn final line, which is healed exactly
+    like the result store's (dropped and truncated); corruption anywhere
+    else raises :class:`CampaignResumeError`.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        spec_fingerprint: str,
+        *,
+        resume: bool = True,
+    ) -> None:
+        self.path = Path(path)
+        self.spec_fingerprint = spec_fingerprint
+        self.done: dict[str, dict] = {}
+        self._fh = None
+        if self.path.exists() and not resume:
+            self.path.unlink()
+        header: dict = {}
+        if self.path.exists():
+            header, units = self._read(self.path, heal=True)
+            if header:
+                if header.get("spec_fingerprint") != spec_fingerprint:
+                    raise CampaignResumeError(
+                        f"{self.path}: checkpoint belongs to spec "
+                        f"{header.get('spec_fingerprint')!r}, not "
+                        f"{spec_fingerprint!r}; pass --no-resume to restart"
+                    )
+                self.done = units
+            else:
+                # The campaign died while appending the header itself:
+                # nothing completed, so start the checkpoint over.
+                self.path.unlink()
+        if not header:
+            self._append(
+                {
+                    "campaign_schema": CHECKPOINT_SCHEMA,
+                    "spec_fingerprint": spec_fingerprint,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read(path: Path, *, heal: bool = False) -> tuple[dict, dict[str, dict]]:
+        """Parse a checkpoint file, tolerating a torn final line.
+
+        The torn line (a campaign killed mid-append) is always *ignored*;
+        it is physically truncated away only with ``heal=True`` — the
+        resume path, which owns the file.  Read-only callers must not
+        rewrite it: a concurrently running campaign may still be
+        appending the very bytes that look torn.
+
+        Returns ``({}, {})`` when nothing valid is on disk (an empty
+        file, or only a torn header): the resume path then starts the
+        checkpoint over, and status reports "no checkpoint yet".
+        """
+        raw = path.read_text(encoding="utf-8")
+        lines = [l for l in raw.split("\n") if l.strip()]
+        records: list[dict] = []
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                if i != len(lines) - 1:
+                    raise CampaignResumeError(
+                        f"{path}: corrupt checkpoint line {i + 1} "
+                        "(not a torn final append); pass --no-resume to "
+                        "restart"
+                    )
+                if heal:
+                    good = "".join(l + "\n" for l in lines[:-1])
+                    path.write_text(good, encoding="utf-8")
+        if not records:
+            return {}, {}
+        if "campaign_schema" not in records[0]:
+            raise CampaignResumeError(
+                f"{path}: missing checkpoint header; pass --no-resume to "
+                "restart"
+            )
+        units = {rec["unit"]: rec for rec in records[1:]}
+        return records[0], units
+
+    @classmethod
+    def load(cls, path: str | Path) -> tuple[dict, dict[str, dict]]:
+        """Read-only view (for ``campaign status`` / ``report``): never
+        modifies the file, even to heal a torn final line."""
+        return cls._read(Path(path), heal=False)
+
+    # ------------------------------------------------------------------
+    def _append(self, obj: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
+        self._fh.write(json.dumps(obj, sort_keys=True))
+        self._fh.write("\n")
+        self._fh.flush()
+
+    def mark(self, unit_key: str, payload: dict) -> None:
+        """Journal one completed unit (flushed eagerly)."""
+        record = {"unit": unit_key, **payload}
+        self._append(record)
+        self.done[unit_key] = record
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Unit expansion and execution
+# ----------------------------------------------------------------------
+
+def campaign_units(
+    spec: CampaignSpec,
+) -> Iterator[tuple[str, HardwarePoint]]:
+    """The unit grid in execution order: datasets outer, hardware inner
+    (matching the legacy per-dataset CLI's record order)."""
+    for ds in spec.datasets:
+        for pt in spec.hardware:
+            yield ds, pt
+
+
+def _run_unit(
+    session: ExplorationSession,
+    spec: CampaignSpec,
+    ds_name: str,
+    pt: HardwarePoint,
+) -> list[dict]:
+    """Run one unit's candidate source; returns JSON-safe row dicts."""
+    wl = workload_from_dataset(load_dataset(ds_name, seed=spec.seed))
+    hw = pt.config()
+    extra: dict[str, Any] = {"dataset": ds_name, "seed": spec.seed}
+    if pt.label:
+        extra["hw"] = pt.label
+    kind = spec.source.kind
+    params = dict(spec.source.params)
+
+    if kind == "table5":
+        names = list(params.get("configs") or paper_config_names())
+        ev = session.evaluator(wl, hw, record_extra=extra)
+        outcomes = ev.evaluate(
+            [(*paper_dataflow(c), {"config": c}) for c in names]
+        )
+        for c, o in zip(names, outcomes):
+            if not o.ok:  # Table V rows are all legal by construction
+                raise LegalityError(f"{c} on {ds_name}: {o.error}")
+        return [
+            {"config": c, "cycles": int(o.cycles)}
+            for c, o in zip(names, outcomes)
+        ]
+
+    if kind in ("exhaustive", "random"):
+        with MappingOptimizer(
+            wl, hw, objective=spec.objective, session=session, record_extra=extra
+        ) as opt:
+            # The Table V baseline shares the unit's evaluator, so the
+            # broader search draws from the same memo and store stream.
+            paper = search_paper_configs(
+                wl, hw, objective=spec.objective, evaluator=opt.evaluator
+            )
+            if kind == "exhaustive":
+                full = opt.exhaustive(budget=spec.budget)
+            else:
+                n = int(params.get("n") or spec.budget or 64)
+                full = opt.random_search(n, seed=spec.seed)
+        return [
+            {
+                "paper_best": list(paper.top(1)[0]),
+                "search_best": str(full.best_dataflow),
+                "search_score": full.best_score,
+                "evaluated": full.evaluated,
+                "gain": paper.best_score / full.best_score,
+                "top5": [list(t) for t in full.top(5)],
+            }
+        ]
+
+    if kind == "pe_allocation":
+        return sweep_pe_allocation(
+            wl, hw, session=session, record_extra=extra, **params
+        )
+    if kind == "num_pes":
+        return sweep_num_pes(wl, session=session, record_extra=extra, **params)
+    if kind == "bandwidth":
+        # The unit's hardware point supplies the PE count unless the
+        # source param already pinned it (spec validation forbids both).
+        params.setdefault("num_pes", pt.num_pes)
+        return sweep_bandwidth(
+            wl, session=session, record_extra=extra, **params
+        )
+    raise ValueError(f"unhandled source kind {kind!r}")  # pragma: no cover
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    workers: int = 0,
+    store: Any | None = None,
+    checkpoint: CampaignCheckpoint | None = None,
+    session: ExplorationSession | None = None,
+) -> CampaignReport:
+    """Run (or resume) every unit of ``spec`` through one session.
+
+    ``store`` seeds the session's warm cache and receives fresh records;
+    ``checkpoint`` skips completed units and journals new ones; pass an
+    existing ``session`` to share its pool/memos (``workers``/``store``
+    are then ignored).
+    """
+    spec.validate()
+    owns_session = session is None
+    if owns_session:
+        session = ExplorationSession(workers=workers, store=store)
+    units: list[UnitResult] = []
+    try:
+        for ds_name, pt in campaign_units(spec):
+            key = f"{ds_name}@{pt.key()}"
+            if checkpoint is not None and key in checkpoint.done:
+                units.append(
+                    UnitResult(
+                        ds_name, pt.key(), checkpoint.done[key]["rows"],
+                        resumed=True,
+                    )
+                )
+                continue
+            rows = _run_unit(session, spec, ds_name, pt)
+            if checkpoint is not None:
+                checkpoint.mark(
+                    key, {"dataset": ds_name, "hw": pt.key(), "rows": rows}
+                )
+            units.append(UnitResult(ds_name, pt.key(), rows))
+    finally:
+        if owns_session:
+            session.close()
+    return CampaignReport(
+        name=spec.name,
+        spec_fingerprint=spec.fingerprint(),
+        units=units,
+        stats=session.stats.as_dict(),
+        store_path=str(session.store.path) if session.store is not None else None,
+        store_records=len(session.store) if session.store is not None else None,
+        checkpoint_path=str(checkpoint.path) if checkpoint is not None else None,
+    )

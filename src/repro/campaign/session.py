@@ -1,0 +1,157 @@
+"""Exploration sessions (the *how* of campaign evaluation).
+
+An :class:`ExplorationSession` owns every piece of execution machinery the
+first-generation service pinned per ``(workload, hardware)`` pair:
+
+- **one task-keyed worker pool** (:class:`~repro.core.pool.TaskKeyedPool`)
+  shared across all evaluation contexts — a multi-dataset campaign pays
+  one pool spawn total, and each context's ``(workload, hw)`` blob ships
+  to workers once, keyed by its context hash;
+- **per-context memos** shared by every evaluator view of the same
+  context, so two sweeps over the same dataset within a session never
+  re-cost a candidate;
+- **a store-backed warm cache**: when a
+  :class:`~repro.analysis.store.ResultStore` is attached, its persisted
+  records are indexed by fingerprint and answer repeated candidates from
+  disk — a restarted campaign or a re-run
+  :class:`~repro.core.optimizer.MappingOptimizer` performs zero duplicate
+  cost-model runs.
+
+``session.evaluator(wl, hw)`` returns a thin
+:class:`~repro.core.evaluator.DataflowEvaluator` view; closing a view is
+a no-op, closing the session tears down the pool.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+from ..arch.config import AcceleratorConfig
+from ..core.evaluator import DataflowEvaluator, EvalStats, _task_eval
+from ..core.pool import TaskKeyedPool
+from ..core.workload import GNNWorkload
+
+__all__ = ["ExplorationSession"]
+
+
+class ExplorationSession:
+    """Shared execution state for any number of evaluation contexts.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` (default) evaluates serially in-process; ``n > 0`` fans
+        uncached candidates out over an ``n``-process task-keyed pool
+        shared by **all** contexts; negative uses every CPU.  Records are
+        byte-identical regardless of the setting.
+    chunksize:
+        Candidates handed to a worker per scheduling quantum.
+    store:
+        Optional :class:`~repro.analysis.store.ResultStore`.  Fresh
+        successful evaluations stream into it; with ``warm`` (default)
+        its existing records also seed the warm cache.
+    warm:
+        Preload the store's persisted records as a fingerprint-keyed warm
+        cache (``warm=False`` keeps the store write-only, the
+        pre-campaign behaviour).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        chunksize: int = 8,
+        store: Any | None = None,
+        warm: bool = True,
+    ) -> None:
+        if chunksize < 1:
+            raise ValueError("chunksize must be >= 1")
+        self.workers = (os.cpu_count() or 1) if workers < 0 else workers
+        self.chunksize = chunksize
+        self.store = store
+        self.stats = EvalStats()
+        self._memos: dict[str, dict] = {}
+        self._warm: dict[str, dict] = {}
+        self._pool: TaskKeyedPool | None = None
+        self._closed = False
+        if store is not None and warm:
+            self.preload_store()
+
+    # -- warm cache -----------------------------------------------------
+    def preload_store(self) -> int:
+        """(Re)index the store's on-disk records into the warm cache.
+
+        Returns the number of records indexed.  Keyed by the candidate
+        fingerprint the evaluator computes, so only records persisted
+        through the service (which tags fingerprints) can be answered
+        from disk.  Records from an older export schema are skipped —
+        they may lack fields the outcome accessors need (e.g. pipeline
+        busy cycles), so serving them warm would silently degrade sweep
+        rows; the model re-runs those candidates instead (the store's
+        dedup index still absorbs the duplicate append).
+        """
+        # Imported here: analysis sits above core/campaign plumbing.
+        from ..analysis.export import SCHEMA_VERSION
+
+        for record in self.store.records():
+            fp = record.get("fingerprint")
+            if fp and record.get("schema") == SCHEMA_VERSION:
+                self._warm[str(fp)] = record
+        return len(self._warm)
+
+    def warm_get(self, fingerprint: str) -> dict | None:
+        return self._warm.get(fingerprint)
+
+    @property
+    def warm_size(self) -> int:
+        return len(self._warm)
+
+    # -- per-context state ----------------------------------------------
+    def memo_for(self, ctx_key: str) -> dict:
+        return self._memos.setdefault(ctx_key, {})
+
+    def evaluator(
+        self,
+        wl: GNNWorkload,
+        hw: AcceleratorConfig,
+        *,
+        record_extra: Mapping[str, Any] | None = None,
+    ) -> DataflowEvaluator:
+        """A thin evaluator view of this session for one context."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        return DataflowEvaluator(
+            wl, hw, record_extra=record_extra, session=self
+        )
+
+    # -- pool -----------------------------------------------------------
+    def map(self, ctx_key: str, ctx: Any, items: list) -> list:
+        """Fan ``items`` out over the shared pool under ``ctx_key``."""
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self._pool is None:
+            self._pool = TaskKeyedPool(
+                self.workers, _task_eval, chunksize=self.chunksize
+            )
+        self._pool.register(ctx_key, ctx)
+        return self._pool.map(ctx_key, items)
+
+    @property
+    def pool_started(self) -> bool:
+        return self._pool is not None and self._pool.started
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the shared pool down (idempotent).  The store, which the
+        caller owns, is left open."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ExplorationSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -5,16 +5,20 @@ Subcommands
 ``run``        cost one dataflow on one dataset
 ``sweep``      all Table V configurations on one or all datasets (Fig. 11)
 ``search``     mapping optimizer (paper §VI)
+``campaign``   spec-driven multi-dataset / multi-hardware exploration
 ``golden``     regenerate or drift-check the golden regression records
 ``enumerate``  design-space counts (Table II's 6,656)
 ``datasets``   list the Table IV workloads and their synthesized stats
 ``describe``   narrate a dataflow's behaviour (Tables I-III, in prose)
 ``study``      parametric crossover studies (density / skew / phase order)
 
-``sweep``, ``search`` and ``golden`` route through the parallel
+``sweep``, ``search``, ``campaign`` and ``golden`` route through the
 evaluation service: ``--workers N`` fans candidates out over N processes
 (records stay byte-identical to serial), and ``--out results.jsonl``
-streams every evaluated point into a resumable, deduplicated store.
+streams every evaluated point into a resumable, deduplicated store that
+doubles as a warm cache on the next invocation.  ``sweep`` and ``search``
+are one-shot campaign specs under the hood; ``campaign run --spec FILE``
+drives the full declarative pipeline with checkpointed resume.
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
     python -m repro sweep --dataset collab --normalize
     python -m repro sweep --workers 4 --out runs/table5.jsonl
     python -m repro search --dataset cora --objective edp --budget 200
+    python -m repro campaign run --spec examples/campaign_table5.json
+    python -m repro campaign status --spec examples/campaign_table5.json
     python -m repro golden --check
     python -m repro enumerate
 """
@@ -36,11 +42,18 @@ from typing import Sequence
 from .arch.config import AcceleratorConfig
 from .analysis.report import format_table, gb_breakdown_row
 from .analysis.store import ResultStore
+from .campaign import (
+    CampaignCheckpoint,
+    CampaignSpec,
+    CandidateSource,
+    HardwarePoint,
+    campaign_units,
+    run_campaign,
+)
 from .core.configs import paper_config_names, paper_dataflow
 from .core.enumeration import count_design_space
 from .core.evaluator import DataflowEvaluator
 from .core.omega import run_gnn_dataflow
-from .core.optimizer import MappingOptimizer, search_paper_configs
 from .core.taxonomy import SPVariant, parse_dataflow
 from .core.workload import workload_from_dataset
 from .graphs.datasets import dataset_names, load_dataset
@@ -138,6 +151,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hw_args(p_search)
     _add_service_args(p_search)
 
+    p_campaign = sub.add_parser(
+        "campaign", help="spec-driven multi-dataset / multi-hardware DSE"
+    )
+    csub = p_campaign.add_subparsers(dest="campaign_command", required=True)
+    for name, help_text in (
+        ("run", "run (or resume) every unit of a campaign spec"),
+        ("status", "show checkpoint/store progress without evaluating"),
+        ("report", "re-render a completed campaign from its checkpoint"),
+    ):
+        p_c = csub.add_parser(name, help=help_text)
+        p_c.add_argument(
+            "--spec", required=True, metavar="FILE",
+            help="campaign spec file (.json or .toml)",
+        )
+        p_c.add_argument(
+            "--out", default=None, metavar="JSONL",
+            help="record store (default: spec's 'store', else runs/<name>.jsonl)",
+        )
+        p_c.add_argument(
+            "--checkpoint", default=None, metavar="JSONL",
+            help="unit checkpoint (default: spec's 'checkpoint', "
+            "else runs/<name>.checkpoint.jsonl)",
+        )
+        p_c.add_argument("--json", action="store_true")
+        if name == "run":
+            p_c.add_argument(
+                "--workers", type=int, default=0,
+                help="evaluation worker processes (0 = serial, -1 = all CPUs)",
+            )
+            p_c.add_argument(
+                "--no-resume",
+                action="store_true",
+                help="discard the existing checkpoint and store; restart",
+            )
+
     p_golden = sub.add_parser(
         "golden",
         help="regenerate or drift-check tests/golden regression records",
@@ -220,36 +268,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hw_point_from_args(args: argparse.Namespace) -> HardwarePoint:
+    return HardwarePoint(
+        num_pes=args.pes, bandwidth=args.bandwidth, gb_kib=args.gb_kib
+    )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    hw = _hw_from_args(args)
+    # One-shot campaign spec: same records and output as the historical
+    # per-dataset loop, but routed through a shared exploration session.
     targets = [args.dataset] if args.dataset else dataset_names()
+    spec = CampaignSpec(
+        name="sweep",
+        datasets=targets,
+        source=CandidateSource("table5"),
+        hardware=[_hw_point_from_args(args)],
+        seed=args.seed,
+    )
     store = _make_store(args)
+    report = run_campaign(spec, workers=args.workers, store=store)
     table: list[list[object]] = []
     payload: dict = {}
-    for ds_name in targets:
-        wl = workload_from_dataset(load_dataset(ds_name, seed=args.seed))
-        with DataflowEvaluator(
-            wl,
-            hw,
-            workers=args.workers,
-            store=store,
-            record_extra={"dataset": ds_name, "seed": args.seed},
-        ) as ev:
-            outcomes = ev.evaluate(
-                [
-                    (*paper_dataflow(cfg), {"config": cfg})
-                    for cfg in paper_config_names()
-                ]
-            )
-        row = {
-            cfg: o.result.total_cycles
-            for cfg, o in zip(paper_config_names(), outcomes)
-        }
+    for unit in report.units:
+        row = {r["config"]: r["cycles"] for r in unit.rows}
         if args.normalize:
             base = row["Seq1"]
             row = {k: v / base for k, v in row.items()}
-        payload[ds_name] = row
-        table.append([ds_name] + [row[c] for c in paper_config_names()])
+        payload[unit.dataset] = row
+        table.append([unit.dataset] + [row[c] for c in paper_config_names()])
     if store is not None:
         store.close()
         if not args.json:
@@ -271,39 +317,164 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    wl = workload_from_dataset(load_dataset(args.dataset, seed=args.seed))
-    hw = _hw_from_args(args)
+    # One-shot campaign spec: the Table V baseline and the exhaustive
+    # search share one evaluator, so both draw from the same memo and
+    # stream to the same store (which warm-starts a repeated search).
+    spec = CampaignSpec(
+        name=f"search-{args.dataset}",
+        datasets=[args.dataset],
+        source=CandidateSource("exhaustive"),
+        hardware=[_hw_point_from_args(args)],
+        objective=args.objective,
+        budget=args.budget,
+        seed=args.seed,
+    )
     store = _make_store(args)
-    with MappingOptimizer(
-        wl, hw, objective=args.objective, workers=args.workers, store=store
-    ) as opt:
-        # Share one evaluator so the Table V baseline and the exhaustive
-        # search draw from the same memo and stream to the same store.
-        paper = search_paper_configs(
-            wl, hw, objective=args.objective, evaluator=opt.evaluator
-        )
-        full = opt.exhaustive(budget=args.budget)
+    report = run_campaign(spec, workers=args.workers, store=store)
     if store is not None:
         store.close()
+    row = report.units[0].rows[0]
     payload = {
         "objective": args.objective,
-        "paper_best": paper.top(1)[0],
-        "search_best": str(full.best.dataflow),
-        "search_score": full.best_score,
-        "evaluated": full.evaluated,
-        "gain": paper.best_score / full.best_score,
-        "top5": full.top(5),
+        "paper_best": row["paper_best"],
+        "search_best": row["search_best"],
+        "search_score": row["search_score"],
+        "evaluated": row["evaluated"],
+        "gain": row["gain"],
+        "top5": row["top5"],
     }
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(f"objective: {args.objective}")
-        print(f"best Table V config: {paper.top(1)[0][0]} ({paper.best_score:.4g})")
-        print(f"best found ({full.evaluated} evaluated): "
-              f"{full.best.dataflow} ({full.best_score:.4g})")
-        print(f"gain over Table V: {payload['gain']:.2f}x")
-        for label, score in full.top(5):
+        print(
+            f"best Table V config: {row['paper_best'][0]} "
+            f"({row['paper_best'][1]:.4g})"
+        )
+        print(f"best found ({row['evaluated']} evaluated): "
+              f"{row['search_best']} ({row['search_score']:.4g})")
+        print(f"gain over Table V: {row['gain']:.2f}x")
+        for label, score in row["top5"]:
             print(f"  {score:.4g}  {label}")
+    return 0
+
+
+def _campaign_paths(
+    spec: CampaignSpec, args: argparse.Namespace
+) -> tuple[str, str]:
+    store_path = args.out or spec.store or f"runs/{spec.name}.jsonl"
+    ckpt_path = (
+        args.checkpoint or spec.checkpoint or f"runs/{spec.name}.checkpoint.jsonl"
+    )
+    return store_path, ckpt_path
+
+
+def _load_spec(args: argparse.Namespace) -> CampaignSpec:
+    from .campaign import CampaignSpecError
+
+    try:
+        return CampaignSpec.load(args.spec)
+    except FileNotFoundError:
+        raise SystemExit(f"spec file not found: {args.spec}")
+    except CampaignSpecError as exc:
+        raise SystemExit(f"invalid campaign spec {args.spec}: {exc}")
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from .campaign import CampaignReport, CampaignResumeError, UnitResult
+
+    spec = _load_spec(args)
+    store_path, ckpt_path = _campaign_paths(spec, args)
+
+    if args.campaign_command == "run":
+        store = ResultStore(store_path, resume=not args.no_resume)
+        try:
+            checkpoint = CampaignCheckpoint(
+                ckpt_path, spec.fingerprint(), resume=not args.no_resume
+            )
+        except CampaignResumeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        try:
+            report = run_campaign(
+                spec, workers=args.workers, store=store, checkpoint=checkpoint
+            )
+        finally:
+            checkpoint.close()
+            store.close()
+        print(json.dumps(report.to_dict(), indent=2) if args.json
+              else report.render())
+        return 0
+
+    from pathlib import Path
+
+    units_total = len(list(campaign_units(spec)))
+    ckpt_file = Path(ckpt_path)
+    header: dict = {}
+    done: dict = {}
+    if ckpt_file.exists():
+        try:
+            header, done = CampaignCheckpoint.load(ckpt_file)
+        except CampaignResumeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+    matches = header.get("spec_fingerprint") == spec.fingerprint()
+
+    if args.campaign_command == "status":
+        store_file = Path(store_path)
+        store_records = (
+            sum(1 for line in store_file.open(encoding="utf-8") if line.strip())
+            if store_file.exists()
+            else 0
+        )
+        payload = {
+            "name": spec.name,
+            "spec_fingerprint": spec.fingerprint(),
+            "units_total": units_total,
+            "units_done": len(done) if matches else 0,
+            "checkpoint": ckpt_path,
+            "checkpoint_matches_spec": matches if header else None,
+            "store": store_path,
+            "store_records": store_records,
+        }
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        else:
+            state = (
+                "no checkpoint yet" if not header
+                else "checkpoint from a DIFFERENT spec" if not matches
+                else f"{payload['units_done']}/{units_total} units complete"
+            )
+            print(f"campaign {spec.name!r}: {state}")
+            print(f"  store: {store_records} records in {store_path}")
+            print(f"  checkpoint: {ckpt_path}")
+        return 0
+
+    # report
+    if not header:
+        print(f"no checkpoint at {ckpt_path}; run the campaign first",
+              file=sys.stderr)
+        return 1
+    if not matches:
+        print(
+            f"{ckpt_path}: checkpoint belongs to a different spec "
+            f"({header.get('spec_fingerprint')!r} != {spec.fingerprint()!r})",
+            file=sys.stderr,
+        )
+        return 1
+    units = [
+        UnitResult(ds, pt.key(), done[f"{ds}@{pt.key()}"]["rows"], resumed=True)
+        for ds, pt in campaign_units(spec)
+        if f"{ds}@{pt.key()}" in done
+    ]
+    report = CampaignReport(
+        name=spec.name,
+        spec_fingerprint=spec.fingerprint(),
+        units=units,
+        checkpoint_path=ckpt_path,
+    )
+    print(json.dumps(report.to_dict(), indent=2) if args.json
+          else report.render())
     return 0
 
 
@@ -470,6 +641,7 @@ _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
     "search": _cmd_search,
+    "campaign": _cmd_campaign,
     "golden": _cmd_golden,
     "enumerate": _cmd_enumerate,
     "datasets": _cmd_datasets,

@@ -1,4 +1,17 @@
-"""OMEGA core: taxonomy, legality, enumeration, cost model, DSE."""
+"""OMEGA core: taxonomy, legality, enumeration, cost model, DSE.
+
+Layering (low to high): taxonomy/legality/tiling describe mappings, the
+engines cost one phase, :func:`run_gnn_dataflow` composes a layer, and
+the evaluation service (:class:`DataflowEvaluator` over a task-keyed
+:class:`~repro.core.pool.TaskKeyedPool`) batches, memoizes, and persists
+candidate runs.  The service is deliberately session-oriented: evaluators
+are thin per-``(workload, hardware)`` views over an
+:class:`~repro.campaign.session.ExplorationSession` (see
+:mod:`repro.campaign`), which owns the shared worker pool and the
+store-backed warm cache; constructing an evaluator directly builds a
+private single-context session for backward compatibility.  The mapping
+optimizer and every sweep/campaign front-end sit on top of the service.
+"""
 
 from .configs import PAPER_CONFIGS, PaperConfig, paper_config_names, paper_dataflow
 from .enumeration import (
@@ -12,8 +25,11 @@ from .evaluator import (
     DataflowEvaluator,
     EvalOutcome,
     EvalStats,
+    ExplicitTiles,
     candidate_fingerprint,
+    context_key,
 )
+from .pool import TaskKeyedPool
 from .granularity import GranuleSpec, granule_series, make_granule_spec
 from .interphase import RunResult, compose
 from .legality import (
@@ -54,7 +70,10 @@ __all__ = [
     "DataflowEvaluator",
     "EvalOutcome",
     "EvalStats",
+    "ExplicitTiles",
     "candidate_fingerprint",
+    "context_key",
+    "TaskKeyedPool",
     "GranuleSpec",
     "granule_series",
     "make_granule_spec",

@@ -1,22 +1,30 @@
 """Batched design-space evaluation service (the DSE chokepoint).
 
 Every exploration path in the library — the mapping optimizer, the Table V
-sweep, and the Figs. 14-16 case-study sweeps — needs the same three things
-around :func:`repro.core.omega.run_gnn_dataflow`: fan candidate mappings
-out over worker processes, avoid re-costing a candidate that was already
-costed, and persist what was learned so a campaign can be resumed.  This
-module centralizes all three.
+sweep, the Figs. 14-16 case-study sweeps, and multi-dataset campaigns —
+needs the same three things around :func:`repro.core.omega.run_gnn_dataflow`:
+fan candidate mappings out over worker processes, avoid re-costing a
+candidate that was already costed, and persist what was learned so a
+campaign can be resumed.  This module centralizes all three.
 
 - :func:`candidate_fingerprint` derives a stable content hash of one
-  ``(workload, dataflow, hardware, tile hint)`` evaluation, the key for
-  both the in-memory memo and the on-disk :class:`~repro.analysis.store.ResultStore`.
-- :class:`DataflowEvaluator` accepts batches of ``(Dataflow, TileHint)``
-  candidates, schedules uncached ones over a ``multiprocessing`` pool in
-  chunks (``workers=0`` falls back to a plain serial loop, byte-identical
-  results either way), and reports every candidate back as an
-  :class:`EvalOutcome` — including illegal ones, whose
-  :class:`~repro.core.legality.LegalityError` is captured rather than
-  silently dropped.
+  ``(workload, dataflow, hardware, tiling spec)`` evaluation, the key for
+  the in-memory memo, the on-disk
+  :class:`~repro.analysis.store.ResultStore`, and the store-backed warm
+  cache.  Tiling specs are either a :class:`~repro.core.tiling.TileHint`
+  or an :class:`ExplicitTiles` pair, so hill-climbed explicit tilings
+  memoize exactly like hinted ones.
+- :class:`DataflowEvaluator` is a thin per-``(workload, hardware)`` view
+  over an :class:`~repro.campaign.session.ExplorationSession`: the session
+  owns the task-keyed worker pool (shared across *all* contexts), the
+  per-context memos, and the warm cache; the evaluator contributes the
+  context signature and the record schema.  Constructing an evaluator
+  directly (the pre-campaign API) still works — it simply owns a private
+  single-context session.
+- Every candidate is reported back as an :class:`EvalOutcome` — including
+  illegal ones, whose :class:`~repro.core.legality.LegalityError` is
+  captured rather than silently dropped, and warm-cache hits, which carry
+  the persisted record instead of a live :class:`RunResult`.
 """
 
 from __future__ import annotations
@@ -24,11 +32,12 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
-import os
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..arch.config import AcceleratorConfig
+from ..engine.gemm import GemmTiling
+from ..engine.spmm import SpmmTiling
 from .interphase import RunResult
 from .legality import LegalityError
 from .omega import run_gnn_dataflow
@@ -38,27 +47,54 @@ from .workload import GNNWorkload
 
 __all__ = [
     "candidate_fingerprint",
+    "context_key",
+    "ExplicitTiles",
     "EvalOutcome",
     "EvalStats",
     "DataflowEvaluator",
 ]
 
+
+# ----------------------------------------------------------------------
+# Tiling specifications
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExplicitTiles:
+    """Concrete per-phase tile sizes as an evaluable candidate spec.
+
+    Where a :class:`~repro.core.tiling.TileHint` guides automatic tile
+    selection, ``ExplicitTiles`` pins both phases' tile sizes exactly —
+    the candidates a tile hill-climb explores.  Giving them a canonical
+    fingerprint signature makes those candidates first-class citizens of
+    the memo/store machinery.
+    """
+
+    spmm: SpmmTiling
+    gemm: GemmTiling
+
+
 # ----------------------------------------------------------------------
 # Canonical fingerprints
 # ----------------------------------------------------------------------
 
-def _hint_signature(hint: TileHint | None) -> dict | None:
-    if hint is None:
+def _spec_signature(spec: TileHint | ExplicitTiles | None) -> dict | None:
+    if spec is None:
         return None
+    if isinstance(spec, ExplicitTiles):
+        return {
+            "spmm": [spec.spmm.t_v, spec.spmm.t_f, spec.spmm.t_n],
+            "gemm": [spec.gemm.t_v, spec.gemm.t_f, spec.gemm.t_g],
+        }
     return {
-        "agg_priority": [d.value for d in hint.agg_priority],
-        "cmb_priority": [d.value for d in hint.cmb_priority],
+        "agg_priority": [d.value for d in spec.agg_priority],
+        "cmb_priority": [d.value for d in spec.cmb_priority],
         "caps": sorted(
             (phase.value, dim.value, int(cap))
-            for (phase, dim), cap in hint.caps.items()
+            for (phase, dim), cap in spec.caps.items()
         ),
-        "avg_degree_cap_n": bool(hint.avg_degree_cap_n),
-        "max_tf": int(hint.max_tf),
+        "avg_degree_cap_n": bool(spec.avg_degree_cap_n),
+        "max_tf": int(spec.max_tf),
     }
 
 
@@ -97,16 +133,27 @@ def _workload_signature(wl: GNNWorkload) -> dict:
 
 
 def _context_signature(wl: GNNWorkload, hw: AcceleratorConfig) -> dict:
-    """The per-evaluator half of the fingerprint (graph digest is O(V+E),
+    """The per-context half of the fingerprint (graph digest is O(V+E),
     so evaluators compute this once and reuse it per candidate)."""
     return {"workload": _workload_signature(wl), "hw": _hw_signature(hw)}
 
 
-def _fingerprint(ctx: dict, df: Dataflow, hint: TileHint | None) -> str:
+def context_key(wl: GNNWorkload, hw: AcceleratorConfig) -> str:
+    """Stable task key of one ``(workload, hardware)`` evaluation context —
+    what the task-keyed pool and the session's per-context memos key on."""
+    blob = json.dumps(
+        _context_signature(wl, hw), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprint(
+    ctx: dict, df: Dataflow, spec: TileHint | ExplicitTiles | None
+) -> str:
     payload = {
         **ctx,
         "dataflow": _dataflow_signature(df),
-        "hint": _hint_signature(hint),
+        "hint": _spec_signature(spec),
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
@@ -116,46 +163,47 @@ def candidate_fingerprint(
     wl: GNNWorkload,
     df: Dataflow,
     hw: AcceleratorConfig,
-    hint: TileHint | None = None,
+    hint: TileHint | ExplicitTiles | None = None,
 ) -> str:
     """Stable content hash of one evaluation's full input set.
 
     Two candidates share a fingerprint exactly when the cost model is
     guaranteed to produce identical records for them, so the hash is safe
     to use for memoization, store-level dedup, and campaign resume.
+    ``hint`` may be a :class:`TileHint` or an :class:`ExplicitTiles`.
     """
     return _fingerprint(_context_signature(wl, hw), df, hint)
 
 
 # ----------------------------------------------------------------------
-# Worker-process entry points (module-level so they pickle under spawn)
+# Worker entry points (module-level so they pickle under spawn)
 # ----------------------------------------------------------------------
-
-_WORKER_CTX: tuple[GNNWorkload, AcceleratorConfig] | None = None
-
-
-def _pool_init(wl: GNNWorkload, hw: AcceleratorConfig) -> None:
-    global _WORKER_CTX
-    _WORKER_CTX = (wl, hw)
-
 
 def _evaluate_candidate(
     wl: GNNWorkload,
     hw: AcceleratorConfig,
     df: Dataflow,
-    hint: TileHint | None,
+    spec: TileHint | ExplicitTiles | None,
 ) -> tuple[RunResult | None, str | None]:
     try:
-        return run_gnn_dataflow(wl, df, hw, hint=hint), None
+        if isinstance(spec, ExplicitTiles):
+            return (
+                run_gnn_dataflow(
+                    wl, df, hw, spmm_tiling=spec.spmm, gemm_tiling=spec.gemm
+                ),
+                None,
+            )
+        return run_gnn_dataflow(wl, df, hw, hint=spec), None
     except (LegalityError, ValueError) as exc:
         return None, f"{type(exc).__name__}: {exc}"
 
 
-def _pool_eval(task: tuple[int, Dataflow, TileHint | None]):
-    assert _WORKER_CTX is not None, "pool initializer did not run"
-    wl, hw = _WORKER_CTX
-    idx, df, hint = task
-    result, error = _evaluate_candidate(wl, hw, df, hint)
+def _task_eval(ctx, item):
+    """Task-keyed pool entry: ``ctx`` is the ``(workload, hw)`` pair the
+    worker resolved from the task's context key."""
+    wl, hw = ctx
+    idx, df, spec = item
+    result, error = _evaluate_candidate(wl, hw, df, spec)
     return idx, result, error
 
 
@@ -165,37 +213,88 @@ def _pool_eval(task: tuple[int, Dataflow, TileHint | None]):
 
 @dataclass
 class EvalOutcome:
-    """One candidate's evaluation, successful or not.
+    """One candidate's evaluation: live, warm-cached, or failed.
 
-    ``result`` is ``None`` exactly when the candidate was illegal (or its
-    tiling unrealizable); ``error`` then carries the exception text so
-    callers can report rather than silently drop it.
+    Exactly one of three states holds:
+
+    - fresh/memoized: ``result`` is the live :class:`RunResult`;
+    - warm-cache hit: ``result`` is ``None`` but ``record`` carries the
+      persisted export-schema record the store already held;
+    - illegal: both are ``None`` and ``error`` carries the exception text
+      so callers can report rather than silently drop it.
+
+    The scalar accessors (``cycles``, ``energy_pj``, utilizations) read
+    from whichever backing is present, so objective scoring and sweep
+    normalization work identically across sessions.
     """
 
     index: int
     dataflow: Dataflow
-    hint: TileHint | None
+    hint: TileHint | ExplicitTiles | None
     fingerprint: str
     result: RunResult | None = None
+    record: dict | None = None
     error: str | None = None
     cached: bool = False
     extra: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
-        return self.result is not None
+        return self.result is not None or self.record is not None
 
     @property
     def label(self) -> str:
         return self.dataflow.name or str(self.dataflow)
 
+    # -- backing-agnostic scalars --------------------------------------
+    def _require_ok(self) -> None:
+        if not self.ok:
+            raise ValueError(f"candidate {self.label} failed: {self.error}")
+
+    @property
+    def cycles(self) -> int:
+        self._require_ok()
+        if self.result is not None:
+            return self.result.total_cycles
+        return int(self.record["cycles"])
+
+    # Alias so refine_tiles callers can treat an outcome like a RunResult.
+    total_cycles = cycles
+
+    @property
+    def energy_pj(self) -> float:
+        self._require_ok()
+        if self.result is not None:
+            return self.result.energy_pj
+        return float(self.record["energy"]["total_pj"])
+
+    def _pipeline_utilization(self, side: str) -> float:
+        self._require_ok()
+        if self.result is not None:
+            if self.result.pipeline is None:
+                return 0.0
+            return getattr(self.result.pipeline, f"{side}_utilization")
+        pipe = self.record.get("pipeline")
+        if not pipe or not pipe.get("total_cycles"):
+            return 0.0
+        return pipe.get(f"{side}_busy", 0.0) / pipe["total_cycles"]
+
+    @property
+    def producer_utilization(self) -> float:
+        return self._pipeline_utilization("producer")
+
+    @property
+    def consumer_utilization(self) -> float:
+        return self._pipeline_utilization("consumer")
+
 
 @dataclass
 class EvalStats:
-    """Running counters across an evaluator's lifetime."""
+    """Running counters across an evaluator's (or session's) lifetime."""
 
     evaluated: int = 0  # cost-model runs actually performed
-    cache_hits: int = 0  # candidates answered from the memo
+    cache_hits: int = 0  # candidates answered from the in-memory memo
+    warm_hits: int = 0  # candidates answered from the persisted store
     errors: int = 0  # illegal candidates (LegalityError / ValueError)
     persisted: int = 0  # records newly appended to the store
     store_skips: int = 0  # records the store already held
@@ -204,27 +303,45 @@ class EvalStats:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
+# Memo entries: (result, error, record) — record is set only for entries
+# answered from the store-backed warm cache.
+_MemoEntry = "tuple[RunResult | None, str | None, dict | None]"
+
+
 # ----------------------------------------------------------------------
 # The evaluation service
 # ----------------------------------------------------------------------
 
 class DataflowEvaluator:
-    """Parallel, memoized evaluation of dataflow candidates on one
-    ``(workload, hardware)`` pair.
+    """Per-``(workload, hardware)`` view over an exploration session.
 
     Parameters
     ----------
+    session:
+        The :class:`~repro.campaign.session.ExplorationSession` providing
+        the worker pool, per-context memo, store, and warm cache.  When
+        omitted (the pre-campaign compatibility constructor), a private
+        single-context session is created from the remaining keyword
+        arguments and closed with this evaluator.
     workers:
         ``0`` (default) evaluates serially in-process; ``n > 0`` fans
-        uncached candidates out over an ``n``-process pool; a negative
-        value uses every available CPU.  Records are byte-identical
-        regardless of the setting.
+        uncached candidates out over an ``n``-process task-keyed pool; a
+        negative value uses every available CPU.  Records are
+        byte-identical regardless of the setting.  Ignored when
+        ``session`` is given.
     chunksize:
-        Candidates handed to a worker per scheduling quantum.
+        Candidates handed to a worker per scheduling quantum (ignored
+        when ``session`` is given).
     store:
         Optional :class:`~repro.analysis.store.ResultStore`; every fresh
         successful evaluation is streamed into it as an export-schema
-        record tagged with the candidate fingerprint.
+        record tagged with the candidate fingerprint, and (unless
+        ``warm=False``) its existing records seed the warm cache so a
+        second session answers repeated candidates from disk with zero
+        cost-model runs.  Ignored when ``session`` is given.
+    warm:
+        Preload the store's records as a warm cache (default).  Ignored
+        when ``session`` is given.
     record_extra:
         Constant key-values merged into every persisted record (e.g.
         ``{"dataset": "cora"}``).
@@ -238,28 +355,47 @@ class DataflowEvaluator:
         workers: int = 0,
         chunksize: int = 8,
         store: "Any | None" = None,
+        warm: bool = True,
         record_extra: Mapping[str, Any] | None = None,
+        session: "Any | None" = None,
     ) -> None:
-        if chunksize < 1:
-            raise ValueError("chunksize must be >= 1")
+        if session is None:
+            # Imported lazily: campaign sits above core in the layering,
+            # and this is the pre-campaign compatibility constructor.
+            from ..campaign.session import ExplorationSession
+
+            session = ExplorationSession(
+                workers=workers, chunksize=chunksize, store=store, warm=warm
+            )
+            self._owns_session = True
+        else:
+            self._owns_session = False
+        self.session = session
         self.wl = wl
         self.hw = hw
-        self.workers = (os.cpu_count() or 1) if workers < 0 else workers
-        self.chunksize = chunksize
-        self.store = store
         self.record_extra = dict(record_extra or {})
         self.stats = EvalStats()
-        self._memo: dict[str, tuple[RunResult | None, str | None]] = {}
-        self._pool = None
         self._ctx_signature = _context_signature(wl, hw)
+        self.ctx_key = context_key(wl, hw)
+        self._memo: dict[str, tuple] = session.memo_for(self.ctx_key)
 
-    # -- lifecycle ------------------------------------------------------
+    # -- session delegation ---------------------------------------------
+    @property
+    def workers(self) -> int:
+        return self.session.workers
+
+    @property
+    def store(self):
+        return self.session.store
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Close the private session, if this evaluator owns one.
+
+        Session-provided evaluators are views; closing them is a no-op so
+        ``with session.evaluator(...)`` blocks never tear down the shared
+        pool."""
+        if self._owns_session:
+            self.session.close()
 
     def __enter__(self) -> "DataflowEvaluator":
         return self
@@ -273,27 +409,18 @@ class DataflowEvaluator:
         except Exception:
             pass
 
-    def _ensure_pool(self):
-        if self._pool is None:
-            import multiprocessing
-
-            method = (
-                "fork"
-                if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-            ctx = multiprocessing.get_context(method)
-            self._pool = ctx.Pool(
-                self.workers, initializer=_pool_init, initargs=(self.wl, self.hw)
-            )
-        return self._pool
-
     # -- fingerprints and records --------------------------------------
-    def fingerprint(self, df: Dataflow, hint: TileHint | None = None) -> str:
+    def fingerprint(
+        self, df: Dataflow, hint: TileHint | ExplicitTiles | None = None
+    ) -> str:
         return _fingerprint(self._ctx_signature, df, hint)
 
     def to_record(self, outcome: EvalOutcome, **extra: Any) -> dict:
-        """Export-schema record of a successful outcome (+ fingerprint)."""
+        """Export-schema record of a successful outcome (+ fingerprint).
+
+        Warm-cache outcomes return the record the store already holds."""
+        if outcome.record is not None:
+            return dict(outcome.record)
         if outcome.result is None:
             raise ValueError(f"cannot serialize failed candidate: {outcome.error}")
         # Imported lazily: analysis sits above core in the layering.
@@ -306,7 +433,7 @@ class DataflowEvaluator:
 
     # -- evaluation -----------------------------------------------------
     def evaluate_one(
-        self, df: Dataflow, hint: TileHint | None = None
+        self, df: Dataflow, hint: TileHint | ExplicitTiles | None = None
     ) -> EvalOutcome:
         return self.evaluate([(df, hint)])[0]
 
@@ -318,15 +445,29 @@ class DataflowEvaluator:
     ) -> list[EvalOutcome]:
         """Evaluate candidates in order; returns one outcome per candidate.
 
-        Each candidate is ``(dataflow, hint)`` or ``(dataflow, hint,
-        extra)`` where ``extra`` is merged into the persisted record.
-        ``budget`` bounds the number of *successful* evaluations (matching
-        the optimizer's historical semantics: illegal candidates are
-        reported but do not consume budget); once reached, remaining
-        candidates are not pulled from the iterator.
+        Each candidate is ``(dataflow, spec)`` or ``(dataflow, spec,
+        extra)`` where ``spec`` is a :class:`TileHint`, an
+        :class:`ExplicitTiles`, or ``None``, and ``extra`` is merged into
+        the persisted record.  ``budget`` bounds the number of
+        *successful* evaluations (matching the optimizer's historical
+        semantics: illegal candidates are reported but do not consume
+        budget); once reached, remaining candidates are not pulled from
+        the iterator.
+
+        .. note:: **Budget truncation.**  With ``workers > 0`` candidates
+           are scheduled in whole batches, so hitting the budget
+           mid-batch can leave already-computed outcomes in the batch
+           tail.  Those outcomes are still memoized *and persisted to the
+           store*, but they are deliberately **not returned**: the
+           returned outcome list depends only on ``(candidates, budget)``
+           and stays identical between ``workers=0`` and ``workers=N``.
+           A later identical request answers them from the memo for free.
         """
         it = iter(candidates)
-        batch_size = 1 if self.workers == 0 else max(32, self.workers * self.chunksize)
+        workers = self.session.workers
+        batch_size = (
+            1 if workers == 0 else max(32, workers * self.session.chunksize)
+        )
         outcomes: list[EvalOutcome] = []
         legal = 0
         position = 0
@@ -334,9 +475,12 @@ class DataflowEvaluator:
             batch = list(itertools.islice(it, batch_size))
             if not batch:
                 break
+            # Drain the whole batch even past the budget: the tail was
+            # already computed, so it must reach the memo and the store
+            # (only the returned list is budget-truncated; see docstring).
             for outcome in self._evaluate_batch(batch, position):
                 if budget is not None and legal >= budget:
-                    break
+                    continue
                 outcomes.append(outcome)
                 if outcome.ok:
                     legal += 1
@@ -345,44 +489,67 @@ class DataflowEvaluator:
 
     # -- internals ------------------------------------------------------
     @staticmethod
-    def _unpack(candidate: Sequence) -> tuple[Dataflow, TileHint | None, dict]:
+    def _unpack(
+        candidate: Sequence,
+    ) -> tuple[Dataflow, TileHint | ExplicitTiles | None, dict]:
         if len(candidate) == 2:
-            df, hint = candidate
-            return df, hint, {}
-        df, hint, extra = candidate
-        return df, hint, dict(extra)
+            df, spec = candidate
+            return df, spec, {}
+        df, spec, extra = candidate
+        return df, spec, dict(extra)
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        """Advance a counter on this view *and* on the shared session."""
+        setattr(self.stats, counter, getattr(self.stats, counter) + amount)
+        stats = self.session.stats
+        setattr(stats, counter, getattr(stats, counter) + amount)
 
     def _evaluate_batch(
         self, batch: list[Sequence], base_index: int
     ) -> Iterator[EvalOutcome]:
         prepared = []
-        pending: list[tuple[int, Dataflow, TileHint | None]] = []
+        pending: list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]] = []
         first_seen: dict[str, int] = {}
+        warm_seeded: dict[str, int] = {}
         for i, candidate in enumerate(batch):
-            df, hint, extra = self._unpack(candidate)
-            fp = self.fingerprint(df, hint)
-            prepared.append((df, hint, extra, fp))
-            if fp not in self._memo and fp not in first_seen:
-                first_seen[fp] = i
-                pending.append((i, df, hint))
+            df, spec, extra = self._unpack(candidate)
+            fp = self.fingerprint(df, spec)
+            prepared.append((df, spec, extra, fp))
+            if fp in self._memo or fp in first_seen:
+                continue
+            warm = self.session.warm_get(fp)
+            if warm is not None:
+                # Answered from the persisted store: no model run, and the
+                # memo entry carries the disk record for later hits.
+                self._memo[fp] = (None, None, warm)
+                warm_seeded[fp] = i
+                self._bump("warm_hits")
+                continue
+            first_seen[fp] = i
+            pending.append((i, df, spec))
         fresh = self._run(pending)
-        for i, (df, hint, extra, fp) in enumerate(prepared):
+        for i, (df, spec, extra, fp) in enumerate(prepared):
             cached = fp in self._memo  # batch-internal dups memoize too
             if cached:
-                result, error = self._memo[fp]
-                self.stats.cache_hits += 1
+                result, error, record = self._memo[fp]
+                if warm_seeded.get(fp) != i:
+                    # (The occurrence that seeded a warm entry was already
+                    # counted as a warm hit, not a memo hit.)
+                    self._bump("cache_hits")
             else:
                 result, error = fresh[first_seen[fp]]
-                self._memo[fp] = (result, error)
-                self.stats.evaluated += 1
+                record = None
+                self._memo[fp] = (result, error, None)
+                self._bump("evaluated")
                 if error is not None:
-                    self.stats.errors += 1
+                    self._bump("errors")
             outcome = EvalOutcome(
                 index=base_index + i,
                 dataflow=df,
-                hint=hint,
+                hint=spec,
                 fingerprint=fp,
                 result=result,
+                record=record,
                 error=error,
                 cached=cached,
                 extra=extra,
@@ -392,23 +559,22 @@ class DataflowEvaluator:
             yield outcome
 
     def _run(
-        self, pending: list[tuple[int, Dataflow, TileHint | None]]
+        self, pending: list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]]
     ) -> dict[int, tuple[RunResult | None, str | None]]:
         if not pending:
             return {}
-        if self.workers and len(pending) > 1:
-            pool = self._ensure_pool()
-            mapped = pool.map(_pool_eval, pending, chunksize=self.chunksize)
+        if self.session.workers and len(pending) > 1:
+            mapped = self.session.map(self.ctx_key, (self.wl, self.hw), pending)
             return {idx: (result, error) for idx, result, error in mapped}
         return {
-            idx: _evaluate_candidate(self.wl, self.hw, df, hint)
-            for idx, df, hint in pending
+            idx: _evaluate_candidate(self.wl, self.hw, df, spec)
+            for idx, df, spec in pending
         }
 
     def _persist(self, outcome: EvalOutcome) -> None:
-        if self.store is None or not outcome.ok:
+        if self.session.store is None or outcome.result is None:
             return
-        if self.store.append(self.to_record(outcome)):
-            self.stats.persisted += 1
+        if self.session.store.append(self.to_record(outcome)):
+            self._bump("persisted")
         else:
-            self.stats.store_skips += 1
+            self._bump("store_skips")

@@ -12,11 +12,16 @@ implements three complementary strategies:
   :meth:`MappingOptimizer.refine_tiles` — randomized exploration plus a
   factor-of-two hill climb on explicit tile sizes.
 
-All strategies route their candidates through the
+All strategies — including the hill climb's explicit-tiling candidates,
+via :class:`~repro.core.evaluator.ExplicitTiles` — route through the
 :class:`~repro.core.evaluator.DataflowEvaluator` service, so searches are
 memoized, optionally persisted to a
-:class:`~repro.analysis.store.ResultStore`, and parallelizable with
-``workers=N`` while staying record-identical to the serial path.
+:class:`~repro.analysis.store.ResultStore`, parallelizable with
+``workers=N`` while staying record-identical to the serial path, and —
+when the evaluator's session carries a store-backed warm cache —
+resumable across processes: a second optimizer run against the same store
+performs zero duplicate cost-model evaluations, scoring candidates from
+the persisted records instead.
 
 Objectives: ``cycles``, ``energy`` or ``edp`` (energy-delay product).
 """
@@ -25,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -34,10 +39,9 @@ from ..engine.gemm import GemmTiling
 from ..engine.spmm import SpmmTiling
 from .configs import PAPER_CONFIGS
 from .enumeration import table_ii_order_pairs
-from .evaluator import DataflowEvaluator, EvalOutcome
+from .evaluator import DataflowEvaluator, EvalOutcome, ExplicitTiles
 from .interphase import RunResult
 from .legality import LegalityError
-from .omega import run_gnn_dataflow
 from .taxonomy import (
     Annot,
     Dataflow,
@@ -51,10 +55,20 @@ from .taxonomy import (
 from .tiling import TileHint
 from .workload import GNNWorkload
 
-__all__ = ["Objective", "SearchResult", "MappingOptimizer", "search_paper_configs"]
+__all__ = [
+    "Objective",
+    "SearchResult",
+    "MappingOptimizer",
+    "outcome_score",
+    "search_paper_configs",
+]
 
 Objective = Callable[[RunResult], float]
 
+# The single source of truth for objectives.  Entries must score through
+# the ``total_cycles`` / ``energy_pj`` accessors only, which both
+# :class:`RunResult` and :class:`EvalOutcome` expose — so the same
+# registry serves live results and warm-cache-backed outcomes.
 OBJECTIVES: dict[str, Objective] = {
     "cycles": lambda r: float(r.total_cycles),
     "energy": lambda r: r.energy_pj,
@@ -62,18 +76,44 @@ OBJECTIVES: dict[str, Objective] = {
 }
 
 
+def outcome_score(outcome: EvalOutcome, objective: str) -> float:
+    """Score an outcome under a registered objective, from whichever
+    backing it has (a live :class:`RunResult` or a warm-cache record)."""
+    try:
+        score = OBJECTIVES[objective]
+    except KeyError:
+        raise ValueError(
+            f"unknown objective {objective!r}; pick from {sorted(OBJECTIVES)}"
+        ) from None
+    return score(outcome)
+
+
 @dataclass
 class SearchResult:
-    """Outcome of one search: the best run plus the evaluation trace."""
+    """Outcome of one search: the best candidate plus the evaluation trace.
 
-    best: RunResult
+    ``best_outcome`` may be warm-cache-backed (no live
+    :class:`RunResult`) when the search resumed from a persisted store;
+    ``best`` is then ``None`` while ``best_dataflow``/``best_score`` keep
+    working from the record.
+    """
+
+    best_outcome: EvalOutcome
     objective: str
     evaluated: int
     history: list[tuple[str, float]] = field(default_factory=list)
 
     @property
+    def best(self) -> RunResult | None:
+        return self.best_outcome.result
+
+    @property
+    def best_dataflow(self) -> Dataflow:
+        return self.best_outcome.dataflow
+
+    @property
     def best_score(self) -> float:
-        return OBJECTIVES[self.objective](self.best)
+        return outcome_score(self.best_outcome, self.objective)
 
     def top(self, k: int = 5) -> list[tuple[str, float]]:
         return sorted(self.history, key=lambda t: t[1])[:k]
@@ -87,20 +127,23 @@ def _collect(
     Illegal candidates (outcome.error set) are excluded from the history,
     matching the optimizer's historical skip-on-LegalityError semantics.
     """
-    score = OBJECTIVES[objective]
-    best: RunResult | None = None
+    best: EvalOutcome | None = None
+    best_score = float("inf")
     history: list[tuple[str, float]] = []
     for outcome in outcomes:
         if not outcome.ok:
             continue
-        s = score(outcome.result)
+        s = outcome_score(outcome, objective)
         history.append((outcome.label, s))
-        if best is None or s < score(best):
-            best = outcome.result
+        if best is None or s < best_score:
+            best, best_score = outcome, s
     if best is None:
         raise LegalityError("no legal candidate dataflow found")
     return SearchResult(
-        best=best, objective=objective, evaluated=len(history), history=history
+        best_outcome=best,
+        objective=objective,
+        evaluated=len(history),
+        history=history,
     )
 
 
@@ -110,6 +153,7 @@ def search_paper_configs(
     *,
     objective: str = "cycles",
     evaluator: DataflowEvaluator | None = None,
+    session: "Any | None" = None,
     workers: int = 0,
 ) -> SearchResult:
     """Evaluate the ten Table V configurations and pick the winner."""
@@ -117,7 +161,12 @@ def search_paper_configs(
         raise ValueError(
             f"unknown objective {objective!r}; pick from {sorted(OBJECTIVES)}"
         )
-    ev = evaluator or DataflowEvaluator(wl, hw, workers=workers)
+    if evaluator is not None:
+        ev, owned = evaluator, False
+    elif session is not None:
+        ev, owned = session.evaluator(wl, hw), False
+    else:
+        ev, owned = DataflowEvaluator(wl, hw, workers=workers), True
     try:
         outcomes = ev.evaluate(
             [
@@ -126,7 +175,7 @@ def search_paper_configs(
             ]
         )
     finally:
-        if evaluator is None:
+        if owned:
             ev.close()
     for outcome in outcomes:
         if not outcome.ok:  # Table V rows are all legal by construction
@@ -161,7 +210,13 @@ class MappingOptimizer:
     :class:`DataflowEvaluator`, shared across this optimizer's searches:
     repeated or overlapping searches hit its memo instead of re-running
     the cost model, ``workers=N`` parallelizes candidate evaluation, and
-    ``store`` persists every evaluated mapping for later analysis.
+    ``store`` persists every evaluated mapping for later analysis — and,
+    through the session warm cache, answers a later optimizer run's
+    repeated candidates from disk.  Pass ``session=`` to draw the
+    evaluator from a shared
+    :class:`~repro.campaign.session.ExplorationSession` (one worker pool
+    across many workloads); the legacy ``workers=``/``store=`` keywords
+    build a private single-context session instead.
     """
 
     def __init__(
@@ -173,6 +228,8 @@ class MappingOptimizer:
         workers: int = 0,
         store=None,
         evaluator: DataflowEvaluator | None = None,
+        session: "Any | None" = None,
+        record_extra: Mapping[str, Any] | None = None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -182,12 +239,17 @@ class MappingOptimizer:
         self.hw = hw
         self.objective = objective
         self._score = OBJECTIVES[objective]
-        self.evaluator = evaluator or DataflowEvaluator(
-            wl, hw, workers=workers, store=store
-        )
+        if evaluator is not None:
+            self.evaluator = evaluator
+        elif session is not None:
+            self.evaluator = session.evaluator(wl, hw, record_extra=record_extra)
+        else:
+            self.evaluator = DataflowEvaluator(
+                wl, hw, workers=workers, store=store, record_extra=record_extra
+            )
 
     def close(self) -> None:
-        """Release the evaluator's worker pool."""
+        """Release the evaluator's worker pool (no-op for session views)."""
         self.evaluator.close()
 
     def __enter__(self) -> "MappingOptimizer":
@@ -283,12 +345,18 @@ class MappingOptimizer:
         gemm_tiling: GemmTiling,
         *,
         max_steps: int = 32,
-    ) -> tuple[RunResult, SpmmTiling, GemmTiling]:
+    ) -> tuple[EvalOutcome, SpmmTiling, GemmTiling]:
         """Factor-of-two hill climb on explicit tile sizes.
 
         Neighbor moves halve one tile dimension and double another within
         the same phase (preserving the PE budget).  Stops at a local
         optimum or after ``max_steps`` improvements.
+
+        Every probed tiling routes through the evaluator as an
+        :class:`ExplicitTiles` candidate, so climbs memoize, persist to
+        the store, and — on a warm session — resume from disk.  The
+        returned best is an :class:`EvalOutcome` (its ``total_cycles`` /
+        ``energy_pj`` accessors work from either backing).
         """
 
         def concretized(st: SpmmTiling, gt: GemmTiling) -> Dataflow:
@@ -308,19 +376,15 @@ class MappingOptimizer:
                 ),
             )
 
-        def run(st: SpmmTiling, gt: GemmTiling) -> RunResult | None:
+        def probe(st: SpmmTiling, gt: GemmTiling) -> EvalOutcome | None:
             try:
-                return run_gnn_dataflow(
-                    self.wl,
-                    concretized(st, gt),
-                    self.hw,
-                    spmm_tiling=st,
-                    gemm_tiling=gt,
-                )
+                cand = concretized(st, gt)
             except (LegalityError, ValueError):
                 return None
+            outcome = self.evaluator.evaluate_one(cand, ExplicitTiles(st, gt))
+            return outcome if outcome.ok else None
 
-        cur = run(spmm_tiling, gemm_tiling)
+        cur = probe(spmm_tiling, gemm_tiling)
         if cur is None:
             raise LegalityError(f"initial tiling is illegal for {df}")
         cur_s, cur_g = spmm_tiling, gemm_tiling
@@ -343,12 +407,14 @@ class MappingOptimizer:
                     nd[j] *= 2
                     yield st, GemmTiling(*nd)
 
+        cur_score = outcome_score(cur, self.objective)
         for _ in range(max_steps):
             improved = False
             for st, gt in neighbors(cur_s, cur_g):
-                res = run(st, gt)
-                if res is not None and self._score(res) < self._score(cur):
+                res = probe(st, gt)
+                if res is not None and outcome_score(res, self.objective) < cur_score:
                     cur, cur_s, cur_g = res, st, gt
+                    cur_score = outcome_score(res, self.objective)
                     improved = True
                     break
             if not improved:

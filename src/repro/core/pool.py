@@ -1,0 +1,153 @@
+"""Task-keyed worker pool: one process pool, many evaluation contexts.
+
+The first-generation evaluation service pinned one ``(workload, hardware)``
+pair per ``multiprocessing.Pool`` via the pool initializer, so every
+dataset (and every hardware point) of a campaign paid its own pool spawn.
+This module replaces that protocol: a single :class:`TaskKeyedPool` is
+shared by every context, and the context travels *with the task* as a
+key.  Contexts are pickled once into a spool directory by the parent;
+each worker process lazily loads and caches the context blob the first
+time it sees a task carrying that key, so steady-state tasks cost one
+small tuple pickle regardless of how many contexts are in flight.
+
+The protocol is deliberately function-agnostic — the pool maps a
+module-level ``fn(ctx, item)`` over ``(key, item)`` tasks — so the
+evaluator, future shard executors, and tests can all reuse it.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+import shutil
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+__all__ = ["TaskKeyedPool"]
+
+
+# Per-worker-process cache of unpickled contexts, keyed by spool path.
+# Module-level so it survives across map() calls within one worker.
+_CTX_CACHE: dict[str, Any] = {}
+
+
+def _load_ctx(path: str) -> Any:
+    ctx = _CTX_CACHE.get(path)
+    if ctx is None:
+        with open(path, "rb") as fh:
+            ctx = pickle.load(fh)
+        _CTX_CACHE[path] = ctx
+    return ctx
+
+
+def _dispatch(fn: Callable[[Any, Any], Any], task: tuple[str, Any]) -> Any:
+    path, item = task
+    return fn(_load_ctx(path), item)
+
+
+class TaskKeyedPool:
+    """A ``multiprocessing`` pool whose tasks carry their own context key.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; ``workers < 0`` uses every available CPU.
+        ``workers == 0`` is rejected — serial execution needs no pool.
+    fn:
+        A **module-level** function ``fn(ctx, item) -> result`` (it must
+        pickle under the spawn start method).
+    chunksize:
+        Tasks handed to a worker per scheduling quantum.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        fn: Callable[[Any, Any], Any],
+        *,
+        chunksize: int = 8,
+    ) -> None:
+        if workers == 0:
+            raise ValueError("TaskKeyedPool needs workers != 0")
+        self.workers = (os.cpu_count() or 1) if workers < 0 else workers
+        self.fn = fn
+        self.chunksize = chunksize
+        self._pool = None
+        self._spool: Path | None = None
+        self._registered: dict[str, str] = {}  # key -> spool path
+
+    # -- context registration ------------------------------------------
+    def register(self, key: str, ctx: Any) -> str:
+        """Spool ``ctx`` under ``key`` (idempotent); returns the blob path.
+
+        The blob is written before any task carrying ``key`` is
+        dispatched, so workers can always resolve the key lazily.
+        """
+        path = self._registered.get(key)
+        if path is None:
+            if self._spool is None:
+                self._spool = Path(tempfile.mkdtemp(prefix="repro-taskpool-"))
+            blob = self._spool / f"ctx-{key}.pkl"
+            with blob.open("wb") as fh:
+                pickle.dump(ctx, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            path = str(blob)
+            self._registered[key] = path
+        return path
+
+    # -- execution ------------------------------------------------------
+    def map(self, key: str, items: Sequence[Any]) -> list[Any]:
+        """Run ``fn(ctx_of(key), item)`` for each item, preserving order.
+
+        ``key`` must have been :meth:`register`-ed first.
+        """
+        path = self._registered.get(key)
+        if path is None:
+            raise KeyError(f"context key {key!r} was never registered")
+        pool = self._ensure_pool()
+        tasks = [(path, item) for item in items]
+        return pool.map(
+            functools.partial(_dispatch, self.fn), tasks, chunksize=self.chunksize
+        )
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._pool = multiprocessing.get_context(method).Pool(self.workers)
+        return self._pool
+
+    @property
+    def started(self) -> bool:
+        """Whether worker processes have actually been spawned yet."""
+        return self._pool is not None
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Terminate workers and remove the context spool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        if self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
+        self._registered.clear()
+
+    def __enter__(self) -> "TaskKeyedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

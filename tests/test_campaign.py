@@ -1,0 +1,478 @@
+"""Tests for the declarative campaign pipeline (spec -> session -> report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import record_to_json
+from repro.analysis.store import ResultStore
+from repro.arch.config import AcceleratorConfig
+from repro.campaign import (
+    CampaignCheckpoint,
+    CampaignResumeError,
+    CampaignSpec,
+    CampaignSpecError,
+    CandidateSource,
+    ExplorationSession,
+    HardwarePoint,
+    campaign_units,
+    run_campaign,
+)
+from repro.core.configs import PAPER_CONFIGS
+from repro.core.workload import GNNWorkload
+
+
+@pytest.fixture
+def hw():
+    return AcceleratorConfig(num_pes=64)
+
+
+@pytest.fixture
+def wl(er_graph):
+    return GNNWorkload(er_graph, in_features=24, out_features=6, name="er")
+
+
+@pytest.fixture
+def wl2(uniform_graph):
+    return GNNWorkload(uniform_graph, in_features=16, out_features=4, name="mol")
+
+
+@pytest.fixture
+def paper_candidates():
+    return [
+        (cfg.dataflow(), cfg.hint, {"config": name})
+        for name, cfg in PAPER_CONFIGS.items()
+    ]
+
+
+def tiny_spec(tmp_path=None, **overrides) -> CampaignSpec:
+    base = dict(
+        name="mini",
+        datasets=["mutag", "citeseer"],
+        source=CandidateSource("table5"),
+        hardware=[HardwarePoint(num_pes=512)],
+        seed=0,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# CampaignSpec serialization and validation
+# ----------------------------------------------------------------------
+
+class TestSpec:
+    def test_json_roundtrip(self):
+        spec = tiny_spec(
+            hardware=[
+                HardwarePoint(num_pes=512),
+                HardwarePoint(num_pes=1024, bandwidth=128, label="big"),
+            ],
+            budget=100,
+            objective="edp",
+        )
+        again = CampaignSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fingerprint() == spec.fingerprint()
+
+    def test_load_json_file(self, tmp_path):
+        spec = tiny_spec()
+        path = spec.save(tmp_path / "c.json")
+        assert CampaignSpec.load(path) == spec
+
+    def test_load_toml_file(self, tmp_path):
+        path = tmp_path / "c.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    'name = "toml-campaign"',
+                    'datasets = ["mutag"]',
+                    'objective = "cycles"',
+                    "seed = 3",
+                    "[source]",
+                    'kind = "table5"',
+                    "[[hardware]]",
+                    "num_pes = 256",
+                ]
+            )
+        )
+        spec = CampaignSpec.load(path)
+        assert spec.name == "toml-campaign"
+        assert spec.seed == 3
+        assert spec.hardware == [HardwarePoint(num_pes=256)]
+
+    def test_fingerprint_ignores_artifact_paths(self):
+        a = tiny_spec()
+        b = tiny_spec(store="runs/x.jsonl", checkpoint="runs/x.ckpt.jsonl")
+        assert a.fingerprint() == b.fingerprint()
+
+    @pytest.mark.parametrize(
+        "mutation, message",
+        [
+            (dict(datasets=[]), "at least one dataset"),
+            (dict(datasets=["mutag", "nope"]), "unknown datasets"),
+            (dict(datasets=["mutag", "mutag"]), "duplicate datasets"),
+            (dict(hardware=[]), "at least one hardware point"),
+            (dict(source=CandidateSource("genetic")), "unknown source kind"),
+            (
+                dict(source=CandidateSource("table5", {"splits": [0.5]})),
+                "does not accept params",
+            ),
+            (dict(objective="speed"), "unknown objective"),
+            (dict(budget=0), "budget"),
+            (dict(name="  "), "non-empty name"),
+            (
+                dict(hardware=[HardwarePoint(), HardwarePoint()]),
+                "collide",
+            ),
+        ],
+    )
+    def test_validation_errors(self, mutation, message):
+        with pytest.raises(CampaignSpecError, match=message):
+            tiny_spec(**mutation).validate()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = tiny_spec().to_dict()
+        data["worker_count"] = 4  # execution policy does not belong in a spec
+        with pytest.raises(CampaignSpecError, match="unknown spec fields"):
+            CampaignSpec.from_dict(data)
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(CampaignSpecError, match="not valid JSON"):
+            CampaignSpec.from_json("{nope")
+
+    def test_from_dict_rejects_wrong_types(self):
+        data = tiny_spec().to_dict()
+        data["hardware"] = [{"num_pes": "512"}]
+        with pytest.raises(CampaignSpecError, match="must be an integer"):
+            CampaignSpec.from_dict(data)
+        data = tiny_spec().to_dict()
+        data["budget"] = "many"
+        with pytest.raises(CampaignSpecError, match="budget"):
+            CampaignSpec.from_dict(data)
+
+    def test_units_grid_order(self):
+        spec = tiny_spec(
+            hardware=[HardwarePoint(num_pes=512), HardwarePoint(num_pes=1024)]
+        )
+        units = [(ds, pt.key()) for ds, pt in campaign_units(spec)]
+        assert units == [
+            ("mutag", "pes512"),
+            ("mutag", "pes1024"),
+            ("citeseer", "pes512"),
+            ("citeseer", "pes1024"),
+        ]
+
+
+# ----------------------------------------------------------------------
+# ExplorationSession: warm cache + cross-context pool reuse
+# ----------------------------------------------------------------------
+
+class TestSession:
+    def test_warm_cache_answers_second_session_from_disk(
+        self, wl, hw, paper_candidates, tmp_path
+    ):
+        path = tmp_path / "runs.jsonl"
+        with ResultStore(path) as store:
+            with ExplorationSession(store=store) as first:
+                outcomes = first.evaluator(wl, hw).evaluate(paper_candidates)
+                assert first.stats.evaluated == len(paper_candidates)
+        cycles = [o.cycles for o in outcomes]
+
+        with ResultStore(path) as store:
+            with ExplorationSession(store=store) as second:
+                assert second.warm_size == len(paper_candidates)
+                again = second.evaluator(wl, hw).evaluate(paper_candidates)
+                # zero cost-model runs: every answer came from disk
+                assert second.stats.evaluated == 0
+                assert second.stats.warm_hits == len(paper_candidates)
+        assert [o.cycles for o in again] == cycles
+        assert all(o.record is not None and o.result is None for o in again)
+
+    def test_one_pool_two_workloads_matches_serial(
+        self, wl, wl2, hw, paper_candidates
+    ):
+        def records(session):
+            lines = []
+            for workload in (wl, wl2):
+                ev = session.evaluator(
+                    workload, hw, record_extra={"dataset": workload.name}
+                )
+                for o in ev.evaluate(paper_candidates):
+                    lines.append(record_to_json(ev.to_record(o)))
+            return lines
+
+        with ExplorationSession(workers=0) as serial_session:
+            serial = records(serial_session)
+        with ExplorationSession(workers=2) as shared:
+            parallel = records(shared)
+            # both workloads' batches ran through the same pool
+            assert shared.pool_started
+            assert shared.stats.evaluated == 2 * len(paper_candidates)
+        assert serial == parallel
+
+    def test_memo_shared_between_views_of_same_context(
+        self, wl, hw, paper_candidates
+    ):
+        with ExplorationSession() as session:
+            session.evaluator(wl, hw).evaluate(paper_candidates)
+            ev2 = session.evaluator(wl, hw)
+            ev2.evaluate(paper_candidates)
+            assert ev2.stats.evaluated == 0
+            assert ev2.stats.cache_hits == len(paper_candidates)
+            assert session.stats.evaluated == len(paper_candidates)
+
+    def test_closed_session_refuses_new_evaluators(self, wl, hw):
+        session = ExplorationSession()
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.evaluator(wl, hw)
+
+    def test_closed_session_refuses_pool_dispatch(
+        self, wl, hw, paper_candidates
+    ):
+        # A stale evaluator view must not respawn a pool after close().
+        with ExplorationSession(workers=2) as session:
+            stale = session.evaluator(wl, hw)
+        with pytest.raises(RuntimeError, match="closed"):
+            stale.evaluate(paper_candidates)
+
+    def test_warm_cache_skips_older_schema_records(
+        self, wl, hw, paper_candidates, tmp_path
+    ):
+        """Schema-v1 records lack fields the outcome accessors need, so
+        they must be re-evaluated rather than served warm."""
+        path = tmp_path / "runs.jsonl"
+        with ResultStore(path) as store:
+            with ExplorationSession(store=store) as session:
+                session.evaluator(wl, hw).evaluate(paper_candidates)
+        # age every persisted record back to schema 1
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        for rec in lines:
+            rec["schema"] = 1
+        path.write_text("".join(json.dumps(r, sort_keys=True) + "\n" for r in lines))
+
+        with ResultStore(path) as store:
+            with ExplorationSession(store=store) as session:
+                assert session.warm_size == 0
+                session.evaluator(wl, hw).evaluate(paper_candidates)
+                assert session.stats.evaluated == len(paper_candidates)
+                assert session.stats.warm_hits == 0
+                # the store already holds the fingerprints: nothing re-appended
+                assert session.stats.store_skips == len(paper_candidates)
+
+
+# ----------------------------------------------------------------------
+# Campaign runner: checkpointed resume
+# ----------------------------------------------------------------------
+
+class TestRunCampaign:
+    def test_runs_all_units_and_persists(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "c.jsonl")
+        report = run_campaign(spec, store=store)
+        store.close()
+        assert [u.dataset for u in report.units] == ["mutag", "citeseer"]
+        assert all(len(u.rows) == len(PAPER_CONFIGS) for u in report.units)
+        assert report.stats["evaluated"] == 2 * len(PAPER_CONFIGS)
+        assert report.store_records == 2 * len(PAPER_CONFIGS)
+
+    def test_checkpoint_resume_skips_done_units(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "c.jsonl")
+        ckpt = CampaignCheckpoint(tmp_path / "c.ckpt.jsonl", spec.fingerprint())
+        first = run_campaign(spec, store=store, checkpoint=ckpt)
+        ckpt.close()
+        store.close()
+        assert first.resumed_units == 0
+
+        store = ResultStore(tmp_path / "c.jsonl")
+        ckpt = CampaignCheckpoint(tmp_path / "c.ckpt.jsonl", spec.fingerprint())
+        second = run_campaign(spec, store=store, checkpoint=ckpt)
+        ckpt.close()
+        store.close()
+        assert second.resumed_units == len(second.units)
+        assert second.stats["evaluated"] == 0
+        assert [u.rows for u in second.units] == [u.rows for u in first.units]
+
+    def test_lost_checkpoint_resumes_from_store_warm_cache(self, tmp_path):
+        """A campaign killed mid-unit reruns the unit, but every persisted
+        candidate is answered from disk: zero new cost-model runs."""
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "c.jsonl")
+        run_campaign(spec, store=store)
+        store.close()
+
+        store = ResultStore(tmp_path / "c.jsonl")
+        report = run_campaign(spec, store=store)  # no checkpoint at all
+        store.close()
+        assert report.stats["evaluated"] == 0
+        assert report.stats["warm_hits"] == 2 * len(PAPER_CONFIGS)
+        assert report.store_records == 2 * len(PAPER_CONFIGS)
+
+    def test_checkpoint_rejects_spec_drift(self, tmp_path):
+        spec = tiny_spec()
+        ckpt = CampaignCheckpoint(tmp_path / "c.ckpt.jsonl", spec.fingerprint())
+        ckpt.mark("mutag@pes512", {"dataset": "mutag", "hw": "pes512", "rows": []})
+        ckpt.close()
+        drifted = tiny_spec(datasets=["mutag", "cora"])
+        with pytest.raises(CampaignResumeError, match="belongs to spec"):
+            CampaignCheckpoint(tmp_path / "c.ckpt.jsonl", drifted.fingerprint())
+
+    def test_torn_header_restarts_checkpoint(self, tmp_path):
+        """A campaign killed while appending the header itself must not
+        wedge resume: the next run starts the checkpoint over."""
+        spec = tiny_spec()
+        path = tmp_path / "c.ckpt.jsonl"
+        path.write_text('{"campaign_schema": 1, "spec_fing')  # torn header
+        ckpt = CampaignCheckpoint(path, spec.fingerprint())
+        assert ckpt.done == {}
+        ckpt.mark("mutag@pes512", {"rows": []})
+        ckpt.close()
+        header, done = CampaignCheckpoint.load(path)
+        assert header["spec_fingerprint"] == spec.fingerprint()
+        assert set(done) == {"mutag@pes512"}
+
+    def test_checkpoint_heals_torn_final_line(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "c.ckpt.jsonl"
+        ckpt = CampaignCheckpoint(path, spec.fingerprint())
+        ckpt.mark("mutag@pes512", {"dataset": "mutag", "hw": "pes512", "rows": []})
+        ckpt.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"unit": "citeseer@pes512", "rows": [tru')  # killed mid-append
+        again = CampaignCheckpoint(path, spec.fingerprint())
+        assert set(again.done) == {"mutag@pes512"}
+        again.close()
+
+    def test_checkpoint_rejects_mid_file_corruption(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "c.ckpt.jsonl"
+        ckpt = CampaignCheckpoint(path, spec.fingerprint())
+        ckpt.mark("a@pes512", {"rows": []})
+        ckpt.close()
+        lines = path.read_text().splitlines()
+        lines[1] = "{broken"
+        lines.append(json.dumps({"unit": "b@pes512", "rows": []}))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CampaignResumeError, match="corrupt checkpoint"):
+            CampaignCheckpoint(path, spec.fingerprint())
+
+    def test_multi_hardware_grid_labels_records(self, wl, tmp_path):
+        spec = CampaignSpec(
+            name="grid",
+            datasets=["mutag"],
+            source=CandidateSource("table5"),
+            hardware=[
+                HardwarePoint(num_pes=512, label="base"),
+                HardwarePoint(num_pes=1024, label="2x"),
+            ],
+        )
+        store = ResultStore(tmp_path / "g.jsonl")
+        report = run_campaign(spec, store=store)
+        store.close()
+        assert [u.hw for u in report.units] == ["base", "2x"]
+        labels = {r["hw"] for r in store.records()}
+        assert labels == {"base", "2x"}
+
+    def test_checkpoint_load_is_read_only(self, tmp_path):
+        spec = tiny_spec()
+        path = tmp_path / "c.ckpt.jsonl"
+        ckpt = CampaignCheckpoint(path, spec.fingerprint())
+        ckpt.mark("mutag@pes512", {"rows": []})
+        ckpt.close()
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"unit": "in-fli')  # another process mid-append
+        before = path.read_bytes()
+        header, done = CampaignCheckpoint.load(path)
+        assert set(done) == {"mutag@pes512"}  # torn line ignored...
+        assert path.read_bytes() == before  # ...but never rewritten
+
+    def test_scale_sources_reject_spec_hardware_grid(self):
+        spec = tiny_spec(
+            datasets=["mutag"],
+            source=CandidateSource("num_pes", {"pe_counts": [64, 128]}),
+            hardware=[HardwarePoint(num_pes=1024)],
+        )
+        with pytest.raises(CampaignSpecError, match="leave 'hardware' unset"):
+            spec.validate()
+
+    def test_bandwidth_source_takes_pe_count_from_hardware_point(self):
+        spec = CampaignSpec(
+            name="bw",
+            datasets=["mutag"],
+            source=CandidateSource("bandwidth", {"bandwidths": [64, 32]}),
+            hardware=[HardwarePoint(num_pes=64)],
+        )
+        report = run_campaign(spec)
+        (unit,) = report.units
+        assert unit.hw == "pes64"
+        assert {r["bandwidth"] for r in unit.rows} == {64, 32}
+
+    def test_case_study_source_runs(self, tmp_path):
+        spec = CampaignSpec(
+            name="fig16",
+            datasets=["mutag"],
+            source=CandidateSource(
+                "bandwidth", {"bandwidths": [64, 32], "num_pes": 64}
+            ),
+        )
+        report = run_campaign(spec)
+        (unit,) = report.units
+        assert {r["bandwidth"] for r in unit.rows} == {64, 32}
+        assert all(r["normalized"] > 0 for r in unit.rows)
+
+
+# ----------------------------------------------------------------------
+# Campaign CLI
+# ----------------------------------------------------------------------
+
+class TestCampaignCLI:
+    def run_cli(self, capsys, *argv):
+        from repro.cli import main
+
+        assert main(list(argv)) == 0
+        return capsys.readouterr().out
+
+    def test_run_status_report(self, capsys, tmp_path):
+        spec_path = tiny_spec(name="cli-mini").save(tmp_path / "spec.json")
+        store = str(tmp_path / "c.jsonl")
+        ckpt = str(tmp_path / "c.ckpt.jsonl")
+        args = ["--spec", str(spec_path), "--out", store, "--checkpoint", ckpt]
+
+        out = self.run_cli(capsys, "campaign", "run", *args)
+        assert "2 units (0 from checkpoint)" in out
+        assert "18 records" in out
+
+        out = self.run_cli(capsys, "campaign", "status", *args, "--json")
+        status = json.loads(out)
+        assert status["units_done"] == 2
+        assert status["store_records"] == 18
+
+        out = self.run_cli(capsys, "campaign", "run", *args, "--json")
+        rerun = json.loads(out)
+        assert rerun["stats"]["evaluated"] == 0
+        assert all(u["resumed"] for u in rerun["units"])
+
+        out = self.run_cli(capsys, "campaign", "report", *args)
+        assert "2 units (2 from checkpoint)" in out
+
+    def test_status_before_any_run(self, capsys, tmp_path):
+        spec_path = tiny_spec(name="cold").save(tmp_path / "spec.json")
+        out = self.run_cli(
+            capsys, "campaign", "status", "--spec", str(spec_path),
+            "--out", str(tmp_path / "c.jsonl"),
+            "--checkpoint", str(tmp_path / "c.ckpt.jsonl"),
+        )
+        assert "no checkpoint yet" in out
+
+    def test_report_without_checkpoint_fails(self, tmp_path):
+        from repro.cli import main
+
+        spec_path = tiny_spec(name="none").save(tmp_path / "spec.json")
+        assert main(
+            ["campaign", "report", "--spec", str(spec_path),
+             "--checkpoint", str(tmp_path / "missing.jsonl")]
+        ) == 1

@@ -150,6 +150,31 @@ class TestErrors:
         with pytest.raises(ValueError):
             ev.to_record(outcome)
 
+    def test_budget_truncates_batch_tail_but_memoizes_it(
+        self, wl, hw, paper_candidates, tmp_path
+    ):
+        """With workers > 0 a whole batch is scheduled at once, so hitting
+        the budget mid-batch evaluates (and persists) more candidates than
+        it returns — the documented truncation in ``evaluate``."""
+        path = tmp_path / "runs.jsonl"
+        with ResultStore(path) as store:
+            with DataflowEvaluator(wl, hw, workers=2, store=store) as ev:
+                outcomes = ev.evaluate(paper_candidates, budget=2)
+                # returned list is budget-bounded, independent of workers
+                assert sum(o.ok for o in outcomes) == 2
+                # ...but the whole scheduled batch was computed, memoized,
+                # and persisted
+                assert ev.stats.evaluated == len(paper_candidates)
+                assert ev.stats.persisted == len(paper_candidates)
+                # the tail costs nothing on a later identical request
+                again = ev.evaluate(paper_candidates)
+                assert ev.stats.evaluated == len(paper_candidates)
+                assert all(o.cached for o in again)
+        # serial evaluation never computes beyond the budget
+        with DataflowEvaluator(wl, hw) as serial:
+            serial.evaluate(paper_candidates, budget=2)
+            assert serial.stats.evaluated == 2
+
     def test_budget_counts_only_legal(self, wl, hw):
         cfg = PAPER_CONFIGS["Seq1"]
         candidates = [
@@ -166,7 +191,9 @@ class TestErrors:
 
 
 class TestStoreStreaming:
-    def test_streams_records_and_resumes(self, wl, hw, paper_candidates, tmp_path):
+    def test_streams_records_and_warm_resumes(
+        self, wl, hw, paper_candidates, tmp_path
+    ):
         path = tmp_path / "runs.jsonl"
         with ResultStore(path) as store:
             with DataflowEvaluator(wl, hw, store=store) as ev:
@@ -174,11 +201,33 @@ class TestStoreStreaming:
                 assert ev.stats.persisted == len(paper_candidates)
         assert len(ResultStore(path)) == len(paper_candidates)
 
-        # A fresh evaluator (cold memo) against the same store re-runs the
-        # model but skips re-persisting every already-archived fingerprint.
+        # A fresh evaluator (cold memo) against the same store answers
+        # every candidate from the warm cache: zero cost-model runs, and
+        # nothing new to persist.
         with ResultStore(path) as store:
             with DataflowEvaluator(wl, hw, store=store) as ev2:
+                outcomes = ev2.evaluate(paper_candidates)
+                assert ev2.stats.evaluated == 0
+                assert ev2.stats.warm_hits == len(paper_candidates)
+                assert ev2.stats.persisted == 0
+                assert all(o.ok and o.record is not None for o in outcomes)
+        assert len(ResultStore(path)) == len(paper_candidates)
+
+    def test_warm_false_keeps_store_write_only(
+        self, wl, hw, paper_candidates, tmp_path
+    ):
+        path = tmp_path / "runs.jsonl"
+        with ResultStore(path) as store:
+            with DataflowEvaluator(wl, hw, store=store) as ev:
+                ev.evaluate(paper_candidates)
+
+        # warm=False: the pre-campaign behaviour — the model re-runs and
+        # the store's dedup index absorbs the duplicate appends.
+        with ResultStore(path) as store:
+            with DataflowEvaluator(wl, hw, store=store, warm=False) as ev2:
                 ev2.evaluate(paper_candidates)
+                assert ev2.stats.evaluated == len(paper_candidates)
+                assert ev2.stats.warm_hits == 0
                 assert ev2.stats.persisted == 0
                 assert ev2.stats.store_skips == len(paper_candidates)
         assert len(ResultStore(path)) == len(paper_candidates)
@@ -218,6 +267,39 @@ class TestSweepIntegration:
         records = store.records()
         assert len(records) == len(rows)  # baseline was a memo hit, not a row
         assert all("config" in r and "bandwidth" in r for r in records)
+
+
+class TestSweepLegality:
+    def test_illegal_baseline_raises_clear_error(self, wl):
+        from repro.analysis.sweep import SweepBaselineError, sweep_pe_allocation
+
+        # 1 PE: the PP baseline cannot split the array at all.
+        with pytest.raises(SweepBaselineError, match="normalization baseline"):
+            sweep_pe_allocation(wl, AcceleratorConfig(num_pes=1))
+
+    def test_illegal_swept_point_raises_clear_error(self, wl):
+        from repro.analysis.sweep import SweepError, sweep_pe_allocation
+
+        # 2 PEs: the 50-50 baseline is realizable but skewed splits are not.
+        with pytest.raises(SweepError, match="swept point"):
+            sweep_pe_allocation(wl, AcceleratorConfig(num_pes=2))
+
+
+class TestExplicitTiles:
+    def test_fingerprint_distinguishes_tilings(self, wl, hw):
+        from repro.core.evaluator import ExplicitTiles
+        from repro.engine.gemm import GemmTiling
+        from repro.engine.spmm import SpmmTiling
+
+        df = PAPER_CONFIGS["Seq1"].dataflow()
+        a = candidate_fingerprint(
+            wl, df, hw, ExplicitTiles(SpmmTiling(4, 8, 1), GemmTiling(8, 1, 6))
+        )
+        b = candidate_fingerprint(
+            wl, df, hw, ExplicitTiles(SpmmTiling(8, 4, 1), GemmTiling(8, 1, 6))
+        )
+        c = candidate_fingerprint(wl, df, hw, TileHint())
+        assert len({a, b, c}) == 3
 
 
 class TestOptimizerIntegration:

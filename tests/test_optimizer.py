@@ -106,5 +106,56 @@ class TestRefineTiles:
         assert rgt.t_v * rgt.t_f * rgt.t_g <= hw.num_pes
 
 
+class TestWarmRestart:
+    """Cross-session incremental search: a second optimizer against the
+    same store performs zero duplicate cost-model evaluations."""
+
+    def test_exhaustive_resumes_from_store(self, wl, hw, tmp_path):
+        from repro.analysis.store import ResultStore
+
+        path = tmp_path / "search.jsonl"
+        with ResultStore(path) as store:
+            with MappingOptimizer(wl, hw, store=store) as opt:
+                first = opt.exhaustive(budget=40)
+        with ResultStore(path) as store:
+            with MappingOptimizer(wl, hw, store=store) as opt2:
+                second = opt2.exhaustive(budget=40)
+                assert opt2.evaluator.stats.evaluated == 0
+                assert opt2.evaluator.stats.warm_hits > 0
+        assert second.best_score == first.best_score
+        assert str(second.best_dataflow) == str(first.best_dataflow)
+        assert second.history == first.history
+        assert second.best is None  # warm-backed: record, not RunResult
+
+    def test_refine_tiles_resumes_from_store(self, wl, hw, tmp_path):
+        from repro.analysis.store import ResultStore
+
+        df = parse_dataflow("Seq_AC(VsFsNt, VsGsFt)")
+        st, gt = SpmmTiling(4, 8, 1), GemmTiling(8, 1, 6)
+        path = tmp_path / "refine.jsonl"
+        with ResultStore(path) as store:
+            with MappingOptimizer(wl, hw, store=store) as opt:
+                refined, rst, rgt = opt.refine_tiles(df, st, gt)
+                climbed = opt.evaluator.stats.evaluated
+        assert climbed > 0
+        with ResultStore(path) as store:
+            with MappingOptimizer(wl, hw, store=store) as opt2:
+                refined2, rst2, rgt2 = opt2.refine_tiles(df, st, gt)
+                # every explicit-tiling probe answered from disk
+                assert opt2.evaluator.stats.evaluated == 0
+        assert (rst2, rgt2) == (rst, rgt)
+        assert refined2.total_cycles == refined.total_cycles
+
+    def test_refine_tiles_memoizes_within_session(self, wl, hw):
+        opt = MappingOptimizer(wl, hw)
+        df = parse_dataflow("Seq_AC(VsFsNt, VsGsFt)")
+        st, gt = SpmmTiling(4, 8, 1), GemmTiling(8, 1, 6)
+        opt.refine_tiles(df, st, gt)
+        evaluated = opt.evaluator.stats.evaluated
+        opt.refine_tiles(df, st, gt)
+        assert opt.evaluator.stats.evaluated == evaluated
+        assert opt.evaluator.stats.cache_hits > 0
+
+
 def test_objectives_registry():
     assert set(OBJECTIVES) == {"cycles", "energy", "edp"}
