@@ -86,6 +86,8 @@ from .engine import (
     PhaseStats,
     SpmmSpec,
     SpmmTiling,
+    TileStats,
+    TileStatsRegistry,
     simulate_gemm,
     simulate_spmm,
 )
@@ -151,6 +153,8 @@ __all__ = [
     "SpmmTiling",
     "simulate_gemm",
     "simulate_spmm",
+    "TileStats",
+    "TileStatsRegistry",
     "CSRGraph",
     "Dataset",
     "batch_graphs",

@@ -12,6 +12,13 @@ Dedup is *evaluation*-keyed: two sweep points that map to the same
 fingerprint (e.g. a normalization baseline and its swept twin) persist a
 single record, so sweep coordinates for duplicates live in the sweep's
 returned rows, not in extra archive lines.
+
+Illegal candidates get their own **compact error sidecar**
+(``<store>.errors.jsonl``): one ``{fingerprint, error}`` line per distinct
+illegal mapping, so a resumed campaign answers known-bad candidates from
+disk instead of re-probing them through the cost model.  The sidecar is
+deliberately separate from the record archive — records stay pure
+export-schema lines that downstream tooling can consume unfiltered.
 """
 
 from __future__ import annotations
@@ -23,7 +30,36 @@ from typing import IO, Iterator, Mapping
 
 from .export import record_to_json
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "read_jsonl_healing"]
+
+
+def read_jsonl_healing(path: Path, *, heal: bool, corrupt) -> list[dict]:
+    """Parse a JSONL journal, tolerating a torn final line.
+
+    A writer killed mid-append leaves a partial JSON line at EOF (possibly
+    without its newline, which would corrupt the next append too).  That
+    lone record in flight is always *ignored*; with ``heal=True`` it is
+    also physically truncated away — only the path's owner may do that, a
+    concurrent writer might still be appending the very bytes that look
+    torn.  Malformed content anywhere else is real corruption:
+    ``corrupt(line_no)`` must build the exception to raise.
+
+    Shared by the result store, its error sidecar, and the campaign
+    checkpoint so the healing semantics can never drift apart.
+    """
+    raw = path.read_text(encoding="utf-8")
+    lines = [l for l in raw.split("\n") if l.strip()]
+    records: list[dict] = []
+    for i, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i != len(lines) - 1:
+                raise corrupt(i + 1)
+            if heal:
+                good = "".join(l + "\n" for l in lines[:-1])
+                path.write_text(good, encoding="utf-8")
+    return records
 
 
 class ResultStore:
@@ -42,9 +78,12 @@ class ResultStore:
 
     def __init__(self, path: str | Path, *, resume: bool = True) -> None:
         self.path = Path(path)
+        self.errors_path = self.path.with_name(self.path.stem + ".errors.jsonl")
         self._fingerprints: set[str] = set()
         self._records: list[dict] = []
+        self._errors: dict[str, str] = {}
         self._fh: IO[str] | None = None
+        self._err_fh: IO[str] | None = None
         if self.path.exists():
             if resume:
                 # The recovery parse is kept: campaign sessions preload
@@ -55,31 +94,40 @@ class ResultStore:
                     self._fingerprints.add(self.record_fingerprint(record))
             else:
                 self.path.unlink()
+        if self.errors_path.exists():
+            if resume:
+                self._errors = self._recover_errors()
+            else:
+                self.errors_path.unlink()
 
     def _recover_disk(self) -> list[dict]:
-        """Index the on-disk records, healing a torn final line.
+        """Index the on-disk records; torn final appends are dropped and
+        truncated, other corruption raises (see :func:`read_jsonl_healing`)."""
+        return read_jsonl_healing(
+            self.path,
+            heal=True,
+            corrupt=lambda n: ValueError(
+                f"{self.path}: corrupt record on line {n} "
+                "(not a torn final append); refusing to resume"
+            ),
+        )
 
-        A campaign killed mid-append leaves a partial JSON line at EOF
-        (possibly without its newline, which would corrupt the next
-        append too).  That lone record in flight is dropped and the file
-        truncated back to its last complete record.  Malformed content
-        anywhere *else* is real corruption and raises.
-        """
-        raw = self.path.read_text(encoding="utf-8")
-        lines = [l for l in raw.split("\n") if l.strip()]
-        records: list[dict] = []
-        for i, line in enumerate(lines):
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                if i != len(lines) - 1:
-                    raise ValueError(
-                        f"{self.path}: corrupt record on line {i + 1} "
-                        "(not a torn final append); refusing to resume"
-                    )
-                good = "".join(l + "\n" for l in lines[:-1])
-                self.path.write_text(good, encoding="utf-8")
-        return records
+    def _recover_errors(self) -> dict[str, str]:
+        """Index the error sidecar, healing a torn final line the same way
+        the record archive does."""
+        entries = read_jsonl_healing(
+            self.errors_path,
+            heal=True,
+            corrupt=lambda n: ValueError(
+                f"{self.errors_path}: corrupt entry on line {n} "
+                "(not a torn final append); refusing to resume"
+            ),
+        )
+        return {
+            str(e["fingerprint"]): str(e.get("error", ""))
+            for e in entries
+            if e.get("fingerprint")
+        }
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -117,6 +165,35 @@ class ResultStore:
         return sum(1 for record in records if self.append(record))
 
     # ------------------------------------------------------------------
+    def record_error(self, fingerprint: str, error: str) -> bool:
+        """Persist an illegal-candidate outcome to the error sidecar.
+
+        Returns ``True`` when a line was written, ``False`` on a dedup
+        skip.  Keyed by the same candidate fingerprint as the record
+        archive, so the warm cache can answer known-bad candidates from
+        disk without ever re-running the cost model on them.
+        """
+        fp = str(fingerprint)
+        if fp in self._errors:
+            return False
+        if self._err_fh is None:
+            self.errors_path.parent.mkdir(parents=True, exist_ok=True)
+            self._err_fh = self.errors_path.open("a", encoding="utf-8")
+        self._err_fh.write(
+            json.dumps(
+                {"fingerprint": fp, "error": str(error)}, sort_keys=True
+            )
+        )
+        self._err_fh.write("\n")
+        self._err_fh.flush()
+        self._errors[fp] = str(error)
+        return True
+
+    def errors(self) -> dict[str, str]:
+        """All persisted illegal-candidate outcomes, fingerprint-keyed."""
+        return dict(self._errors)
+
+    # ------------------------------------------------------------------
     def records(self) -> list[dict]:
         """All records in the store, in append order.
 
@@ -142,6 +219,9 @@ class ResultStore:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        if self._err_fh is not None:
+            self._err_fh.close()
+            self._err_fh = None
 
     def __enter__(self) -> "ResultStore":
         return self

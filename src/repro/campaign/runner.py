@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 from typing import Any, Iterator
 
+from ..analysis.store import read_jsonl_healing
 from ..analysis.sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
 from ..core.configs import paper_dataflow, paper_config_names
 from ..core.legality import LegalityError
@@ -110,22 +111,14 @@ class CampaignCheckpoint:
         file, or only a torn header): the resume path then starts the
         checkpoint over, and status reports "no checkpoint yet".
         """
-        raw = path.read_text(encoding="utf-8")
-        lines = [l for l in raw.split("\n") if l.strip()]
-        records: list[dict] = []
-        for i, line in enumerate(lines):
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError:
-                if i != len(lines) - 1:
-                    raise CampaignResumeError(
-                        f"{path}: corrupt checkpoint line {i + 1} "
-                        "(not a torn final append); pass --no-resume to "
-                        "restart"
-                    )
-                if heal:
-                    good = "".join(l + "\n" for l in lines[:-1])
-                    path.write_text(good, encoding="utf-8")
+        records = read_jsonl_healing(
+            path,
+            heal=heal,
+            corrupt=lambda n: CampaignResumeError(
+                f"{path}: corrupt checkpoint line {n} "
+                "(not a torn final append); pass --no-resume to restart"
+            ),
+        )
         if not records:
             return {}, {}
         if "campaign_schema" not in records[0]:

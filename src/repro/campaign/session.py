@@ -31,6 +31,8 @@ from ..arch.config import AcceleratorConfig
 from ..core.evaluator import DataflowEvaluator, EvalStats, _task_eval
 from ..core.pool import TaskKeyedPool
 from ..core.workload import GNNWorkload
+from ..engine.tilestats import TileStats, TileStatsRegistry
+from ..graphs.csr import CSRGraph
 
 __all__ = ["ExplorationSession"]
 
@@ -73,6 +75,8 @@ class ExplorationSession:
         self.stats = EvalStats()
         self._memos: dict[str, dict] = {}
         self._warm: dict[str, dict] = {}
+        self._warm_errors: dict[str, str] = {}
+        self._tilestats = TileStatsRegistry()
         self._pool: TaskKeyedPool | None = None
         self._closed = False
         if store is not None and warm:
@@ -98,14 +102,36 @@ class ExplorationSession:
             fp = record.get("fingerprint")
             if fp and record.get("schema") == SCHEMA_VERSION:
                 self._warm[str(fp)] = record
+        errors = getattr(self.store, "errors", None)
+        if callable(errors):
+            self._warm_errors.update(errors())
         return len(self._warm)
 
     def warm_get(self, fingerprint: str) -> dict | None:
         return self._warm.get(fingerprint)
 
+    def warm_error_get(self, fingerprint: str) -> str | None:
+        """Persisted illegal-candidate message for ``fingerprint``, if the
+        store's error sidecar recorded one in an earlier session."""
+        return self._warm_errors.get(fingerprint)
+
     @property
     def warm_size(self) -> int:
         return len(self._warm)
+
+    @property
+    def warm_error_size(self) -> int:
+        return len(self._warm_errors)
+
+    # -- sparsity statistics --------------------------------------------
+    def tilestats_for(self, graph: CSRGraph) -> TileStats:
+        """The session-wide :class:`TileStats` handle for ``graph``.
+
+        Deduplicated by sparsity-pattern digest, so every evaluation
+        context over the same dataset — within and across units — shares
+        one cache of per-tiling degree scans.
+        """
+        return self._tilestats.for_graph(graph)
 
     # -- per-context state ----------------------------------------------
     def memo_for(self, ctx_key: str) -> dict:

@@ -38,6 +38,7 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 from ..arch.config import AcceleratorConfig
 from ..engine.gemm import GemmTiling
 from ..engine.spmm import SpmmTiling
+from ..engine.tilestats import TileStats
 from .interphase import RunResult
 from .legality import LegalityError
 from .omega import run_gnn_dataflow
@@ -121,10 +122,11 @@ def _hw_signature(hw: AcceleratorConfig) -> dict:
 
 def _workload_signature(wl: GNNWorkload) -> dict:
     g = wl.graph
-    digest = hashlib.sha256(g.vertex_ptr.tobytes())
-    digest.update(g.edge_dst.tobytes())
     return {
-        "graph": digest.hexdigest()[:16],
+        # The same bytes the pre-cache code hashed here, now memoized on
+        # the graph so signatures, the TileStats registry, and repeat
+        # evaluator constructions share one digest computation.
+        "graph": g.pattern_digest,
         "V": wl.num_vertices,
         "E": wl.num_edges,
         "F": wl.in_features,
@@ -184,26 +186,39 @@ def _evaluate_candidate(
     hw: AcceleratorConfig,
     df: Dataflow,
     spec: TileHint | ExplicitTiles | None,
+    stats: "TileStats | None" = None,
 ) -> tuple[RunResult | None, str | None]:
     try:
         if isinstance(spec, ExplicitTiles):
             return (
                 run_gnn_dataflow(
-                    wl, df, hw, spmm_tiling=spec.spmm, gemm_tiling=spec.gemm
+                    wl,
+                    df,
+                    hw,
+                    spmm_tiling=spec.spmm,
+                    gemm_tiling=spec.gemm,
+                    stats=stats,
                 ),
                 None,
             )
-        return run_gnn_dataflow(wl, df, hw, hint=spec), None
+        return run_gnn_dataflow(wl, df, hw, hint=spec, stats=stats), None
     except (LegalityError, ValueError) as exc:
         return None, f"{type(exc).__name__}: {exc}"
 
 
 def _task_eval(ctx, item):
-    """Task-keyed pool entry: ``ctx`` is the ``(workload, hw)`` pair the
-    worker resolved from the task's context key."""
-    wl, hw = ctx
+    """Task-keyed pool entry: ``ctx`` is the ``(workload, hw[, tilestats])``
+    tuple the worker resolved from the task's context key.
+
+    The :class:`~repro.engine.tilestats.TileStats` handle ships *with* the
+    context blob: the pool caches unpickled contexts per worker process,
+    so every task of the same context keeps filling (and hitting) the same
+    sparsity cache for free.
+    """
+    wl, hw, *rest = ctx
+    stats = rest[0] if rest else None
     idx, df, spec = item
-    result, error = _evaluate_candidate(wl, hw, df, spec)
+    result, error = _evaluate_candidate(wl, hw, df, spec, stats)
     return idx, result, error
 
 
@@ -298,6 +313,7 @@ class EvalStats:
     errors: int = 0  # illegal candidates (LegalityError / ValueError)
     persisted: int = 0  # records newly appended to the store
     store_skips: int = 0  # records the store already held
+    errors_persisted: int = 0  # outcomes newly appended to the error sidecar
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -378,6 +394,10 @@ class DataflowEvaluator:
         self._ctx_signature = _context_signature(wl, hw)
         self.ctx_key = context_key(wl, hw)
         self._memo: dict[str, tuple] = session.memo_for(self.ctx_key)
+        # One sparsity cache per workload, shared session-wide: overlapping
+        # contexts on the same graph (e.g. a num_pes sweep) resolve to the
+        # same handle through the session's registry.
+        self.tilestats: TileStats = session.tilestats_for(wl.graph)
 
     # -- session delegation ---------------------------------------------
     @property
@@ -525,6 +545,14 @@ class DataflowEvaluator:
                 warm_seeded[fp] = i
                 self._bump("warm_hits")
                 continue
+            warm_error = self.session.warm_error_get(fp)
+            if warm_error is not None:
+                # Known-illegal from the error sidecar: resumed campaigns
+                # report the persisted failure instead of re-probing it.
+                self._memo[fp] = (None, warm_error, None)
+                warm_seeded[fp] = i
+                self._bump("warm_hits")
+                continue
             first_seen[fp] = i
             pending.append((i, df, spec))
         fresh = self._run(pending)
@@ -564,17 +592,32 @@ class DataflowEvaluator:
         if not pending:
             return {}
         if self.session.workers and len(pending) > 1:
-            mapped = self.session.map(self.ctx_key, (self.wl, self.hw), pending)
+            # A *fresh* tilestats handle travels with the context blob —
+            # workers fill their own copy lazily and keep it across tasks
+            # (the pool caches context blobs per process).  Shipping the
+            # parent's accumulated cache would re-serialize every derived
+            # array per context for data workers can rebuild in O(V).
+            mapped = self.session.map(
+                self.ctx_key, (self.wl, self.hw, TileStats(self.wl.graph)),
+                pending,
+            )
             return {idx: (result, error) for idx, result, error in mapped}
         return {
-            idx: _evaluate_candidate(self.wl, self.hw, df, spec)
+            idx: _evaluate_candidate(self.wl, self.hw, df, spec, self.tilestats)
             for idx, df, spec in pending
         }
 
     def _persist(self, outcome: EvalOutcome) -> None:
-        if self.session.store is None or outcome.result is None:
+        store = self.session.store
+        if store is None:
             return
-        if self.session.store.append(self.to_record(outcome)):
-            self._bump("persisted")
-        else:
-            self._bump("store_skips")
+        if outcome.result is not None:
+            if store.append(self.to_record(outcome)):
+                self._bump("persisted")
+            else:
+                self._bump("store_skips")
+        elif outcome.error is not None and hasattr(store, "record_error"):
+            # Illegal candidates go to the compact error sidecar so a
+            # resumed campaign skips re-probing known-bad mappings.
+            if store.record_error(outcome.fingerprint, outcome.error):
+                self._bump("errors_persisted")

@@ -22,6 +22,7 @@ from __future__ import annotations
 from ..arch.config import AcceleratorConfig
 from ..engine.gemm import GemmSpec, GemmTiling, simulate_gemm
 from ..engine.spmm import SpmmSpec, SpmmTiling, simulate_spmm
+from ..engine.tilestats import TileStats
 from .interphase import RunResult, compose
 from .taxonomy import Dataflow, InterPhase, PhaseOrder
 from .tiling import TileHint, choose_tiles
@@ -74,12 +75,18 @@ def run_gnn_dataflow(
     hint: TileHint | None = None,
     spmm_tiling: SpmmTiling | None = None,
     gemm_tiling: GemmTiling | None = None,
+    stats: "TileStats | None" = None,
 ) -> RunResult:
     """Cost one GNN layer under ``df`` on ``hw``.
 
     Tile sizes are chosen automatically (~100% static utilization, §V-A3)
     unless both tilings are supplied.  For PP, each phase runs on its PE
     partition with proportionally-shared GB bandwidth (§V-C3).
+
+    ``stats`` is an optional
+    :class:`~repro.engine.tilestats.TileStats` handle for ``wl.graph``;
+    the evaluation service threads one per workload so every candidate of
+    a session shares the same sparsity scans.
     """
     if spmm_tiling is None or gemm_tiling is None:
         auto_s, auto_g, df = choose_tiles(df, wl, hw, hint)
@@ -98,6 +105,6 @@ def run_gnn_dataflow(
         hw_agg = hw_cmb = hw
 
     spmm_spec, gemm_spec = phase_specs(wl, df.order)
-    agg_res = simulate_spmm(spmm_spec, df.agg, spmm_tiling, hw_agg)
-    cmb_res = simulate_gemm(gemm_spec, df.cmb, gemm_tiling, hw_cmb)
+    agg_res = simulate_spmm(spmm_spec, df.agg, spmm_tiling, hw_agg, stats=stats)
+    cmb_res = simulate_gemm(gemm_spec, df.cmb, gemm_tiling, hw_cmb, stats=stats)
     return compose(df, wl, hw, agg_res, cmb_res)

@@ -13,6 +13,13 @@ small tuple pickle regardless of how many contexts are in flight.
 The protocol is deliberately function-agnostic — the pool maps a
 module-level ``fn(ctx, item)`` over ``(key, item)`` tasks — so the
 evaluator, future shard executors, and tests can all reuse it.
+
+Because each worker unpickles a context blob **once** and then reuses the
+same object for every task carrying that key, mutable per-context state
+rides along for free: the evaluation service ships its
+:class:`~repro.engine.tilestats.TileStats` sparsity cache inside the
+context tuple, and every candidate a worker costs for that context keeps
+filling (and hitting) the worker's own copy of the cache.
 """
 
 from __future__ import annotations
@@ -127,6 +134,11 @@ class TaskKeyedPool:
     def started(self) -> bool:
         """Whether worker processes have actually been spawned yet."""
         return self._pool is not None
+
+    @property
+    def registered_keys(self) -> frozenset[str]:
+        """Context keys whose blobs are currently spooled."""
+        return frozenset(self._registered)
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:

@@ -3,6 +3,7 @@
 from .gemm import GemmResult, GemmSpec, GemmTiling, simulate_gemm
 from .spmm import SpmmResult, SpmmSpec, SpmmTiling, simulate_spmm
 from .stats import OPERANDS, PhaseStats, merge_counts
+from .tilestats import StepGrids, TileStats, TileStatsRegistry
 
 __all__ = [
     "GemmResult",
@@ -16,4 +17,7 @@ __all__ = [
     "OPERANDS",
     "PhaseStats",
     "merge_counts",
+    "StepGrids",
+    "TileStats",
+    "TileStatsRegistry",
 ]

@@ -16,13 +16,26 @@ use closed-form reuse analysis.  This module computes the same quantities
 
 Because it never uses the engines' formulas, agreement between the two is a
 meaningful check; the test suite asserts traffic counts match exactly and
-cycle counts match up to pipeline fill/rounding.  Use on small problems
-only — it is O(total steps x tile width) in Python.
+cycle counts match up to pipeline fill/rounding.
+
+Two interchangeable implementations are provided:
+
+- the **vectorized engine** (default): the loop nest is materialized as
+  numpy index grids, per-step populations come from the
+  :class:`~repro.engine.tilestats.TileStats` sparsity cache, and the
+  elastic pipeline is evaluated as a cumulative-max recurrence — per-tile
+  array reductions instead of O(V x tiles) Python iteration;
+- the **reference engine**: the original interpreted loops, selected by
+  setting ``REPRO_REFERENCE_ENGINE=1`` in the environment.  The
+  equivalence suite (``tests/test_engine_vectorized.py``) proves both
+  produce identical :class:`CycleReport`\\ s.
 """
 
 from __future__ import annotations
 
+import functools
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,8 +45,25 @@ from ..core.taxonomy import Dim, IntraDataflow, Phase
 from ..graphs.csr import CSRGraph
 from .gemm import GemmSpec, GemmTiling
 from .spmm import SpmmSpec, SpmmTiling
+from .tilestats import TileStats, resolve_stats
 
-__all__ = ["CycleReport", "cycle_accurate_gemm", "cycle_accurate_spmm"]
+__all__ = [
+    "CycleReport",
+    "cycle_accurate_gemm",
+    "cycle_accurate_spmm",
+    "cycle_accurate_gemm_reference",
+    "cycle_accurate_spmm_reference",
+    "use_reference_engine",
+]
+
+
+def use_reference_engine() -> bool:
+    """Whether ``REPRO_REFERENCE_ENGINE`` selects the interpreted loops.
+
+    Read at call time so tests and CI can flip engines per invocation.
+    """
+    flag = os.environ.get("REPRO_REFERENCE_ENGINE", "")
+    return flag.strip().lower() in {"1", "true", "yes", "on"}
 
 
 @dataclass
@@ -59,6 +89,10 @@ def _ranges(extent: int, tile: int) -> list[tuple[int, int]]:
     return [(lo, min(extent, lo + t)) for lo in range(0, extent, t)]
 
 
+# ----------------------------------------------------------------------
+# Elastic three-stage pipeline
+# ----------------------------------------------------------------------
+
 def _pipeline(
     stream_elems: list[float],
     drain_elems: list[float],
@@ -71,30 +105,161 @@ def _pipeline(
     to ``bw`` elements per cycle); the PE array retires one tile wavefront
     per cycle once its operands have arrived, and stationary-tile loads
     serialize with compute (no double buffering in the RF).
+
+    All inputs are integer element counts, so the recurrence is evaluated
+    in exact rational arithmetic with denominator ``bwd * bwr`` (Python
+    ints never overflow): the final ``ceil`` is then deterministic, where
+    the historical per-step float accumulation rounded nondeterministically
+    when the true value landed on a cycle boundary — and, crucially, the
+    vectorized scan (:func:`_pipeline_arrays`) computes bit-identical
+    results because integer max-plus algebra reassociates exactly.
     """
     bwd = hw.effective_dist_bw
     bwr = hw.effective_red_bw
-    dist_free = 0.0
-    compute_free = 0.0
-    collect_free = 0.0
-    fill = 0.0
+    scale = bwd * bwr
+    dist_num = 0  # numerators over `scale`
+    compute_num = 0
+    collect_num = 0
+    fill_num = 0
     for i, (s, w, l) in enumerate(zip(stream_elems, drain_elems, load_cycles)):
-        dist_free = dist_free + s / bwd
+        dist_num += int(s) * bwr
         if i == 0:
-            fill = dist_free
-        start = max(compute_free, dist_free)
-        compute_free = start + 1 + l
-        collect_free = max(collect_free, compute_free) + w / bwr
-    return int(math.ceil(collect_free)), int(math.ceil(fill))
+            fill_num = dist_num
+        compute_num = max(compute_num, dist_num) + (1 + l) * scale
+        collect_num = max(collect_num, compute_num) + int(w) * bwd
+    return -(-collect_num // scale), -(-fill_num // scale)
 
 
-def cycle_accurate_gemm(
+def _pipeline_arrays(
+    stream: np.ndarray,
+    drain: np.ndarray,
+    load: np.ndarray,
+    hw: AcceleratorConfig,
+) -> tuple[int, int]:
+    """Vectorized :func:`_pipeline`: the same recurrence as two max-plus
+    cumulative scans over the exact scaled-integer numerators.
+
+    With ``d`` the distribution-free numerators and ``L`` the scaled
+    per-step compute latencies, ``compute[i] = max(compute[i-1], d[i]) +
+    L[i]`` unrolls to ``max_j<=i (d[j] + sum(L[j..i]))`` — a running
+    maximum of ``d - cumsum(L)`` shifted back by ``cumsum(L)``.  The
+    collection server is the same scan again, of which only the final
+    value is needed.  int64 numerators bound the usable problem size
+    (counts x bandwidths below ~9e18 — far beyond the "small problems
+    only" scope of this validator).
+    """
+    if stream.size == 0:
+        return 0, 0
+    bwd = hw.effective_dist_bw
+    bwr = hw.effective_red_bw
+    scale = bwd * bwr
+    s = np.asarray(stream, dtype=np.int64)
+    w = np.asarray(drain, dtype=np.int64)
+    lat = (1 + np.asarray(load, dtype=np.int64)) * scale
+    dist = np.add.accumulate(s) * bwr
+    cum_lat = np.add.accumulate(lat)
+    compute = np.maximum.accumulate(dist - (cum_lat - lat)) + cum_lat
+    wd = w * bwd
+    cum_w = np.add.accumulate(wd)
+    collect_num = int(np.max(compute - (cum_w - wd)) + cum_w[-1])
+    fill_num = int(dist[0])
+    return -(-collect_num // scale), -(-fill_num // scale)
+
+
+# ----------------------------------------------------------------------
+# GEMM: loop-nest geometry (hoisted out of the per-candidate path)
+# ----------------------------------------------------------------------
+
+_LEFT_DIMS = (Dim.V, Dim.F)
+_RIGHT_DIMS = (Dim.F, Dim.G)
+
+
+@dataclass(frozen=True)
+class _GemmGeometry:
+    """Everything about a tiled GEMM loop nest that depends only on
+    ``(sizes, tiles, order)`` — shared across candidates and cached across
+    calls (hardware points, operand names, and psum policy vary per call,
+    the nest itself does not)."""
+
+    steps: dict  # Dim -> trip count
+    pos: dict  # Dim -> loop level
+    total: int
+    n_fsteps: int
+    mat_level: dict  # role ('left'/'right') -> innermost dependence level
+    mat_elems: dict  # role -> per-step tile elements (int64, len total)
+    mat_fetch: dict  # role -> fetch mask (bool, len total)
+    mat_reads: dict  # role -> total fetched elements (int)
+    out_elems: np.ndarray  # per-step output-tile elements
+    completing: np.ndarray  # mask: contraction finishes at this step
+    revisit: np.ndarray  # mask: output tile was visited before (f idx > 0)
+
+
+@functools.lru_cache(maxsize=64)
+def _gemm_geometry(
+    sizes: tuple[int, int, int],
+    tiles: tuple[int, int, int],
+    order: tuple[Dim, ...],
+) -> _GemmGeometry:
+    size = {Dim.V: sizes[0], Dim.F: sizes[1], Dim.G: sizes[2]}
+    tile = {Dim.V: tiles[0], Dim.F: tiles[1], Dim.G: tiles[2]}
+    ranges = {d: _ranges(size[d], tile[d]) for d in size}
+    widths = {
+        d: np.asarray([hi - lo for lo, hi in ranges[d]], dtype=np.int64)
+        for d in size
+    }
+    steps = {d: len(ranges[d]) for d in size}
+    pos = {d: order.index(d) for d in order}
+    extents = tuple(steps[d] for d in order)
+    total = extents[0] * extents[1] * extents[2]
+    strides = (extents[1] * extents[2], extents[2], 1)
+    flat = np.arange(total, dtype=np.int64)
+    level_idx = [(flat // strides[p]) % extents[p] for p in range(3)]
+    dim_idx = {d: level_idx[pos[d]] for d in order}
+    wd = {d: widths[d][dim_idx[d]] for d in order}
+
+    mat_level: dict[str, int] = {}
+    mat_elems: dict[str, np.ndarray] = {}
+    mat_fetch: dict[str, np.ndarray] = {}
+    mat_reads: dict[str, int] = {}
+    for role, dims in (("left", _LEFT_DIMS), ("right", _RIGHT_DIMS)):
+        level = max(pos[d] for d in dims)
+        elems = wd[dims[0]] * wd[dims[1]]
+        # A tile is (re)fetched whenever any loop index at or above its
+        # innermost dependence level changed — i.e. whenever the deeper
+        # levels' odometer rolled over.
+        fetch = (flat % strides[level]) == 0
+        mat_level[role] = level
+        mat_elems[role] = elems
+        mat_fetch[role] = fetch
+        mat_reads[role] = int(elems[fetch].sum())
+
+    f_idx = dim_idx[Dim.F]
+    return _GemmGeometry(
+        steps=steps,
+        pos=pos,
+        total=total,
+        n_fsteps=steps[Dim.F],
+        mat_level=mat_level,
+        mat_elems=mat_elems,
+        mat_fetch=mat_fetch,
+        mat_reads=mat_reads,
+        out_elems=wd[Dim.V] * wd[Dim.G],
+        completing=f_idx == steps[Dim.F] - 1,
+        revisit=f_idx > 0,
+    )
+
+
+# ----------------------------------------------------------------------
+# GEMM micro-simulation
+# ----------------------------------------------------------------------
+
+def cycle_accurate_gemm_reference(
     spec: GemmSpec,
     intra: IntraDataflow,
     tiling: GemmTiling,
     hw: AcceleratorConfig,
 ) -> CycleReport:
-    """Walk the tiled GEMM loop nest step by step."""
+    """Walk the tiled GEMM loop nest step by step (interpreted reference)."""
     if intra.phase is not Phase.COMBINATION:
         raise ValueError("cycle_accurate_gemm requires a Combination dataflow")
     sizes = {Dim.V: spec.rows, Dim.F: spec.inner, Dim.G: spec.cols}
@@ -181,13 +346,100 @@ def cycle_accurate_gemm(
     )
 
 
-def cycle_accurate_spmm(
+def _cycle_accurate_gemm_vectorized(
+    spec: GemmSpec,
+    intra: IntraDataflow,
+    tiling: GemmTiling,
+    hw: AcceleratorConfig,
+) -> CycleReport:
+    """Vectorized GEMM micro-simulation over cached loop-nest geometry."""
+    if intra.phase is not Phase.COMBINATION:
+        raise ValueError("cycle_accurate_gemm requires a Combination dataflow")
+    geo = _gemm_geometry(
+        (spec.rows, spec.inner, spec.cols),
+        (tiling.t_v, tiling.t_f, tiling.t_g),
+        intra.order,
+    )
+    live = 1
+    for d in intra.order[geo.pos[Dim.F] + 1 :]:
+        if d in (Dim.V, Dim.G):
+            live *= geo.steps[d]
+    psum_resident = hw.supports_temporal_reduction and live <= hw.pe_accumulators
+    spill = geo.n_fsteps > 1 and not psum_resident
+    bwd = hw.effective_dist_bw
+
+    gb_reads: dict[str, float] = {}
+    stream = np.zeros(geo.total, dtype=np.float64)
+    load = np.zeros(geo.total, dtype=np.int64)
+    roles = {"left": spec.left_name, "right": spec.right_name}
+    for role, name in roles.items():
+        gb_reads[name] = gb_reads.get(name, 0.0) + float(geo.mat_reads[role])
+        if geo.mat_level[role] == 2:
+            stream += geo.mat_elems[role]  # streamed: fetched every step
+        else:
+            fetch = geo.mat_fetch[role]
+            # Stationary at some level: each tile load serializes with
+            # compute (no double buffering in the substrate's RF).
+            load[fetch] += np.ceil(geo.mat_elems[role][fetch] / bwd).astype(
+                np.int64
+            )
+
+    out = geo.out_elems
+    gb_writes: dict[str, float] = {
+        spec.out_name: float(out[geo.completing].sum())
+    }
+    if spill:
+        drain = out.astype(np.float64)  # every visit drains: out or psum
+        gb_writes["psum"] = float(out[~geo.completing].sum())
+        gb_reads["psum"] = gb_reads.get("psum", 0.0) + float(
+            out[geo.revisit].sum()
+        )
+        stream = stream + np.where(geo.revisit, out, 0)
+    else:
+        drain = np.where(geo.completing, out, 0).astype(np.float64)
+
+    cycles, fill = _pipeline_arrays(stream, drain, load, hw)
+    return CycleReport(
+        cycles=cycles,
+        steps=geo.total,
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        load_stall_cycles=int(load.sum()),
+        fill_cycles=fill,
+    )
+
+
+def cycle_accurate_gemm(
+    spec: GemmSpec,
+    intra: IntraDataflow,
+    tiling: GemmTiling,
+    hw: AcceleratorConfig,
+    *,
+    stats: TileStats | None = None,
+) -> CycleReport:
+    """Walk the tiled GEMM loop nest step by step.
+
+    ``stats`` is accepted for signature symmetry with the SpMM engine
+    (dense GEMM needs no sparsity statistics); callers may thread one
+    handle through both phases unconditionally.
+    """
+    del stats  # dense phase: geometry cache only
+    if use_reference_engine():
+        return cycle_accurate_gemm_reference(spec, intra, tiling, hw)
+    return _cycle_accurate_gemm_vectorized(spec, intra, tiling, hw)
+
+
+# ----------------------------------------------------------------------
+# SpMM micro-simulation
+# ----------------------------------------------------------------------
+
+def cycle_accurate_spmm_reference(
     spec: SpmmSpec,
     intra: IntraDataflow,
     tiling: SpmmTiling,
     hw: AcceleratorConfig,
 ) -> CycleReport:
-    """Walk the tiled SpMM loop nest step by step (CSR-driven N loop).
+    """Walk the tiled SpMM loop nest step by step (interpreted reference).
 
     Lock-step semantics: a (vtile, ftile) pass takes as many neighbor steps
     as its longest row needs; lanes whose rows finished early sit idle and
@@ -301,3 +553,125 @@ def cycle_accurate_spmm(
         load_stall_cycles=0,
         fill_cycles=fill,
     )
+
+
+def _cycle_accurate_spmm_vectorized(
+    spec: SpmmSpec,
+    intra: IntraDataflow,
+    tiling: SpmmTiling,
+    hw: AcceleratorConfig,
+    stats: TileStats | None,
+) -> CycleReport:
+    """Vectorized SpMM micro-simulation over :class:`TileStats` grids."""
+    if intra.phase is not Phase.AGGREGATION:
+        raise ValueError("cycle_accurate_spmm requires an Aggregation dataflow")
+    g: CSRGraph = spec.graph
+    num_v = g.num_vertices
+    feat = spec.feat
+    t_v = min(tiling.t_v, max(1, num_v))
+    t_f = min(tiling.t_f, feat)
+    t_n = max(1, tiling.t_n)
+    stats = resolve_stats(stats, g)
+    grids = stats.step_grids(t_v, t_n)
+    f_ranges = _ranges(feat, t_f)
+    n_ftiles = len(f_ranges)
+    f_widths = np.asarray([hi - lo for lo, hi in f_ranges], dtype=np.int64)
+    order = intra.order
+    pos = {d: order.index(d) for d in order}
+    live = 1
+    for d in order[pos[Dim.N] + 1 :]:
+        if d is Dim.V:
+            live *= grids.n_vtiles
+        elif d is Dim.F:
+            live *= n_ftiles
+    psum_resident = hw.supports_temporal_reduction and live <= hw.pe_accumulators
+    f_latched = pos[Dim.F] == 2  # F innermost: edge index latched across f
+
+    # The loop nest as flat index grids, in the dataflow's iteration order.
+    extent = {
+        Dim.V: grids.n_vtiles,
+        Dim.F: n_ftiles,
+        Dim.N: max(1, grids.max_nsteps),
+    }
+    shape = tuple(extent[d] for d in order)
+    total = shape[0] * shape[1] * shape[2]
+    strides = (shape[1] * shape[2], shape[2], 1)
+    flat = np.arange(total, dtype=np.int64)
+    level_idx = [(flat // strides[p]) % shape[p] for p in range(3)]
+    vi = level_idx[pos[Dim.V]]
+    fi = level_idx[pos[Dim.F]]
+    ni = level_idx[pos[Dim.N]]
+    mask = ni < grids.tile_steps[vi]  # lock-step pass finished => skipped
+    vi, fi, ni = vi[mask], fi[mask], ni[mask]
+    steps = int(vi.size)
+
+    act = grids.active[vi, ni]
+    edg = grids.edges[vi, ni]
+    comp = grids.completing[vi, ni]
+    fw = f_widths[fi] if steps else f_widths[:0]
+
+    gb_reads: dict[str, float] = {"adj": float(num_v + 1)}
+    gb_writes: dict[str, float] = {}
+    edge_fw = edg * fw
+    stream = edge_fw.astype(np.float64)
+    if steps:
+        gb_reads[spec.x_name] = float(edge_fw.sum())
+        adj_extra = edg[fi == 0].sum() if f_latched else edg.sum()
+        gb_reads["adj"] += float(adj_extra)
+    comp_fw = comp * fw
+    drain = comp_fw.astype(np.float64)
+    out_writes = int(comp_fw.sum())
+    if out_writes:
+        gb_writes[spec.out_name] = float(out_writes)
+    if not psum_resident and steps:
+        spill_fw = (act - comp) * fw
+        spilled = int(spill_fw.sum())
+        if spilled:
+            gb_writes["psum"] = float(spilled)
+        drain = drain + spill_fw
+        cont_fw = np.where(ni > 0, act, 0) * fw
+        continuing = int(cont_fw.sum())
+        if continuing:
+            gb_reads["psum"] = float(continuing)
+        stream = stream + cont_fw
+
+    # Zero-degree rows never enter the loop but their (all-zero) output
+    # rows are still flushed once, as in the engine's V x feat write count.
+    zero_rows = stats.zero_degree_rows
+    if zero_rows:
+        gb_writes[spec.out_name] = (
+            gb_writes.get(spec.out_name, 0.0) + zero_rows * feat
+        )
+
+    cycles, fill = _pipeline_arrays(
+        stream, drain, np.zeros(steps, dtype=np.int64), hw
+    )
+    return CycleReport(
+        cycles=cycles,
+        steps=steps,
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        load_stall_cycles=0,
+        fill_cycles=fill,
+    )
+
+
+def cycle_accurate_spmm(
+    spec: SpmmSpec,
+    intra: IntraDataflow,
+    tiling: SpmmTiling,
+    hw: AcceleratorConfig,
+    *,
+    stats: TileStats | None = None,
+) -> CycleReport:
+    """Walk the tiled SpMM loop nest step by step (CSR-driven N loop).
+
+    Lock-step semantics: a (vtile, ftile) pass takes as many neighbor steps
+    as its longest row needs; lanes whose rows finished early sit idle and
+    produce no traffic.  ``stats`` is an optional
+    :class:`~repro.engine.tilestats.TileStats` handle for the spec's graph;
+    sharing one across candidates amortizes the per-tiling sparsity scans.
+    """
+    if use_reference_engine():
+        return cycle_accurate_spmm_reference(spec, intra, tiling, hw)
+    return _cycle_accurate_spmm_vectorized(spec, intra, tiling, hw, stats)

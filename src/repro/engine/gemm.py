@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -176,8 +177,17 @@ def simulate_gemm(
     intra: IntraDataflow,
     tiling: GemmTiling,
     hw: AcceleratorConfig,
+    *,
+    stats: "Any | None" = None,
 ) -> GemmResult:
-    """Run the tile-level GEMM model; see the module docstring for rules."""
+    """Run the tile-level GEMM model; see the module docstring for rules.
+
+    ``stats`` is accepted for signature symmetry with
+    :func:`repro.engine.spmm.simulate_spmm` (dense GEMM is closed-form and
+    needs no sparsity statistics), so callers can thread one
+    :class:`~repro.engine.tilestats.TileStats` handle through both phases.
+    """
+    del stats
     if intra.phase is not Phase.COMBINATION:
         raise ValueError("simulate_gemm requires a Combination intra-phase dataflow")
     if not intra.is_concrete:

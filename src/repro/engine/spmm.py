@@ -30,6 +30,7 @@ from ..arch.config import AcceleratorConfig
 from ..core.taxonomy import Annot, Dim, IntraDataflow, Phase
 from ..graphs.csr import CSRGraph
 from .stats import PhaseStats
+from .tilestats import TileStats, resolve_stats
 
 __all__ = ["SpmmSpec", "SpmmTiling", "SpmmResult", "simulate_spmm"]
 
@@ -95,14 +96,12 @@ class SpmmResult:
         """
         t_v = self.tiling.t_v
         num_v = self.spec.graph.num_vertices
-        per_vertex = np.zeros(num_v, dtype=np.float64)
         cost = self.vtile_steps.astype(np.float64) * self.slowdown
-        for i, c in enumerate(cost):
-            lo = i * t_v
-            hi = min(num_v, lo + t_v)
-            if hi > lo:
-                per_vertex[lo:hi] = c / (hi - lo)
-        return per_vertex
+        if num_v == 0 or cost.size == 0:
+            return np.zeros(num_v, dtype=np.float64)
+        counts = np.full(cost.size, t_v, dtype=np.int64)
+        counts[-1] = num_v - t_v * (cost.size - 1)
+        return np.repeat(cost / counts, counts)
 
     @staticmethod
     def _chunk_sums(values: np.ndarray, chunk: int) -> np.ndarray:
@@ -169,7 +168,7 @@ class SpmmResult:
         N x F for Aggregation).
         """
         g = self.spec.graph
-        counts = np.bincount(g.edge_dst, minlength=g.num_cols).astype(np.float64)
+        counts = g.in_degrees.astype(np.float64)
         total = counts.sum()
         if total == 0:
             return np.full(g.num_cols, float(self.stats.cycles) / max(1, g.num_cols))
@@ -210,8 +209,16 @@ def simulate_spmm(
     intra: IntraDataflow,
     tiling: SpmmTiling,
     hw: AcceleratorConfig,
+    *,
+    stats: TileStats | None = None,
 ) -> SpmmResult:
-    """Run the tile-level SpMM model; see the module docstring for rules."""
+    """Run the tile-level SpMM model; see the module docstring for rules.
+
+    ``stats`` is an optional :class:`~repro.engine.tilestats.TileStats`
+    handle for ``spec.graph``: the lock-step/psum sparsity scans are read
+    from (and memoized into) it, so candidates sharing a handle pay the
+    O(V) derivations once per tile size instead of once per call.
+    """
     if intra.phase is not Phase.AGGREGATION:
         raise ValueError("simulate_spmm requires an Aggregation intra-phase dataflow")
     if not intra.is_concrete:
@@ -223,7 +230,6 @@ def simulate_spmm(
     g = spec.graph
     num_v = g.num_vertices
     nnz = g.num_edges
-    deg = g.degrees
 
     t_v = min(tiling.t_v, max(1, num_v))
     t_f = min(tiling.t_f, spec.feat)
@@ -236,11 +242,8 @@ def simulate_spmm(
     pos = {d: intra.order.index(d) for d in intra.order}
 
     # ---- lock-step neighbor steps per vertex tile ---------------------
-    per_v_steps = np.ceil(deg / t_n).astype(np.int64)
-    n_vtiles = math.ceil(num_v / t_v) if num_v else 0
-    pad = n_vtiles * t_v - num_v
-    padded = np.concatenate([per_v_steps, np.zeros(pad, dtype=np.int64)])
-    vtile_steps = padded.reshape(n_vtiles, t_v).max(axis=1) if n_vtiles else np.zeros(0, dtype=np.int64)
+    stats = resolve_stats(stats, g)
+    vtile_steps = stats.vtile_steps(t_v, t_n)
     base_steps = int(vtile_steps.sum()) * f_steps
     macs = int(nnz) * spec.feat
 
@@ -265,7 +268,7 @@ def simulate_spmm(
     # are (near-)contiguous — no large output sweep inside the N loop.
     inner_out = [d for d in intra.order[pos[Dim.N] + 1 :] if d in (Dim.V, Dim.F)]
     spill_each_way = float(
-        np.maximum(per_v_steps - 1, 0).sum() * spec.feat
+        stats.spill_units(t_n) * spec.feat
     )  # one RMW per extra neighbor revisit of each (v, f) output element
     live_per_pe = 1
     if Dim.V in inner_out:
@@ -276,7 +279,7 @@ def simulate_spmm(
         hw.supports_temporal_reduction and live_per_pe <= hw.pe_accumulators
     )
     if resident:
-        accum = float((per_v_steps * spec.feat).sum())
+        accum = float(stats.accum_units(t_n) * spec.feat)
         rf_reads += accum
         rf_writes += accum
     elif spill_each_way > 0:

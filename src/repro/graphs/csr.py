@@ -82,6 +82,33 @@ class CSRGraph:
     # ------------------------------------------------------------------
     # Basic shape/degree accessors
     # ------------------------------------------------------------------
+    def _cached(self, key: str, compute):
+        """Memoize a ptr-derived view on this (frozen, immutable) graph.
+
+        The cost model re-reads ``degrees``/``max_degree`` once per
+        candidate, so derived views are computed once and pinned.  The
+        cache is an ordinary instance attribute excluded from pickling
+        (see :meth:`__getstate__`) so shipped context blobs stay lean.
+        """
+        cache = self.__dict__.get("_derived")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_derived", cache)
+        if key not in cache:
+            value = compute()
+            if isinstance(value, np.ndarray):
+                # Shared across every consumer: an in-place mutation would
+                # silently corrupt all later reads, so freeze it.
+                value.setflags(write=False)
+            cache[key] = value
+        return cache[key]
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if k != "_derived"}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     @property
     def num_vertices(self) -> int:
         """Number of rows of the adjacency matrix."""
@@ -94,8 +121,9 @@ class CSRGraph:
 
     @property
     def degrees(self) -> np.ndarray:
-        """Out-degree (row nnz) per vertex as an ``int64`` vector."""
-        return np.diff(self.vertex_ptr)
+        """Out-degree (row nnz) per vertex as a cached ``int64`` vector
+        (treat as read-only)."""
+        return self._cached("degrees", lambda: np.diff(self.vertex_ptr))
 
     @property
     def avg_degree(self) -> float:
@@ -105,7 +133,41 @@ class CSRGraph:
     @property
     def max_degree(self) -> int:
         """Largest row nnz (the paper's "evil row" when far above the mean)."""
-        return int(self.degrees.max()) if self.num_vertices else 0
+        return self._cached(
+            "max_degree",
+            lambda: int(self.degrees.max()) if self.num_vertices else 0,
+        )
+
+    @property
+    def pattern_digest(self) -> str:
+        """Content hash of the sparsity pattern (``vertex_ptr`` +
+        ``edge_dst``), cached per instance.
+
+        Everything the cost model computes depends only on this pattern —
+        the evaluator's workload signatures and the session's
+        :class:`~repro.engine.tilestats.TileStatsRegistry` both key on it,
+        so independently-loaded copies of one dataset dedup exactly.
+        """
+
+        def compute() -> str:
+            import hashlib
+
+            digest = hashlib.sha256(self.vertex_ptr.tobytes())
+            digest.update(self.edge_dst.tobytes())
+            return digest.hexdigest()[:16]
+
+        return self._cached("pattern_digest", compute)
+
+    @property
+    def in_degrees(self) -> np.ndarray:
+        """In-degree (column nnz) per destination, cached.
+
+        This is the consumer-side view the CA-pipeline weighting reads
+        (edges destined to each intermediate row)."""
+        return self._cached(
+            "in_degrees",
+            lambda: np.bincount(self.edge_dst, minlength=self.num_cols),
+        )
 
     def neighbors(self, v: int) -> np.ndarray:
         """Neighbor IDs of vertex ``v`` (a view, not a copy)."""

@@ -103,3 +103,85 @@ class TestResume:
         assert fps == frozenset({"fp1"})
         store.append(rec(2))
         assert fps == frozenset({"fp1"})  # snapshot, not a live view
+
+
+class TestErrorSidecar:
+    """Illegal-candidate persistence: the compact ``.errors.jsonl`` sidecar."""
+
+    def test_record_and_dedup(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert store.record_error("fpX", "LegalityError: bad mapping")
+        assert not store.record_error("fpX", "LegalityError: bad mapping")
+        assert store.record_error("fpY", "ValueError: too many PEs")
+        store.close()
+        assert store.errors_path.name == "r.errors.jsonl"
+        lines = [json.loads(l) for l in store.errors_path.read_text().splitlines()]
+        assert [e["fingerprint"] for e in lines] == ["fpX", "fpY"]
+
+    def test_resume_reloads_errors(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            store.record_error("fpX", "LegalityError: nope")
+        resumed = ResultStore(tmp_path / "r.jsonl")
+        assert resumed.errors() == {"fpX": "LegalityError: nope"}
+        assert not resumed.record_error("fpX", "LegalityError: nope")
+        resumed.close()
+        assert len(resumed.errors_path.read_text().splitlines()) == 1
+
+    def test_no_resume_truncates_sidecar(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            store.append(rec(1))
+            store.record_error("fpX", "boom")
+        fresh = ResultStore(tmp_path / "r.jsonl", resume=False)
+        assert fresh.errors() == {}
+        assert not fresh.errors_path.exists()
+        fresh.close()
+
+    def test_sidecar_heals_torn_final_line(self, tmp_path):
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            store.record_error("fpX", "boom")
+        sidecar = store.errors_path
+        with sidecar.open("a") as fh:
+            fh.write('{"fingerprint": "fpY", "err')
+        healed = ResultStore(tmp_path / "r.jsonl")
+        assert healed.errors() == {"fpX": "boom"}
+        assert healed.record_error("fpY", "bang")  # in-flight entry redone
+        healed.close()
+
+    def test_records_file_unpolluted(self, tmp_path):
+        """Error entries must never appear in the record archive."""
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            store.append(rec(1))
+            store.record_error("fpX", "boom")
+        assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 1
+
+    def test_warm_error_cache_stops_reprobing(self, tmp_path):
+        """A resumed session answers known-illegal candidates from the
+        sidecar: zero cost-model runs, outcome still reports the error."""
+        from repro.arch.config import AcceleratorConfig
+        from repro.campaign.session import ExplorationSession
+        from repro.core.configs import paper_dataflow
+        from repro.core.evaluator import ExplicitTiles
+        from repro.core.workload import workload_from_dataset
+        from repro.engine.gemm import GemmTiling
+        from repro.engine.spmm import SpmmTiling
+        from repro.graphs.datasets import load_dataset
+
+        wl = workload_from_dataset(load_dataset("mutag"))
+        hw = AcceleratorConfig(num_pes=64)
+        df, _ = paper_dataflow("SP1")
+        bad = ExplicitTiles(SpmmTiling(64, 64, 1), GemmTiling(1, 1, 1))
+
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            with ExplorationSession(store=store) as first:
+                out = first.evaluator(wl, hw).evaluate_one(df, bad)
+                assert not out.ok
+                assert first.stats.errors == 1
+                assert first.stats.errors_persisted == 1
+
+        with ResultStore(tmp_path / "r.jsonl") as store2:
+            with ExplorationSession(store=store2) as second:
+                assert second.warm_error_size == 1
+                out2 = second.evaluator(wl, hw).evaluate_one(df, bad)
+                assert not out2.ok and out2.error == out.error
+                assert second.stats.evaluated == 0
+                assert second.stats.warm_hits == 1
