@@ -13,24 +13,58 @@ fingerprint (e.g. a normalization baseline and its swept twin) persist a
 single record, so sweep coordinates for duplicates live in the sweep's
 returned rows, not in extra archive lines.
 
-Illegal candidates get their own **compact error sidecar**
-(``<store>.errors.jsonl``): one ``{fingerprint, error}`` line per distinct
-illegal mapping, so a resumed campaign answers known-bad candidates from
-disk instead of re-probing them through the cost model.  The sidecar is
-deliberately separate from the record archive — records stay pure
-export-schema lines that downstream tooling can consume unfiltered.
+Three sidecars ride along with the record archive:
+
+- ``<store>.errors.jsonl`` — one ``{fingerprint, error}`` line per
+  distinct illegal mapping, so a resumed campaign answers known-bad
+  candidates from disk instead of re-probing them through the cost model;
+- ``<store>.index.json`` — an **offset index**: per-record byte offsets,
+  schema versions, and ``dataset@hw`` tags, written atomically whenever
+  the in-memory index has caught up with the file.  A store opened with a
+  valid index skips the full JSONL parse entirely: only the bytes
+  appended *after* the index was written are scanned, so resume and
+  warm-cache preload cost O(changed records), not O(store).  A stale,
+  torn, or mismatched index is silently rebuilt from a full scan.
+- the archive itself stays pure export-schema lines that downstream
+  tooling can consume unfiltered; :meth:`ResultStore.compact` rewrites it
+  in place to drop duplicate-fingerprint lines accumulated by
+  uncoordinated writers (and refreshes both sidecars).
+
+Record *contents* are loaded lazily: opening a store materializes only
+the index, and :meth:`record_for` seeks to one line on demand.  The
+``io_stats`` counters (``full_scans`` / ``tail_scans`` / ``record_loads``
+/ ``index_used``) make the O(changed-records) claim testable.
+
+All mutating methods take an internal lock, so one store instance may be
+shared by the campaign scheduler's overlapping unit threads.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import threading
 from pathlib import Path
 from typing import IO, Iterator, Mapping
 
 from .export import record_to_json
 
-__all__ = ["ResultStore", "read_jsonl_healing"]
+__all__ = ["ResultStore", "read_jsonl_healing", "INDEX_SCHEMA"]
+
+INDEX_SCHEMA = 1
+
+# Minimum appends between automatic index flushes: bounds how stale the
+# sidecar can get when a campaign is killed without close(), i.e. how
+# many tail records the next open has to re-scan.  The effective
+# interval grows with the store (a flush rewrites the whole sidecar, so
+# a fixed interval would cost O(N^2) over a long campaign); the tail
+# scan that absorbs the staleness is O(interval) either way.
+INDEX_FLUSH_EVERY = 512
+
+# Bytes of the archive head folded into the index digest, guarding the
+# offsets against the JSONL being replaced wholesale behind the sidecar.
+_HEAD_DIGEST_BYTES = 4096
 
 
 def read_jsonl_healing(path: Path, *, heal: bool, corrupt) -> list[dict]:
@@ -47,19 +81,61 @@ def read_jsonl_healing(path: Path, *, heal: bool, corrupt) -> list[dict]:
     Shared by the result store, its error sidecar, and the campaign
     checkpoint so the healing semantics can never drift apart.
     """
-    raw = path.read_text(encoding="utf-8")
-    lines = [l for l in raw.split("\n") if l.strip()]
-    records: list[dict] = []
+    entries, _ = _scan_jsonl(path, start=0, heal=heal, corrupt=corrupt)
+    return [rec for _, _, rec in entries]
+
+
+def _scan_jsonl(
+    path: Path, *, start: int, heal: bool, corrupt
+) -> tuple[list[tuple[int, int, dict]], int]:
+    """Offset-aware JSONL scan from byte ``start``.
+
+    Returns ``(entries, end)`` where entries are ``(offset, nbytes,
+    record)`` with ``nbytes`` including the line's newline, and ``end``
+    is the byte cursor the caller's size accounting must resume from —
+    past any trailing blank lines (which carry no record but do occupy
+    bytes; losing them would skew every later offset) and reflecting any
+    healing performed.  Healing repairs the two EOF states a kill can
+    leave: a torn partial line is truncated away, and a *valid* final
+    line missing its newline (killed between the record write and the
+    newline write) gets the newline appended so the next append starts
+    on a fresh line.  ``corrupt(line_no)`` builds the exception for
+    malformed content anywhere before EOF; for tail scans (``start > 0``)
+    the line number is relative to the scanned suffix.
+    """
+    with path.open("rb") as fh:
+        fh.seek(start)
+        data = fh.read()
+    entries: list[tuple[int, int, dict]] = []
+    offset = start
+    lines = data.split(b"\n")
     for i, line in enumerate(lines):
+        final = i == len(lines) - 1
+        if final and line == b"":
+            break  # clean trailing newline; offset already covers the data
+        if not line.strip():
+            offset += len(line) + 1
+            continue
         try:
-            records.append(json.loads(line))
+            record = json.loads(line)
         except json.JSONDecodeError:
-            if i != len(lines) - 1:
+            if not final:
                 raise corrupt(i + 1)
             if heal:
-                good = "".join(l + "\n" for l in lines[:-1])
-                path.write_text(good, encoding="utf-8")
-    return records
+                with path.open("r+b") as fh:
+                    fh.truncate(offset)
+            break
+        if final:
+            # Valid record, missing newline: keep it, repair the boundary.
+            if heal:
+                with path.open("ab") as fh:
+                    fh.write(b"\n")
+            entries.append((offset, len(line) + 1, record))
+            offset += len(line) + 1
+            break
+        entries.append((offset, len(line) + 1, record))
+        offset += len(line) + 1
+    return entries, offset
 
 
 class ResultStore:
@@ -73,44 +149,189 @@ class ResultStore:
     resume:
         When true (default) and ``path`` exists, its records' fingerprints
         seed the dedup index, so a restarted campaign skips work already
-        persisted.  ``resume=False`` truncates the file instead.
+        persisted.  With a fresh ``<store>.index.json`` sidecar this costs
+        O(records appended since the index was written); without one, a
+        single full scan that immediately writes the sidecar for the next
+        open.  ``resume=False`` truncates the file (and sidecars) instead.
     """
 
     def __init__(self, path: str | Path, *, resume: bool = True) -> None:
         self.path = Path(path)
         self.errors_path = self.path.with_name(self.path.stem + ".errors.jsonl")
+        self.index_path = self.path.with_name(self.path.stem + ".index.json")
+        self._lock = threading.RLock()
         self._fingerprints: set[str] = set()
-        self._records: list[dict] = []
+        self._offsets: dict[str, int] = {}
+        self._schemas: dict[str, int | None] = {}  # explicit-fingerprint records only
+        self._tags: dict[str, str | None] = {}
+        self._tag_counts: dict[str, int] = {}
+        self._order: list[str] = []  # fingerprints in first-appearance order
+        self._loaded: dict[str, dict] = {}  # lazily parsed record contents
         self._errors: dict[str, str] = {}
+        self._size = 0  # archive bytes covered by the in-memory index
+        self._duplicate_lines = 0  # same-fingerprint lines seen on disk
+        self._appends_since_flush = 0
+        self._index_dirty = False
         self._fh: IO[str] | None = None
         self._err_fh: IO[str] | None = None
+        self.io_stats = {
+            "full_scans": 0,
+            "tail_scans": 0,
+            "tail_records": 0,
+            "record_loads": 0,
+            "index_used": 0,
+            "index_rebuilt": 0,
+        }
         if self.path.exists():
             if resume:
-                # The recovery parse is kept: campaign sessions preload
-                # these records as their warm cache, and re-reading the
-                # JSONL per session would repeat the whole-file parse.
-                self._records = self._recover_disk()
-                for record in self._records:
-                    self._fingerprints.add(self.record_fingerprint(record))
+                self._open_resume()
             else:
                 self.path.unlink()
+                if self.index_path.exists():
+                    self.index_path.unlink()
         if self.errors_path.exists():
             if resume:
                 self._errors = self._recover_errors()
             else:
                 self.errors_path.unlink()
 
-    def _recover_disk(self) -> list[dict]:
-        """Index the on-disk records; torn final appends are dropped and
-        truncated, other corruption raises (see :func:`read_jsonl_healing`)."""
-        return read_jsonl_healing(
+    # ------------------------------------------------------------------
+    # Open / recovery
+    # ------------------------------------------------------------------
+
+    def _open_resume(self) -> None:
+        """Rebuild the in-memory index: from the sidecar when it is valid
+        (plus an O(changed) tail scan), from a full archive scan otherwise
+        — after which the sidecar is written so the *next* open is cheap."""
+        loaded = self._load_index()
+        if loaded is not None:
+            self.io_stats["index_used"] += 1
+            if self._size < self.path.stat().st_size:
+                self._scan_tail(self._size)
+        else:
+            self._full_scan()
+        # Keep the sidecar covering everything just scanned; a killed
+        # campaign then costs the next open only its un-indexed suffix.
+        if self._index_dirty:
+            self.write_index()
+
+    @classmethod
+    def _parse_index_sidecar(
+        cls, path: Path, index_path: Path
+    ) -> tuple[int, int, dict] | None:
+        """Validate the index sidecar against the archive and parse it.
+
+        The single gatekeeper for trusting on-disk offsets — used by the
+        resuming open *and* the read-only :meth:`peek`, so the validation
+        rules can never drift apart.  Returns ``(covered_bytes,
+        duplicate_lines, entries)`` with normalized ``fp -> (offset,
+        schema, explicit, tag)`` entries, or ``None`` when the sidecar is
+        missing, torn, from another schema, larger than the archive, not
+        newline-aligned at its boundary, or its head digest disagrees —
+        i.e. whenever the offsets cannot be trusted.
+        """
+        if not index_path.exists():
+            return None
+        try:
+            idx = json.loads(index_path.read_text(encoding="utf-8"))
+            if idx.get("index_schema") != INDEX_SCHEMA:
+                raise ValueError("unknown index schema")
+            covered = int(idx["store_bytes"])
+            if covered > path.stat().st_size:
+                raise ValueError("index covers more bytes than the archive holds")
+            head_bytes = int(idx.get("head_bytes", 0))
+            if cls._head_digest(path, head_bytes) != idx.get("head_digest"):
+                raise ValueError("archive head does not match the index")
+            if covered > 0:
+                with path.open("rb") as fh:
+                    fh.seek(covered - 1)
+                    if fh.read(1) != b"\n":
+                        raise ValueError("index boundary is not newline-aligned")
+            entries: dict[str, tuple] = {}
+            for fp, (offset, schema, explicit, tag) in idx["records"].items():
+                entries[fp] = (int(offset), schema, bool(explicit), tag)
+            return covered, int(idx.get("duplicate_lines", 0)), entries
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _load_index(self) -> bool | None:
+        """Adopt the index sidecar if it provably matches the archive;
+        ``None`` (triggering a full scan) when it cannot be trusted."""
+        parsed = self._parse_index_sidecar(self.path, self.index_path)
+        if parsed is None:
+            if self.index_path.exists():
+                self.io_stats["index_rebuilt"] += 1
+            return None
+        covered, duplicate_lines, entries = parsed
+        for fp, (offset, schema, explicit, tag) in entries.items():
+            self._offsets[fp] = offset
+            if explicit:
+                self._schemas[fp] = schema
+            self._tags[fp] = tag
+            if tag is not None:
+                self._tag_counts[tag] = self._tag_counts.get(tag, 0) + 1
+        self._fingerprints = set(self._offsets)
+        self._order = sorted(self._offsets, key=self._offsets.__getitem__)
+        self._size = covered
+        self._duplicate_lines = duplicate_lines
+        return True
+
+    @staticmethod
+    def _head_digest(path: Path, head_bytes: int) -> str:
+        with path.open("rb") as fh:
+            return hashlib.sha256(fh.read(head_bytes)).hexdigest()[:16]
+
+    def _full_scan(self) -> None:
+        self.io_stats["full_scans"] += 1
+        entries, end = _scan_jsonl(
             self.path,
+            start=0,
             heal=True,
             corrupt=lambda n: ValueError(
                 f"{self.path}: corrupt record on line {n} "
                 "(not a torn final append); refusing to resume"
             ),
         )
+        for offset, _, record in entries:
+            self._adopt(offset, record)
+        self._size = end
+        self._index_dirty = True
+
+    def _scan_tail(self, start: int) -> None:
+        """Index only the records appended after the sidecar was written."""
+        self.io_stats["tail_scans"] += 1
+        entries, end = _scan_jsonl(
+            self.path,
+            start=start,
+            heal=True,
+            corrupt=lambda n: ValueError(
+                f"{self.path}: corrupt record on tail line {n} "
+                f"(after byte {start}, not a torn final append); "
+                "refusing to resume"
+            ),
+        )
+        for offset, _, record in entries:
+            self._adopt(offset, record)
+            self.io_stats["tail_records"] += 1
+        self._size = end
+        if end != start:
+            self._index_dirty = True
+
+    def _adopt(self, offset: int, record: dict) -> None:
+        """Index one on-disk record (first fingerprint occurrence wins)."""
+        fp = self.record_fingerprint(record)
+        if fp in self._fingerprints:
+            self._duplicate_lines += 1
+            return
+        self._fingerprints.add(fp)
+        self._offsets[fp] = offset
+        self._order.append(fp)
+        if record.get("fingerprint"):
+            self._schemas[fp] = record.get("schema")
+        tag = self._record_tag(record)
+        self._tags[fp] = tag
+        if tag is not None:
+            self._tag_counts[tag] = self._tag_counts.get(tag, 0) + 1
 
     def _recover_errors(self) -> dict[str, str]:
         """Index the error sidecar, healing a torn final line the same way
@@ -139,26 +360,60 @@ class ResultStore:
         blob = record_to_json(record).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()[:32]
 
+    @staticmethod
+    def _record_tag(record: Mapping) -> str | None:
+        """The record's campaign-unit attribution (``dataset[@hw-label]``).
+
+        Single-hardware-point campaigns deliberately omit the ``hw`` field
+        (records stay byte-identical to the legacy CLI), so their tag is
+        the bare dataset name; ``repro campaign status`` resolves that
+        against the spec's grid.
+        """
+        ds = record.get("dataset")
+        if not ds:
+            return None
+        hw = record.get("hw")
+        return f"{ds}@{hw}" if hw else str(ds)
+
     # ------------------------------------------------------------------
     def append(self, record: Mapping) -> bool:
         """Persist ``record`` unless its fingerprint is already stored.
 
         Returns ``True`` when a line was written, ``False`` on a dedup
         skip.  Lines are flushed eagerly so a killed campaign loses at
-        most the record in flight.
+        most the record in flight; the index sidecar is refreshed on
+        :meth:`close` and periodically during long append runs — every
+        ``max(INDEX_FLUSH_EVERY, records/4)`` appends, an interval that
+        grows with the store because each flush rewrites the whole
+        sidecar (a fixed interval would cost O(N^2) over a campaign).
+        A kill therefore leaves at most ~25% of the records un-indexed,
+        and the next open tail-scans exactly that suffix.
         """
-        fp = self.record_fingerprint(record)
-        if fp in self._fingerprints:
-            return False
-        if self._fh is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(record_to_json(record))
-        self._fh.write("\n")
-        self._fh.flush()
-        self._fingerprints.add(fp)
-        self._records.append(dict(record))
-        return True
+        with self._lock:
+            fp = self.record_fingerprint(record)
+            if fp in self._fingerprints:
+                return False
+            if self._fh is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                # newline="" disables universal-newline translation: the
+                # byte-offset accounting (and the index built from it)
+                # requires one written "\n" to be exactly one byte.
+                self._fh = self.path.open("a", encoding="utf-8", newline="")
+            line = record_to_json(record)
+            self._fh.write(line)
+            self._fh.write("\n")
+            self._fh.flush()
+            offset = self._size
+            self._adopt(offset, dict(record))
+            self._loaded[fp] = dict(record)
+            self._size = offset + len(line.encode("utf-8")) + 1
+            self._index_dirty = True
+            self._appends_since_flush += 1
+            if self._appends_since_flush >= max(
+                INDEX_FLUSH_EVERY, len(self._order) // 4
+            ):
+                self.write_index()
+            return True
 
     def extend(self, records: Iterator[Mapping] | list) -> int:
         """Append many records; returns how many were newly written."""
@@ -173,35 +428,240 @@ class ResultStore:
         archive, so the warm cache can answer known-bad candidates from
         disk without ever re-running the cost model on them.
         """
-        fp = str(fingerprint)
-        if fp in self._errors:
-            return False
-        if self._err_fh is None:
-            self.errors_path.parent.mkdir(parents=True, exist_ok=True)
-            self._err_fh = self.errors_path.open("a", encoding="utf-8")
-        self._err_fh.write(
-            json.dumps(
-                {"fingerprint": fp, "error": str(error)}, sort_keys=True
+        with self._lock:
+            fp = str(fingerprint)
+            if fp in self._errors:
+                return False
+            if self._err_fh is None:
+                self.errors_path.parent.mkdir(parents=True, exist_ok=True)
+                self._err_fh = self.errors_path.open(
+                    "a", encoding="utf-8", newline=""
+                )
+            self._err_fh.write(
+                json.dumps(
+                    {"fingerprint": fp, "error": str(error)}, sort_keys=True
+                )
             )
-        )
-        self._err_fh.write("\n")
-        self._err_fh.flush()
-        self._errors[fp] = str(error)
-        return True
+            self._err_fh.write("\n")
+            self._err_fh.flush()
+            self._errors[fp] = str(error)
+            return True
 
     def errors(self) -> dict[str, str]:
         """All persisted illegal-candidate outcomes, fingerprint-keyed."""
-        return dict(self._errors)
+        with self._lock:
+            return dict(self._errors)
 
     # ------------------------------------------------------------------
-    def records(self) -> list[dict]:
-        """All records in the store, in append order.
+    # Lazy record access
+    # ------------------------------------------------------------------
 
-        Served from the in-memory mirror built at open time and extended
-        on every append (no disk re-read); the dicts are shared, not
-        copied — treat them as read-only.
+    def record_for(self, fingerprint: str) -> dict:
+        """The record behind one fingerprint, parsed on demand.
+
+        Seeks straight to the record's byte offset — an index-backed warm
+        start pays one line parse per warm *hit* instead of one full-file
+        parse per session.  Parsed records are cached; treat them as
+        read-only.
         """
-        return list(self._records)
+        with self._lock:
+            record = self._loaded.get(fingerprint)
+            if record is None:
+                offset = self._offsets[fingerprint]
+                self.io_stats["record_loads"] += 1
+                with self.path.open("rb") as fh:
+                    fh.seek(offset)
+                    record = json.loads(fh.readline())
+                self._loaded[fingerprint] = record
+            return record
+
+    def records(self) -> list[dict]:
+        """All records, in first-appearance order (duplicate-fingerprint
+        lines collapse onto their first occurrence).
+
+        Loads lazily: an index-backed store parses the archive only when
+        record *contents* are actually requested; the dicts are cached and
+        shared, not copied — treat them as read-only.
+        """
+        with self._lock:
+            return [self.record_for(fp) for fp in self._order]
+
+    def fingerprint_schemas(self) -> dict[str, int | None]:
+        """Export-schema version per explicitly-fingerprinted record.
+
+        Everything a warm cache needs to decide *which* fingerprints it
+        can serve — without parsing a single record line.  Content-hash
+        fallback keys are excluded: they can never match a candidate
+        fingerprint, so serving them warm is impossible by construction.
+        """
+        with self._lock:
+            return dict(self._schemas)
+
+    def tag_counts(self) -> dict[str, int]:
+        """Distinct-record counts per ``dataset[@hw]`` attribution tag."""
+        with self._lock:
+            return dict(self._tag_counts)
+
+    # ------------------------------------------------------------------
+    # Index sidecar
+    # ------------------------------------------------------------------
+
+    def write_index(self) -> Path:
+        """Atomically (re)write ``<store>.index.json`` covering the
+        current archive; returns the sidecar path."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+            payload = {
+                "index_schema": INDEX_SCHEMA,
+                "store_bytes": self._size,
+                "head_bytes": min(self._size, _HEAD_DIGEST_BYTES),
+                "head_digest": (
+                    self._head_digest(self.path, min(self._size, _HEAD_DIGEST_BYTES))
+                    if self.path.exists()
+                    else hashlib.sha256(b"").hexdigest()[:16]
+                ),
+                "record_count": len(self._order),
+                "duplicate_lines": self._duplicate_lines,
+                "records": {
+                    fp: [
+                        self._offsets[fp],
+                        self._schemas.get(fp),
+                        1 if fp in self._schemas else 0,
+                        self._tags.get(fp),
+                    ]
+                    for fp in self._order
+                },
+            }
+            tmp = self.index_path.with_name(self.index_path.name + ".tmp")
+            tmp.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
+                encoding="utf-8",
+            )
+            os.replace(tmp, self.index_path)
+            self._index_dirty = False
+            self._appends_since_flush = 0
+            return self.index_path
+
+    @classmethod
+    def peek(cls, path: str | Path) -> dict:
+        """Read-only progress snapshot (for ``repro campaign status``).
+
+        Counts distinct records and per-``dataset[@hw]`` tags using the
+        index sidecar when it is valid — scanning only the un-indexed tail
+        — and a plain streaming parse otherwise.  Never writes, heals, or
+        rebuilds anything: a concurrently running campaign may own the
+        files.  A torn final line is silently ignored.
+        """
+        path = Path(path)
+        out: dict = {"records": 0, "unit_counts": {}, "indexed": False}
+        if not path.exists():
+            return out
+        index_path = path.with_name(path.stem + ".index.json")
+        start = 0
+        fingerprints: set[str] = set()
+        counts: dict[str, int] = {}
+        parsed = cls._parse_index_sidecar(path, index_path)
+        if parsed is not None:
+            covered, _, entries = parsed
+            for fp, (_, _, _, tag) in entries.items():
+                fingerprints.add(fp)
+                if tag is not None:
+                    counts[tag] = counts.get(tag, 0) + 1
+            start = covered
+            out["indexed"] = True
+        with path.open("rb") as fh:
+            fh.seek(start)
+            for line in fh:
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn in-flight line (or foreign bytes): skip
+                fp = cls.record_fingerprint(record)
+                if fp in fingerprints:
+                    continue
+                fingerprints.add(fp)
+                tag = cls._record_tag(record)
+                if tag is not None:
+                    counts[tag] = counts.get(tag, 0) + 1
+        out["records"] = len(fingerprints)
+        out["unit_counts"] = counts
+        return out
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite the archive keeping one line per fingerprint.
+
+        Uncoordinated writers (two campaign shards appending to copies of
+        the same store, or hand-concatenated archives) can leave
+        duplicate-fingerprint lines that every future scan re-parses and
+        re-discards.  Compaction rewrites the JSONL atomically with first
+        occurrences only, dedups the error sidecar the same way, and
+        refreshes the offset index.  Returns accounting, e.g.::
+
+            {"records_kept": 18, "lines_dropped": 3, "bytes_before": ...,
+             "bytes_after": ..., "errors_kept": 2, "errors_dropped": 0}
+        """
+        with self._lock:
+            self.close()
+            bytes_before = self.path.stat().st_size if self.path.exists() else 0
+            records = self.records() if self.path.exists() else []
+            lines_dropped = self._duplicate_lines
+            if self.path.exists():
+                tmp = self.path.with_name(self.path.name + ".tmp")
+                with tmp.open("w", encoding="utf-8", newline="") as fh:
+                    for record in records:
+                        fh.write(record_to_json(record))
+                        fh.write("\n")
+                os.replace(tmp, self.path)
+            errors_before = 0
+            if self.errors_path.exists():
+                errors_before = sum(
+                    1
+                    for line in self.errors_path.read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    if line.strip()
+                )
+                tmp = self.errors_path.with_name(self.errors_path.name + ".tmp")
+                with tmp.open("w", encoding="utf-8", newline="") as fh:
+                    for fp, error in self._errors.items():
+                        fh.write(
+                            json.dumps(
+                                {"fingerprint": fp, "error": error}, sort_keys=True
+                            )
+                        )
+                        fh.write("\n")
+                os.replace(tmp, self.errors_path)
+            # Re-index the rewritten archive from scratch: offsets moved.
+            self._fingerprints.clear()
+            self._offsets.clear()
+            self._schemas.clear()
+            self._tags.clear()
+            self._tag_counts.clear()
+            self._order.clear()
+            self._loaded.clear()
+            self._duplicate_lines = 0
+            self._size = 0
+            if self.path.exists():
+                self._full_scan()
+                self.write_index()
+            elif self.index_path.exists():
+                self.index_path.unlink()
+            return {
+                "records_kept": len(self._order),
+                "lines_dropped": lines_dropped,
+                "bytes_before": bytes_before,
+                "bytes_after": self._size,
+                "errors_kept": len(self._errors),
+                "errors_dropped": errors_before - len(self._errors),
+            }
 
     # ------------------------------------------------------------------
     @property
@@ -216,12 +676,15 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-        if self._err_fh is not None:
-            self._err_fh.close()
-            self._err_fh = None
+        with self._lock:
+            if self._index_dirty:
+                self.write_index()
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            if self._err_fh is not None:
+                self._err_fh.close()
+                self._err_fh = None
 
     def __enter__(self) -> "ResultStore":
         return self

@@ -20,6 +20,11 @@ service, layered as ``spec -> session -> report``:
   session, and checkpoints each completed unit so a killed campaign
   restarts where it left off; results aggregate into a
   :class:`~repro.campaign.report.CampaignReport` (``report.py``).
+- :class:`~repro.campaign.scheduler.CampaignScheduler` (``scheduler.py``)
+  overlaps independent units over the session's single worker pool
+  (``run_campaign(..., overlap=True)``): units complete out of order,
+  while checkpoint lines and report rows stay byte-identical to the
+  sequential path.
 
 The CLI front-end is ``repro campaign run|status|report --spec FILE``;
 ``repro sweep`` and ``repro search`` delegate to one-shot specs.
@@ -32,12 +37,14 @@ from .runner import (
     campaign_units,
     run_campaign,
 )
+from .scheduler import CampaignScheduler
 from .session import ExplorationSession
 from .spec import (
     CampaignSpec,
     CampaignSpecError,
     CandidateSource,
     HardwarePoint,
+    unit_key,
 )
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "UnitResult",
     "CampaignCheckpoint",
     "CampaignResumeError",
+    "CampaignScheduler",
     "campaign_units",
     "run_campaign",
     "ExplorationSession",
@@ -52,4 +60,5 @@ __all__ = [
     "CampaignSpecError",
     "CandidateSource",
     "HardwarePoint",
+    "unit_key",
 ]

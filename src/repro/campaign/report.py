@@ -10,6 +10,8 @@ cost-model runs?" is a field, not a guess.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -70,6 +72,32 @@ class CampaignReport:
             "store_records": self.store_records,
             "checkpoint_path": self.checkpoint_path,
         }
+
+    def canonical(self) -> dict:
+        """The scheduling-invariant view of this report.
+
+        Everything here — unit order and row bytes — must be identical
+        whether the campaign ran sequentially or overlapped, fresh or
+        resumed.  Execution accounting (``stats``, ``resumed`` flags) and
+        artifact paths are excluded: they describe *how* a particular
+        invocation got its answers, not the answers.  The determinism
+        tests and the CI scheduler job diff exactly this.
+        """
+        return {
+            "name": self.name,
+            "spec_fingerprint": self.spec_fingerprint,
+            "units": [
+                {"dataset": u.dataset, "hw": u.hw, "rows": u.rows}
+                for u in self.units
+            ],
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def digest(self) -> str:
+        """Content hash of :meth:`canonical` (cheap byte-identity checks)."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
         """Human-readable summary table."""

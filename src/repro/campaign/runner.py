@@ -16,6 +16,13 @@ killed multi-dataset campaign cheap to restart:
 
 Together a resumed campaign whose units all finished performs **zero**
 new cost-model evaluations (asserted in ``tests/test_campaign.py``).
+
+Execution itself lives in :mod:`repro.campaign.scheduler`: units run
+either strictly in grid order (``overlap=False``, the default) or
+interleaved over the shared worker pool
+(:class:`~repro.campaign.scheduler.CampaignScheduler`), which completes
+units out of order while keeping the checkpoint and report byte-identical
+to the sequential path.
 """
 
 from __future__ import annotations
@@ -25,13 +32,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..analysis.store import read_jsonl_healing
-from ..analysis.sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
-from ..core.configs import paper_dataflow, paper_config_names
-from ..core.legality import LegalityError
-from ..core.optimizer import MappingOptimizer, search_paper_configs
-from ..core.workload import workload_from_dataset
-from ..graphs.datasets import load_dataset
+from . import scheduler as _scheduler
 from .report import CampaignReport, UnitResult
+from .scheduler import CampaignScheduler
 from .session import ExplorationSession
 from .spec import CampaignSpec, HardwarePoint
 
@@ -176,76 +179,6 @@ def campaign_units(
             yield ds, pt
 
 
-def _run_unit(
-    session: ExplorationSession,
-    spec: CampaignSpec,
-    ds_name: str,
-    pt: HardwarePoint,
-) -> list[dict]:
-    """Run one unit's candidate source; returns JSON-safe row dicts."""
-    wl = workload_from_dataset(load_dataset(ds_name, seed=spec.seed))
-    hw = pt.config()
-    extra: dict[str, Any] = {"dataset": ds_name, "seed": spec.seed}
-    if pt.label:
-        extra["hw"] = pt.label
-    kind = spec.source.kind
-    params = dict(spec.source.params)
-
-    if kind == "table5":
-        names = list(params.get("configs") or paper_config_names())
-        ev = session.evaluator(wl, hw, record_extra=extra)
-        outcomes = ev.evaluate(
-            [(*paper_dataflow(c), {"config": c}) for c in names]
-        )
-        for c, o in zip(names, outcomes):
-            if not o.ok:  # Table V rows are all legal by construction
-                raise LegalityError(f"{c} on {ds_name}: {o.error}")
-        return [
-            {"config": c, "cycles": int(o.cycles)}
-            for c, o in zip(names, outcomes)
-        ]
-
-    if kind in ("exhaustive", "random"):
-        with MappingOptimizer(
-            wl, hw, objective=spec.objective, session=session, record_extra=extra
-        ) as opt:
-            # The Table V baseline shares the unit's evaluator, so the
-            # broader search draws from the same memo and store stream.
-            paper = search_paper_configs(
-                wl, hw, objective=spec.objective, evaluator=opt.evaluator
-            )
-            if kind == "exhaustive":
-                full = opt.exhaustive(budget=spec.budget)
-            else:
-                n = int(params.get("n") or spec.budget or 64)
-                full = opt.random_search(n, seed=spec.seed)
-        return [
-            {
-                "paper_best": list(paper.top(1)[0]),
-                "search_best": str(full.best_dataflow),
-                "search_score": full.best_score,
-                "evaluated": full.evaluated,
-                "gain": paper.best_score / full.best_score,
-                "top5": [list(t) for t in full.top(5)],
-            }
-        ]
-
-    if kind == "pe_allocation":
-        return sweep_pe_allocation(
-            wl, hw, session=session, record_extra=extra, **params
-        )
-    if kind == "num_pes":
-        return sweep_num_pes(wl, session=session, record_extra=extra, **params)
-    if kind == "bandwidth":
-        # The unit's hardware point supplies the PE count unless the
-        # source param already pinned it (spec validation forbids both).
-        params.setdefault("num_pes", pt.num_pes)
-        return sweep_bandwidth(
-            wl, session=session, record_extra=extra, **params
-        )
-    raise ValueError(f"unhandled source kind {kind!r}")  # pragma: no cover
-
-
 def run_campaign(
     spec: CampaignSpec,
     *,
@@ -253,13 +186,19 @@ def run_campaign(
     store: Any | None = None,
     checkpoint: CampaignCheckpoint | None = None,
     session: ExplorationSession | None = None,
+    overlap: bool = False,
+    max_inflight: int | None = None,
 ) -> CampaignReport:
     """Run (or resume) every unit of ``spec`` through one session.
 
     ``store`` seeds the session's warm cache and receives fresh records;
     ``checkpoint`` skips completed units and journals new ones; pass an
     existing ``session`` to share its pool/memos (``workers``/``store``
-    are then ignored).
+    are then ignored).  ``overlap=True`` interleaves all pending units
+    over the shared pool (up to ``max_inflight`` at once) via the
+    :class:`~repro.campaign.scheduler.CampaignScheduler` — faster on wide
+    grids, with checkpoint and report guaranteed byte-identical to the
+    sequential path; only the store's record *order* may differ.
     """
     spec.validate()
     owns_session = session is None
@@ -267,22 +206,17 @@ def run_campaign(
         session = ExplorationSession(workers=workers, store=store)
     units: list[UnitResult] = []
     try:
-        for ds_name, pt in campaign_units(spec):
-            key = f"{ds_name}@{pt.key()}"
-            if checkpoint is not None and key in checkpoint.done:
-                units.append(
-                    UnitResult(
-                        ds_name, pt.key(), checkpoint.done[key]["rows"],
-                        resumed=True,
-                    )
-                )
-                continue
-            rows = _run_unit(session, spec, ds_name, pt)
-            if checkpoint is not None:
-                checkpoint.mark(
-                    key, {"dataset": ds_name, "hw": pt.key(), "rows": rows}
-                )
-            units.append(UnitResult(ds_name, pt.key(), rows))
+        if overlap:
+            units = CampaignScheduler(
+                spec,
+                session,
+                checkpoint=checkpoint,
+                max_inflight=max_inflight,
+            ).run()
+        else:
+            units = _scheduler.run_units_sequential(
+                spec, session, checkpoint=checkpoint
+            )
     finally:
         if owns_session:
             session.close()

@@ -1,0 +1,314 @@
+"""Streaming campaign scheduler: overlap independent units, keep bytes.
+
+:func:`~repro.campaign.runner.run_campaign` historically executed its
+``(dataset, hardware)`` units strictly one after another, so on a wide
+grid the shared worker pool idled every time a unit was between batches
+(loading its dataset, folding its rows, normalizing a sweep baseline).
+:class:`CampaignScheduler` removes that serialization: every pending unit
+runs on its own lightweight thread, all of them submitting candidate
+batches to the session's single task-keyed pool, whose worker processes
+interleave work from every in-flight unit.  Units therefore *complete*
+out of order — but nothing observable does:
+
+- **checkpoint lines are journaled in grid order** by the coordinator
+  thread (a reorder buffer): a unit that finishes early is held until
+  every unit before it in the grid has been marked, so the checkpoint
+  file stays byte-identical to a sequential run's.  If the campaign is
+  killed while a completed unit is still held back, its evaluations are
+  already in the result store — the resumed run replays that unit from
+  the warm cache with **zero** duplicate cost-model evaluations;
+- **report rows are deterministic** because each unit's rows are a pure
+  function of the spec and the cost model — scheduling only changes
+  *when* a unit runs, never what it computes;
+- **failure semantics match the sequential path**: the first failing
+  unit *in grid order* raises, units before it are checkpointed, units
+  after it are never marked (their finished work parks in the store as
+  warm-cache capital for the retry).
+
+The only artifact allowed to differ is the result store's *line order*
+(records land in evaluation-completion order); its record *set* is
+equivalent, which is what the store's fingerprint semantics promise.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any
+
+from ..analysis.sweep import sweep_bandwidth, sweep_num_pes, sweep_pe_allocation
+from ..core.configs import paper_config_names, paper_dataflow
+from ..core.legality import LegalityError
+from ..core.optimizer import MappingOptimizer, search_paper_configs
+from ..core.workload import workload_from_dataset
+from ..graphs.datasets import load_dataset
+from .report import UnitResult
+from .session import ExplorationSession
+from .spec import CampaignSpec, HardwarePoint, unit_key
+
+__all__ = [
+    "CampaignScheduler",
+    "checkpoint_payload",
+    "run_unit",
+    "run_units_sequential",
+]
+
+# Thread cap for overlapped unit execution: unit threads are cheap (the
+# heavy lifting happens in pool worker processes), but each one holds a
+# loaded dataset, so an unbounded wide grid would balloon memory.
+DEFAULT_MAX_INFLIGHT = 8
+
+
+def checkpoint_payload(ds_name: str, pt: HardwarePoint, rows: list) -> dict:
+    """The checkpoint journal entry for one completed unit.
+
+    The single definition of the payload shape, shared by the sequential
+    runner and the overlapped scheduler — the byte-identity guarantee
+    between the two paths hangs on them never drifting apart.
+    """
+    return {"dataset": ds_name, "hw": pt.key(), "rows": rows}
+
+
+def run_units_sequential(
+    spec: CampaignSpec,
+    session: ExplorationSession,
+    checkpoint: Any | None = None,
+) -> list[UnitResult]:
+    """Strict grid-order unit execution (the ``overlap=False`` path).
+
+    Kept separate from :class:`CampaignScheduler` for its stronger
+    failure guarantee: unit *i+1* does not even start until unit *i*
+    completed, so a failing unit stops the campaign with no side effects
+    past it.  The resume skip, journal payload, and result assembly are
+    shared with the scheduler (:func:`checkpoint_payload`,
+    :func:`~repro.campaign.spec.unit_key`), keeping the two paths'
+    artifacts byte-identical by construction.
+    """
+    from .runner import campaign_units  # runner imports us; lazy back-ref
+
+    units: list[UnitResult] = []
+    for ds_name, pt in campaign_units(spec):
+        key = unit_key(ds_name, pt)
+        if checkpoint is not None and key in checkpoint.done:
+            units.append(
+                UnitResult(
+                    ds_name, pt.key(), checkpoint.done[key]["rows"],
+                    resumed=True,
+                )
+            )
+            continue
+        rows = run_unit(session, spec, ds_name, pt)
+        if checkpoint is not None:
+            checkpoint.mark(key, checkpoint_payload(ds_name, pt, rows))
+        units.append(UnitResult(ds_name, pt.key(), rows))
+    return units
+
+
+def run_unit(
+    session: ExplorationSession,
+    spec: CampaignSpec,
+    ds_name: str,
+    pt: HardwarePoint,
+) -> list[dict]:
+    """Run one unit's candidate source; returns JSON-safe row dicts.
+
+    Pure with respect to scheduling: rows depend only on ``(spec, unit)``
+    and the cost model, so the sequential runner and the overlapped
+    scheduler produce identical rows by construction.
+    """
+    wl = workload_from_dataset(load_dataset(ds_name, seed=spec.seed))
+    hw = pt.config()
+    extra: dict[str, Any] = {"dataset": ds_name, "seed": spec.seed}
+    if pt.label:
+        extra["hw"] = pt.label
+    kind = spec.source.kind
+    params = dict(spec.source.params)
+
+    if kind == "table5":
+        names = list(params.get("configs") or paper_config_names())
+        ev = session.evaluator(wl, hw, record_extra=extra)
+        stream = ev.stream(
+            lambda: ((*paper_dataflow(c), {"config": c}) for c in names),
+            label="table5",
+        )
+        outcomes = ev.evaluate(stream)
+        for c, o in zip(names, outcomes):
+            if not o.ok:  # Table V rows are all legal by construction
+                raise LegalityError(f"{c} on {ds_name}: {o.error}")
+        return [
+            {"config": c, "cycles": int(o.cycles)}
+            for c, o in zip(names, outcomes)
+        ]
+
+    if kind in ("exhaustive", "random"):
+        with MappingOptimizer(
+            wl, hw, objective=spec.objective, session=session, record_extra=extra
+        ) as opt:
+            # The Table V baseline shares the unit's evaluator, so the
+            # broader search draws from the same memo and store stream.
+            paper = search_paper_configs(
+                wl, hw, objective=spec.objective, evaluator=opt.evaluator
+            )
+            if kind == "exhaustive":
+                full = opt.exhaustive(budget=spec.budget)
+            else:
+                n = int(params.get("n") or spec.budget or 64)
+                full = opt.random_search(n, seed=spec.seed)
+        return [
+            {
+                "paper_best": list(paper.top(1)[0]),
+                "search_best": str(full.best_dataflow),
+                "search_score": full.best_score,
+                "evaluated": full.evaluated,
+                "gain": paper.best_score / full.best_score,
+                "top5": [list(t) for t in full.top(5)],
+            }
+        ]
+
+    if kind == "pe_allocation":
+        return sweep_pe_allocation(
+            wl, hw, session=session, record_extra=extra, **params
+        )
+    if kind == "num_pes":
+        return sweep_num_pes(wl, session=session, record_extra=extra, **params)
+    if kind == "bandwidth":
+        # The unit's hardware point supplies the PE count unless the
+        # source param already pinned it (spec validation forbids both).
+        params.setdefault("num_pes", pt.num_pes)
+        return sweep_bandwidth(
+            wl, session=session, record_extra=extra, **params
+        )
+    raise ValueError(f"unhandled source kind {kind!r}")  # pragma: no cover
+
+
+class CampaignScheduler:
+    """Overlap a campaign's independent units over one shared session.
+
+    Parameters
+    ----------
+    spec:
+        The validated campaign to run.
+    session:
+        The shared :class:`~repro.campaign.session.ExplorationSession`.
+        Its pool, warm cache, store, and stats are all thread-safe, and
+        each unit gets its own evaluator views.  Units with distinct
+        evaluation contexts can never collide on a candidate fingerprint,
+        so they overlap freely; units that *share* a context — hardware
+        points differing only by ``label``, which is presentation-level —
+        would race on the shared per-context memo, so the scheduler
+        chains them onto one thread in grid order instead (see
+        :meth:`run`).  Either way, overlapping changes throughput only,
+        never results.
+    checkpoint:
+        Optional :class:`~repro.campaign.runner.CampaignCheckpoint`.
+        Completed units are journaled strictly in grid order regardless
+        of completion order (see module docstring).
+    max_inflight:
+        Unit threads running at once (default ``DEFAULT_MAX_INFLIGHT``,
+        clamped to the number of pending units).  ``1`` degrades to
+        sequential execution with identical artifacts.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        session: ExplorationSession,
+        *,
+        checkpoint: Any | None = None,
+        max_inflight: int | None = None,
+    ) -> None:
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.spec = spec
+        self.session = session
+        self.checkpoint = checkpoint
+        self.max_inflight = max_inflight
+
+    @staticmethod
+    def _context_group(ds_name: str, pt: HardwarePoint) -> tuple:
+        """Units mapping to the same evaluation context must serialize.
+
+        The context signature hashes the workload and the
+        :class:`~repro.arch.config.AcceleratorConfig` — ``label`` is
+        presentation-level and excluded — so two hardware points that
+        differ only by label share one per-context memo.  Grouping by the
+        config-defining coordinates (computable without loading the
+        dataset) lets the scheduler chain such aliases onto one thread.
+        """
+        return (ds_name, pt.num_pes, pt.bandwidth, pt.gb_kib)
+
+    def run(self) -> list[UnitResult]:
+        """Execute (or resume) every unit; returns grid-ordered results."""
+        from .runner import campaign_units  # runner imports us; lazy back-ref
+
+        grid = list(campaign_units(self.spec))
+        results: list[UnitResult | None] = [None] * len(grid)
+        pending: list[int] = []
+        done = self.checkpoint.done if self.checkpoint is not None else {}
+        for i, (ds_name, pt) in enumerate(grid):
+            key = unit_key(ds_name, pt)
+            if key in done:
+                results[i] = UnitResult(
+                    ds_name, pt.key(), done[key]["rows"], resumed=True
+                )
+            else:
+                pending.append(i)
+        if pending:
+            # Fork the worker processes from *this* thread, before any
+            # unit thread exists (fork in a multithreaded parent risks
+            # deadlocking a child on a lock some sibling held).
+            self.session.ensure_pool()
+            # One chain per evaluation context: grid-ordered so a memo
+            # alias (label-only hardware twin) hits the first unit's memo
+            # exactly as it would sequentially.
+            chains: dict[tuple, list[int]] = {}
+            for i in pending:
+                chains.setdefault(self._context_group(*grid[i]), []).append(i)
+            futures: dict[int, Future] = {i: Future() for i in pending}
+
+            def run_chain(indices: list[int]) -> None:
+                failed: BaseException | None = None
+                for i in indices:
+                    if failed is not None:
+                        # Sequential semantics within the chain: a failed
+                        # unit poisons its successors (grid-order drain
+                        # below raises at the first failure anyway).
+                        futures[i].set_exception(failed)
+                        continue
+                    try:
+                        rows = run_unit(
+                            self.session, self.spec, grid[i][0], grid[i][1]
+                        )
+                    except BaseException as exc:
+                        failed = exc
+                        futures[i].set_exception(exc)
+                    else:
+                        futures[i].set_result(rows)
+
+            width = min(
+                self.max_inflight or DEFAULT_MAX_INFLIGHT, len(chains)
+            )
+            with ThreadPoolExecutor(
+                max_workers=width, thread_name_prefix="campaign-unit"
+            ) as pool:
+                chain_tasks = [
+                    pool.submit(run_chain, indices)
+                    for indices in chains.values()
+                ]
+                try:
+                    # Grid-order drain = the reorder buffer: unit i+1's
+                    # completed rows wait in their future until unit i has
+                    # been journaled, keeping the checkpoint byte-stable.
+                    for i in pending:
+                        ds_name, pt = grid[i]
+                        rows = futures[i].result()
+                        if self.checkpoint is not None:
+                            self.checkpoint.mark(
+                                unit_key(ds_name, pt),
+                                checkpoint_payload(ds_name, pt, rows),
+                            )
+                        results[i] = UnitResult(ds_name, pt.key(), rows)
+                except BaseException:
+                    for task in chain_tasks:
+                        task.cancel()
+                    raise
+        return [unit for unit in results if unit is not None]

@@ -25,6 +25,7 @@ a no-op, closing the session tears down the pool.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Any, Mapping
 
 from ..arch.config import AcceleratorConfig
@@ -73,8 +74,14 @@ class ExplorationSession:
         self.chunksize = chunksize
         self.store = store
         self.stats = EvalStats()
+        # Guards the shared counters and warm-cache mutation when the
+        # campaign scheduler drives several unit threads through one
+        # session; per-context memos are only ever touched by their own
+        # unit's evaluator views plus single dict operations here.
+        self.lock = threading.Lock()
         self._memos: dict[str, dict] = {}
-        self._warm: dict[str, dict] = {}
+        self._warm: dict[str, dict] = {}  # loaded warm records
+        self._warm_fps: set[str] = set()  # every warm-servable fingerprint
         self._warm_errors: dict[str, str] = {}
         self._tilestats = TileStatsRegistry()
         self._pool: TaskKeyedPool | None = None
@@ -84,7 +91,7 @@ class ExplorationSession:
 
     # -- warm cache -----------------------------------------------------
     def preload_store(self) -> int:
-        """(Re)index the store's on-disk records into the warm cache.
+        """(Re)index the store's persisted records into the warm cache.
 
         Returns the number of records indexed.  Keyed by the candidate
         fingerprint the evaluator computes, so only records persisted
@@ -94,21 +101,43 @@ class ExplorationSession:
         busy cycles), so serving them warm would silently degrade sweep
         rows; the model re-runs those candidates instead (the store's
         dedup index still absorbs the duplicate append).
+
+        A :class:`~repro.analysis.store.ResultStore` exposes its
+        fingerprint->schema map straight from the offset index, so this
+        preload parses **no** record contents at all — each warm *hit*
+        later seeks to its one line via ``record_for``.  Duck-typed
+        stores without that surface fall back to a full ``records()``
+        walk (the pre-index behaviour).
         """
         # Imported here: analysis sits above core/campaign plumbing.
         from ..analysis.export import SCHEMA_VERSION
 
-        for record in self.store.records():
-            fp = record.get("fingerprint")
-            if fp and record.get("schema") == SCHEMA_VERSION:
-                self._warm[str(fp)] = record
-        errors = getattr(self.store, "errors", None)
-        if callable(errors):
-            self._warm_errors.update(errors())
-        return len(self._warm)
+        schemas = getattr(self.store, "fingerprint_schemas", None)
+        with self.lock:
+            if callable(schemas):
+                self._warm_fps.update(
+                    fp
+                    for fp, schema in schemas().items()
+                    if schema == SCHEMA_VERSION
+                )
+            else:
+                for record in self.store.records():
+                    fp = record.get("fingerprint")
+                    if fp and record.get("schema") == SCHEMA_VERSION:
+                        self._warm[str(fp)] = record
+                        self._warm_fps.add(str(fp))
+            errors = getattr(self.store, "errors", None)
+            if callable(errors):
+                self._warm_errors.update(errors())
+            return len(self._warm_fps)
 
     def warm_get(self, fingerprint: str) -> dict | None:
-        return self._warm.get(fingerprint)
+        record = self._warm.get(fingerprint)
+        if record is None and fingerprint in self._warm_fps:
+            record = self.store.record_for(fingerprint)
+            with self.lock:
+                self._warm[fingerprint] = record
+        return record
 
     def warm_error_get(self, fingerprint: str) -> str | None:
         """Persisted illegal-candidate message for ``fingerprint``, if the
@@ -117,7 +146,7 @@ class ExplorationSession:
 
     @property
     def warm_size(self) -> int:
-        return len(self._warm)
+        return len(self._warm_fps)
 
     @property
     def warm_error_size(self) -> int:
@@ -131,7 +160,8 @@ class ExplorationSession:
         context over the same dataset — within and across units — shares
         one cache of per-tiling degree scans.
         """
-        return self._tilestats.for_graph(graph)
+        with self.lock:
+            return self._tilestats.for_graph(graph)
 
     # -- per-context state ----------------------------------------------
     def memo_for(self, ctx_key: str) -> dict:
@@ -152,16 +182,47 @@ class ExplorationSession:
         )
 
     # -- pool -----------------------------------------------------------
+    def ensure_pool(self) -> None:
+        """Create and spawn the shared pool from the calling thread.
+
+        The campaign scheduler calls this from its coordinator thread
+        *before* launching unit threads: the pool's worker processes are
+        forked while the process is still effectively single-threaded,
+        instead of lazily from inside a unit thread while siblings hold
+        locks (a fork-in-multithreaded-parent deadlock hazard).  No-op
+        for serial sessions (``workers == 0``).
+        """
+        if self.workers == 0:
+            return
+        with self.lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._pool is None:
+                self._pool = TaskKeyedPool(
+                    self.workers, _task_eval, chunksize=self.chunksize
+                )
+            pool = self._pool
+        pool.start()
+
     def map(self, ctx_key: str, ctx: Any, items: list) -> list:
-        """Fan ``items`` out over the shared pool under ``ctx_key``."""
+        """Fan ``items`` out over the shared pool under ``ctx_key``.
+
+        Safe to call from several unit threads at once: the pool is
+        created exactly once, and overlapping calls interleave their task
+        batches over the same worker processes.
+        """
         if self._closed:
             raise RuntimeError("session is closed")
-        if self._pool is None:
-            self._pool = TaskKeyedPool(
-                self.workers, _task_eval, chunksize=self.chunksize
-            )
-        self._pool.register(ctx_key, ctx)
-        return self._pool.map(ctx_key, items)
+        with self.lock:
+            if self._closed:
+                raise RuntimeError("session is closed")
+            if self._pool is None:
+                self._pool = TaskKeyedPool(
+                    self.workers, _task_eval, chunksize=self.chunksize
+                )
+            pool = self._pool
+        pool.register(ctx_key, ctx)
+        return pool.map(ctx_key, items)
 
     @property
     def pool_started(self) -> bool:
@@ -171,10 +232,11 @@ class ExplorationSession:
     def close(self) -> None:
         """Shut the shared pool down (idempotent).  The store, which the
         caller owns, is left open."""
-        self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        with self.lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
 
     def __enter__(self) -> "ExplorationSession":
         return self

@@ -25,11 +25,22 @@ __all__ = [
     "CandidateSource",
     "CampaignSpec",
     "SOURCE_KINDS",
+    "unit_key",
 ]
 
 
 class CampaignSpecError(ValueError):
     """A campaign spec failed validation (unknown dataset, bad source, ...)."""
+
+
+def unit_key(dataset: str, pt: "HardwarePoint") -> str:
+    """The canonical ``dataset@hw`` unit key.
+
+    The checkpoint journal, the scheduler's resume skip, and ``campaign
+    status``'s record attribution all join on this exact string — derive
+    it only through here.
+    """
+    return f"{dataset}@{pt.key()}"
 
 
 @dataclass(frozen=True)
@@ -319,6 +330,17 @@ class CampaignSpec:
         p.parent.mkdir(parents=True, exist_ok=True)
         p.write_text(self.to_json() + "\n", encoding="utf-8")
         return p
+
+    # ------------------------------------------------------------------
+    def unit_keys(self) -> list[str]:
+        """Every ``dataset@hw`` unit key, in grid (execution) order.
+
+        The scheduler journals completions and ``campaign status``
+        attributes store records against exactly these keys.
+        """
+        return [
+            unit_key(ds, pt) for ds in self.datasets for pt in self.hardware
+        ]
 
     # ------------------------------------------------------------------
     def fingerprint(self) -> str:

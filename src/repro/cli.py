@@ -6,6 +6,7 @@ Subcommands
 ``sweep``      all Table V configurations on one or all datasets (Fig. 11)
 ``search``     mapping optimizer (paper §VI)
 ``campaign``   spec-driven multi-dataset / multi-hardware exploration
+``store``      maintain result stores (compaction, offset-index rebuild)
 ``golden``     regenerate or drift-check the golden regression records
 ``enumerate``  design-space counts (Table II's 6,656)
 ``datasets``   list the Table IV workloads and their synthesized stats
@@ -18,7 +19,9 @@ evaluation service: ``--workers N`` fans candidates out over N processes
 streams every evaluated point into a resumable, deduplicated store that
 doubles as a warm cache on the next invocation.  ``sweep`` and ``search``
 are one-shot campaign specs under the hood; ``campaign run --spec FILE``
-drives the full declarative pipeline with checkpointed resume.
+drives the full declarative pipeline with checkpointed resume, and
+``--overlap`` interleaves independent units over the shared worker pool
+(checkpoint and report stay byte-identical to the sequential run).
 
 Examples::
 
@@ -27,7 +30,9 @@ Examples::
     python -m repro sweep --workers 4 --out runs/table5.jsonl
     python -m repro search --dataset cora --objective edp --budget 200
     python -m repro campaign run --spec examples/campaign_table5.json
+    python -m repro campaign run --spec spec.json --workers 4 --overlap
     python -m repro campaign status --spec examples/campaign_table5.json
+    python -m repro store compact runs/table5-mini.jsonl
     python -m repro golden --check
     python -m repro enumerate
 """
@@ -185,6 +190,37 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="discard the existing checkpoint and store; restart",
             )
+            p_c.add_argument(
+                "--overlap",
+                action=argparse.BooleanOptionalAction,
+                default=False,
+                help="interleave independent units over the shared worker "
+                "pool (checkpoint/report stay byte-identical to "
+                "--no-overlap, the default)",
+            )
+            p_c.add_argument(
+                "--max-inflight", type=int, default=None, metavar="N",
+                help="units running at once under --overlap (default 8)",
+            )
+
+    p_store = sub.add_parser(
+        "store", help="maintain result stores (compaction, offset index)"
+    )
+    stsub = p_store.add_subparsers(dest="store_command", required=True)
+    p_compact = stsub.add_parser(
+        "compact",
+        help="rewrite a store dropping duplicate-fingerprint lines; "
+        "dedup the error sidecar; refresh the offset index",
+    )
+    p_compact.add_argument("path", metavar="JSONL", help="store to compact")
+    p_compact.add_argument("--json", action="store_true")
+    p_index = stsub.add_parser(
+        "index",
+        help="(re)build the <store>.index.json offset sidecar so the next "
+        "open and warm-cache preload skip the full JSONL parse",
+    )
+    p_index.add_argument("path", metavar="JSONL", help="store to index")
+    p_index.add_argument("--json", action="store_true")
 
     p_golden = sub.add_parser(
         "golden",
@@ -381,7 +417,12 @@ def _load_spec(args: argparse.Namespace) -> CampaignSpec:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from .campaign import CampaignReport, CampaignResumeError, UnitResult
+    from .campaign import (
+        CampaignReport,
+        CampaignResumeError,
+        UnitResult,
+        unit_key,
+    )
 
     spec = _load_spec(args)
     store_path, ckpt_path = _campaign_paths(spec, args)
@@ -397,7 +438,12 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             return 1
         try:
             report = run_campaign(
-                spec, workers=args.workers, store=store, checkpoint=checkpoint
+                spec,
+                workers=args.workers,
+                store=store,
+                checkpoint=checkpoint,
+                overlap=args.overlap,
+                max_inflight=args.max_inflight,
             )
         finally:
             checkpoint.close()
@@ -421,21 +467,45 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     matches = header.get("spec_fingerprint") == spec.fingerprint()
 
     if args.campaign_command == "status":
-        store_file = Path(store_path)
-        store_records = (
-            sum(1 for line in store_file.open(encoding="utf-8") if line.strip())
-            if store_file.exists()
-            else 0
-        )
+        # Read-only: counts come from the checkpoint plus the store's
+        # offset-index sidecar (falling back to one streaming parse when
+        # no index exists) — never from opening/healing the store, which
+        # a concurrently running campaign may own.
+        peek = ResultStore.peek(store_path)
+        unit_counts = peek["unit_counts"]
+        unit_rows = []
+        in_flight = queued = 0
+        for ds, pt in campaign_units(spec):
+            key = unit_key(ds, pt)
+            if pt.label is None:
+                # Single-point campaigns omit the hw tag from records, so
+                # unlabeled units resolve at dataset granularity (shared
+                # across unlabeled points of the same dataset, if any).
+                records = unit_counts.get(ds, 0)
+            else:
+                records = unit_counts.get(key, 0)
+            if matches and key in done:
+                state = "done"
+            elif records:
+                state = "in-flight"
+                in_flight += 1
+            else:
+                state = "queued"
+                queued += 1
+            unit_rows.append({"unit": key, "state": state, "records": records})
         payload = {
             "name": spec.name,
             "spec_fingerprint": spec.fingerprint(),
             "units_total": units_total,
             "units_done": len(done) if matches else 0,
+            "units_in_flight": in_flight,
+            "units_queued": queued,
+            "units": unit_rows,
             "checkpoint": ckpt_path,
             "checkpoint_matches_spec": matches if header else None,
             "store": store_path,
-            "store_records": store_records,
+            "store_records": peek["records"],
+            "store_indexed": peek["indexed"],
         }
         if args.json:
             print(json.dumps(payload, indent=2))
@@ -445,8 +515,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 else "checkpoint from a DIFFERENT spec" if not matches
                 else f"{payload['units_done']}/{units_total} units complete"
             )
-            print(f"campaign {spec.name!r}: {state}")
-            print(f"  store: {store_records} records in {store_path}")
+            print(f"campaign {spec.name!r}: {state} "
+                  f"({in_flight} in flight, {queued} queued)")
+            print(
+                format_table(
+                    ["unit", "state", "records"],
+                    [[u["unit"], u["state"], u["records"]] for u in unit_rows],
+                )
+            )
+            indexed = " (indexed)" if peek["indexed"] else ""
+            print(f"  store: {peek['records']} records in {store_path}{indexed}")
             print(f"  checkpoint: {ckpt_path}")
         return 0
 
@@ -463,9 +541,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         )
         return 1
     units = [
-        UnitResult(ds, pt.key(), done[f"{ds}@{pt.key()}"]["rows"], resumed=True)
+        UnitResult(ds, pt.key(), done[unit_key(ds, pt)]["rows"], resumed=True)
         for ds, pt in campaign_units(spec)
-        if f"{ds}@{pt.key()}" in done
+        if unit_key(ds, pt) in done
     ]
     report = CampaignReport(
         name=spec.name,
@@ -475,6 +553,51 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     print(json.dumps(report.to_dict(), indent=2) if args.json
           else report.render())
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"store not found: {path}", file=sys.stderr)
+        return 1
+    try:
+        store = ResultStore(path)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+
+    if args.store_command == "compact":
+        stats = store.compact()
+        store.close()
+        if args.json:
+            print(json.dumps({"store": str(path), **stats}, indent=2))
+        else:
+            print(
+                f"{path}: {stats['records_kept']} records kept, "
+                f"{stats['lines_dropped']} duplicate line(s) dropped "
+                f"({stats['bytes_before']} -> {stats['bytes_after']} bytes); "
+                f"{stats['errors_kept']} error(s) kept, "
+                f"{stats['errors_dropped']} dropped"
+            )
+        return 0
+
+    # index: opening the store already healed + scanned; persist the sidecar.
+    index_path = store.write_index()
+    records = len(store)
+    store.close()
+    if args.json:
+        print(
+            json.dumps(
+                {"store": str(path), "index": str(index_path),
+                 "records": records},
+                indent=2,
+            )
+        )
+    else:
+        print(f"{path}: indexed {records} records into {index_path}")
     return 0
 
 
@@ -642,6 +765,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "search": _cmd_search,
     "campaign": _cmd_campaign,
+    "store": _cmd_store,
     "golden": _cmd_golden,
     "enumerate": _cmd_enumerate,
     "datasets": _cmd_datasets,

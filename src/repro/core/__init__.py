@@ -18,14 +18,17 @@ from .enumeration import (
     TABLE_II_ROWS,
     all_concrete_intra,
     count_design_space,
+    design_space_stream,
     enumerate_design_space,
     enumerate_pairs,
 )
 from .evaluator import (
+    CandidateStream,
     DataflowEvaluator,
     EvalOutcome,
     EvalStats,
     ExplicitTiles,
+    StreamedCandidate,
     candidate_fingerprint,
     context_key,
 )
@@ -65,12 +68,15 @@ __all__ = [
     "TABLE_II_ROWS",
     "all_concrete_intra",
     "count_design_space",
+    "design_space_stream",
     "enumerate_design_space",
     "enumerate_pairs",
+    "CandidateStream",
     "DataflowEvaluator",
     "EvalOutcome",
     "EvalStats",
     "ExplicitTiles",
+    "StreamedCandidate",
     "candidate_fingerprint",
     "context_key",
     "TaskKeyedPool",

@@ -19,9 +19,10 @@ choice, so it adds nothing to the count.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .legality import infer_granularity, sp_optimized_ok
 from .taxonomy import (
@@ -37,11 +38,15 @@ from .taxonomy import (
     SPVariant,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .evaluator import CandidateStream, DataflowEvaluator
+
 __all__ = [
     "all_loop_orders",
     "all_concrete_intra",
     "enumerate_pairs",
     "enumerate_design_space",
+    "design_space_stream",
     "count_design_space",
     "TableIIRow",
     "TABLE_II_ROWS",
@@ -49,20 +54,27 @@ __all__ = [
 ]
 
 
-def all_loop_orders(phase: Phase) -> list[tuple]:
-    """The 6 loop-order permutations of a phase's dimensions."""
+@functools.lru_cache(maxsize=None)
+def all_loop_orders(phase: Phase) -> tuple[tuple, ...]:
+    """The 6 loop-order permutations of a phase's dimensions (cached)."""
     dims = AGG_DIMS if phase is Phase.AGGREGATION else CMB_DIMS
-    return [tuple(p) for p in itertools.permutations(dims)]
+    return tuple(tuple(p) for p in itertools.permutations(dims))
 
 
-def all_concrete_intra(phase: Phase) -> list[IntraDataflow]:
-    """All 48 concrete intra-phase dataflows (6 orders x 2^3 annotations)."""
+@functools.lru_cache(maxsize=None)
+def all_concrete_intra(phase: Phase) -> tuple[IntraDataflow, ...]:
+    """All 48 concrete intra-phase dataflows (6 orders x 2^3 annotations).
+
+    Cached: the full-space enumerators re-visit these per (inter, order)
+    combination, and candidate streams may be re-iterated — the dataflow
+    objects are frozen, so one shared tuple serves every pass.
+    """
     out: list[IntraDataflow] = []
     st = (Annot.SPATIAL, Annot.TEMPORAL)
     for order in all_loop_orders(phase):
         for annot in itertools.product(st, st, st):
             out.append(IntraDataflow(phase, order, annot))
-    return out
+    return tuple(out)
 
 
 def enumerate_pairs(
@@ -106,6 +118,33 @@ def enumerate_design_space(
             )
     for order in PhaseOrder:
         yield from enumerate_pairs(InterPhase.PP, order)
+
+
+def design_space_stream(
+    evaluator: "DataflowEvaluator", *, include_sp_optimized: bool = False
+) -> "CandidateStream":
+    """The paper's full 6,656-point space as a lazy fingerprinted stream.
+
+    Binds :func:`enumerate_design_space` to one evaluation context so the
+    whole space can be fed straight to
+    :meth:`~repro.core.evaluator.DataflowEvaluator.evaluate` (or any
+    budgeted slice of it) without ever materializing a candidate list —
+    fingerprints are attached on the way past, and previously persisted
+    points are filtered out during batch assembly.
+    """
+    # Imported here: evaluator sits above enumeration in the layering.
+    from .evaluator import CandidateStream
+
+    return CandidateStream(
+        evaluator,
+        lambda: (
+            (df, None)
+            for df in enumerate_design_space(
+                include_sp_optimized=include_sp_optimized
+            )
+        ),
+        label="design-space",
+    )
 
 
 def count_design_space() -> dict[str, int]:

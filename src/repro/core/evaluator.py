@@ -30,7 +30,6 @@ campaign can be resumed.  This module centralizes all three.
 from __future__ import annotations
 
 import hashlib
-import itertools
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Iterator, Mapping, Sequence
@@ -50,6 +49,8 @@ __all__ = [
     "candidate_fingerprint",
     "context_key",
     "ExplicitTiles",
+    "StreamedCandidate",
+    "CandidateStream",
     "EvalOutcome",
     "EvalStats",
     "DataflowEvaluator",
@@ -223,6 +224,79 @@ def _task_eval(ctx, item):
 
 
 # ----------------------------------------------------------------------
+# Lazy candidate pipelines
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class StreamedCandidate:
+    """One lazily produced candidate, already fingerprinted.
+
+    What a :class:`CandidateStream` yields: the raw ``(dataflow, spec,
+    extra)`` triple plus the content fingerprint computed against one
+    evaluation context (``ctx_key``).  ``DataflowEvaluator.evaluate``
+    accepts these alongside plain tuples and reuses the fingerprint
+    instead of re-hashing — but only when the context matches, so a
+    stream built for one ``(workload, hardware)`` pair can never poison
+    another context's memo.
+    """
+
+    dataflow: Dataflow
+    spec: TileHint | ExplicitTiles | None
+    extra: Mapping[str, Any]
+    fingerprint: str
+    ctx_key: str
+
+
+class CandidateStream:
+    """A lazy, re-iterable pipeline of fingerprinted candidates.
+
+    Wraps a raw candidate source — an iterable of ``(dataflow, spec[,
+    extra])`` tuples, or a zero-argument callable returning one (the
+    re-iterable form search strategies use) — and yields
+    :class:`StreamedCandidate` items one at a time.  Nothing is
+    materialized: a million-point enumeration costs one candidate of
+    memory, fingerprints are computed exactly once on the way past, and
+    the evaluator's batch assembly filters warm-cache / warm-error /
+    memo hits out of the flow before any work reaches the pool.
+    """
+
+    def __init__(
+        self,
+        evaluator: "DataflowEvaluator",
+        source,
+        *,
+        label: str | None = None,
+    ) -> None:
+        self._evaluator = evaluator
+        self._source = source
+        self.label = label
+
+    @property
+    def ctx_key(self) -> str:
+        return self._evaluator.ctx_key
+
+    def _raw(self) -> Iterator[Sequence]:
+        source = self._source() if callable(self._source) else self._source
+        return iter(source)
+
+    def __iter__(self) -> Iterator[StreamedCandidate]:
+        ev = self._evaluator
+        for candidate in self._raw():
+            df, spec, extra, _ = DataflowEvaluator._unpack(candidate)
+            yield StreamedCandidate(
+                dataflow=df,
+                spec=spec,
+                extra=extra,
+                fingerprint=ev.fingerprint(df, spec),
+                ctx_key=ev.ctx_key,
+            )
+
+    def fingerprints(self) -> Iterator[str]:
+        """The stream's fingerprints, in candidate order (lazy)."""
+        return (candidate.fingerprint for candidate in self)
+
+
+# ----------------------------------------------------------------------
 # Outcomes and statistics
 # ----------------------------------------------------------------------
 
@@ -322,6 +396,25 @@ class EvalStats:
 # Memo entries: (result, error, record) — record is set only for entries
 # answered from the store-backed warm cache.
 _MemoEntry = "tuple[RunResult | None, str | None, dict | None]"
+
+
+# Warm-aware assembly keeps pulling until a full batch of *uncached* work
+# has accumulated; this factor caps how many total candidates one batch
+# may hold, bounding memory on near-fully-warm streams.
+_WARM_ASSEMBLY_FACTOR = 8
+
+
+@dataclass
+class _Batch:
+    """One assembled evaluation batch: classified candidates plus the
+    bookkeeping the emission phase needs."""
+
+    # (dataflow, spec, extra, fingerprint) per pulled candidate, in order.
+    prepared: list = field(default_factory=list)
+    # Batch positions of fingerprints needing a cost-model run.
+    pending: list = field(default_factory=list)
+    first_seen: dict = field(default_factory=dict)
+    warm_seeded: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -457,9 +550,14 @@ class DataflowEvaluator:
     ) -> EvalOutcome:
         return self.evaluate([(df, hint)])[0]
 
+    def stream(self, source, *, label: str | None = None) -> CandidateStream:
+        """Wrap a raw candidate source as a :class:`CandidateStream` bound
+        to this evaluator's context."""
+        return CandidateStream(self, source, label=label)
+
     def evaluate(
         self,
-        candidates: Iterable[Sequence],
+        candidates: "Iterable[Sequence] | CandidateStream",
         *,
         budget: int | None = None,
     ) -> list[EvalOutcome]:
@@ -468,11 +566,20 @@ class DataflowEvaluator:
         Each candidate is ``(dataflow, spec)`` or ``(dataflow, spec,
         extra)`` where ``spec`` is a :class:`TileHint`, an
         :class:`ExplicitTiles`, or ``None``, and ``extra`` is merged into
-        the persisted record.  ``budget`` bounds the number of
+        the persisted record — or a :class:`StreamedCandidate` (e.g. from
+        a :class:`CandidateStream`), whose precomputed fingerprint is
+        reused when its context matches.  ``budget`` bounds the number of
         *successful* evaluations (matching the optimizer's historical
         semantics: illegal candidates are reported but do not consume
         budget); once reached, remaining candidates are not pulled from
         the iterator.
+
+        Candidates are pulled lazily, batch by batch; memo, warm-cache,
+        and warm-error hits are filtered during batch assembly, so they
+        never reach the worker pool.  Without a budget (and with workers)
+        assembly is *warm-aware*: it keeps pulling until a full batch of
+        genuinely uncached work has accumulated, so a mostly-warm resumed
+        campaign still hands the pool full batches instead of trickles.
 
         .. note:: **Budget truncation.**  With ``workers > 0`` candidates
            are scheduled in whole batches, so hitting the budget
@@ -488,75 +595,112 @@ class DataflowEvaluator:
         batch_size = (
             1 if workers == 0 else max(32, workers * self.session.chunksize)
         )
+        warm_aware = budget is None and workers > 0
         outcomes: list[EvalOutcome] = []
         legal = 0
         position = 0
         while budget is None or legal < budget:
-            batch = list(itertools.islice(it, batch_size))
-            if not batch:
+            batch = self._assemble(it, batch_size, warm_aware)
+            if not batch.prepared:
                 break
             # Drain the whole batch even past the budget: the tail was
             # already computed, so it must reach the memo and the store
             # (only the returned list is budget-truncated; see docstring).
-            for outcome in self._evaluate_batch(batch, position):
+            for outcome in self._emit(batch, position):
                 if budget is not None and legal >= budget:
                     continue
                 outcomes.append(outcome)
                 if outcome.ok:
                     legal += 1
-            position += len(batch)
+            position += len(batch.prepared)
         return outcomes
 
     # -- internals ------------------------------------------------------
     @staticmethod
     def _unpack(
-        candidate: Sequence,
-    ) -> tuple[Dataflow, TileHint | ExplicitTiles | None, dict]:
+        candidate: "Sequence | StreamedCandidate",
+    ) -> tuple[
+        Dataflow,
+        TileHint | ExplicitTiles | None,
+        dict,
+        "StreamedCandidate | None",
+    ]:
+        if isinstance(candidate, StreamedCandidate):
+            return (
+                candidate.dataflow,
+                candidate.spec,
+                dict(candidate.extra),
+                candidate,
+            )
         if len(candidate) == 2:
             df, spec = candidate
-            return df, spec, {}
+            return df, spec, {}, None
         df, spec, extra = candidate
-        return df, spec, dict(extra)
+        return df, spec, dict(extra), None
 
     def _bump(self, counter: str, amount: int = 1) -> None:
-        """Advance a counter on this view *and* on the shared session."""
-        setattr(self.stats, counter, getattr(self.stats, counter) + amount)
-        stats = self.session.stats
-        setattr(stats, counter, getattr(stats, counter) + amount)
+        """Advance a counter on this view *and* on the shared session
+        (under the session lock: overlapping unit threads share it)."""
+        with self.session.lock:
+            setattr(self.stats, counter, getattr(self.stats, counter) + amount)
+            stats = self.session.stats
+            setattr(stats, counter, getattr(stats, counter) + amount)
 
-    def _evaluate_batch(
-        self, batch: list[Sequence], base_index: int
-    ) -> Iterator[EvalOutcome]:
-        prepared = []
-        pending: list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]] = []
-        first_seen: dict[str, int] = {}
-        warm_seeded: dict[str, int] = {}
-        for i, candidate in enumerate(batch):
-            df, spec, extra = self._unpack(candidate)
-            fp = self.fingerprint(df, spec)
+    def _assemble(
+        self, it: Iterator, batch_size: int, warm_aware: bool
+    ) -> "_Batch":
+        """Pull and classify the next batch of candidates.
+
+        Every candidate is fingerprinted (or its streamed fingerprint
+        adopted) and sorted into memo hit / warm hit / warm error /
+        pending exactly once; only ``pending`` ever reaches the pool.
+        Plain assembly pulls ``batch_size`` candidates; warm-aware
+        assembly pulls until ``batch_size`` *pending* candidates (or the
+        assembled cap) so warm streams keep the workers fed.
+        """
+        batch = _Batch()
+        prepared = batch.prepared
+        limit = batch_size * _WARM_ASSEMBLY_FACTOR if warm_aware else batch_size
+        for candidate in it:
+            df, spec, extra, streamed = self._unpack(candidate)
+            if streamed is not None and streamed.ctx_key == self.ctx_key:
+                fp = streamed.fingerprint
+            else:
+                fp = self.fingerprint(df, spec)
+            i = len(prepared)
             prepared.append((df, spec, extra, fp))
-            if fp in self._memo or fp in first_seen:
-                continue
-            warm = self.session.warm_get(fp)
-            if warm is not None:
-                # Answered from the persisted store: no model run, and the
-                # memo entry carries the disk record for later hits.
-                self._memo[fp] = (None, None, warm)
-                warm_seeded[fp] = i
-                self._bump("warm_hits")
-                continue
-            warm_error = self.session.warm_error_get(fp)
-            if warm_error is not None:
-                # Known-illegal from the error sidecar: resumed campaigns
-                # report the persisted failure instead of re-probing it.
-                self._memo[fp] = (None, warm_error, None)
-                warm_seeded[fp] = i
-                self._bump("warm_hits")
-                continue
-            first_seen[fp] = i
-            pending.append((i, df, spec))
-        fresh = self._run(pending)
-        for i, (df, spec, extra, fp) in enumerate(prepared):
+            if fp not in self._memo and fp not in batch.first_seen:
+                warm = self.session.warm_get(fp)
+                if warm is not None:
+                    # Answered from the persisted store: no model run, and
+                    # the memo entry carries the disk record for later hits.
+                    self._memo[fp] = (None, None, warm)
+                    batch.warm_seeded[fp] = i
+                    self._bump("warm_hits")
+                else:
+                    warm_error = self.session.warm_error_get(fp)
+                    if warm_error is not None:
+                        # Known-illegal from the error sidecar: resumed
+                        # campaigns report the persisted failure instead
+                        # of re-probing it.
+                        self._memo[fp] = (None, warm_error, None)
+                        batch.warm_seeded[fp] = i
+                        self._bump("warm_hits")
+                    else:
+                        batch.first_seen[fp] = i
+                        batch.pending.append((i, df, spec))
+            if warm_aware:
+                if len(batch.pending) >= batch_size or len(prepared) >= limit:
+                    break
+            elif len(prepared) >= limit:
+                break
+        return batch
+
+    def _emit(self, batch: "_Batch", base_index: int) -> Iterator[EvalOutcome]:
+        first_seen = batch.first_seen
+        warm_seeded = batch.warm_seeded
+        fresh = self._run(batch.pending)
+        for i, (df, spec, extra, fp) in enumerate(batch.prepared):
             cached = fp in self._memo  # batch-internal dups memoize too
             if cached:
                 result, error, record = self._memo[fp]

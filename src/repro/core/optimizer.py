@@ -39,7 +39,12 @@ from ..engine.gemm import GemmTiling
 from ..engine.spmm import SpmmTiling
 from .configs import PAPER_CONFIGS
 from .enumeration import table_ii_order_pairs
-from .evaluator import DataflowEvaluator, EvalOutcome, ExplicitTiles
+from .evaluator import (
+    CandidateStream,
+    DataflowEvaluator,
+    EvalOutcome,
+    ExplicitTiles,
+)
 from .interphase import RunResult
 from .legality import LegalityError
 from .taxonomy import (
@@ -60,6 +65,8 @@ __all__ = [
     "SearchResult",
     "MappingOptimizer",
     "outcome_score",
+    "paper_candidates",
+    "paper_config_stream",
     "search_paper_configs",
 ]
 
@@ -147,6 +154,17 @@ def _collect(
     )
 
 
+def paper_candidates() -> Iterator[tuple]:
+    """The ten Table V configurations as a lazy candidate source."""
+    for name, cfg in PAPER_CONFIGS.items():
+        yield cfg.dataflow(), cfg.hint, {"config": name}
+
+
+def paper_config_stream(evaluator: DataflowEvaluator) -> CandidateStream:
+    """The Table V baseline as a fingerprinted, re-iterable stream."""
+    return evaluator.stream(paper_candidates, label="paper")
+
+
 def search_paper_configs(
     wl: GNNWorkload,
     hw: AcceleratorConfig,
@@ -168,12 +186,7 @@ def search_paper_configs(
     else:
         ev, owned = DataflowEvaluator(wl, hw, workers=workers), True
     try:
-        outcomes = ev.evaluate(
-            [
-                (cfg.dataflow(), cfg.hint, {"config": name})
-                for name, cfg in PAPER_CONFIGS.items()
-            ]
-        )
+        outcomes = ev.evaluate(paper_config_stream(ev))
     finally:
         if owned:
             ev.close()
@@ -323,19 +336,81 @@ class MappingOptimizer:
                         inter=InterPhase.SEQ, order=order, agg=agg, cmb=cmb
                     ), hint
 
+    def _random_candidates(
+        self, n: int, seed: int
+    ) -> Iterator[tuple[Dataflow, TileHint | None]]:
+        """``n`` uniform draws without replacement, without materializing
+        the pool.
+
+        Two cheap enumeration passes replace the historical full-list
+        build: one to count the pool, one to collect just the drawn
+        candidates (O(n) memory).  Draw order — and therefore the search
+        trace — is bit-identical to the eager implementation's
+        ``(pool[i] for i in rng.choice(...))``.
+        """
+
+        def pool_iter() -> Iterator[tuple[Dataflow, TileHint | None]]:
+            yield from self._pipeline_candidates()
+            yield from self._seq_candidates()
+
+        total = sum(1 for _ in pool_iter())
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(total, size=min(n, total), replace=False)
+        wanted = {int(i) for i in idx}
+        picked: dict[int, tuple[Dataflow, TileHint | None]] = {}
+        for i, candidate in enumerate(pool_iter()):
+            if i in wanted:
+                picked[i] = candidate
+                if len(picked) == len(wanted):
+                    break
+        for i in idx:
+            yield picked[int(i)]
+
+    def candidate_stream(
+        self,
+        strategy: str = "exhaustive",
+        *,
+        n: int | None = None,
+        seed: int = 0,
+    ) -> CandidateStream:
+        """One search strategy's candidates as a lazy fingerprinted stream.
+
+        ``strategy`` is ``"paper"`` (the Table V baseline),
+        ``"exhaustive"`` (Seq samples plus every pipeline-legal pair), or
+        ``"random"`` (``n`` uniform draws under ``seed``).  Streams are
+        re-iterable and materialize nothing; the evaluator filters their
+        warm-cache / memo hits during batch assembly, before the worker
+        pool sees anything.
+        """
+        if strategy == "paper":
+            return paper_config_stream(self.evaluator)
+        if strategy == "exhaustive":
+            return self.evaluator.stream(
+                lambda: itertools.chain(
+                    self._seq_candidates(), self._pipeline_candidates()
+                ),
+                label="exhaustive",
+            )
+        if strategy == "random":
+            draws = 64 if n is None else n
+            return self.evaluator.stream(
+                lambda: self._random_candidates(draws, seed),
+                label=f"random-{draws}@{seed}",
+            )
+        raise ValueError(
+            f"unknown strategy {strategy!r}; pick from "
+            "['exhaustive', 'paper', 'random']"
+        )
+
     def exhaustive(self, *, budget: int | None = None) -> SearchResult:
         """Sweep Seq samples plus every pipeline-legal pair (bounded)."""
-        return self._evaluate(
-            itertools.chain(self._seq_candidates(), self._pipeline_candidates()),
-            budget,
-        )
+        return self._evaluate(self.candidate_stream("exhaustive"), budget)
 
     def random_search(self, n: int, *, seed: int = 0) -> SearchResult:
         """Uniform random draws from the pipeline candidate pool."""
-        pool = list(self._pipeline_candidates()) + list(self._seq_candidates())
-        rng = np.random.default_rng(seed)
-        idx = rng.choice(len(pool), size=min(n, len(pool)), replace=False)
-        return self._evaluate((pool[i] for i in idx), None)
+        return self._evaluate(
+            self.candidate_stream("random", n=n, seed=seed), None
+        )
 
     # ------------------------------------------------------------------
     def refine_tiles(

@@ -14,6 +14,14 @@ The protocol is deliberately function-agnostic — the pool maps a
 module-level ``fn(ctx, item)`` over ``(key, item)`` tasks — so the
 evaluator, future shard executors, and tests can all reuse it.
 
+Submission is **asynchronous and thread-safe**: :meth:`TaskKeyedPool.submit`
+enqueues a task batch and returns a :class:`PoolTicket`; the blocking
+:meth:`TaskKeyedPool.map` is just ``submit(...).wait()``.  The campaign
+scheduler exploits this by driving several unit threads through one
+pool — each thread blocks only on its *own* ticket while the worker
+processes interleave task batches from every in-flight unit, so wide
+campaign grids keep all workers busy across unit boundaries.
+
 Because each worker unpickles a context blob **once** and then reuses the
 same object for every task carrying that key, mutable per-context state
 rides along for free: the evaluation service ships its
@@ -29,10 +37,11 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
-__all__ = ["TaskKeyedPool"]
+__all__ = ["PoolTicket", "TaskKeyedPool"]
 
 
 # Per-worker-process cache of unpickled contexts, keyed by spool path.
@@ -52,6 +61,26 @@ def _load_ctx(path: str) -> Any:
 def _dispatch(fn: Callable[[Any, Any], Any], task: tuple[str, Any]) -> Any:
     path, item = task
     return fn(_load_ctx(path), item)
+
+
+class PoolTicket:
+    """Handle for one in-flight :meth:`TaskKeyedPool.submit` batch.
+
+    ``wait()`` blocks until every task of the batch has run and returns
+    the ordered results; ``ready()`` polls without blocking.  Tickets are
+    what lets several campaign units share one pool concurrently — each
+    caller waits on its own batch while the workers interleave all of
+    them.
+    """
+
+    def __init__(self, async_result) -> None:
+        self._async = async_result
+
+    def wait(self, timeout: float | None = None) -> list[Any]:
+        return self._async.get(timeout)
+
+    def ready(self) -> bool:
+        return self._async.ready()
 
 
 class TaskKeyedPool:
@@ -81,6 +110,7 @@ class TaskKeyedPool:
         self.workers = (os.cpu_count() or 1) if workers < 0 else workers
         self.fn = fn
         self.chunksize = chunksize
+        self._lock = threading.Lock()
         self._pool = None
         self._spool: Path | None = None
         self._registered: dict[str, str] = {}  # key -> spool path
@@ -91,32 +121,63 @@ class TaskKeyedPool:
 
         The blob is written before any task carrying ``key`` is
         dispatched, so workers can always resolve the key lazily.
+        Thread-safe: concurrent unit threads registering distinct (or the
+        same) keys serialize on the spool.
         """
-        path = self._registered.get(key)
-        if path is None:
-            if self._spool is None:
-                self._spool = Path(tempfile.mkdtemp(prefix="repro-taskpool-"))
-            blob = self._spool / f"ctx-{key}.pkl"
-            with blob.open("wb") as fh:
-                pickle.dump(ctx, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            path = str(blob)
-            self._registered[key] = path
-        return path
+        with self._lock:
+            path = self._registered.get(key)
+            if path is None:
+                if self._spool is None:
+                    self._spool = Path(
+                        tempfile.mkdtemp(prefix="repro-taskpool-")
+                    )
+                blob = self._spool / f"ctx-{key}.pkl"
+                with blob.open("wb") as fh:
+                    pickle.dump(ctx, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                path = str(blob)
+                self._registered[key] = path
+            return path
 
     # -- execution ------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker processes now instead of on the first map.
+
+        Call this from the main (coordinator) thread before handing the
+        pool to concurrent submitters: forking lazily from inside a
+        worker thread while sibling threads hold locks is a classic
+        deadlock source (CPython 3.12 warns about exactly this).
+        """
+        with self._lock:
+            self._ensure_pool()
+
+    def submit(self, key: str, items: Sequence[Any]) -> PoolTicket:
+        """Enqueue ``fn(ctx_of(key), item)`` for each item; non-blocking.
+
+        Returns a :class:`PoolTicket` whose ``wait()`` yields the ordered
+        results.  ``key`` must have been :meth:`register`-ed first.
+        Thread-safe: batches submitted from different threads interleave
+        over the same worker processes at chunk granularity.
+        """
+        with self._lock:
+            path = self._registered.get(key)
+            if path is None:
+                raise KeyError(f"context key {key!r} was never registered")
+            pool = self._ensure_pool()
+            tasks = [(path, item) for item in items]
+            async_result = pool.map_async(
+                functools.partial(_dispatch, self.fn),
+                tasks,
+                chunksize=self.chunksize,
+            )
+        return PoolTicket(async_result)
+
     def map(self, key: str, items: Sequence[Any]) -> list[Any]:
         """Run ``fn(ctx_of(key), item)`` for each item, preserving order.
 
-        ``key`` must have been :meth:`register`-ed first.
+        Blocking form of :meth:`submit`; only this caller waits — other
+        threads' submissions keep flowing through the shared pool.
         """
-        path = self._registered.get(key)
-        if path is None:
-            raise KeyError(f"context key {key!r} was never registered")
-        pool = self._ensure_pool()
-        tasks = [(path, item) for item in items]
-        return pool.map(
-            functools.partial(_dispatch, self.fn), tasks, chunksize=self.chunksize
-        )
+        return self.submit(key, items).wait()
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -143,14 +204,15 @@ class TaskKeyedPool:
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
         """Terminate workers and remove the context spool (idempotent)."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        if self._spool is not None:
-            shutil.rmtree(self._spool, ignore_errors=True)
-            self._spool = None
-        self._registered.clear()
+        with self._lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            if self._spool is not None:
+                shutil.rmtree(self._spool, ignore_errors=True)
+                self._spool = None
+            self._registered.clear()
 
     def __enter__(self) -> "TaskKeyedPool":
         return self

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.analysis.store import ResultStore
 
 
@@ -91,10 +93,25 @@ class TestResume:
     def test_resume_rejects_mid_file_corruption(self, tmp_path):
         path = tmp_path / "r.jsonl"
         path.write_text('not json at all\n{"fingerprint": "fp1"}\n')
-        import pytest
-
         with pytest.raises(ValueError, match="corrupt record"):
             ResultStore(path)
+
+    def test_valid_final_line_missing_newline_is_kept_and_healed(self, tmp_path):
+        """A kill between the record write and the newline write leaves a
+        *valid* last line with no terminator; it must be kept — and the
+        newline repaired, or the next append would corrupt the file."""
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+        raw = path.read_bytes()
+        path.write_bytes(raw.rstrip(b"\n"))
+
+        healed = ResultStore(path)
+        assert "fp1" in healed
+        assert healed.append(rec(2))
+        healed.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["fingerprint"] for r in lines] == ["fp1", "fp2"]
 
     def test_fingerprints_frozen_view(self, tmp_path):
         store = ResultStore(tmp_path / "r.jsonl")
@@ -154,6 +171,279 @@ class TestErrorSidecar:
             store.record_error("fpX", "boom")
         assert len((tmp_path / "r.jsonl").read_text().splitlines()) == 1
 
+class TestIndexSidecar:
+    """The ``<store>.index.json`` offset index: O(changed-records) resume."""
+
+    def test_close_writes_index_and_reopen_skips_full_scan(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            for i in range(5):
+                store.append(rec(i, schema=2))
+        assert store.index_path.exists()
+
+        # Belt and braces: the io counter AND a spy on the scan itself.
+        monkeypatch.setattr(
+            ResultStore,
+            "_full_scan",
+            lambda self: pytest.fail("index-backed open must not full-scan"),
+        )
+        again = ResultStore(path)
+        assert again.io_stats["full_scans"] == 0
+        assert again.io_stats["tail_scans"] == 0
+        assert again.io_stats["index_used"] == 1
+        assert len(again) == 5
+        assert "fp3" in again
+        # record *contents* were not parsed at open...
+        assert again.io_stats["record_loads"] == 0
+        # ...but load lazily, one line per request
+        assert again.record_for("fp3")["cycles"] == 103
+        assert again.io_stats["record_loads"] == 1
+        again.close()
+
+    def test_stale_index_scans_only_the_tail(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.append(rec(2))
+        # A later writer appended and was killed before flushing the index.
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec(3), sort_keys=True) + "\n")
+
+        resumed = ResultStore(path)
+        assert resumed.io_stats["full_scans"] == 0
+        assert resumed.io_stats["tail_scans"] == 1
+        assert resumed.io_stats["tail_records"] == 1
+        assert len(resumed) == 3 and "fp3" in resumed
+        # the refreshed index covers the tail: a third open is O(1)
+        third = ResultStore(path)
+        assert third.io_stats["tail_scans"] == 0
+        assert len(third) == 3
+        third.close()
+        resumed.close()
+
+    def test_stale_index_with_torn_tail_heals(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec(2), sort_keys=True) + "\n")
+            fh.write('{"fingerprint": "fp3", "cyc')  # killed mid-append
+
+        healed = ResultStore(path)
+        assert len(healed) == 2
+        assert "fp3" not in healed
+        assert healed.io_stats["full_scans"] == 0
+        assert healed.append(rec(3))
+        healed.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["fingerprint"] for r in lines] == ["fp1", "fp2", "fp3"]
+
+    def test_torn_index_json_rebuilds_from_archive(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.append(rec(2))
+        store.index_path.write_text('{"index_schema": 1, "store_byt')  # torn
+
+        rebuilt = ResultStore(path)
+        assert rebuilt.io_stats["index_rebuilt"] == 1
+        assert rebuilt.io_stats["full_scans"] == 1
+        assert len(rebuilt) == 2
+        rebuilt.close()
+        # the rebuild rewrote a valid sidecar
+        clean = ResultStore(path)
+        assert clean.io_stats["index_used"] == 1
+        clean.close()
+
+    def test_replaced_archive_defeats_stale_offsets(self, tmp_path):
+        """If the JSONL is swapped wholesale behind the sidecar, the head
+        digest must reject the index instead of serving garbage offsets."""
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+        replacement = "".join(
+            json.dumps(rec(i, note="x" * 40), sort_keys=True) + "\n"
+            for i in (7, 8, 9)
+        )
+        path.write_text(replacement)
+
+        reopened = ResultStore(path)
+        assert reopened.io_stats["full_scans"] == 1
+        assert set(reopened.fingerprints) == {"fp7", "fp8", "fp9"}
+        reopened.close()
+
+    def test_no_resume_removes_index(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+        fresh = ResultStore(path, resume=False)
+        assert not fresh.index_path.exists()
+        assert len(fresh) == 0
+        fresh.close()
+
+    def test_trailing_blank_lines_do_not_skew_offsets(self, tmp_path):
+        """Blank lines at EOF carry no record but occupy bytes; the size
+        accounting must cover them or every offset appended afterwards
+        (and the index built from them) lands short, condemning each
+        later open to a full rescan."""
+        path = tmp_path / "r.jsonl"
+        path.write_text(
+            json.dumps(rec(1), sort_keys=True) + "\n\n\n"  # hand-edited file
+        )
+        store = ResultStore(path)
+        assert store.append(rec(2))
+        store.close()
+
+        again = ResultStore(path)
+        assert again.io_stats["full_scans"] == 0  # the index was trusted
+        assert again.io_stats["index_used"] == 1
+        assert again.record_for("fp2")["cycles"] == 102  # offsets correct
+        assert again.record_for("fp1")["cycles"] == 101
+        again.close()
+
+    def test_records_order_preserved_through_index(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            for i in (3, 1, 2):
+                store.append(rec(i))
+        again = ResultStore(path)
+        assert [r["fingerprint"] for r in again.records()] == ["fp3", "fp1", "fp2"]
+        again.close()
+
+    def test_peek_is_read_only_and_counts_tags(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1, dataset="mutag"))
+            store.append(rec(2, dataset="mutag"))
+            store.append(rec(3, dataset="cora", hw="big"))
+        # a torn in-flight append from a live campaign
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"fingerprint": "fp4"')
+        before = path.read_bytes()
+
+        peek = ResultStore.peek(path)
+        assert peek["records"] == 3
+        assert peek["indexed"] is True
+        assert peek["unit_counts"] == {"mutag": 2, "cora@big": 1}
+        assert path.read_bytes() == before  # never healed, never rewritten
+
+    def test_peek_without_index_streams_the_file(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(
+            json.dumps(rec(1, dataset="mutag"), sort_keys=True) + "\n"
+        )
+        peek = ResultStore.peek(path)
+        assert peek == {
+            "records": 1,
+            "unit_counts": {"mutag": 1},
+            "indexed": False,
+        }
+        assert ResultStore.peek(tmp_path / "missing.jsonl")["records"] == 0
+
+
+class TestWarmStartViaIndex:
+    def test_session_warm_start_does_not_scan_the_jsonl(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance check: a session warm-starting against a store
+        with a valid index sidecar parses no record content at all — warm
+        hits later seek to single lines on demand."""
+        from repro.arch.config import AcceleratorConfig
+        from repro.campaign.session import ExplorationSession
+        from repro.core.configs import PAPER_CONFIGS
+        from repro.core.workload import workload_from_dataset
+        from repro.graphs.datasets import load_dataset
+
+        wl = workload_from_dataset(load_dataset("mutag"))
+        hw = AcceleratorConfig(num_pes=128)
+        candidates = [
+            (cfg.dataflow(), cfg.hint, {"config": name})
+            for name, cfg in PAPER_CONFIGS.items()
+        ]
+        with ResultStore(tmp_path / "r.jsonl") as store:
+            with ExplorationSession(store=store) as first:
+                first.evaluator(wl, hw).evaluate(candidates)
+
+        store = ResultStore(tmp_path / "r.jsonl")
+        monkeypatch.setattr(
+            ResultStore,
+            "_full_scan",
+            lambda self: pytest.fail("warm start must not scan the JSONL"),
+        )
+        with ExplorationSession(store=store) as warm:
+            assert store.io_stats["full_scans"] == 0
+            assert store.io_stats["tail_scans"] == 0
+            assert warm.warm_size == len(candidates)
+            # preload itself parsed nothing
+            assert store.io_stats["record_loads"] == 0
+            outcomes = warm.evaluator(wl, hw).evaluate(candidates)
+            assert warm.stats.evaluated == 0
+            assert warm.stats.warm_hits == len(candidates)
+            assert all(o.ok and o.record is not None for o in outcomes)
+            # exactly one lazy line-read per distinct warm hit
+            assert store.io_stats["record_loads"] == len(candidates)
+        store.close()
+
+
+class TestCompaction:
+    def _duplicate_archive(self, tmp_path):
+        """A store whose file was doubled by an uncoordinated writer."""
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.append(rec(2))
+            store.record_error("fpX", "boom")
+        path.write_text(path.read_text() * 2)
+        errors = store.errors_path
+        errors.write_text(errors.read_text() * 2)
+        return path
+
+    def test_compact_drops_duplicate_lines(self, tmp_path):
+        path = self._duplicate_archive(tmp_path)
+        store = ResultStore(path)
+        assert len(store) == 2  # dedup already ignores the copies
+        stats = store.compact()
+        store.close()
+        assert stats["records_kept"] == 2
+        assert stats["lines_dropped"] == 2
+        assert stats["bytes_after"] < stats["bytes_before"]
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["fingerprint"] for r in lines] == ["fp1", "fp2"]
+
+    def test_compacted_store_reopens_via_fresh_index(self, tmp_path):
+        path = self._duplicate_archive(tmp_path)
+        with ResultStore(path) as store:
+            store.compact()
+        again = ResultStore(path)
+        assert again.io_stats["full_scans"] == 0
+        assert again.io_stats["index_used"] == 1
+        assert [r["fingerprint"] for r in again.records()] == ["fp1", "fp2"]
+        again.close()
+
+    def test_compact_dedups_error_sidecar(self, tmp_path):
+        path = self._duplicate_archive(tmp_path)
+        store = ResultStore(path)
+        stats = store.compact()
+        store.close()
+        assert stats["errors_kept"] == 1
+        assert stats["errors_dropped"] == 1
+        assert len(store.errors_path.read_text().splitlines()) == 1
+
+    def test_compact_survives_reuse_after(self, tmp_path):
+        path = self._duplicate_archive(tmp_path)
+        store = ResultStore(path)
+        store.compact()
+        assert store.append(rec(5))
+        assert not store.append(rec(1))
+        store.close()
+        assert [r["fingerprint"] for r in ResultStore(path).records()] == [
+            "fp1", "fp2", "fp5",
+        ]
+
+
+class TestErrorSidecarWarmIntegration:
     def test_warm_error_cache_stops_reprobing(self, tmp_path):
         """A resumed session answers known-illegal candidates from the
         sidecar: zero cost-model runs, outcome still reports the error."""
