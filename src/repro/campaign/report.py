@@ -15,7 +15,28 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["UnitResult", "CampaignReport"]
+__all__ = ["UnitResult", "CampaignReport", "cache_efficacy_line", "hit_rate"]
+
+
+def hit_rate(hits: float, misses: float) -> float | None:
+    """Hit fraction in [0, 1], or ``None`` when nothing was looked up."""
+    total = hits + misses
+    return hits / total if total else None
+
+
+def cache_efficacy_line(counters: dict) -> str:
+    """One-line cache summary from a ``{phase_*, tilestats_*}`` snapshot."""
+
+    def fmt(kind: str) -> str:
+        hits = counters.get(f"{kind}_hits", 0)
+        misses = counters.get(f"{kind}_misses", 0)
+        rate = hit_rate(hits, misses)
+        pct = "-" if rate is None else f"{100 * rate:.0f}%"
+        return f"{hits} hits / {misses} misses ({pct})"
+
+    return (
+        f"caches: phase-engine {fmt('phase')}; tilestats {fmt('tilestats')}"
+    )
 
 
 @dataclass
@@ -47,7 +68,15 @@ class CampaignReport:
     name: str
     spec_fingerprint: str
     units: list[UnitResult] = field(default_factory=list)
-    stats: dict = field(default_factory=dict)  # session EvalStats.as_dict()
+    # Scheduling-invariant evaluation counters (EvalStats minus its
+    # execution fields): identical between sequential and overlapped runs
+    # of the same spec — what the determinism tests and CI diff.
+    stats: dict = field(default_factory=dict)
+    # Cache-efficacy counters (phase-engine + tilestats hits/misses):
+    # execution accounting — with pool workers the hit/miss split depends
+    # on which worker handled which dispatch group, so these are reported
+    # but never compared across runs.
+    cache: dict = field(default_factory=dict)
     store_path: str | None = None
     store_records: int | None = None
     checkpoint_path: str | None = None
@@ -68,6 +97,7 @@ class CampaignReport:
             "spec_fingerprint": self.spec_fingerprint,
             "units": [u.to_dict() for u in self.units],
             "stats": self.stats,
+            "cache": self.cache,
             "store_path": self.store_path,
             "store_records": self.store_records,
             "checkpoint_path": self.checkpoint_path,
@@ -125,6 +155,8 @@ class CampaignReport:
                 "{warm_hits} warm-cache hits, {errors} illegal; "
                 "{persisted} records persisted".format(**self.stats)
             )
+        if self.cache:
+            lines.append(cache_efficacy_line(self.cache))
         if self.store_path is not None:
             lines.append(f"store: {self.store_records} records in {self.store_path}")
         if self.checkpoint_path is not None:

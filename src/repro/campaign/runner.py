@@ -73,9 +73,12 @@ class CampaignCheckpoint:
         self.path = Path(path)
         self.spec_fingerprint = spec_fingerprint
         self.done: dict[str, dict] = {}
+        self.unit_counters: dict[str, dict] = {}
+        self._last_counters: dict[str, int] = {}
         self._fh = None
         if self.path.exists() and not resume:
             self.path.unlink()
+            self.stats_path.unlink(missing_ok=True)
         header: dict = {}
         if self.path.exists():
             header, units = self._read(self.path, heal=True)
@@ -87,17 +90,74 @@ class CampaignCheckpoint:
                         f"{spec_fingerprint!r}; pass --no-resume to restart"
                     )
                 self.done = units
+                sidecar = self.load_counters(self.stats_path)
+                if sidecar.get("spec_fingerprint") == spec_fingerprint:
+                    # Keep snapshots only for units the checkpoint still
+                    # vouches for (a torn tail may have dropped one) —
+                    # and push the pruning to disk, so a concurrent
+                    # read-only `campaign status` never serves snapshots
+                    # for units the journal no longer records.
+                    loaded = sidecar.get("units", {})
+                    self.unit_counters = {
+                        key: snap
+                        for key, snap in loaded.items()
+                        if key in self.done
+                    }
+                    if set(self.unit_counters) != set(loaded):
+                        self._write_counters()
             else:
                 # The campaign died while appending the header itself:
                 # nothing completed, so start the checkpoint over.
                 self.path.unlink()
+                self.stats_path.unlink(missing_ok=True)
         if not header:
+            # Fresh journal: a leftover same-fingerprint sidecar (e.g. the
+            # journal was deleted by hand) would otherwise masquerade as
+            # this run's accounting.
+            self.stats_path.unlink(missing_ok=True)
             self._append(
                 {
                     "campaign_schema": CHECKPOINT_SCHEMA,
                     "spec_fingerprint": spec_fingerprint,
                 }
             )
+
+    @staticmethod
+    def stats_path_for(path: str | Path) -> Path:
+        """Where the cache-counters sidecar lives for a checkpoint path."""
+        path = Path(path)
+        return path.with_name(path.name + ".stats.json")
+
+    @property
+    def stats_path(self) -> Path:
+        """The cache-counters sidecar next to the checkpoint journal.
+
+        Kept out of the journal itself on purpose: counter snapshots are
+        *execution accounting* (worker scheduling changes the hit/miss
+        split), while the journal's bytes are guaranteed identical
+        between sequential and overlapped runs.
+        """
+        return self.stats_path_for(self.path)
+
+    @staticmethod
+    def load_counters(path: str | Path) -> dict:
+        """Read-only sidecar load; ``{}`` when absent or unreadable."""
+        try:
+            return json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return {}
+
+    def _write_counters(self) -> None:
+        payload = {
+            "spec_fingerprint": self.spec_fingerprint,
+            "units": self.unit_counters,
+        }
+        tmp = self.stats_path.with_name(self.stats_path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        tmp.replace(self.stats_path)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -147,11 +207,30 @@ class CampaignCheckpoint:
         self._fh.write("\n")
         self._fh.flush()
 
-    def mark(self, unit_key: str, payload: dict) -> None:
-        """Journal one completed unit (flushed eagerly)."""
+    def mark(
+        self, unit_key: str, payload: dict, *, counters: dict | None = None
+    ) -> None:
+        """Journal one completed unit (flushed eagerly).
+
+        ``counters`` is an optional session cache-efficacy snapshot
+        (cumulative at mark time).  What the stats *sidecar* records is
+        the per-unit **delta** since the previous mark of this run —
+        deltas stay meaningful per unit (marks drain in grid order in
+        both schedulers) and *sum* to the true totals even across a
+        kill/resume, where each session's counters restart at zero.
+        They never enter the journal line, whose bytes must stay
+        scheduling-invariant.
+        """
         record = {"unit": unit_key, **payload}
         self._append(record)
         self.done[unit_key] = record
+        if counters is not None:
+            self.unit_counters[unit_key] = {
+                key: value - self._last_counters.get(key, 0)
+                for key, value in counters.items()
+            }
+            self._last_counters = dict(counters)
+            self._write_counters()
 
     def close(self) -> None:
         if self._fh is not None:
@@ -220,11 +299,20 @@ def run_campaign(
     finally:
         if owns_session:
             session.close()
+    # The report's ``stats`` carry only the scheduling-invariant counters
+    # (identical for any worker count / unit interleaving); cache-efficacy
+    # counters are execution accounting and ride separately in ``cache``.
+    stats = session.stats.as_dict()
+    from ..core.evaluator import EvalStats
+
+    for name in EvalStats.EXECUTION_FIELDS:
+        stats.pop(name, None)
     return CampaignReport(
         name=spec.name,
         spec_fingerprint=spec.fingerprint(),
         units=units,
-        stats=session.stats.as_dict(),
+        stats=stats,
+        cache=session.cache_counters(),
         store_path=str(session.store.path) if session.store is not None else None,
         store_records=len(session.store) if session.store is not None else None,
         checkpoint_path=str(checkpoint.path) if checkpoint is not None else None,

@@ -98,7 +98,11 @@ def run_units_sequential(
             continue
         rows = run_unit(session, spec, ds_name, pt)
         if checkpoint is not None:
-            checkpoint.mark(key, checkpoint_payload(ds_name, pt, rows))
+            checkpoint.mark(
+                key,
+                checkpoint_payload(ds_name, pt, rows),
+                counters=session.cache_counters(),
+            )
         units.append(UnitResult(ds_name, pt.key(), rows))
     return units
 
@@ -305,6 +309,7 @@ class CampaignScheduler:
                             self.checkpoint.mark(
                                 unit_key(ds_name, pt),
                                 checkpoint_payload(ds_name, pt, rows),
+                                counters=self.session.cache_counters(),
                             )
                         results[i] = UnitResult(ds_name, pt.key(), rows)
                 except BaseException:

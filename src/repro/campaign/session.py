@@ -32,6 +32,7 @@ from ..arch.config import AcceleratorConfig
 from ..core.evaluator import DataflowEvaluator, EvalStats, _task_eval
 from ..core.pool import TaskKeyedPool
 from ..core.workload import GNNWorkload
+from ..engine.phasecache import PhaseEngineCache
 from ..engine.tilestats import TileStats, TileStatsRegistry
 from ..graphs.csr import CSRGraph
 
@@ -67,12 +68,14 @@ class ExplorationSession:
         chunksize: int = 8,
         store: Any | None = None,
         warm: bool = True,
+        phase_cache: bool = True,
     ) -> None:
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
         self.workers = (os.cpu_count() or 1) if workers < 0 else workers
         self.chunksize = chunksize
         self.store = store
+        self.phase_cache = phase_cache
         self.stats = EvalStats()
         # Guards the shared counters and warm-cache mutation when the
         # campaign scheduler drives several unit threads through one
@@ -84,6 +87,7 @@ class ExplorationSession:
         self._warm_fps: set[str] = set()  # every warm-servable fingerprint
         self._warm_errors: dict[str, str] = {}
         self._tilestats = TileStatsRegistry()
+        self._phase_caches: dict[str, PhaseEngineCache] = {}
         self._pool: TaskKeyedPool | None = None
         self._closed = False
         if store is not None and warm:
@@ -163,6 +167,43 @@ class ExplorationSession:
         with self.lock:
             return self._tilestats.for_graph(graph)
 
+    def phase_cache_for(self, ctx_key: str) -> PhaseEngineCache | None:
+        """The per-context phase-engine result cache (or ``None`` when the
+        session was built with ``phase_cache=False``).
+
+        Keyed by evaluation context — engine runs embed the hardware
+        point, so contexts could never share entries anyway; keeping the
+        caches separate also keeps their lifetime aligned with the
+        context's memo.  Like the memos, a context's cache is only ever
+        touched by that context's evaluator views (the campaign scheduler
+        chains same-context units onto one thread).
+        """
+        if not self.phase_cache:
+            return None
+        with self.lock:
+            cache = self._phase_caches.get(ctx_key)
+            if cache is None:
+                cache = self._phase_caches[ctx_key] = PhaseEngineCache()
+            return cache
+
+    def cache_counters(self) -> dict:
+        """Session-wide cache-efficacy snapshot (execution accounting).
+
+        Phase-engine counters come from :class:`EvalStats` (which folds in
+        worker-side deltas); tilestats counters aggregate the registry's
+        parent-side handles.  Worker-process tilestats fills are not
+        visible here — each worker rebuilds its own sparsity cache — so
+        the tilestats line reports the coordinating process only.
+        """
+        with self.lock:
+            ts_hits, ts_misses = self._tilestats.counters()
+            return {
+                "phase_hits": self.stats.phase_hits,
+                "phase_misses": self.stats.phase_misses,
+                "tilestats_hits": ts_hits,
+                "tilestats_misses": ts_misses,
+            }
+
     # -- per-context state ----------------------------------------------
     def memo_for(self, ctx_key: str) -> dict:
         return self._memos.setdefault(ctx_key, {})
@@ -204,12 +245,21 @@ class ExplorationSession:
             pool = self._pool
         pool.start()
 
-    def map(self, ctx_key: str, ctx: Any, items: list) -> list:
+    def map(
+        self,
+        ctx_key: str,
+        ctx: Any,
+        items: list,
+        *,
+        chunksize: int | None = None,
+    ) -> list:
         """Fan ``items`` out over the shared pool under ``ctx_key``.
 
         Safe to call from several unit threads at once: the pool is
         created exactly once, and overlapping calls interleave their task
-        batches over the same worker processes.
+        batches over the same worker processes.  ``chunksize`` overrides
+        the pool default for this batch (the evaluator passes ``1``: its
+        items are pre-packed candidate groups).
         """
         if self._closed:
             raise RuntimeError("session is closed")
@@ -222,7 +272,7 @@ class ExplorationSession:
                 )
             pool = self._pool
         pool.register(ctx_key, ctx)
-        return pool.map(ctx_key, items)
+        return pool.map(ctx_key, items, chunksize=chunksize)
 
     @property
     def pool_started(self) -> bool:

@@ -470,9 +470,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # Read-only: counts come from the checkpoint plus the store's
         # offset-index sidecar (falling back to one streaming parse when
         # no index exists) — never from opening/healing the store, which
-        # a concurrently running campaign may own.
+        # a concurrently running campaign may own.  Cache-efficacy
+        # entries come from the checkpoint's stats sidecar (written at
+        # each unit mark; per-unit deltas, execution accounting — under
+        # the overlapped scheduler a delta charges whatever ran between
+        # two grid-order marks to the later unit).
+        from .campaign.report import hit_rate
+
         peek = ResultStore.peek(store_path)
         unit_counts = peek["unit_counts"]
+        sidecar = CampaignCheckpoint.load_counters(
+            CampaignCheckpoint.stats_path_for(ckpt_path)
+        )
+        unit_counters = (
+            sidecar.get("units", {})
+            if sidecar.get("spec_fingerprint") == spec.fingerprint()
+            else {}
+        )
         unit_rows = []
         in_flight = queued = 0
         for ds, pt in campaign_units(spec):
@@ -492,7 +506,32 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             else:
                 state = "queued"
                 queued += 1
-            unit_rows.append({"unit": key, "state": state, "records": records})
+            # Only units the checkpoint vouches for get cache columns: a
+            # queued/in-flight unit has no journaled delta of its own.
+            snap = unit_counters.get(key) if (matches and key in done) else None
+            phase_rate = (
+                hit_rate(snap.get("phase_hits", 0), snap.get("phase_misses", 0))
+                if snap
+                else None
+            )
+            ts_rate = (
+                hit_rate(
+                    snap.get("tilestats_hits", 0),
+                    snap.get("tilestats_misses", 0),
+                )
+                if snap
+                else None
+            )
+            unit_rows.append(
+                {
+                    "unit": key,
+                    "state": state,
+                    "records": records,
+                    "cache": snap,
+                    "phase_hit_rate": phase_rate,
+                    "tilestats_hit_rate": ts_rate,
+                }
+            )
         payload = {
             "name": spec.name,
             "spec_fingerprint": spec.fingerprint(),
@@ -517,10 +556,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             )
             print(f"campaign {spec.name!r}: {state} "
                   f"({in_flight} in flight, {queued} queued)")
+
+            def pct(rate):
+                return "-" if rate is None else f"{100 * rate:.0f}%"
+
             print(
                 format_table(
-                    ["unit", "state", "records"],
-                    [[u["unit"], u["state"], u["records"]] for u in unit_rows],
+                    ["unit", "state", "records", "phase-hit", "tilestats-hit"],
+                    [
+                        [
+                            u["unit"],
+                            u["state"],
+                            u["records"],
+                            pct(u["phase_hit_rate"]),
+                            pct(u["tilestats_hit_rate"]),
+                        ]
+                        for u in unit_rows
+                    ],
                 )
             )
             indexed = " (indexed)" if peek["indexed"] else ""
@@ -545,10 +597,23 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         for ds, pt in campaign_units(spec)
         if unit_key(ds, pt) in done
     ]
+    # Cache-efficacy counters from the stats sidecar: entries are
+    # per-unit deltas, so summing them reconstructs the campaign totals —
+    # including across kill/resume boundaries, where each session's live
+    # counters restarted at zero.
+    sidecar = CampaignCheckpoint.load_counters(
+        CampaignCheckpoint.stats_path_for(ckpt_path)
+    )
+    cache: dict = {}
+    if sidecar.get("spec_fingerprint") == spec.fingerprint():
+        for snap in sidecar.get("units", {}).values():
+            for k, v in snap.items():
+                cache[k] = cache.get(k, 0) + v
     report = CampaignReport(
         name=spec.name,
         spec_fingerprint=spec.fingerprint(),
         units=units,
+        cache=cache,
         checkpoint_path=ckpt_path,
     )
     print(json.dumps(report.to_dict(), indent=2) if args.json

@@ -34,7 +34,7 @@ from .evaluator import (
 )
 from .pool import TaskKeyedPool
 from .granularity import GranuleSpec, granule_series, make_granule_spec
-from .interphase import RunResult, compose
+from .interphase import RunResult, compose, compose_batch
 from .legality import (
     LegalityError,
     infer_granularity,
@@ -43,8 +43,13 @@ from .legality import (
     sp_optimized_ok,
     validate_dataflow,
 )
-from .omega import phase_specs, run_gnn_dataflow
-from .pipeline import PipelineReport, bounded_pipeline
+from .omega import phase_specs, prepare_phases, run_gnn_dataflow
+from .pipeline import (
+    PipelineReport,
+    bounded_pipeline,
+    bounded_pipeline_batch,
+    bounded_pipeline_reference,
+)
 from .taxonomy import (
     Annot,
     Dataflow,
@@ -85,6 +90,7 @@ __all__ = [
     "make_granule_spec",
     "RunResult",
     "compose",
+    "compose_batch",
     "LegalityError",
     "infer_granularity",
     "intermediate_axes",
@@ -93,8 +99,11 @@ __all__ = [
     "validate_dataflow",
     "phase_specs",
     "run_gnn_dataflow",
+    "prepare_phases",
     "PipelineReport",
     "bounded_pipeline",
+    "bounded_pipeline_batch",
+    "bounded_pipeline_reference",
     "Annot",
     "Dataflow",
     "Dim",

@@ -36,12 +36,13 @@ from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..arch.config import AcceleratorConfig
 from ..engine.gemm import GemmTiling
+from ..engine.phasecache import PhaseEngineCache
 from ..engine.spmm import SpmmTiling
 from ..engine.tilestats import TileStats
-from .interphase import RunResult
+from .interphase import RunResult, _compose_batch
 from .legality import LegalityError
-from .omega import run_gnn_dataflow
-from .taxonomy import Dataflow
+from .omega import prepare_phases, run_gnn_dataflow
+from .taxonomy import Dataflow, InterPhase
 from .tiling import TileHint
 from .workload import GNNWorkload
 
@@ -188,6 +189,7 @@ def _evaluate_candidate(
     df: Dataflow,
     spec: TileHint | ExplicitTiles | None,
     stats: "TileStats | None" = None,
+    cache: "PhaseEngineCache | None" = None,
 ) -> tuple[RunResult | None, str | None]:
     try:
         if isinstance(spec, ExplicitTiles):
@@ -199,28 +201,116 @@ def _evaluate_candidate(
                     spmm_tiling=spec.spmm,
                     gemm_tiling=spec.gemm,
                     stats=stats,
+                    cache=cache,
                 ),
                 None,
             )
-        return run_gnn_dataflow(wl, df, hw, hint=spec, stats=stats), None
+        return (
+            run_gnn_dataflow(wl, df, hw, hint=spec, stats=stats, cache=cache),
+            None,
+        )
     except (LegalityError, ValueError) as exc:
         return None, f"{type(exc).__name__}: {exc}"
 
 
-def _task_eval(ctx, item):
-    """Task-keyed pool entry: ``ctx`` is the ``(workload, hw[, tilestats])``
-    tuple the worker resolved from the task's context key.
+def _group_key(df: Dataflow) -> tuple:
+    """Sortable dispatch key clustering candidates that share phase
+    mappings (and, for PP, the partition split): phase-cache hits land in
+    the same evaluation group, and a group's PP candidates batch into one
+    recurrence over shared granule series."""
+    return (
+        str(df.agg),
+        str(df.cmb),
+        df.order.value,
+        df.pe_split if df.inter is InterPhase.PP else -1.0,
+    )
 
-    The :class:`~repro.engine.tilestats.TileStats` handle ships *with* the
-    context blob: the pool caches unpickled contexts per worker process,
-    so every task of the same context keeps filling (and hitting) the same
-    sparsity cache for free.
+
+def _evaluate_group(
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    group: "list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]]",
+    stats: "TileStats | None" = None,
+    cache: "PhaseEngineCache | None" = None,
+) -> list[tuple[int, RunResult | None, str | None]]:
+    """Evaluate one group of candidates batch-wise.
+
+    Phase preparation (tiling + engine runs) happens per candidate
+    through the shared ``cache``; composition happens once for the whole
+    group via :func:`~repro.core.interphase._compose_batch`, so the PP
+    recurrence advances every candidate simultaneously.  Per-candidate
+    results and error strings are identical to looping
+    :func:`_evaluate_candidate` (asserted in ``tests/test_batch_compose.py``).
+    """
+    prepared: list = []  # parallel to group: (cdf, agg, cmb) | error str
+    for _, df, spec in group:
+        try:
+            if isinstance(spec, ExplicitTiles):
+                prepared.append(
+                    prepare_phases(
+                        wl,
+                        df,
+                        hw,
+                        spmm_tiling=spec.spmm,
+                        gemm_tiling=spec.gemm,
+                        stats=stats,
+                        cache=cache,
+                    )
+                )
+            else:
+                prepared.append(
+                    prepare_phases(wl, df, hw, hint=spec, stats=stats, cache=cache)
+                )
+        except (LegalityError, ValueError) as exc:
+            prepared.append(f"{type(exc).__name__}: {exc}")
+    items = [
+        (cdf, wl, hw, agg, cmb)
+        for entry in prepared
+        if not isinstance(entry, str)
+        for cdf, agg, cmb in (entry,)
+    ]
+    results, errors = _compose_batch(items)
+    composed = iter(zip(results, _error_strings(len(items), errors)))
+    out: list[tuple[int, RunResult | None, str | None]] = []
+    for (idx, _, _), entry in zip(group, prepared):
+        if isinstance(entry, str):
+            out.append((idx, None, entry))
+        else:
+            result, error = next(composed)
+            out.append((idx, result, error))
+    return out
+
+
+def _error_strings(n: int, errors: list) -> list:
+    out = [None] * n
+    for i, exc in errors:
+        out[i] = f"{type(exc).__name__}: {exc}"
+    return out
+
+
+def _task_eval(ctx, item):
+    """Task-keyed pool entry: ``ctx`` is the ``(workload, hw[, tilestats[,
+    phase_cache]])`` tuple the worker resolved from the task's context key.
+
+    The :class:`~repro.engine.tilestats.TileStats` and
+    :class:`~repro.engine.phasecache.PhaseEngineCache` handles ship *with*
+    the context blob: the pool caches unpickled contexts per worker
+    process, so every task of the same context keeps filling (and
+    hitting) the same worker-local sparsity and engine-result caches.
+
+    ``item`` is one dispatch group — a list of ``(idx, dataflow, spec)``
+    triples sharing (as far as the dispatcher could arrange) one phase
+    mapping.  Returns ``(results, phase_hits, phase_misses)`` where the
+    counter deltas cover exactly this group, so the parent can fold
+    worker-side cache efficacy into :class:`EvalStats`.
     """
     wl, hw, *rest = ctx
     stats = rest[0] if rest else None
-    idx, df, spec = item
-    result, error = _evaluate_candidate(wl, hw, df, spec, stats)
-    return idx, result, error
+    cache = rest[1] if len(rest) > 1 else None
+    before = cache.counters() if cache is not None else (0, 0)
+    results = _evaluate_group(wl, hw, item, stats, cache)
+    after = cache.counters() if cache is not None else (0, 0)
+    return results, after[0] - before[0], after[1] - before[1]
 
 
 # ----------------------------------------------------------------------
@@ -379,7 +469,16 @@ class EvalOutcome:
 
 @dataclass
 class EvalStats:
-    """Running counters across an evaluator's (or session's) lifetime."""
+    """Running counters across an evaluator's (or session's) lifetime.
+
+    The first block is *scheduling-invariant*: identical for any worker
+    count or unit interleaving of the same evaluations.  The phase-engine
+    counters are *execution accounting*: with pool workers each process
+    fills its own :class:`~repro.engine.phasecache.PhaseEngineCache`, so
+    the hit/miss split depends on which worker handled which dispatch
+    group — campaign reports surface them separately from the
+    deterministic stats for exactly this reason.
+    """
 
     evaluated: int = 0  # cost-model runs actually performed
     cache_hits: int = 0  # candidates answered from the in-memory memo
@@ -388,9 +487,18 @@ class EvalStats:
     persisted: int = 0  # records newly appended to the store
     store_skips: int = 0  # records the store already held
     errors_persisted: int = 0  # outcomes newly appended to the error sidecar
+    phase_hits: int = 0  # engine runs answered from a phase-result cache
+    phase_misses: int = 0  # engine runs actually simulated
+
+    # Fields whose values depend on how work was scheduled, not on what
+    # was evaluated (excluded from determinism comparisons).
+    EXECUTION_FIELDS = ("phase_hits", "phase_misses")
 
     def as_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+        }
 
 
 # Memo entries: (result, error, record) — record is set only for entries
@@ -402,6 +510,13 @@ _MemoEntry = "tuple[RunResult | None, str | None, dict | None]"
 # has accumulated; this factor caps how many total candidates one batch
 # may hold, bounding memory on near-fully-warm streams.
 _WARM_ASSEMBLY_FACTOR = 8
+
+# Unbudgeted serial evaluation pulls candidates in batches this wide so
+# the in-process path benefits from batched composition too (phase-result
+# sharing and the one-recurrence-per-batch PP kernel); memory stays
+# bounded because batch engine results are deduplicated by the context's
+# phase cache.
+_SERIAL_BATCH = 512
 
 
 @dataclass
@@ -491,6 +606,12 @@ class DataflowEvaluator:
         # contexts on the same graph (e.g. a num_pes sweep) resolve to the
         # same handle through the session's registry.
         self.tilestats: TileStats = session.tilestats_for(wl.graph)
+        # One phase-engine result cache per context (engine runs embed the
+        # hardware point, so contexts never share them): every candidate
+        # of this context reuses its mapping-mates' SpmmResult/GemmResult.
+        self.phase_cache: "PhaseEngineCache | None" = session.phase_cache_for(
+            self.ctx_key
+        )
 
     # -- session delegation ---------------------------------------------
     @property
@@ -592,9 +713,15 @@ class DataflowEvaluator:
         """
         it = iter(candidates)
         workers = self.session.workers
-        batch_size = (
-            1 if workers == 0 else max(32, workers * self.session.chunksize)
-        )
+        if workers == 0:
+            # Serial evaluation still wants wide batches when unbudgeted:
+            # the whole batch composes as one group (shared engine runs,
+            # one PP recurrence).  A budgeted serial run keeps the
+            # historical one-at-a-time pull so it evaluates *exactly*
+            # ``budget`` successes — no tail work past the budget.
+            batch_size = 1 if budget is not None else _SERIAL_BATCH
+        else:
+            batch_size = max(32, workers * self.session.chunksize)
         warm_aware = budget is None and workers > 0
         outcomes: list[EvalOutcome] = []
         legal = 0
@@ -730,26 +857,89 @@ class DataflowEvaluator:
                 self._persist(outcome)
             yield outcome
 
+    @staticmethod
+    def _pack_groups(
+        pending: list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]],
+        target: int,
+    ) -> list[list]:
+        """Sort pending candidates by mapping-group key and pack them into
+        dispatch groups of roughly ``target`` candidates.
+
+        A group only splits at a mapping boundary (so one mapping's
+        candidates share a worker's phase cache and compose as one batch)
+        unless it exceeds ``4 x target``, which bounds a pathological
+        single-mapping run's scheduling quantum.  Sorting is stable and
+        results are keyed by candidate index, so outcome order — and every
+        record — is unchanged by the regrouping.
+        """
+        keyed = sorted(pending, key=lambda cand: _group_key(cand[1]))
+        groups: list[list] = []
+        cur: list = []
+        cur_key = None
+        for cand in keyed:
+            key = _group_key(cand[1])
+            if cur and (
+                (len(cur) >= target and key != cur_key)
+                or len(cur) >= 4 * target
+            ):
+                groups.append(cur)
+                cur = []
+            cur.append(cand)
+            cur_key = key
+        if cur:
+            groups.append(cur)
+        return groups
+
     def _run(
         self, pending: list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]]
     ) -> dict[int, tuple[RunResult | None, str | None]]:
         if not pending:
             return {}
         if self.session.workers and len(pending) > 1:
-            # A *fresh* tilestats handle travels with the context blob —
-            # workers fill their own copy lazily and keep it across tasks
-            # (the pool caches context blobs per process).  Shipping the
-            # parent's accumulated cache would re-serialize every derived
-            # array per context for data workers can rebuild in O(V).
+            # *Fresh* tilestats/phase-cache handles travel with the
+            # context blob — workers fill their own copies lazily and keep
+            # them across tasks (the pool caches context blobs per
+            # process).  Shipping the parent's accumulated caches would
+            # re-serialize every derived array per context for data
+            # workers can rebuild on demand.
+            groups = self._pack_groups(pending, self.session.chunksize)
             mapped = self.session.map(
-                self.ctx_key, (self.wl, self.hw, TileStats(self.wl.graph)),
-                pending,
+                self.ctx_key,
+                (
+                    self.wl,
+                    self.hw,
+                    TileStats(self.wl.graph),
+                    # The session's opt-out must reach workers too: a
+                    # phase_cache=False session ships no cache at all.
+                    PhaseEngineCache() if self.session.phase_cache else None,
+                ),
+                groups,
+                chunksize=1,  # items are pre-packed groups already
             )
-            return {idx: (result, error) for idx, result, error in mapped}
-        return {
-            idx: _evaluate_candidate(self.wl, self.hw, df, spec, self.tilestats)
-            for idx, df, spec in pending
-        }
+            out: dict[int, tuple[RunResult | None, str | None]] = {}
+            hits = misses = 0
+            for results, group_hits, group_misses in mapped:
+                hits += group_hits
+                misses += group_misses
+                for idx, result, error in results:
+                    out[idx] = (result, error)
+            if hits or misses:
+                self._bump("phase_hits", hits)
+                self._bump("phase_misses", misses)
+            return out
+        # Serial path: the whole pending batch is one group, sorted so
+        # mapping-mates sit together (series dedup + one PP recurrence).
+        group = sorted(pending, key=lambda cand: _group_key(cand[1]))
+        before = self.phase_cache.counters() if self.phase_cache else (0, 0)
+        results = _evaluate_group(
+            self.wl, self.hw, group, self.tilestats, self.phase_cache
+        )
+        if self.phase_cache is not None:
+            after = self.phase_cache.counters()
+            if after != before:
+                self._bump("phase_hits", after[0] - before[0])
+                self._bump("phase_misses", after[1] - before[1])
+        return {idx: (result, error) for idx, result, error in results}
 
     def _persist(self, outcome: EvalOutcome) -> None:
         store = self.session.store

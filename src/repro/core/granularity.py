@@ -30,6 +30,7 @@ import numpy as np
 
 from ..engine.gemm import GemmResult
 from ..engine.spmm import SpmmResult
+from ..engine.stats import chunk_sums
 from .taxonomy import Dataflow, Granularity, PhaseOrder
 from .legality import _row_major  # shared definition of walk direction
 from .workload import GNNWorkload
@@ -37,14 +38,10 @@ from .workload import GNNWorkload
 __all__ = ["GranuleSpec", "make_granule_spec", "granule_series", "chunk_sums"]
 
 
-def chunk_sums(values: np.ndarray, chunk: int) -> np.ndarray:
-    """Sum ``values`` in consecutive chunks of ``chunk`` (last may be short)."""
-    if chunk < 1:
-        raise ValueError("chunk must be >= 1")
-    n = math.ceil(len(values) / chunk)
-    pad = n * chunk - len(values)
-    padded = np.concatenate([np.asarray(values, dtype=np.float64), np.zeros(pad)])
-    return padded.reshape(n, chunk).sum(axis=1)
+# Re-exported from the engine layer (the one shared implementation —
+# engine/stats.py — since engine cannot import core): summing per-unit
+# cost arrays into granule chunks is the series-building primitive both
+# layers use.
 
 
 @dataclass(frozen=True)

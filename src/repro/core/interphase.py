@@ -24,15 +24,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from typing import Sequence
+
 from ..arch.config import AcceleratorConfig
 from ..arch.energy import EnergyBreakdown
 from ..arch.memory import DramModel, SpillReport
 from ..engine.gemm import GemmResult
 from ..engine.spmm import SpmmResult
 from ..engine.stats import PhaseStats, merge_counts
-from .granularity import granule_series, make_granule_spec
+from .granularity import GranuleSpec, granule_series, make_granule_spec
 from .legality import LegalityError, validate_dataflow
-from .pipeline import PipelineReport, bounded_pipeline
+from .pipeline import (
+    PipelineReport,
+    bounded_pipeline,
+    bounded_pipeline_batch,
+)
 from .taxonomy import (
     Dataflow,
     Granularity,
@@ -42,7 +48,17 @@ from .taxonomy import (
 )
 from .workload import GNNWorkload
 
-__all__ = ["RunResult", "compose"]
+__all__ = ["RunResult", "compose", "compose_batch"]
+
+# One compose_batch item: (dataflow, workload, hw, agg_result, cmb_result) —
+# the exact argument tuple of one scalar compose() call.
+ComposeItem = "tuple[Dataflow, GNNWorkload, AcceleratorConfig, SpmmResult, GemmResult]"
+
+# Granule budget per recurrence sub-batch: bounds how many series are
+# materialized simultaneously (a series is one float64 per granule, twice
+# over).  A single over-budget series still runs — alone in its
+# sub-batch, exactly like the scalar path would have held it.
+_MAX_BATCH_GRANULES = 8_000_000
 
 
 @dataclass
@@ -159,6 +175,20 @@ def _seq_spill(
     return DramModel().spill(int_elems, free)
 
 
+def _pp_ingredients(
+    df: Dataflow,
+    wl: GNNWorkload,
+    gran: Granularity,
+    agg_res: SpmmResult,
+    cmb_res: GemmResult,
+):
+    """Granule spec plus aligned producer/consumer series for one PP
+    candidate (the recurrence's inputs, before it runs)."""
+    spec = make_granule_spec(df, wl, gran, agg_res, cmb_res)
+    prod_series, cons_series = granule_series(df, spec, agg_res, cmb_res)
+    return spec, prod_series, cons_series
+
+
 def compose(
     df: Dataflow,
     wl: GNNWorkload,
@@ -172,10 +202,153 @@ def compose(
     full array for Seq/SP, the respective partitions for PP (handled by
     :func:`repro.core.omega.run_gnn_dataflow`).
     """
+    gran = validate_dataflow(df)
+    pp: tuple[GranuleSpec, PipelineReport] | None = None
+    if df.inter is InterPhase.PP:
+        assert gran is not None
+        spec, prod_series, cons_series = _pp_ingredients(
+            df, wl, gran, agg_res, cmb_res
+        )
+        pp = (spec, bounded_pipeline(prod_series, cons_series, depth=2))
+    return _finish_compose(df, wl, hw, agg_res, cmb_res, gran, pp)
+
+
+def compose_batch(items: "Sequence[ComposeItem]") -> list[RunResult]:
+    """Compose many candidates at once; equals ``[compose(*i) for i in items]``.
+
+    Two batch-axis optimizations make this the evaluator's hot path:
+
+    - **granule-series dedup**: candidates sharing the same phase-result
+      pair, phase order, producer mapping, and granularity (e.g. the
+      pe_split sweep of one PP mapping, or phase-cache-mates) build their
+      producer/consumer series once;
+    - **one recurrence for the whole batch**: every PP candidate's series
+      goes into a single :func:`bounded_pipeline_batch` call — the
+      depth-bounded recurrence advances all candidates per granule step
+      instead of looping Python per candidate.  Under
+      ``REPRO_REFERENCE_ENGINE=1`` the scalar per-candidate recurrence is
+      used instead; both are bit-identical (fuzz-proved).
+
+    Error semantics match the scalar loop: the first item (in item order)
+    whose composition is illegal raises, composing no observable state
+    for the items after it (composition is side-effect free).
+    """
+    results, errors = _compose_batch(items)
+    if errors:
+        raise errors[0][1]
+    return results  # type: ignore[return-value]
+
+
+def _compose_batch(
+    items: "Sequence[ComposeItem]",
+) -> tuple[list["RunResult | None"], list[tuple[int, Exception]]]:
+    """Shared core of :func:`compose_batch`: per-item results + captured
+    per-item failures (``(item_index, exception)``, in item order) so the
+    evaluation service can report illegal candidates individually."""
+    from ..engine.cycle_model import use_reference_engine
+
+    n = len(items)
+    grans: list[Granularity | None] = [None] * n
+    errors: list[tuple[int, Exception]] = []
+    failed: set[int] = set()
+    # PP granule specs, deduplicated: series_of maps item index -> slot.
+    # Specs are cheap (tile-size arithmetic); the series themselves are
+    # built lazily below, one bounded sub-batch at a time, because an
+    # element-granularity series can run to millions of granules and a
+    # whole batch of them must never be resident at once.
+    series_key: dict[tuple, int] = {}
+    series_of: dict[int, int] = {}
+    pp_specs: list[GranuleSpec] = []
+    pp_args: list[tuple] = []  # (df, wl, agg_res, cmb_res) per slot
+    for i, (df, wl, hw, agg_res, cmb_res) in enumerate(items):
+        try:
+            gran = validate_dataflow(df)
+            grans[i] = gran
+            if df.inter is InterPhase.PP:
+                assert gran is not None
+                # Everything the spec/series derivation reads, by identity:
+                # shared phase results (the cache returns one object per
+                # distinct engine run) collapse to one series build.
+                key = (id(wl), id(agg_res), id(cmb_res), df.order, gran, df.producer)
+                slot = series_key.get(key)
+                if slot is None:
+                    slot = len(pp_specs)
+                    pp_specs.append(
+                        make_granule_spec(df, wl, gran, agg_res, cmb_res)
+                    )
+                    pp_args.append((df, wl, agg_res, cmb_res))
+                    series_key[key] = slot
+                series_of[i] = slot
+        except (LegalityError, ValueError) as exc:
+            errors.append((i, exc))
+            failed.add(i)
+
+    reference = use_reference_engine()
+    reports: list[PipelineReport | None] = [None] * len(pp_specs)
+    sub: list[int] = []
+    sub_elems = 0
+    for slot in range(len(pp_specs) + 1):
+        flush = slot == len(pp_specs) or (
+            sub and sub_elems + pp_specs[slot].num_granules > _MAX_BATCH_GRANULES
+        )
+        if flush and sub:
+            prod_series = []
+            cons_series = []
+            for s in sub:
+                df, wl, agg_res, cmb_res = pp_args[s]
+                prod, cons = granule_series(df, pp_specs[s], agg_res, cmb_res)
+                prod_series.append(prod)
+                cons_series.append(cons)
+            if reference:
+                batch_reports = [
+                    bounded_pipeline(p, c, depth=2)
+                    for p, c in zip(prod_series, cons_series)
+                ]
+            else:
+                batch_reports = bounded_pipeline_batch(
+                    prod_series, cons_series, depth=2
+                )
+            for s, report in zip(sub, batch_reports):
+                reports[s] = report
+            sub = []
+            sub_elems = 0
+        if slot < len(pp_specs):
+            sub.append(slot)
+            sub_elems += pp_specs[slot].num_granules
+
+    results: list[RunResult | None] = [None] * n
+    for i, (df, wl, hw, agg_res, cmb_res) in enumerate(items):
+        if i in failed:
+            continue
+        pp = None
+        if i in series_of:
+            slot = series_of[i]
+            pp = (pp_specs[slot], reports[slot])
+        try:
+            results[i] = _finish_compose(
+                df, wl, hw, agg_res, cmb_res, grans[i], pp
+            )
+        except (LegalityError, ValueError) as exc:
+            errors.append((i, exc))
+    errors.sort(key=lambda pair: pair[0])
+    return results, errors
+
+
+def _finish_compose(
+    df: Dataflow,
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    agg_res: SpmmResult,
+    cmb_res: GemmResult,
+    gran: Granularity | None,
+    pp: "tuple[GranuleSpec, PipelineReport] | None",
+) -> RunResult:
+    """Inter-phase accounting for one candidate, from (possibly batch-
+    computed) PP ingredients; the single definition both :func:`compose`
+    and :func:`compose_batch` flow through."""
     agg = agg_res.stats
     cmb = cmb_res.stats
     ac = df.order is PhaseOrder.AC
-    gran = validate_dataflow(df)
     notes: list[str] = []
 
     gb_reads = merge_counts(agg.gb_reads, cmb.gb_reads)
@@ -258,12 +431,10 @@ def compose(
         )
 
     else:  # PP
-        assert gran is not None
-        spec = make_granule_spec(df, wl, gran, agg_res, cmb_res)
+        assert pp is not None
+        spec, pipeline = pp
         pel = spec.pel
         int_buffer_elems = spec.buffering_elements
-        prod_series, cons_series = granule_series(df, spec, agg_res, cmb_res)
-        pipeline = bounded_pipeline(prod_series, cons_series, depth=2)
         total = pipeline.total_cycles
         # Intermediate traffic moves to the dedicated ping-pong partition.
         prod, cons = (agg, cmb) if ac else (cmb, agg)

@@ -20,15 +20,16 @@ from __future__ import annotations
 
 
 from ..arch.config import AcceleratorConfig
-from ..engine.gemm import GemmSpec, GemmTiling, simulate_gemm
-from ..engine.spmm import SpmmSpec, SpmmTiling, simulate_spmm
+from ..engine.gemm import GemmResult, GemmSpec, GemmTiling, simulate_gemm
+from ..engine.phasecache import PhaseEngineCache
+from ..engine.spmm import SpmmResult, SpmmSpec, SpmmTiling, simulate_spmm
 from ..engine.tilestats import TileStats
 from .interphase import RunResult, compose
 from .taxonomy import Dataflow, InterPhase, PhaseOrder
 from .tiling import TileHint, choose_tiles
 from .workload import GNNWorkload
 
-__all__ = ["run_gnn_dataflow", "phase_specs"]
+__all__ = ["run_gnn_dataflow", "prepare_phases", "phase_specs"]
 
 
 def phase_specs(wl: GNNWorkload, order: PhaseOrder) -> tuple[SpmmSpec, GemmSpec]:
@@ -67,7 +68,7 @@ def phase_specs(wl: GNNWorkload, order: PhaseOrder) -> tuple[SpmmSpec, GemmSpec]
     return spmm, gemm
 
 
-def run_gnn_dataflow(
+def prepare_phases(
     wl: GNNWorkload,
     df: Dataflow,
     hw: AcceleratorConfig,
@@ -76,17 +77,20 @@ def run_gnn_dataflow(
     spmm_tiling: SpmmTiling | None = None,
     gemm_tiling: GemmTiling | None = None,
     stats: "TileStats | None" = None,
-) -> RunResult:
-    """Cost one GNN layer under ``df`` on ``hw``.
+    cache: "PhaseEngineCache | None" = None,
+) -> tuple[Dataflow, SpmmResult, GemmResult]:
+    """Resolve tilings/partitions and run (or fetch) both phase engines.
 
-    Tile sizes are chosen automatically (~100% static utilization, §V-A3)
-    unless both tilings are supplied.  For PP, each phase runs on its PE
-    partition with proportionally-shared GB bandwidth (§V-C3).
+    The intra-phase half of :func:`run_gnn_dataflow`: tile selection,
+    PP PE partitioning, and the two engine runs — everything *before*
+    inter-phase composition.  Splitting it out lets the batched evaluator
+    compose a whole group of candidates from shared phase results.
 
-    ``stats`` is an optional
-    :class:`~repro.engine.tilestats.TileStats` handle for ``wl.graph``;
-    the evaluation service threads one per workload so every candidate of
-    a session shares the same sparsity scans.
+    ``cache`` is an optional
+    :class:`~repro.engine.phasecache.PhaseEngineCache`: candidates whose
+    realized phase inputs match (same mapping, tiling, substrate, and
+    workload face) share one engine run — and the shared result's
+    memoized per-unit cycle views.
     """
     if spmm_tiling is None or gemm_tiling is None:
         auto_s, auto_g, df = choose_tiles(df, wl, hw, hint)
@@ -105,6 +109,47 @@ def run_gnn_dataflow(
         hw_agg = hw_cmb = hw
 
     spmm_spec, gemm_spec = phase_specs(wl, df.order)
-    agg_res = simulate_spmm(spmm_spec, df.agg, spmm_tiling, hw_agg, stats=stats)
-    cmb_res = simulate_gemm(gemm_spec, df.cmb, gemm_tiling, hw_cmb, stats=stats)
+    if cache is not None:
+        agg_res = cache.spmm(spmm_spec, df.agg, spmm_tiling, hw_agg, stats=stats)
+        cmb_res = cache.gemm(gemm_spec, df.cmb, gemm_tiling, hw_cmb, stats=stats)
+    else:
+        agg_res = simulate_spmm(spmm_spec, df.agg, spmm_tiling, hw_agg, stats=stats)
+        cmb_res = simulate_gemm(gemm_spec, df.cmb, gemm_tiling, hw_cmb, stats=stats)
+    return df, agg_res, cmb_res
+
+
+def run_gnn_dataflow(
+    wl: GNNWorkload,
+    df: Dataflow,
+    hw: AcceleratorConfig,
+    *,
+    hint: TileHint | None = None,
+    spmm_tiling: SpmmTiling | None = None,
+    gemm_tiling: GemmTiling | None = None,
+    stats: "TileStats | None" = None,
+    cache: "PhaseEngineCache | None" = None,
+) -> RunResult:
+    """Cost one GNN layer under ``df`` on ``hw``.
+
+    Tile sizes are chosen automatically (~100% static utilization, §V-A3)
+    unless both tilings are supplied.  For PP, each phase runs on its PE
+    partition with proportionally-shared GB bandwidth (§V-C3).
+
+    ``stats`` is an optional
+    :class:`~repro.engine.tilestats.TileStats` handle for ``wl.graph``;
+    the evaluation service threads one per workload so every candidate of
+    a session shares the same sparsity scans.  ``cache`` is an optional
+    :class:`~repro.engine.phasecache.PhaseEngineCache` deduplicating
+    whole engine runs across candidates that share a phase mapping.
+    """
+    df, agg_res, cmb_res = prepare_phases(
+        wl,
+        df,
+        hw,
+        hint=hint,
+        spmm_tiling=spmm_tiling,
+        gemm_tiling=gemm_tiling,
+        stats=stats,
+        cache=cache,
+    )
     return compose(df, wl, hw, agg_res, cmb_res)

@@ -23,6 +23,14 @@ resumable across processes: a second optimizer run against the same store
 performs zero duplicate cost-model evaluations, scoring candidates from
 the persisted records instead.
 
+Evaluation is *batched*: the evaluator groups each streamed batch by
+(Aggregation mapping, Combination mapping) before dispatch, so candidates
+differing only in inter-phase strategy, granularity, or PE split share
+one engine run per phase through the session's
+:class:`~repro.engine.phasecache.PhaseEngineCache` and compose together
+(one PP recurrence per batch).  :meth:`MappingOptimizer.cache_counters`
+exposes the resulting hit/miss accounting.
+
 Objectives: ``cycles``, ``energy`` or ``edp`` (energy-delay product).
 """
 
@@ -264,6 +272,20 @@ class MappingOptimizer:
     def close(self) -> None:
         """Release the evaluator's worker pool (no-op for session views)."""
         self.evaluator.close()
+
+    def cache_counters(self) -> dict:
+        """Phase-engine cache efficacy across this optimizer's searches.
+
+        ``phase_hits`` counts engine runs answered from the per-context
+        result cache (parent- and worker-side), ``phase_misses`` the runs
+        actually simulated — the redundancy factor the batched evaluator
+        eliminates relative to one-engine-run-per-candidate.
+        """
+        stats = self.evaluator.stats
+        return {
+            "phase_hits": stats.phase_hits,
+            "phase_misses": stats.phase_misses,
+        }
 
     def __enter__(self) -> "MappingOptimizer":
         return self

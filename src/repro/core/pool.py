@@ -150,13 +150,18 @@ class TaskKeyedPool:
         with self._lock:
             self._ensure_pool()
 
-    def submit(self, key: str, items: Sequence[Any]) -> PoolTicket:
+    def submit(
+        self, key: str, items: Sequence[Any], *, chunksize: int | None = None
+    ) -> PoolTicket:
         """Enqueue ``fn(ctx_of(key), item)`` for each item; non-blocking.
 
         Returns a :class:`PoolTicket` whose ``wait()`` yields the ordered
         results.  ``key`` must have been :meth:`register`-ed first.
         Thread-safe: batches submitted from different threads interleave
         over the same worker processes at chunk granularity.
+        ``chunksize`` overrides the pool default for this batch — callers
+        submitting pre-packed item groups pass ``1`` so each group is its
+        own scheduling quantum.
         """
         with self._lock:
             path = self._registered.get(key)
@@ -167,17 +172,19 @@ class TaskKeyedPool:
             async_result = pool.map_async(
                 functools.partial(_dispatch, self.fn),
                 tasks,
-                chunksize=self.chunksize,
+                chunksize=self.chunksize if chunksize is None else chunksize,
             )
         return PoolTicket(async_result)
 
-    def map(self, key: str, items: Sequence[Any]) -> list[Any]:
+    def map(
+        self, key: str, items: Sequence[Any], *, chunksize: int | None = None
+    ) -> list[Any]:
         """Run ``fn(ctx_of(key), item)`` for each item, preserving order.
 
         Blocking form of :meth:`submit`; only this caller waits — other
         threads' submissions keep flowing through the shared pool.
         """
-        return self.submit(key, items).wait()
+        return self.submit(key, items, chunksize=chunksize).wait()
 
     def _ensure_pool(self):
         if self._pool is None:

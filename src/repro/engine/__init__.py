@@ -2,10 +2,12 @@
 
 from .gemm import GemmResult, GemmSpec, GemmTiling, simulate_gemm
 from .spmm import SpmmResult, SpmmSpec, SpmmTiling, simulate_spmm
+from .phasecache import PhaseEngineCache
 from .stats import OPERANDS, PhaseStats, merge_counts
 from .tilestats import StepGrids, TileStats, TileStatsRegistry
 
 __all__ = [
+    "PhaseEngineCache",
     "GemmResult",
     "GemmSpec",
     "GemmTiling",

@@ -84,7 +84,14 @@ _OUT_DIMS = frozenset({Dim.V, Dim.G})
 
 @dataclass
 class GemmResult:
-    """Engine output: a :class:`PhaseStats` plus granule decomposition."""
+    """Engine output: a :class:`PhaseStats` plus granule decomposition.
+
+    Instances may be shared across candidates via the
+    :class:`~repro.engine.phasecache.PhaseEngineCache`, so the
+    ``per_unit_cycles`` views are memoized per instance as read-only
+    arrays (cheap here — uniform fills — but it keeps every phase-mate
+    from re-allocating them).
+    """
 
     stats: PhaseStats
     spec: GemmSpec
@@ -92,6 +99,9 @@ class GemmResult:
     tiling: GemmTiling
     steps: dict[str, int]  # temporal trip count per dim name
     slowdown: float  # cycles / compute_steps (bandwidth stall factor)
+
+    def __post_init__(self) -> None:
+        self._views: dict = {}
 
     def per_unit_cycles(self, axis: str, col_extent: int | None = None) -> np.ndarray:
         """Cycles attributed to each intermediate row/column (uniform).
@@ -104,11 +114,19 @@ class GemmResult:
         """
         total = float(self.stats.cycles)
         if axis == "row":
-            return np.full(self.spec.rows, total / self.spec.rows)
-        if axis == "col":
+            key = ("unit", "row", None)
+            n = self.spec.rows
+        elif axis == "col":
             n = self.spec.inner if col_extent is None else col_extent
-            return np.full(n, total / n)
-        raise ValueError(f"unknown axis {axis!r}")
+            key = ("unit", "col", n)
+        else:
+            raise ValueError(f"unknown axis {axis!r}")
+        out = self._views.get(key)
+        if out is None:
+            out = np.full(n, total / n)
+            out.setflags(write=False)  # shared across candidates
+            self._views[key] = out
+        return out
 
     def granule_cycles(
         self,

@@ -25,7 +25,7 @@ import numpy as np
 
 OPERANDS = ("adj", "input", "intermediate", "weight", "output", "psum")
 
-__all__ = ["PhaseStats", "OPERANDS", "merge_counts"]
+__all__ = ["PhaseStats", "OPERANDS", "chunk_sums", "merge_counts"]
 
 
 def merge_counts(*dicts: dict[str, float]) -> dict[str, float]:
@@ -35,6 +35,28 @@ def merge_counts(*dicts: dict[str, float]) -> dict[str, float]:
         for k, v in d.items():
             out[k] = out.get(k, 0.0) + v
     return out
+
+
+def chunk_sums(values: np.ndarray, chunk: int) -> np.ndarray:
+    """Sum ``values`` in consecutive chunks of ``chunk`` (last may be short).
+
+    The granule-series building block shared by the engines' per-unit
+    views and :mod:`repro.core.granularity` (which re-exports it with
+    argument validation).  Hot path for batched composition: inputs are
+    usually float64 views already, so conversion is a no-op; and when the
+    chunk divides evenly there is nothing to pad — the input is reshaped
+    directly with no copy (reshape never mutates, so read-only shared
+    views are safe here).
+    """
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    arr = np.asarray(values)
+    if arr.dtype != np.float64:
+        arr = arr.astype(np.float64)
+    n = -(-len(arr) // chunk)
+    pad = n * chunk - len(arr)
+    padded = np.concatenate([arr, np.zeros(pad)]) if pad else arr
+    return padded.reshape(n, chunk).sum(axis=1)
 
 
 @dataclass

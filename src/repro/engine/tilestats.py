@@ -257,5 +257,11 @@ class TileStatsRegistry:
             self._by_digest[graph.pattern_digest] = stats
         return stats
 
+    def counters(self) -> tuple[int, int]:
+        """Aggregate ``(hits, misses)`` across every registered graph."""
+        hits = sum(stats.hits for stats in self._by_digest.values())
+        misses = sum(stats.misses for stats in self._by_digest.values())
+        return hits, misses
+
     def __len__(self) -> int:
         return len(self._by_digest)

@@ -298,6 +298,78 @@ class TestRunCampaign:
         assert second.stats["evaluated"] == 0
         assert [u.rows for u in second.units] == [u.rows for u in first.units]
 
+    def test_stats_sidecar_records_per_unit_deltas(self, tmp_path):
+        """Cache counters ride a sidecar as per-unit deltas: they sum to
+        the session totals, survive resume without double counting, and
+        the report/cache surfaces stay scheduling-invariant elsewhere."""
+        spec = tiny_spec()
+        ckpt_path = tmp_path / "c.ckpt.jsonl"
+        ckpt = CampaignCheckpoint(ckpt_path, spec.fingerprint())
+        report = run_campaign(spec, checkpoint=ckpt)
+        ckpt.close()
+
+        sidecar = CampaignCheckpoint.load_counters(
+            CampaignCheckpoint.stats_path_for(ckpt_path)
+        )
+        assert sidecar["spec_fingerprint"] == spec.fingerprint()
+        units = sidecar["units"]
+        assert set(units) == {"mutag@pes512", "citeseer@pes512"}
+        # Deltas sum to the live session's totals (report.cache).
+        for key in report.cache:
+            assert sum(u[key] for u in units.values()) == report.cache[key]
+        # Report stats stay free of the execution-accounting fields.
+        assert "phase_hits" not in report.stats
+        assert report.cache["phase_misses"] > 0
+
+        # A resumed campaign answers every unit from the checkpoint: the
+        # sidecar must not grow or double-count anything.
+        ckpt = CampaignCheckpoint(ckpt_path, spec.fingerprint())
+        again = run_campaign(spec, checkpoint=ckpt)
+        ckpt.close()
+        assert again.stats["evaluated"] == 0
+        resumed = CampaignCheckpoint.load_counters(
+            CampaignCheckpoint.stats_path_for(ckpt_path)
+        )
+        assert resumed["units"] == units
+
+    def test_stats_sidecar_pruned_with_restart_and_torn_units(self, tmp_path):
+        """Sidecar hygiene: --no-resume and a hand-deleted journal both
+        drop the stale sidecar; a unit the journal no longer vouches for
+        is pruned from disk on resume."""
+        spec = tiny_spec()
+        ckpt_path = tmp_path / "c.ckpt.jsonl"
+        ckpt = CampaignCheckpoint(ckpt_path, spec.fingerprint())
+        run_campaign(spec, checkpoint=ckpt)
+        ckpt.close()
+        stats_path = CampaignCheckpoint.stats_path_for(ckpt_path)
+        assert stats_path.exists()
+
+        # Drop the final journal line (as a kill-mid-append would): the
+        # resumed checkpoint must prune that unit's snapshot on disk.
+        lines = ckpt_path.read_bytes().splitlines(keepends=True)
+        ckpt_path.write_bytes(b"".join(lines[:-1]))
+        ckpt = CampaignCheckpoint(ckpt_path, spec.fingerprint())
+        pruned = CampaignCheckpoint.load_counters(stats_path)
+        assert set(pruned["units"]) == set(ckpt.done)
+        ckpt.close()
+
+        # A fresh journal (hand-deleted) must not inherit the sidecar.
+        ckpt_path.unlink()
+        ckpt = CampaignCheckpoint(ckpt_path, spec.fingerprint())
+        assert not stats_path.exists()
+        ckpt.close()
+
+        # --no-resume removes both files.
+        run_campaign(
+            spec,
+            checkpoint=CampaignCheckpoint(
+                ckpt_path, spec.fingerprint(), resume=True
+            ),
+        )
+        assert stats_path.exists()
+        CampaignCheckpoint(ckpt_path, spec.fingerprint(), resume=False)
+        assert not stats_path.exists()
+
     def test_lost_checkpoint_resumes_from_store_warm_cache(self, tmp_path):
         """A campaign killed mid-unit reruns the unit, but every persisted
         candidate is answered from disk: zero new cost-model runs."""

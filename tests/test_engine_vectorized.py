@@ -379,8 +379,12 @@ class TestPoolContextShipping:
             pool.register(key, (wl, hw, TileStats(wl.graph)))
             assert pool.registered_keys == frozenset({key})
             df, hint = paper_dataflow("SP1")
-            idx, result, error = pool.map(key, [(0, df, hint)])[0]
+            # Items are dispatch *groups* of (idx, df, spec) triples; each
+            # task returns its results plus phase-cache counter deltas.
+            results, hits, misses = pool.map(key, [[(0, df, hint)]])[0]
+            idx, result, error = results[0]
             assert idx == 0 and error is None and result.total_cycles > 0
+            assert (hits, misses) == (0, 0)  # no cache in this ctx blob
         assert pool.registered_keys == frozenset()  # close clears the spool
 
 
