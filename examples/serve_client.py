@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Script client for ``repro serve`` — query, assert, and measure.
+
+Fires dataset queries at a running dataflow-selection service, prints
+one line per answer, and optionally enforces serving-level guarantees
+(used by the CI smoke job):
+
+    # warm path: the campaign store already covers citeseer@512PEs
+    python examples/serve_client.py --url http://127.0.0.1:8077 \\
+        --dataset citeseer --repeat 3 --expect-source index --warm-under 100
+
+    # cold path: proteins is not in the store; the miss must persist
+    # records so the second round answers from the index
+    python examples/serve_client.py --url http://127.0.0.1:8077 \\
+        --dataset proteins --repeat 2 --assert-cold-persists \\
+        --histogram latency.json
+
+Stdlib only (urllib) — runs anywhere the server does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+_BUCKETS_MS = (1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0)
+
+
+def fetch(url: str, payload: dict | None = None, *, timeout: float) -> dict:
+    data = None if payload is None else json.dumps(payload).encode()
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def histogram(latencies: list[float]) -> dict:
+    counts = [0] * (len(_BUCKETS_MS) + 1)
+    for ms in latencies:
+        for i, edge in enumerate(_BUCKETS_MS):
+            if ms <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    labels = [f"<={edge:g}ms" for edge in _BUCKETS_MS] + [
+        f">{_BUCKETS_MS[-1]:g}ms"
+    ]
+    return dict(zip(labels, counts))
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--url", default="http://127.0.0.1:8077")
+    ap.add_argument("--dataset", action="append", default=[],
+                    help="dataset to query (repeatable; default citeseer)")
+    ap.add_argument("--objective", default=None,
+                    help="override the service's default objective")
+    ap.add_argument("--repeat", type=int, default=2,
+                    help="queries per dataset (default 2: cold then warm)")
+    ap.add_argument("--timeout", type=float, default=60.0)
+    ap.add_argument("--expect-source", choices=("index", "live", "degraded"),
+                    help="required source of each dataset's FIRST answer")
+    ap.add_argument("--warm-under", type=float, metavar="MS",
+                    help="each dataset's LAST answer must come from the "
+                         "index in under MS milliseconds")
+    ap.add_argument("--assert-cold-persists", action="store_true",
+                    help="require the run to persist new records "
+                         "(session 'persisted' counter must grow)")
+    ap.add_argument("--histogram", metavar="PATH",
+                    help="write a latency histogram JSON artifact")
+    args = ap.parse_args(argv)
+    datasets = args.dataset or ["citeseer"]
+
+    health = fetch(f"{args.url}/healthz", timeout=args.timeout)
+    print(f"service {health['name']!r}: "
+          f"{health['index_entries']} index entries")
+    before = fetch(f"{args.url}/stats", timeout=args.timeout)
+
+    failures: list[str] = []
+    latencies: list[float] = []
+    for dataset in datasets:
+        answers = []
+        for i in range(args.repeat):
+            payload: dict = {"dataset": dataset}
+            if args.objective:
+                payload["objective"] = args.objective
+            t0 = time.perf_counter()
+            try:
+                ans = fetch(f"{args.url}/query", payload, timeout=args.timeout)
+            except urllib.error.HTTPError as exc:
+                body = exc.read().decode(errors="replace")
+                failures.append(f"{dataset}#{i}: HTTP {exc.code} {body}")
+                break
+            wall_ms = (time.perf_counter() - t0) * 1000.0
+            answers.append(ans)
+            latencies.append(ans["latency_ms"])
+            print(f"{dataset}#{i}: {ans['source']:8s} {ans['dataflow']:28s} "
+                  f"evals={ans['evals']:<3d} score={ans['score']:.4g} "
+                  f"{ans['latency_ms']:.2f}ms (wall {wall_ms:.2f}ms)")
+        if not answers:
+            continue
+        if args.expect_source and answers[0]["source"] != args.expect_source:
+            failures.append(
+                f"{dataset}: first answer came from "
+                f"{answers[0]['source']!r}, expected {args.expect_source!r}"
+            )
+        if args.warm_under is not None:
+            last = answers[-1]
+            if last["source"] != "index" or last["evals"] != 0:
+                failures.append(f"{dataset}: final answer is not warm "
+                                f"(source={last['source']}, evals={last['evals']})")
+            elif last["latency_ms"] >= args.warm_under:
+                failures.append(f"{dataset}: warm latency "
+                                f"{last['latency_ms']:.2f}ms >= "
+                                f"{args.warm_under:g}ms")
+
+    after = fetch(f"{args.url}/stats", timeout=args.timeout)
+    grew = (after["session"]["persisted"] - before["session"]["persisted"])
+    print(f"stats: {after['queries']} queries, {after['index_hits']} hits, "
+          f"{after['live_searches']} live searches, +{grew} records persisted")
+    if args.assert_cold_persists and grew <= 0:
+        failures.append("no new records were persisted by this run")
+
+    if args.histogram:
+        artifact = {
+            "url": args.url,
+            "datasets": datasets,
+            "latencies_ms": latencies,
+            "histogram": histogram(latencies),
+        }
+        with open(args.histogram, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote latency histogram to {args.histogram}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

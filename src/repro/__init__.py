@@ -19,10 +19,27 @@ al., IPDPS 2022).  The library provides:
 - declarative **campaigns** (`CampaignSpec` -> `ExplorationSession` ->
   `CampaignReport`, see `repro.campaign`): multi-dataset / multi-hardware
   exploration through one shared worker pool and store-backed warm cache,
-  with checkpointed resume (`repro campaign run --spec FILE`).
+  with checkpointed resume (`repro campaign run --spec FILE`);
+- a **dataflow selection service** (`DataflowService`, `repro serve`):
+  per-(workload, hardware) Pareto fronts over persisted campaign records
+  answer "which dataflow for this graph?" with zero cost-model runs,
+  falling back to a budgeted live search on cold workloads
+  (see `repro.serving`).
+
+The blessed entry points live in :mod:`repro.api` and are re-exported
+here: :func:`evaluate`, :func:`sweep`, :func:`search`,
+:func:`run_campaign`, :func:`serve`, and
+:meth:`DataflowService.query <repro.serving.service.DataflowService.query>`.
+Every intentional failure is a :class:`~repro.errors.ReproError`
+subclass, so ``except ReproError`` is the one catch-all an embedding
+application needs.
 
 Quickstart::
 
+    import repro
+    print(repro.evaluate("citeseer", "PP_AC(VtFsNt, VsGsFt)").summary())
+
+    # equivalent, piece by piece:
     from repro import (AcceleratorConfig, load_dataset, parse_dataflow,
                        run_gnn_dataflow, workload_from_dataset)
     wl = workload_from_dataset(load_dataset("citeseer"))
@@ -31,6 +48,7 @@ Quickstart::
     print(run_gnn_dataflow(wl, df, hw).summary())
 """
 
+from .api import evaluate, run_campaign, search, serve, sweep
 from .arch import (
     AcceleratorConfig,
     DramModel,
@@ -46,7 +64,23 @@ from .campaign import (
     CandidateSource,
     ExplorationSession,
     HardwarePoint,
-    run_campaign,
+)
+from .errors import (
+    ApiUsageError,
+    BudgetExhausted,
+    CampaignError,
+    QueueFullError,
+    ReproError,
+    ServiceError,
+)
+from .serving import (
+    DataflowServer,
+    DataflowService,
+    ParetoIndex,
+    QueryResult,
+    ServeSpec,
+    SparsityFeatures,
+    graph_features,
 )
 from .core import (
     PAPER_CONFIGS,
@@ -103,6 +137,24 @@ from .graphs import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "evaluate",
+    "sweep",
+    "search",
+    "run_campaign",
+    "serve",
+    "ReproError",
+    "ApiUsageError",
+    "CampaignError",
+    "ServiceError",
+    "BudgetExhausted",
+    "QueueFullError",
+    "DataflowService",
+    "DataflowServer",
+    "QueryResult",
+    "ParetoIndex",
+    "ServeSpec",
+    "SparsityFeatures",
+    "graph_features",
     "AcceleratorConfig",
     "DramModel",
     "EnergyBreakdown",

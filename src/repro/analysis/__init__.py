@@ -11,7 +11,7 @@ from .report import (
 )
 from .export import read_records, record_to_json, run_result_to_record, write_records
 from .regression import Delta, RegressionReport, compare_records
-from .store import ResultStore
+from .store import ResultStore, StoreSnapshot
 from .studies import StudyRow, density_crossover_study, order_crossover_study, skew_study
 from .sweep import (
     SweepBaselineError,
@@ -47,6 +47,7 @@ __all__ = [
     "RegressionReport",
     "compare_records",
     "ResultStore",
+    "StoreSnapshot",
     "StudyRow",
     "density_crossover_study",
     "order_crossover_study",

@@ -45,12 +45,19 @@ import hashlib
 import json
 import os
 import threading
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterator, Mapping
 
 from .export import record_to_json
 
-__all__ = ["ResultStore", "read_jsonl_healing", "INDEX_SCHEMA"]
+__all__ = [
+    "ResultStore",
+    "StoreSnapshot",
+    "read_jsonl_healing",
+    "INDEX_SCHEMA",
+]
 
 INDEX_SCHEMA = 1
 
@@ -136,6 +143,33 @@ def _scan_jsonl(
         entries.append((offset, len(line) + 1, record))
         offset += len(line) + 1
     return entries, offset
+
+
+@dataclass(frozen=True)
+class StoreSnapshot:
+    """An immutable read-only view of a store taken at one instant.
+
+    Produced by :meth:`ResultStore.snapshot` — see its docstring for the
+    concurrent-reader contract.  ``covered_bytes`` is the archive byte
+    cursor the snapshot's records account for; feed the whole snapshot
+    back as ``since=`` to refresh incrementally.  ``age()`` measures how
+    stale the view is, which is what a serving index's ``max_staleness``
+    knob compares against.
+    """
+
+    path: Path
+    records: list  # first-occurrence order, fingerprint-deduped
+    fingerprints: frozenset
+    errors: dict = field(default_factory=dict)  # error-sidecar entries
+    covered_bytes: int = 0
+    taken_at: float = 0.0
+
+    def age(self, now: float | None = None) -> float:
+        """Seconds since this snapshot was taken."""
+        return (time.time() if now is None else now) - self.taken_at
+
+    def __len__(self) -> int:
+        return len(self.records)
 
 
 class ResultStore:
@@ -590,6 +624,93 @@ class ResultStore:
         out["records"] = len(fingerprints)
         out["unit_counts"] = counts
         return out
+
+    @classmethod
+    def snapshot(
+        cls, path: str | Path, *, since: "StoreSnapshot | None" = None
+    ) -> "StoreSnapshot":
+        """Lock-free, read-only snapshot of a store's record *contents*.
+
+        The read-side contract for attaching to a store that a running
+        campaign is still appending to (``repro serve`` over a live
+        campaign store):
+
+        - **never writes, heals, truncates, or locks anything** — the
+          appending writer owns the files, and this reader touches only
+          bytes;
+        - an **in-flight final line** (torn, or simply not yet
+          newline-terminated) is left out of the snapshot *and* out of
+          its byte cursor, so the next snapshot re-reads it once the
+          writer finishes the append;
+        - the result is a **consistent prefix**: every record whose
+          newline had landed on disk when the scan passed it, first
+          fingerprint occurrence winning, in append order — exactly what
+          a resuming ``ResultStore`` open would adopt for those bytes;
+        - passing the previous snapshot as ``since`` makes the refresh
+          **incremental**: only bytes appended after ``since`` are
+          parsed (O(changed records)), with the earlier records shared,
+          not copied.  A shrunk or replaced archive (size below the old
+          cursor) falls back to a full re-read automatically.
+
+        Returns an empty snapshot when the path does not exist yet.
+        """
+        path = Path(path)
+        taken_at = time.time()
+        records: list[dict] = []
+        fingerprints: set[str] = set()
+        errors: dict[str, str] = {}
+        start = 0
+        if since is not None and Path(since.path) == path:
+            try:
+                if path.stat().st_size >= since.covered_bytes:
+                    records = list(since.records)
+                    fingerprints = set(since.fingerprints)
+                    start = since.covered_bytes
+            except OSError:
+                pass
+        covered = start
+        if path.exists():
+            with path.open("rb") as fh:
+                fh.seek(start)
+                data = fh.read()
+            offset = start
+            for line in data.split(b"\n")[:-1]:
+                # Iterating only newline-terminated lines: whatever sits
+                # after the final "\n" is the writer's append in flight.
+                nbytes = len(line) + 1
+                if line.strip():
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        break  # torn/foreign bytes: stop at the last good record
+                    fp = cls.record_fingerprint(record)
+                    if fp not in fingerprints:
+                        fingerprints.add(fp)
+                        records.append(record)
+                offset += nbytes
+                covered = offset
+        errors_path = path.with_name(path.stem + ".errors.jsonl")
+        if errors_path.exists():
+            with errors_path.open("rb") as fh:
+                for line in fh.read().split(b"\n")[:-1]:
+                    if not line.strip():
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except json.JSONDecodeError:
+                        break
+                    if entry.get("fingerprint"):
+                        errors.setdefault(
+                            str(entry["fingerprint"]), str(entry.get("error", ""))
+                        )
+        return StoreSnapshot(
+            path=path,
+            records=records,
+            fingerprints=frozenset(fingerprints),
+            errors=errors,
+            covered_bytes=covered,
+            taken_at=taken_at,
+        )
 
     # ------------------------------------------------------------------
     # Compaction

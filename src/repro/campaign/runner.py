@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ..analysis.store import read_jsonl_healing
+from ..errors import CampaignError
 from . import scheduler as _scheduler
 from .report import CampaignReport, UnitResult
 from .scheduler import CampaignScheduler
@@ -48,9 +49,13 @@ __all__ = [
 CHECKPOINT_SCHEMA = 1
 
 
-class CampaignResumeError(RuntimeError):
+class CampaignResumeError(CampaignError, RuntimeError):
     """A checkpoint exists but cannot drive this campaign (spec drifted,
-    or the file is corrupt beyond a torn final append)."""
+    or the file is corrupt beyond a torn final append).
+
+    A :class:`~repro.errors.CampaignError` (so ``except ReproError``
+    catches it) that stays a ``RuntimeError`` for historical call sites.
+    """
 
 
 class CampaignCheckpoint:

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ..arch.config import AcceleratorConfig
+from ..errors import CampaignError
 from ..graphs.datasets import dataset_names
 
 __all__ = [
@@ -29,8 +30,12 @@ __all__ = [
 ]
 
 
-class CampaignSpecError(ValueError):
-    """A campaign spec failed validation (unknown dataset, bad source, ...)."""
+class CampaignSpecError(CampaignError, ValueError):
+    """A campaign spec failed validation (unknown dataset, bad source, ...).
+
+    A :class:`~repro.errors.CampaignError` (so ``except ReproError``
+    catches it) that stays a ``ValueError`` for historical call sites.
+    """
 
 
 def unit_key(dataset: str, pt: "HardwarePoint") -> str:

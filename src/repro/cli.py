@@ -6,6 +6,7 @@ Subcommands
 ``sweep``      all Table V configurations on one or all datasets (Fig. 11)
 ``search``     mapping optimizer (paper §VI)
 ``campaign``   spec-driven multi-dataset / multi-hardware exploration
+``serve``      dataflow selection service over campaign stores (JSON/HTTP)
 ``store``      maintain result stores (compaction, offset-index rebuild)
 ``golden``     regenerate or drift-check the golden regression records
 ``enumerate``  design-space counts (Table II's 6,656)
@@ -32,6 +33,7 @@ Examples::
     python -m repro campaign run --spec examples/campaign_table5.json
     python -m repro campaign run --spec spec.json --workers 4 --overlap
     python -m repro campaign status --spec examples/campaign_table5.json
+    python -m repro serve --spec examples/serve_citeseer.json
     python -m repro store compact runs/table5-mini.jsonl
     python -m repro golden --check
     python -m repro enumerate
@@ -44,14 +46,13 @@ import json
 import sys
 from typing import Sequence
 
+from . import api
 from .arch.config import AcceleratorConfig
 from .analysis.report import format_table, gb_breakdown_row
 from .analysis.store import ResultStore
 from .campaign import (
     CampaignCheckpoint,
     CampaignSpec,
-    CandidateSource,
-    HardwarePoint,
     campaign_units,
     run_campaign,
 )
@@ -203,6 +204,26 @@ def build_parser() -> argparse.ArgumentParser:
                 help="units running at once under --overlap (default 8)",
             )
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="dataflow selection service over campaign stores (JSON/HTTP)",
+    )
+    p_serve.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="serve spec file (.json) — stores, objective, limits",
+    )
+    p_serve.add_argument(
+        "--host", default=None, help="override the spec's bind host"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=None,
+        help="override the spec's port (0 = pick a free port)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="override the spec's live-search worker processes",
+    )
+
     p_store = sub.add_parser(
         "store", help="maintain result stores (compaction, offset index)"
     )
@@ -304,25 +325,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _hw_point_from_args(args: argparse.Namespace) -> HardwarePoint:
-    return HardwarePoint(
-        num_pes=args.pes, bandwidth=args.bandwidth, gb_kib=args.gb_kib
-    )
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    # One-shot campaign spec: same records and output as the historical
-    # per-dataset loop, but routed through a shared exploration session.
-    targets = [args.dataset] if args.dataset else dataset_names()
-    spec = CampaignSpec(
-        name="sweep",
-        datasets=targets,
-        source=CandidateSource("table5"),
-        hardware=[_hw_point_from_args(args)],
-        seed=args.seed,
-    )
+    # One-shot campaign under the hood; spec-building lives in the api
+    # façade so library callers and this subcommand share one code path.
     store = _make_store(args)
-    report = run_campaign(spec, workers=args.workers, store=store)
+    report = api.sweep(
+        args.dataset or None,
+        num_pes=args.pes,
+        bandwidth=args.bandwidth,
+        gb_kib=args.gb_kib,
+        seed=args.seed,
+        workers=args.workers,
+        store=store,
+    )
     table: list[list[object]] = []
     payload: dict = {}
     for unit in report.units:
@@ -353,20 +368,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    # One-shot campaign spec: the Table V baseline and the exhaustive
-    # search share one evaluator, so both draw from the same memo and
-    # stream to the same store (which warm-starts a repeated search).
-    spec = CampaignSpec(
-        name=f"search-{args.dataset}",
-        datasets=[args.dataset],
-        source=CandidateSource("exhaustive"),
-        hardware=[_hw_point_from_args(args)],
+    # One-shot campaign via the api façade: the Table V baseline and the
+    # exhaustive search share one evaluator, so both draw from the same
+    # memo and stream to the same store (which warm-starts a repeat).
+    store = _make_store(args)
+    report = api.search(
+        args.dataset,
         objective=args.objective,
         budget=args.budget,
+        num_pes=args.pes,
+        bandwidth=args.bandwidth,
+        gb_kib=args.gb_kib,
         seed=args.seed,
+        workers=args.workers,
+        store=store,
     )
-    store = _make_store(args)
-    report = run_campaign(spec, workers=args.workers, store=store)
     if store is not None:
         store.close()
     row = report.units[0].rows[0]
@@ -621,6 +637,35 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serving import ServeSpec, ServeSpecError, serve
+
+    try:
+        spec = ServeSpec.load(args.spec)
+    except FileNotFoundError:
+        raise SystemExit(f"spec file not found: {args.spec}")
+    except ServeSpecError as exc:
+        raise SystemExit(f"invalid serve spec {args.spec}: {exc}")
+    if args.host is not None:
+        spec.host = args.host
+    if args.port is not None:
+        spec.port = args.port
+    if args.workers is not None:
+        spec.workers = args.workers
+
+    def ready(server) -> None:
+        # One flushed, parseable line: script clients (CI smoke) block on
+        # it to learn the bound port before firing queries.
+        print(
+            f"serving {spec.name!r} on http://{server.host}:{server.port} "
+            f"({len(server.service.index)} index entries)",
+            flush=True,
+        )
+
+    serve(spec, ready=ready)
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -830,6 +875,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "search": _cmd_search,
     "campaign": _cmd_campaign,
+    "serve": _cmd_serve,
     "store": _cmd_store,
     "golden": _cmd_golden,
     "enumerate": _cmd_enumerate,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 
 
+from ..errors import ReproError
 from .taxonomy import (
     Annot,
     Dataflow,
@@ -45,8 +46,13 @@ __all__ = [
 ]
 
 
-class LegalityError(ValueError):
-    """Raised when a dataflow violates the taxonomy's composition rules."""
+class LegalityError(ReproError, ValueError):
+    """Raised when a dataflow violates the taxonomy's composition rules.
+
+    Doubly based: :class:`~repro.errors.ReproError` so API consumers can
+    catch the library's one root, ``ValueError`` for the historical
+    ``except ValueError`` call sites.
+    """
 
 
 def intermediate_axes(

@@ -1,0 +1,32 @@
+"""Dataflow selection as a service.
+
+Turns persisted exploration results into an online answering layer: a
+:class:`~repro.serving.index.ParetoIndex` of per-(workload, hardware)
+Pareto fronts, a :class:`~repro.serving.service.DataflowService` that
+answers queries from the index (zero cost-model runs) or a budgeted live
+search, and an asyncio front-end (:mod:`repro.serving.frontend`) behind
+``repro serve``.
+"""
+
+from .features import SparsityFeatures, feature_distance, graph_features
+from .frontend import DataflowServer, serve
+from .index import IndexEntry, Lookup, ParetoIndex, record_hw_key, record_score
+from .service import DataflowService, QueryResult
+from .spec import ServeSpec, ServeSpecError
+
+__all__ = [
+    "SparsityFeatures",
+    "feature_distance",
+    "graph_features",
+    "IndexEntry",
+    "Lookup",
+    "ParetoIndex",
+    "record_hw_key",
+    "record_score",
+    "DataflowService",
+    "QueryResult",
+    "DataflowServer",
+    "serve",
+    "ServeSpec",
+    "ServeSpecError",
+]

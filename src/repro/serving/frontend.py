@@ -1,0 +1,348 @@
+"""Asyncio front-end for the dataflow service (``repro serve``).
+
+A deliberately minimal JSON-over-HTTP server on stdlib asyncio alone —
+no web framework enters the dependency set.  The protocol surface is
+three routes:
+
+- ``POST /query`` — body names a workload (a registered ``dataset``, or
+  an inline ``graph`` as ``{"num_vertices": N, "edges": [[src, dst],
+  ...]}`` plus ``in_features``/``out_features``) and optionally hardware
+  (``num_pes``, ``bandwidth``, ``gb_kib``) and an ``objective``.
+  Answers with the chosen dataflow plus full provenance
+  (:meth:`~repro.serving.service.QueryResult.to_dict`) and the
+  server-side ``latency_ms``.
+- ``GET /healthz`` — liveness plus index shape.
+- ``GET /stats`` — the service's counter snapshot plus front-end
+  accounting (requests, shed, timeouts).
+
+Concurrency model: the event loop parses requests and owns the
+admission counter; each admitted query runs ``service.query`` on a
+worker thread (``asyncio.to_thread``) so the loop keeps accepting while
+the cost model runs, and all threads share the service's one warm
+session.  Backpressure is explicit — beyond ``max_queue`` in-flight
+queries new ones are shed with 503 (:class:`~repro.errors.QueueFullError`
+semantics), and each query is bounded by ``timeout`` seconds (504, the
+search keeps running server-side and warms the index for the retry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any
+
+from ..errors import BudgetExhausted, ReproError, ServiceError
+from ..graphs.csr import CSRGraph
+from .service import DataflowService
+from .spec import ServeSpec
+
+__all__ = ["DataflowServer", "serve"]
+
+_MAX_BODY = 32 * 1024 * 1024  # inline graphs can be large; bound them
+
+
+class _BadRequest(ServiceError):
+    """Maps to HTTP 400 (malformed body, unknown dataset, ...)."""
+
+
+class DataflowServer:
+    """One listening front-end over one :class:`DataflowService`."""
+
+    def __init__(
+        self,
+        service: DataflowService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8077,
+        timeout: float = 30.0,
+        max_queue: int = 16,
+        name: str = "repro-serve",
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_queue = max_queue
+        self.name = name
+        self._server: asyncio.AbstractServer | None = None
+        # Touched only from the event loop: admission needs no lock.
+        self._inflight = 0
+        self.requests = 0
+        self.shed = 0
+        self.timeouts = 0
+        self._graphs: dict[tuple[str, int], Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (``port=0`` picks a free port, which
+        :attr:`port` then reflects — what the tests and CI client use)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, target, body = await self._read_request(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        except _BadRequest as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        self.requests += 1
+        try:
+            if method == "GET" and target == "/healthz":
+                await self._respond(writer, 200, self._health())
+            elif method == "GET" and target == "/stats":
+                await self._respond(writer, 200, self._stats())
+            elif method == "POST" and target == "/query":
+                await self._query(writer, body)
+            else:
+                await self._respond(
+                    writer, 404, {"error": f"no route {method} {target}"}
+                )
+        except _BadRequest as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+        except BudgetExhausted as exc:
+            await self._respond(writer, 503, {"error": str(exc)})
+        except ReproError as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive 500
+            await self._respond(
+                writer, 500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise _BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            key, _, value = line.decode("latin-1").partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest("bad Content-Length") from None
+        if length > _MAX_BODY:
+            raise _BadRequest(f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    @staticmethod
+    async def _respond(
+        writer: asyncio.StreamWriter, status: int, payload: dict
+    ) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  500: "Internal Server Error", 503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "OK")
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _health(self) -> dict:
+        return {
+            "ok": True,
+            "name": self.name,
+            "index_entries": len(self.service.index),
+            "inflight": self._inflight,
+        }
+
+    def _stats(self) -> dict:
+        return {
+            **self.service.stats(),
+            "frontend": {
+                "requests": self.requests,
+                "shed": self.shed,
+                "timeouts": self.timeouts,
+                "inflight": self._inflight,
+            },
+        }
+
+    async def _query(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        if self._inflight >= self.max_queue:
+            self.shed += 1
+            await self._respond(
+                writer,
+                503,
+                {"error": f"queue full ({self.max_queue} queries in flight)"},
+            )
+            return
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        kwargs = self._query_kwargs(payload)
+        self._inflight += 1
+        start = time.perf_counter()
+        try:
+            result = await asyncio.wait_for(
+                asyncio.to_thread(self.service.query, **kwargs),
+                timeout=self.timeout,
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            self.timeouts += 1
+            await self._respond(
+                writer,
+                504,
+                {"error": f"query exceeded {self.timeout}s "
+                          "(the search continues warming the index; retry)"},
+            )
+            return
+        finally:
+            self._inflight -= 1
+        answer = result.to_dict()
+        answer["latency_ms"] = (time.perf_counter() - start) * 1e3
+        await self._respond(writer, 200, answer)
+
+    def _query_kwargs(self, payload: dict) -> dict:
+        """Translate a request body into ``DataflowService.query`` args."""
+        from ..campaign.spec import HardwarePoint
+
+        dataset = payload.get("dataset")
+        inline = payload.get("graph")
+        if (dataset is None) == (inline is None):
+            raise _BadRequest(
+                "provide exactly one of 'dataset' or 'graph' in the body"
+            )
+        if dataset is not None:
+            graph, f_default, g_default, name = self._dataset_graph(
+                str(dataset)
+            )
+        else:
+            graph, name = self._inline_graph(inline), payload.get("name")
+            f_default = g_default = None
+        in_features = payload.get("in_features", f_default)
+        out_features = payload.get("out_features", g_default)
+        if in_features is None or out_features is None:
+            raise _BadRequest(
+                "inline graphs need explicit 'in_features' and 'out_features'"
+            )
+        hw_fields = {
+            k: payload[k]
+            for k in ("num_pes", "bandwidth", "gb_kib", "label")
+            if payload.get(k) is not None
+        }
+        try:
+            hw = HardwarePoint.from_dict(hw_fields) if hw_fields else None
+        except ValueError as exc:
+            raise _BadRequest(str(exc)) from exc
+        return {
+            "graph": graph,
+            "in_features": int(in_features),
+            "out_features": int(out_features),
+            "hw": hw,
+            "objective": payload.get("objective"),
+            "name": name,
+        }
+
+    def _dataset_graph(self, dataset: str):
+        from ..graphs.datasets import DATASETS, load_dataset
+
+        key = dataset.lower()
+        if key not in DATASETS:
+            raise _BadRequest(
+                f"unknown dataset {dataset!r}; known: {sorted(DATASETS)}"
+            )
+        cache_key = (key, self.service.seed)
+        cached = self._graphs.get(cache_key)
+        if cached is None:
+            ds = load_dataset(key, seed=self.service.seed)
+            cached = (ds.graph, ds.num_features, ds.hidden)
+            self._graphs[cache_key] = cached
+        graph, f, g = cached
+        return graph, f, g, key
+
+    @staticmethod
+    def _inline_graph(inline: Any) -> CSRGraph:
+        if not isinstance(inline, dict) or "edges" not in inline:
+            raise _BadRequest(
+                "'graph' must be {'num_vertices': N, 'edges': [[src, dst], ...]}"
+            )
+        try:
+            num_vertices = int(inline["num_vertices"])
+            edges = [(int(s), int(d)) for s, d in inline["edges"]]
+            return CSRGraph.from_edges(
+                num_vertices, edges, name=str(inline.get("name", ""))
+            )
+        except _BadRequest:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _BadRequest(f"bad inline graph: {exc}") from exc
+
+
+async def _run(spec: ServeSpec, *, ready=None) -> None:
+    service = spec.build_service()
+    try:
+        server = DataflowServer(
+            service,
+            host=spec.host,
+            port=spec.port,
+            timeout=spec.timeout,
+            max_queue=spec.max_queue,
+            name=spec.name,
+        )
+        await server.start()
+        if ready is not None:
+            ready(server)
+        await server.serve_forever()
+    finally:
+        service.close()
+
+
+def serve(spec: ServeSpec, *, ready=None) -> None:
+    """Run a serving deployment until interrupted (the CLI entry point).
+
+    ``ready`` (optional) is called with the bound :class:`DataflowServer`
+    once the socket is listening — how tests and the CI smoke client
+    learn the actual port when the spec asks for ``port=0``.
+    """
+    try:
+        asyncio.run(_run(spec, ready=ready))
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,134 @@
+"""Tests for the consolidated public API façade (`repro.api`)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import api
+from repro.analysis.store import ResultStore
+from repro.campaign.spec import CampaignSpec
+from repro.core.workload import workload_from_dataset
+from repro.errors import ReproError
+from repro.graphs.datasets import load_dataset
+
+
+class TestTopLevelSurface:
+    def test_blessed_names_are_reexported(self):
+        for name in api.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+            assert name in repro.__all__
+
+    def test_run_campaign_is_the_api_facade(self):
+        # The top-level name must be the flexible façade (accepts dicts
+        # and paths), not the lower-level campaign.runner entry point.
+        assert repro.run_campaign is api.run_campaign
+
+    def test_errors_catchable_from_top_level(self):
+        with pytest.raises(repro.ReproError):
+            repro.evaluate("no-such-dataset", "SP1")
+
+
+class TestEvaluate:
+    def test_by_dataset_name_and_config_name(self):
+        res = repro.evaluate("mutag", "SP1")
+        assert res.total_cycles > 0
+        assert res.summary()["workload"] == "mutag"
+
+    def test_by_notation(self):
+        res = repro.evaluate("mutag", "PP_AC(VtFsNt, VsGsFt)")
+        assert res.total_cycles > 0
+
+    def test_accepts_loaded_dataset_and_workload(self):
+        ds = load_dataset("mutag")
+        by_ds = repro.evaluate(ds, "SP1")
+        by_wl = repro.evaluate(workload_from_dataset(ds), "SP1")
+        by_name = repro.evaluate("mutag", "SP1")
+        assert by_ds.total_cycles == by_wl.total_cycles == by_name.total_cycles
+
+    def test_dataflow_object_passthrough(self):
+        from repro.core.taxonomy import parse_dataflow
+
+        df = parse_dataflow("Seq_AC(VxFxNx, VxGxFx)")
+        assert repro.evaluate("mutag", df).total_cycles > 0
+
+    def test_hardware_knobs(self):
+        small = repro.evaluate("mutag", "SP1", num_pes=64)
+        large = repro.evaluate("mutag", "SP1", num_pes=512)
+        assert small.total_cycles >= large.total_cycles
+
+    def test_bad_notation_raises_repro_error(self):
+        with pytest.raises(ReproError):
+            repro.evaluate("mutag", "XX_YY(bogus)")
+
+
+class TestSweep:
+    def test_single_dataset_rows(self):
+        report = repro.sweep("mutag")
+        (unit,) = report.units
+        assert len(unit.rows) == 9  # the Table V configurations
+
+    def test_list_of_datasets(self):
+        report = repro.sweep(["mutag", "citeseer"])
+        assert {u.dataset for u in report.units} == {"mutag", "citeseer"}
+
+    def test_store_path_persists_records(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        repro.sweep("mutag", store=path)
+        snap = ResultStore.snapshot(path)
+        assert len(snap) == 9
+        assert all(r["dataset"] == "mutag" for r in snap.records)
+
+    def test_matches_cli_code_path(self):
+        # The façade must agree with direct evaluation of one config.
+        report = repro.sweep("mutag")
+        (unit,) = report.units
+        by_config = {row["config"]: row["cycles"] for row in unit.rows}
+        assert by_config["SP1"] == repro.evaluate("mutag", "SP1").total_cycles
+
+
+class TestSearch:
+    def test_budgeted_search_report(self):
+        report = repro.search("mutag", budget=20)
+        (unit,) = report.units
+        (row,) = unit.rows
+        assert row["evaluated"] <= 20
+        assert row["search_score"] <= row["paper_best"][1]
+        assert row["top5"]
+
+    def test_objective_validation(self):
+        with pytest.raises(ReproError):
+            repro.search("mutag", objective="latency", budget=5)
+
+
+class TestRunCampaign:
+    def spec_dict(self, **over) -> dict:
+        return {
+            "name": "api-camp",
+            "datasets": ["mutag"],
+            "source": {"kind": "table5"},
+            **over,
+        }
+
+    def test_accepts_mapping(self):
+        report = repro.run_campaign(self.spec_dict())
+        assert report.units and report.units[0].dataset == "mutag"
+
+    def test_accepts_spec_object_and_path(self, tmp_path):
+        spec = CampaignSpec.from_dict(self.spec_dict())
+        by_obj = repro.run_campaign(spec)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        by_path = repro.run_campaign(path)
+        assert [u.rows for u in by_obj.units] == [u.rows for u in by_path.units]
+
+    def test_store_path_opened_and_closed(self, tmp_path):
+        store_path = tmp_path / "camp.jsonl"
+        repro.run_campaign(self.spec_dict(), store=store_path)
+        # Closed on return: a fresh resume-open sees every record.
+        with ResultStore(store_path) as store:
+            assert len(store) == 9
+
+    def test_bad_spec_raises_repro_error(self):
+        with pytest.raises(ReproError):
+            repro.run_campaign({"name": "x"})  # no datasets

@@ -77,3 +77,81 @@ def test_multilayer_gcn():
 def test_mapping_search_fast_args():
     out = run_example("mapping_search.py", "mutag", "cycles")
     assert "search gain" in out
+
+
+def test_serve_client(tmp_path):
+    """End to end: a served store answers the script client's warm check,
+    and a cold dataset persists records (the CI smoke, in miniature)."""
+    import asyncio
+    import threading
+
+    sys.path.insert(0, str(SRC))
+    try:
+        from repro import api
+        from repro.serving import DataflowServer, ServeSpec
+    finally:
+        sys.path.pop(0)
+
+    campaign_store = tmp_path / "campaign.jsonl"
+    api.sweep("citeseer", store=campaign_store)
+
+    spec = ServeSpec(
+        name="example-test",
+        store=str(tmp_path / "serving.jsonl"),
+        attach=[str(campaign_store)],
+        live_budget=9,
+        port=0,
+    )
+    service = spec.build_service()
+    server = DataflowServer(service, host=spec.host, port=0,
+                            timeout=spec.timeout, max_queue=spec.max_queue,
+                            name=spec.name)
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+
+    def run_server():
+        asyncio.set_event_loop(loop)
+
+        async def main():
+            await server.start()
+            started.set()
+            await server.serve_forever()
+
+        try:
+            loop.run_until_complete(main())
+        except asyncio.CancelledError:
+            pass
+
+    thread = threading.Thread(target=run_server, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30), "server failed to start"
+    url = f"http://{server.host}:{server.port}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
+    try:
+        hist = tmp_path / "latency.json"
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "serve_client.py"),
+             "--url", url, "--dataset", "citeseer", "--repeat", "2",
+             "--expect-source", "index", "--warm-under", "5000",
+             "--histogram", str(hist)],
+            capture_output=True, text=True, timeout=300, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "index" in proc.stdout
+        assert hist.exists()
+
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "serve_client.py"),
+             "--url", url, "--dataset", "mutag", "--repeat", "2",
+             "--expect-source", "live", "--assert-cold-persists"],
+            capture_output=True, text=True, timeout=300, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        service.close()

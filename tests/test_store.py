@@ -475,3 +475,133 @@ class TestErrorSidecarWarmIntegration:
                 assert not out2.ok and out2.error == out.error
                 assert second.stats.evaluated == 0
                 assert second.stats.warm_hits == 1
+
+
+class TestSnapshot:
+    def test_missing_path_gives_empty_snapshot(self, tmp_path):
+        snap = ResultStore.snapshot(tmp_path / "nope.jsonl")
+        assert len(snap) == 0
+        assert snap.covered_bytes == 0
+        assert snap.fingerprints == frozenset()
+
+    def test_snapshot_matches_store_contents(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.extend([rec(1), rec(2), rec(3)])
+        snap = ResultStore.snapshot(path)
+        assert [r["fingerprint"] for r in snap.records] == ["fp1", "fp2", "fp3"]
+        assert snap.fingerprints == {"fp1", "fp2", "fp3"}
+        assert snap.covered_bytes == path.stat().st_size
+
+    def test_snapshot_dedups_like_a_resume(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps(rec(1)) + "\n")
+            fh.write(json.dumps(rec(1, cycles=999)) + "\n")  # dup fingerprint
+            fh.write(json.dumps(rec(2)) + "\n")
+        snap = ResultStore.snapshot(path)
+        assert [r["cycles"] for r in snap.records] == [101, 102]
+
+    def test_inflight_final_line_excluded_then_picked_up(self, tmp_path):
+        """A torn (un-terminated) trailing line is invisible to the
+        snapshot and excluded from its cursor, so the incremental refresh
+        reads it exactly once after the writer's newline lands."""
+        path = tmp_path / "r.jsonl"
+        full = json.dumps(rec(1)) + "\n"
+        partial = json.dumps(rec(2))[:10]  # writer mid-append
+        path.write_text(full + partial)
+
+        snap = ResultStore.snapshot(path)
+        assert [r["fingerprint"] for r in snap.records] == ["fp1"]
+        assert snap.covered_bytes == len(full.encode())
+
+        # The writer finishes the append.
+        path.write_text(full + json.dumps(rec(2)) + "\n")
+        fresh = ResultStore.snapshot(path, since=snap)
+        assert [r["fingerprint"] for r in fresh.records] == ["fp1", "fp2"]
+        assert fresh.covered_bytes == path.stat().st_size
+
+    def test_incremental_refresh_shares_prefix(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.extend([rec(1), rec(2)])
+        snap = ResultStore.snapshot(path)
+        store.extend([rec(3), rec(4)])
+        fresh = ResultStore.snapshot(path, since=snap)
+        store.close()
+        # New records are exactly the suffix past the old snapshot.
+        assert [r["fingerprint"] for r in fresh.records[len(snap.records):]] == [
+            "fp3", "fp4",
+        ]
+        # Prefix record objects are shared, not re-parsed copies.
+        assert fresh.records[0] is snap.records[0]
+
+    def test_shrunk_archive_falls_back_to_full_reread(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.extend([rec(1), rec(2), rec(3)])
+        snap = ResultStore.snapshot(path)
+        # Archive replaced by a shorter one (compaction, manual edit).
+        path.write_text(json.dumps(rec(9)) + "\n")
+        fresh = ResultStore.snapshot(path, since=snap)
+        assert [r["fingerprint"] for r in fresh.records] == ["fp9"]
+
+    def test_snapshot_sees_error_sidecar(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with ResultStore(path) as store:
+            store.append(rec(1))
+            store.record_error("fpbad", "illegal tiling")
+        snap = ResultStore.snapshot(path)
+        assert snap.errors == {"fpbad": "illegal tiling"}
+
+    def test_reader_never_writes_while_attached(self, tmp_path):
+        """The read-only contract: snapshotting a live store must not
+        modify any file the writer owns."""
+        path = tmp_path / "r.jsonl"
+        store = ResultStore(path)
+        store.append(rec(1))
+        before = {
+            p.name: p.stat().st_mtime_ns for p in tmp_path.iterdir()
+        }
+        ResultStore.snapshot(path)
+        after = {p.name: p.stat().st_mtime_ns for p in tmp_path.iterdir()}
+        store.close()
+        assert after == before
+
+    def test_concurrent_writer_and_snapshot_readers(self, tmp_path):
+        """A snapshot taken at any instant while a writer is appending is
+        a consistent prefix: parseable, deduped, append-ordered, and never
+        longer than what the writer has finished."""
+        import threading
+
+        path = tmp_path / "r.jsonl"
+        total = 300
+        snaps = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                snaps.append(ResultStore.snapshot(path))
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            with ResultStore(path) as store:
+                for i in range(total):
+                    store.append(rec(i, payload="x" * (i % 37)))
+        finally:
+            stop.set()
+            t.join()
+
+        final = ResultStore.snapshot(path)
+        assert [r["fingerprint"] for r in final.records] == [
+            f"fp{i}" for i in range(total)
+        ]
+        assert snaps, "reader thread never ran"
+        for snap in snaps:
+            n = len(snap.records)
+            assert n <= total
+            # Every snapshot is a prefix of the final append order.
+            assert [r["fingerprint"] for r in snap.records] == [
+                f"fp{i}" for i in range(n)
+            ]
