@@ -20,6 +20,11 @@ al., IPDPS 2022).  The library provides:
   `CampaignReport`, see `repro.campaign`): multi-dataset / multi-hardware
   exploration through one shared worker pool and store-backed warm cache,
   with checkpointed resume (`repro campaign run --spec FILE`);
+- **distributed campaigns** (`repro.distributed`, ``repro campaign
+  dist-run``): fingerprinted shard plans split one spec across
+  supervised worker processes (heartbeat sidecars, crash relaunch with
+  zero duplicate evaluations) and merge the shard stores/checkpoints
+  back into artifacts byte-identical to a sequential run;
 - a **dataflow selection service** (`DataflowService`, `repro serve`):
   per-(workload, hardware) Pareto fronts over persisted campaign records
   answer "which dataflow for this graph?" with zero cost-model runs,
@@ -48,7 +53,16 @@ Quickstart::
     print(run_gnn_dataflow(wl, df, hw).summary())
 """
 
-from .api import evaluate, run_campaign, search, serve, sweep
+from .api import (
+    dist_run,
+    evaluate,
+    merge_stores,
+    run_campaign,
+    search,
+    serve,
+    shard_plan,
+    sweep,
+)
 from .arch import (
     AcceleratorConfig,
     DramModel,
@@ -65,13 +79,16 @@ from .campaign import (
     ExplorationSession,
     HardwarePoint,
 )
+from .distributed import DistRunResult, ShardPlan
 from .errors import (
     ApiUsageError,
     BudgetExhausted,
     CampaignError,
+    DistributedError,
     QueueFullError,
     ReproError,
     ServiceError,
+    WorkerCrashError,
 )
 from .serving import (
     DataflowServer,
@@ -142,9 +159,16 @@ __all__ = [
     "search",
     "run_campaign",
     "serve",
+    "shard_plan",
+    "dist_run",
+    "merge_stores",
+    "ShardPlan",
+    "DistRunResult",
     "ReproError",
     "ApiUsageError",
     "CampaignError",
+    "DistributedError",
+    "WorkerCrashError",
     "ServiceError",
     "BudgetExhausted",
     "QueueFullError",

@@ -8,6 +8,10 @@ Everything an external caller needs, behind stable typed signatures:
 - :func:`run_campaign` — declarative multi-dataset / multi-hardware
   exploration from a :class:`~repro.campaign.spec.CampaignSpec`, a dict,
   or a spec file path;
+- :func:`shard_plan` / :func:`dist_run` / :func:`merge_stores` — the
+  distributed layer: partition a campaign over shard worker processes
+  under a fault-tolerant coordinator and merge the shard stores back
+  into artifacts byte-identical to a sequential run;
 - :class:`~repro.serving.service.DataflowService` / :func:`serve` — the
   online dataflow-selection layer over persisted campaign results.
 
@@ -37,6 +41,13 @@ from .core.omega import run_gnn_dataflow
 from .core.taxonomy import Dataflow, SPVariant, parse_dataflow
 from .core.tiling import TileHint
 from .core.workload import GNNWorkload, workload_from_dataset
+from .distributed import (
+    DistributedCoordinator,
+    DistRunResult,
+    ShardPlan,
+    merge_stores,
+    plan_shards,
+)
 from .errors import ApiUsageError, ReproError
 from .graphs.datasets import Dataset, dataset_names, load_dataset
 from .serving.frontend import serve
@@ -48,6 +59,11 @@ __all__ = [
     "sweep",
     "search",
     "run_campaign",
+    "shard_plan",
+    "dist_run",
+    "merge_stores",
+    "ShardPlan",
+    "DistRunResult",
     "serve",
     "DataflowService",
     "QueryResult",
@@ -263,3 +279,63 @@ def run_campaign(
             checkpoint.close()
         if owns_store:
             store.close()
+
+
+def shard_plan(
+    spec: "CampaignSpec | Mapping[str, Any] | str | Path",
+    shards: int,
+    *,
+    policy: str = "round-robin",
+) -> ShardPlan:
+    """Partition a campaign's unit grid into ``shards`` assignments.
+
+    ``spec`` takes the same shapes as :func:`run_campaign`.  Returns the
+    deterministic, fingerprinted
+    :class:`~repro.distributed.shardplan.ShardPlan` that ``dist_run``
+    and ``repro campaign shard-run`` execute against.  Raises
+    :class:`~repro.distributed.shardplan.ShardPlanError` (a
+    :class:`~repro.errors.CampaignError`) on bad inputs.
+    """
+    if isinstance(spec, (str, Path)):
+        spec = CampaignSpec.load(spec)
+    elif not isinstance(spec, CampaignSpec):
+        spec = CampaignSpec.from_dict(spec)
+    return plan_shards(spec, shards, policy)
+
+
+def dist_run(
+    spec_path: str | Path,
+    *,
+    workers: int = 2,
+    policy: str = "round-robin",
+    shard_workers: int = 0,
+    out: "str | Path | None" = None,
+    checkpoint: "str | Path | None" = None,
+    resume: bool = True,
+    **coordinator_options: Any,
+) -> DistRunResult:
+    """Run a campaign spec *file* across ``workers`` shard processes.
+
+    The distributed counterpart of :func:`run_campaign`: plans the
+    shards, spawns one ``repro campaign shard-run`` subprocess each,
+    supervises them (heartbeat timeouts, retry/backoff relaunches that
+    warm-start with zero duplicate evaluations), and merges the shard
+    stores and checkpoints into artifacts byte-identical to a sequential
+    run.  ``spec_path`` must be a file — workers re-load it themselves.
+    Extra keyword arguments reach
+    :class:`~repro.distributed.coordinator.DistributedCoordinator`
+    (``heartbeat_timeout``, ``max_retries``, failure injection, ...).
+    Returns a :class:`~repro.distributed.coordinator.DistRunResult`;
+    raises :class:`~repro.errors.DistributedError` when a shard exhausts
+    its retries.
+    """
+    return DistributedCoordinator(
+        spec_path,
+        shards=workers,
+        policy=policy,
+        shard_workers=shard_workers,
+        out=out,
+        checkpoint=checkpoint,
+        resume=resume,
+        **coordinator_options,
+    ).run()

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Collection, Iterator
 
 from ..analysis.store import read_jsonl_healing
 from ..errors import CampaignError
@@ -146,11 +146,36 @@ class CampaignCheckpoint:
 
     @staticmethod
     def load_counters(path: str | Path) -> dict:
-        """Read-only sidecar load; ``{}`` when absent or unreadable."""
+        """Read-only sidecar load; ``{}`` when absent or unreadable.
+
+        The single gatekeeper for every sidecar consumer (``campaign
+        status``, ``campaign report``, the resume path, the distributed
+        merge).  A sidecar torn mid-write or hand-edited into the wrong
+        shape must degrade — status prints unit progress without cache
+        columns — never crash, so the ``units`` mapping is normalized to
+        ``{unit_key: {counter: number}}`` with malformed entries dropped.
+        """
         try:
-            return json.loads(Path(path).read_text(encoding="utf-8"))
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return {}
+        if not isinstance(raw, dict):
+            return {}
+        units: dict[str, dict] = {}
+        loaded = raw.get("units")
+        if isinstance(loaded, dict):
+            for key, snap in loaded.items():
+                if not isinstance(snap, dict):
+                    continue
+                units[str(key)] = {
+                    str(name): value
+                    for name, value in snap.items()
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                }
+        sidecar = dict(raw)
+        sidecar["units"] = units
+        return sidecar
 
     def _write_counters(self) -> None:
         payload = {
@@ -237,6 +262,21 @@ class CampaignCheckpoint:
             self._last_counters = dict(counters)
             self._write_counters()
 
+    def adopt_counters(self, units: dict[str, dict]) -> None:
+        """Install per-unit counter snapshots wholesale and persist them.
+
+        Used by the distributed merge: shard checkpoints each carry the
+        per-unit *deltas* their worker recorded, and the merged
+        checkpoint re-journals the units, so their snapshots are adopted
+        verbatim (they still sum to the campaign's true totals).  Only
+        units the journal vouches for are kept.
+        """
+        self.unit_counters = {
+            key: dict(units[key]) for key in self.done if key in units
+        }
+        if self.unit_counters:
+            self._write_counters()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -272,6 +312,7 @@ def run_campaign(
     session: ExplorationSession | None = None,
     overlap: bool = False,
     max_inflight: int | None = None,
+    only_units: "Collection[str] | None" = None,
 ) -> CampaignReport:
     """Run (or resume) every unit of ``spec`` through one session.
 
@@ -283,8 +324,22 @@ def run_campaign(
     :class:`~repro.campaign.scheduler.CampaignScheduler` — faster on wide
     grids, with checkpoint and report guaranteed byte-identical to the
     sequential path; only the store's record *order* may differ.
+
+    ``only_units`` restricts execution to a subset of the spec's unit
+    keys (grid order is preserved; the report covers only the subset).
+    This is how a distributed shard runs its assignment under the *full*
+    parent spec — the spec fingerprint, and with it checkpoint binding
+    and candidate fingerprints, stay identical to a sequential run.
     """
     spec.validate()
+    if only_units is not None:
+        unknown = sorted(set(only_units) - set(spec.unit_keys()))
+        if unknown:
+            raise CampaignError(
+                f"only_units names unknown unit keys {unknown}; "
+                f"spec {spec.name!r} has {spec.unit_keys()}"
+            )
+        only_units = frozenset(only_units)
     owns_session = session is None
     if owns_session:
         session = ExplorationSession(workers=workers, store=store)
@@ -296,10 +351,11 @@ def run_campaign(
                 session,
                 checkpoint=checkpoint,
                 max_inflight=max_inflight,
+                only_units=only_units,
             ).run()
         else:
             units = _scheduler.run_units_sequential(
-                spec, session, checkpoint=checkpoint
+                spec, session, checkpoint=checkpoint, only_units=only_units
             )
     finally:
         if owns_session:

@@ -72,6 +72,7 @@ def run_units_sequential(
     spec: CampaignSpec,
     session: ExplorationSession,
     checkpoint: Any | None = None,
+    only_units: "frozenset[str] | None" = None,
 ) -> list[UnitResult]:
     """Strict grid-order unit execution (the ``overlap=False`` path).
 
@@ -88,6 +89,8 @@ def run_units_sequential(
     units: list[UnitResult] = []
     for ds_name, pt in campaign_units(spec):
         key = unit_key(ds_name, pt)
+        if only_units is not None and key not in only_units:
+            continue
         if checkpoint is not None and key in checkpoint.done:
             units.append(
                 UnitResult(
@@ -210,6 +213,11 @@ class CampaignScheduler:
         Unit threads running at once (default ``DEFAULT_MAX_INFLIGHT``,
         clamped to the number of pending units).  ``1`` degrades to
         sequential execution with identical artifacts.
+    only_units:
+        Optional unit-key subset to execute (a distributed shard's
+        assignment); other units are neither run nor reported.  Grid
+        order — and with it the checkpoint's byte stability — is
+        preserved within the subset.
     """
 
     def __init__(
@@ -219,6 +227,7 @@ class CampaignScheduler:
         *,
         checkpoint: Any | None = None,
         max_inflight: int | None = None,
+        only_units: "frozenset[str] | None" = None,
     ) -> None:
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -226,6 +235,7 @@ class CampaignScheduler:
         self.session = session
         self.checkpoint = checkpoint
         self.max_inflight = max_inflight
+        self.only_units = only_units
 
     @staticmethod
     def _context_group(ds_name: str, pt: HardwarePoint) -> tuple:
@@ -250,6 +260,8 @@ class CampaignScheduler:
         done = self.checkpoint.done if self.checkpoint is not None else {}
         for i, (ds_name, pt) in enumerate(grid):
             key = unit_key(ds_name, pt)
+            if self.only_units is not None and key not in self.only_units:
+                continue
             if key in done:
                 results[i] = UnitResult(
                     ds_name, pt.key(), done[key]["rows"], resumed=True

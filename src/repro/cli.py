@@ -24,6 +24,13 @@ drives the full declarative pipeline with checkpointed resume, and
 ``--overlap`` interleaves independent units over the shared worker pool
 (checkpoint and report stay byte-identical to the sequential run).
 
+``campaign dist-run --workers N`` shards a campaign over N worker
+*processes* (``shard-plan`` partitions the unit grid, ``shard-run`` is
+one worker's entry point) under a fault-tolerant coordinator, then
+merges the shard stores and checkpoints back into artifacts — and a
+report digest — byte-identical to a sequential run; ``store merge``
+exposes the fold-back on its own.
+
 Examples::
 
     python -m repro run --dataset citeseer --dataflow "PP_AC(VtFsNt, VsGsFt)"
@@ -33,7 +40,11 @@ Examples::
     python -m repro campaign run --spec examples/campaign_table5.json
     python -m repro campaign run --spec spec.json --workers 4 --overlap
     python -m repro campaign status --spec examples/campaign_table5.json
+    python -m repro campaign shard-plan --spec spec.json --shards 4
+    python -m repro campaign dist-run --spec spec.json --workers 2
+    python -m repro store merge runs/all.jsonl runs/all.shard*.jsonl
     python -m repro serve --spec examples/serve_citeseer.json
+    python -m repro serve --store runs/table5-mini.jsonl
     python -m repro store compact runs/table5-mini.jsonl
     python -m repro golden --check
     python -m repro enumerate
@@ -204,13 +215,167 @@ def build_parser() -> argparse.ArgumentParser:
                 help="units running at once under --overlap (default 8)",
             )
 
+    from .distributed.shardplan import SHARD_POLICIES
+
+    p_plan = csub.add_parser(
+        "shard-plan",
+        help="partition a campaign's unit grid into N fingerprinted shards",
+    )
+    p_plan.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="campaign spec file (.json or .toml)",
+    )
+    p_plan.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shard assignments to produce",
+    )
+    p_plan.add_argument(
+        "--policy", choices=SHARD_POLICIES, default="round-robin",
+        help="round-robin over the grid, or cost-weighted LPT (default: "
+        "round-robin)",
+    )
+    p_plan.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="write the plan file here (default: print only)",
+    )
+    p_plan.add_argument("--json", action="store_true")
+
+    p_shard = csub.add_parser(
+        "shard-run",
+        help="run one shard's assignment into its private store "
+        "(the dist-run worker entry point; also usable by hand)",
+    )
+    p_shard.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="the FULL parent campaign spec (never a sub-spec)",
+    )
+    p_shard.add_argument(
+        "--plan", default=None, metavar="JSON",
+        help="shard plan file (default: derive from --shards/--policy)",
+    )
+    p_shard.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="derive the plan on the fly instead of loading --plan",
+    )
+    p_shard.add_argument(
+        "--policy", choices=SHARD_POLICIES, default="round-robin",
+    )
+    p_shard.add_argument(
+        "--shard-index", type=int, required=True, metavar="I",
+        help="which shard of the plan this worker owns",
+    )
+    p_shard.add_argument(
+        "--workers", type=int, default=0,
+        help="evaluation worker processes inside this shard (0 = serial)",
+    )
+    p_shard.add_argument(
+        "--base-store", default=None, metavar="JSONL",
+        help="merged-store path the shard artifact names derive from "
+        "(default: spec's 'store', else runs/<name>.jsonl)",
+    )
+    p_shard.add_argument(
+        "--no-resume", action="store_true",
+        help="discard this shard's checkpoint and store; restart",
+    )
+    p_shard.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=False,
+        help="interleave this shard's units over its worker pool",
+    )
+    p_shard.add_argument("--max-inflight", type=int, default=None, metavar="N")
+    p_shard.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SEC",
+        help="progress-sidecar heartbeat period (default 1.0)",
+    )
+    p_shard.add_argument("--attempt", type=int, default=0, help=argparse.SUPPRESS)
+    p_shard.add_argument(
+        "--fail-after-units", type=int, default=None, metavar="K",
+        help="failure injection: raise after K completed units",
+    )
+    p_shard.add_argument(
+        "--pause-after-units", type=int, default=None, metavar="K",
+        help="failure injection: after K units, heartbeat forever without "
+        "progressing (a wedged worker the coordinator must kill)",
+    )
+    p_shard.add_argument("--json", action="store_true")
+
+    p_dist = csub.add_parser(
+        "dist-run",
+        help="shard a campaign over worker processes under a "
+        "fault-tolerant coordinator, then merge byte-identical artifacts",
+    )
+    p_dist.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="campaign spec file (.json or .toml)",
+    )
+    p_dist.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="shard worker processes (default 2)",
+    )
+    p_dist.add_argument(
+        "--policy", choices=SHARD_POLICIES, default="round-robin",
+    )
+    p_dist.add_argument(
+        "--shard-workers", type=int, default=0, metavar="M",
+        help="evaluation processes inside each shard (0 = serial)",
+    )
+    p_dist.add_argument(
+        "--out", default=None, metavar="JSONL",
+        help="merged store (default: spec's 'store', else runs/<name>.jsonl)",
+    )
+    p_dist.add_argument(
+        "--checkpoint", default=None, metavar="JSONL",
+        help="merged checkpoint (default: spec's 'checkpoint', else "
+        "derived from the merged store path)",
+    )
+    p_dist.add_argument(
+        "--no-resume", action="store_true",
+        help="discard shard and merged artifacts; restart from scratch",
+    )
+    p_dist.add_argument(
+        "--overlap", action=argparse.BooleanOptionalAction, default=False,
+        help="overlap units inside each shard worker",
+    )
+    p_dist.add_argument(
+        "--heartbeat-interval", type=float, default=0.25, metavar="SEC",
+        help="worker heartbeat period (default 0.25)",
+    )
+    p_dist.add_argument(
+        "--heartbeat-timeout", type=float, default=30.0, metavar="SEC",
+        help="declare a worker dead after this much heartbeat silence",
+    )
+    p_dist.add_argument(
+        "--max-retries", type=int, default=2, metavar="R",
+        help="relaunches per shard before giving up (default 2)",
+    )
+    p_dist.add_argument(
+        "--backoff", type=float, default=0.5, metavar="SEC",
+        help="relaunch backoff base (default 0.5)",
+    )
+    p_dist.add_argument(
+        "--kill-shard", type=int, default=None, metavar="I",
+        help="failure injection: wedge shard I's first attempt and "
+        "SIGKILL it once --kill-after-units units completed",
+    )
+    p_dist.add_argument(
+        "--kill-after-units", type=int, default=1, metavar="K",
+        help="units shard --kill-shard completes before the injected kill",
+    )
+    p_dist.add_argument("--json", action="store_true")
+
     p_serve = sub.add_parser(
         "serve",
         help="dataflow selection service over campaign stores (JSON/HTTP)",
     )
     p_serve.add_argument(
-        "--spec", required=True, metavar="FILE",
-        help="serve spec file (.json) — stores, objective, limits",
+        "--spec", default=None, metavar="FILE",
+        help="serve spec file (.json) — stores, objective, limits "
+        "(optional when --store is given)",
+    )
+    p_serve.add_argument(
+        "--store", action="append", default=None, metavar="JSONL",
+        help="attach a read-only store to the index (repeatable; e.g. a "
+        "dist-run's merged store).  Without --spec, an ad-hoc service "
+        "is built over exactly these stores.",
     )
     p_serve.add_argument(
         "--host", default=None, help="override the spec's bind host"
@@ -242,6 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_index.add_argument("path", metavar="JSONL", help="store to index")
     p_index.add_argument("--json", action="store_true")
+    p_merge = stsub.add_parser(
+        "merge",
+        help="merge K stores (+ error sidecars) into one deduplicated "
+        "store with a fresh offset index (idempotent)",
+    )
+    p_merge.add_argument("dest", metavar="DEST_JSONL", help="merged store")
+    p_merge.add_argument(
+        "sources", nargs="+", metavar="SRC_JSONL",
+        help="source stores (read-only; typically shard stores)",
+    )
+    p_merge.add_argument(
+        "--no-resume", action="store_true",
+        help="truncate DEST first instead of merging into its records",
+    )
+    p_merge.add_argument("--json", action="store_true")
 
     p_golden = sub.add_parser(
         "golden",
@@ -432,6 +612,131 @@ def _load_spec(args: argparse.Namespace) -> CampaignSpec:
         raise SystemExit(f"invalid campaign spec {args.spec}: {exc}")
 
 
+def _cmd_shard_plan(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    from .distributed import plan_shards
+    from .errors import CampaignError
+
+    try:
+        plan = plan_shards(spec, args.shards, args.policy)
+    except CampaignError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.out:
+        plan.save(args.out)
+    if args.json:
+        print(plan.to_json())
+    else:
+        print(
+            f"plan {plan.fingerprint()} for campaign {spec.name!r} "
+            f"({plan.policy}, {plan.num_shards} shards):"
+        )
+        for i, keys in enumerate(plan.assignments):
+            weight = (
+                f" weight {plan.weights[i]:.3g}" if plan.weights[i] else ""
+            )
+            listed = ", ".join(keys) if keys else "(empty)"
+            print(f"  shard {i}: {len(keys)} unit(s){weight}: {listed}")
+        if args.out:
+            print(f"  written to {args.out}")
+    return 0
+
+
+def _cmd_shard_run(spec: CampaignSpec, args: argparse.Namespace) -> int:
+    from .distributed import ShardPlan, plan_shards, run_shard
+    from .errors import CampaignError
+
+    try:
+        if args.plan:
+            plan = ShardPlan.load(args.plan)
+        elif args.shards:
+            plan = plan_shards(spec, args.shards, args.policy)
+        else:
+            print("shard-run needs --plan FILE or --shards N", file=sys.stderr)
+            return 2
+        report, paths = run_shard(
+            spec,
+            plan,
+            args.shard_index,
+            workers=args.workers,
+            overlap=args.overlap,
+            max_inflight=args.max_inflight,
+            resume=not args.no_resume,
+            base_store=args.base_store,
+            attempt=args.attempt,
+            heartbeat_interval=args.heartbeat_interval,
+            fail_after_units=args.fail_after_units,
+            pause_after_units=args.pause_after_units,
+        )
+    except CampaignError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    **report.to_dict(),
+                    "shard_index": args.shard_index,
+                    "shard_store": str(paths.store),
+                    "shard_checkpoint": str(paths.checkpoint),
+                    "progress": str(paths.progress),
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(report.render())
+        print(
+            f"shard {args.shard_index}: store {paths.store}, "
+            f"progress {paths.progress}"
+        )
+    return 0
+
+
+def _cmd_dist_run(args: argparse.Namespace) -> int:
+    from .distributed import DistributedCoordinator
+    from .errors import CampaignError
+
+    try:
+        coordinator = DistributedCoordinator(
+            args.spec,
+            shards=args.workers,
+            policy=args.policy,
+            shard_workers=args.shard_workers,
+            overlap=args.overlap,
+            out=args.out,
+            checkpoint=args.checkpoint,
+            resume=not args.no_resume,
+            heartbeat_interval=args.heartbeat_interval,
+            heartbeat_timeout=args.heartbeat_timeout,
+            max_retries=args.max_retries,
+            backoff=args.backoff,
+            kill_shard=args.kill_shard,
+            kill_after_units=args.kill_after_units,
+        )
+        result = coordinator.run()
+    except FileNotFoundError:
+        raise SystemExit(f"spec file not found: {args.spec}")
+    except CampaignError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.report.render())
+        recovered = sum(1 for a in result.attempts if a.outcome != "done")
+        print(
+            f"distributed: {coordinator.shards} shard(s), "
+            f"{len(result.attempts)} attempt(s) "
+            f"({recovered} recovered), digest {result.report.digest()}"
+        )
+        print(
+            f"merge: +{result.merge['records_added']} records "
+            f"({result.merge['records_skipped']} duplicate(s) skipped) "
+            f"-> {result.merge['dest_records']} in {result.store_path}"
+        )
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from .campaign import (
         CampaignReport,
@@ -440,7 +745,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         unit_key,
     )
 
+    if args.campaign_command == "dist-run":
+        # The coordinator re-loads the spec itself (workers need the file).
+        return _cmd_dist_run(args)
     spec = _load_spec(args)
+    if args.campaign_command == "shard-plan":
+        return _cmd_shard_plan(spec, args)
+    if args.campaign_command == "shard-run":
+        return _cmd_shard_run(spec, args)
     store_path, ckpt_path = _campaign_paths(spec, args)
 
     if args.campaign_command == "run":
@@ -640,12 +952,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ServeSpec, ServeSpecError, serve
 
-    try:
-        spec = ServeSpec.load(args.spec)
-    except FileNotFoundError:
-        raise SystemExit(f"spec file not found: {args.spec}")
-    except ServeSpecError as exc:
-        raise SystemExit(f"invalid serve spec {args.spec}: {exc}")
+    if args.spec is None and not args.store:
+        raise SystemExit("serve needs --spec FILE and/or --store JSONL")
+    if args.spec is not None:
+        try:
+            spec = ServeSpec.load(args.spec)
+        except FileNotFoundError:
+            raise SystemExit(f"spec file not found: {args.spec}")
+        except ServeSpecError as exc:
+            raise SystemExit(f"invalid serve spec {args.spec}: {exc}")
+        if args.store:
+            spec.attach = list(spec.attach) + list(args.store)
+    else:
+        # Ad-hoc service straight over the given stores (read-only): the
+        # one-liner for serving a dist-run's merged store.
+        from pathlib import Path
+
+        spec = ServeSpec(
+            name=f"serve-{Path(args.store[0]).stem}",
+            attach=list(args.store),
+        )
     if args.host is not None:
         spec.host = args.host
     if args.port is not None:
@@ -668,6 +994,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_store(args: argparse.Namespace) -> int:
     from pathlib import Path
+
+    if args.store_command == "merge":
+        from .distributed import merge_stores
+
+        acct = merge_stores(
+            args.dest, args.sources, resume=not args.no_resume
+        )
+        if args.json:
+            print(json.dumps(acct, indent=2))
+        else:
+            missing = (
+                f"; {len(acct['missing_sources'])} missing source(s) skipped"
+                if acct["missing_sources"]
+                else ""
+            )
+            print(
+                f"{args.dest}: +{acct['records_added']} records "
+                f"({acct['records_skipped']} duplicate(s) skipped), "
+                f"+{acct['errors_added']} errors from "
+                f"{len(acct['sources'])} source(s){missing}; "
+                f"{acct['dest_records']} records total"
+            )
+        return 0
 
     path = Path(args.path)
     if not path.exists():

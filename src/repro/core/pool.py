@@ -38,8 +38,11 @@ import pickle
 import shutil
 import tempfile
 import threading
+import traceback
 from pathlib import Path
 from typing import Any, Callable, Sequence
+
+from ..errors import ReproError, WorkerCrashError
 
 __all__ = ["PoolTicket", "TaskKeyedPool"]
 
@@ -58,9 +61,38 @@ def _load_ctx(path: str) -> Any:
     return ctx
 
 
+def _crossable(exc: BaseException) -> bool:
+    """Whether ``exc`` survives a pickle round-trip intact.
+
+    ``multiprocessing`` pickles a worker exception to send it to the
+    parent; an exception whose constructor signature breaks unpickling
+    (or that is not picklable at all) would surface as an opaque pool
+    error instead of the real failure.
+    """
+    try:
+        return isinstance(pickle.loads(pickle.dumps(exc)), type(exc))
+    except Exception:
+        return False
+
+
 def _dispatch(fn: Callable[[Any, Any], Any], task: tuple[str, Any]) -> Any:
     path, item = task
-    return fn(_load_ctx(path), item)
+    try:
+        return fn(_load_ctx(path), item)
+    except Exception as exc:
+        tb = traceback.format_exc()
+        if isinstance(exc, ReproError):
+            # Annotate rather than wrap: the parent should still see the
+            # original type (``except LegalityError`` keeps working), now
+            # carrying the worker-side traceback text.  The attribute
+            # rides across the boundary via ``__dict__`` pickling.
+            try:
+                exc.worker_traceback = tb
+            except AttributeError:  # pragma: no cover - __slots__ subclass
+                pass
+            if _crossable(exc):
+                raise
+        raise WorkerCrashError.from_exception(exc, tb) from None
 
 
 class PoolTicket:

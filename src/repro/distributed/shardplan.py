@@ -1,0 +1,229 @@
+"""Deterministic, fingerprinted partitioning of a campaign's unit grid.
+
+A :class:`ShardPlan` assigns every ``dataset@hw`` unit key of one
+:class:`~repro.campaign.spec.CampaignSpec` to exactly one of N shards.
+The plan is a value, not a schedule: it is computed purely from the spec
+(no clocks, no randomness), round-trips through JSON, and carries its
+own content fingerprint, so the coordinator, every shard worker, and a
+post-hoc ``repro store merge`` can all verify they are talking about the
+same partition of the same spec.
+
+Two policies:
+
+- ``round-robin`` — unit *i* (grid order) goes to shard ``i % N``.
+  Needs nothing but the spec; the default.
+- ``cost-weighted`` — longest-processing-time greedy over a per-unit
+  cost proxy (the dataset's per-candidate work, ``E·F + V·F·G`` — the
+  Aggregation plus Combination MAC volume the cost model walks), so one
+  huge dataset does not serialize the fleet behind shard 0.  Loads each
+  dataset once to read its dimensions; still fully deterministic.
+
+Within a shard, assigned keys always stay in parent grid order — that is
+what lets a shard checkpoint journal stay byte-stable and lets the merge
+re-journal units into a sequential-identical file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from ..campaign.spec import CampaignSpec, unit_key
+from ..errors import CampaignError
+from ..graphs.datasets import load_dataset
+
+__all__ = ["PLAN_SCHEMA", "SHARD_POLICIES", "ShardPlanError", "ShardPlan", "plan_shards"]
+
+PLAN_SCHEMA = 1
+SHARD_POLICIES = ("round-robin", "cost-weighted")
+
+
+class ShardPlanError(CampaignError, ValueError):
+    """A shard plan is malformed or does not cover the spec it claims to."""
+
+
+def _unit_cost(spec: CampaignSpec, ds_name: str, cache: dict) -> float:
+    """Per-candidate cost-model work for one dataset (coarse proxy).
+
+    ``E·F`` MACs for Aggregation plus ``V·F·G`` for Combination — the
+    volumes every candidate's phase evaluation walks.  Hardware points
+    shift *where* time goes, not how much model work a candidate is, so
+    the proxy is per-dataset.  Candidate count is identical across units
+    of one spec and therefore drops out of the partition.
+    """
+    cost = cache.get(ds_name)
+    if cost is None:
+        ds = load_dataset(ds_name, seed=spec.seed)
+        g = ds.graph
+        cost = float(
+            g.num_edges * ds.num_features
+            + g.num_vertices * ds.num_features * ds.hidden
+        )
+        cache[ds_name] = cost
+    return cost
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """One immutable partition of a spec's unit keys into N shards."""
+
+    spec_fingerprint: str
+    policy: str
+    assignments: tuple[tuple[str, ...], ...]  # per shard, parent grid order
+    weights: tuple[float, ...]  # estimated cost per shard (0.0 = unweighted)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.assignments)
+
+    def unit_keys(self) -> list[str]:
+        """Every assigned unit key (across all shards, shard-major)."""
+        return [key for shard in self.assignments for key in shard]
+
+    def shard_for(self, key: str) -> int:
+        for i, shard in enumerate(self.assignments):
+            if key in shard:
+                return i
+        raise KeyError(f"unit key {key!r} is not in this plan")
+
+    # -- serialization --------------------------------------------------
+    def _canonical(self) -> dict:
+        return {
+            "plan_schema": PLAN_SCHEMA,
+            "spec_fingerprint": self.spec_fingerprint,
+            "policy": self.policy,
+            "assignments": [list(shard) for shard in self.assignments],
+            "weights": list(self.weights),
+        }
+
+    def fingerprint(self) -> str:
+        blob = json.dumps(self._canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        out = self._canonical()
+        out["num_shards"] = self.num_shards
+        out["fingerprint"] = self.fingerprint()
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ShardPlan":
+        if not isinstance(data, Mapping):
+            raise ShardPlanError("shard plan must be a JSON object")
+        if data.get("plan_schema") != PLAN_SCHEMA:
+            raise ShardPlanError(
+                f"unsupported plan schema {data.get('plan_schema')!r} "
+                f"(expected {PLAN_SCHEMA})"
+            )
+        try:
+            assignments = tuple(
+                tuple(str(key) for key in shard)
+                for shard in data["assignments"]
+            )
+            weights = tuple(float(w) for w in data.get("weights") or ())
+            plan = cls(
+                spec_fingerprint=str(data["spec_fingerprint"]),
+                policy=str(data.get("policy", "round-robin")),
+                assignments=assignments,
+                weights=weights or (0.0,) * len(assignments),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ShardPlanError(f"malformed shard plan: {exc}") from exc
+        stored = data.get("fingerprint")
+        if stored is not None and stored != plan.fingerprint():
+            raise ShardPlanError(
+                f"shard plan fingerprint mismatch: file says {stored!r}, "
+                f"contents hash to {plan.fingerprint()!r} (edited by hand?)"
+            )
+        return plan
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ShardPlan":
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ShardPlanError(f"cannot read shard plan {path}: {exc}") from exc
+        except ValueError as exc:
+            raise ShardPlanError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        p = Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(self.to_json() + "\n", encoding="utf-8")
+        return p
+
+    # ------------------------------------------------------------------
+    def validate_against(self, spec: CampaignSpec) -> "ShardPlan":
+        """Raise :class:`ShardPlanError` unless this plan exactly covers
+        ``spec`` — same fingerprint, every unit key once, no strays."""
+        if self.spec_fingerprint != spec.fingerprint():
+            raise ShardPlanError(
+                f"plan belongs to spec {self.spec_fingerprint!r}, not "
+                f"{spec.fingerprint()!r} ({spec.name!r}); regenerate with "
+                "'repro campaign shard-plan'"
+            )
+        assigned = self.unit_keys()
+        expected = spec.unit_keys()
+        if sorted(assigned) != sorted(expected):
+            dupes = sorted({k for k in assigned if assigned.count(k) > 1})
+            missing = sorted(set(expected) - set(assigned))
+            strays = sorted(set(assigned) - set(expected))
+            raise ShardPlanError(
+                f"plan does not cover spec {spec.name!r}: "
+                f"missing={missing} strays={strays} duplicated={dupes}"
+            )
+        return self
+
+
+def plan_shards(
+    spec: CampaignSpec, num_shards: int, policy: str = "round-robin"
+) -> ShardPlan:
+    """Partition ``spec.unit_keys()`` into ``num_shards`` assignments.
+
+    Deterministic for a given ``(spec, num_shards, policy)``; shards may
+    end up empty when the grid is narrower than the fleet (their workers
+    exit immediately with a clean empty report).
+    """
+    if num_shards < 1:
+        raise ShardPlanError("num_shards must be >= 1")
+    if policy not in SHARD_POLICIES:
+        raise ShardPlanError(
+            f"unknown shard policy {policy!r}; pick from {SHARD_POLICIES}"
+        )
+    spec.validate()
+    grid = [
+        (i, unit_key(ds, pt), ds)
+        for i, (ds, pt) in enumerate(
+            (ds, pt) for ds in spec.datasets for pt in spec.hardware
+        )
+    ]
+    buckets: list[list[int]] = [[] for _ in range(num_shards)]
+    loads = [0.0] * num_shards
+    if policy == "round-robin":
+        for i, _key, _ds in grid:
+            buckets[i % num_shards].append(i)
+    else:  # cost-weighted: LPT greedy, ties broken by grid index / shard index
+        cache: dict[str, float] = {}
+        weighted = sorted(
+            grid, key=lambda item: (-_unit_cost(spec, item[2], cache), item[0])
+        )
+        for i, _key, ds in weighted:
+            target = min(range(num_shards), key=lambda s: (loads[s], s))
+            buckets[target].append(i)
+            loads[target] += _unit_cost(spec, ds, cache)
+    keys = [key for _i, key, _ds in grid]
+    return ShardPlan(
+        spec_fingerprint=spec.fingerprint(),
+        policy=policy,
+        assignments=tuple(
+            tuple(keys[i] for i in sorted(bucket)) for bucket in buckets
+        ),
+        weights=tuple(loads),
+    )

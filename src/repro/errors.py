@@ -14,9 +14,12 @@ The tree::
     ├── LegalityError (ValueError)           repro.core.legality
     │   └── SweepError                       repro.analysis.sweep
     │       └── SweepBaselineError
+    ├── WorkerCrashError                     repro.core.pool
     ├── CampaignError
     │   ├── CampaignSpecError (ValueError)   repro.campaign.spec
-    │   └── CampaignResumeError (RuntimeError) repro.campaign.runner
+    │   ├── CampaignResumeError (RuntimeError) repro.campaign.runner
+    │   ├── ShardPlanError (ValueError)      repro.distributed.shardplan
+    │   └── DistributedError                 repro.distributed.coordinator
     └── ServiceError                         repro.serving
         ├── BudgetExhausted
         └── QueueFullError
@@ -32,7 +35,9 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "ApiUsageError",
+    "WorkerCrashError",
     "CampaignError",
+    "DistributedError",
     "ServiceError",
     "BudgetExhausted",
     "QueueFullError",
@@ -49,8 +54,50 @@ class ApiUsageError(ReproError, ValueError):
     ``ValueError`` so argument-checking call sites keep working."""
 
 
+class WorkerCrashError(ReproError):
+    """An unexpected exception escaped a pool worker process.
+
+    Raised in the *parent* in place of worker exceptions that cannot
+    cross the process boundary intact (unpicklable, or not picklable
+    round-trip).  Carries the original type name, message, and the
+    worker-side formatted traceback so evaluator/coordinator error
+    reports can show where the worker actually died.  Exceptions that
+    *do* survive pickling re-raise as themselves, annotated with a
+    ``worker_traceback`` attribute.
+    """
+
+    def __init__(
+        self, original_type: str, message: str, traceback_text: str = ""
+    ) -> None:
+        super().__init__(f"worker crashed: {original_type}: {message}")
+        self.original_type = original_type
+        self.original_message = message
+        self.worker_traceback = traceback_text
+
+    def __reduce__(self):
+        # Picklable by construction (three strings), whatever the
+        # original exception's constructor looked like.
+        return (
+            type(self),
+            (self.original_type, self.original_message, self.worker_traceback),
+        )
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, traceback_text: str = ""
+    ) -> "WorkerCrashError":
+        return cls(type(exc).__name__, str(exc), traceback_text)
+
+
 class CampaignError(ReproError):
     """Root of campaign-layer failures (bad spec, unresumable checkpoint)."""
+
+
+class DistributedError(CampaignError):
+    """A distributed campaign run failed for good: a shard exhausted its
+    retries, a shard plan does not match the spec, or the merged
+    artifacts are incomplete.  The message carries the failing shard's
+    recorded error (and worker traceback text when one survived)."""
 
 
 class ServiceError(ReproError):
