@@ -20,6 +20,14 @@ against the scalar reference path (``REPRO_REFERENCE_ENGINE=1`` with the
 phase cache disabled), appending a ``batched-compose`` trajectory entry
 with both wall times and the phase-cache hit rate.
 
+With ``--generation`` it measures the *candidate generation* layer: the
+full 6,656-point enumeration plus per-candidate fingerprinting, grid
+masks + lazy ``Dataflow`` construction + the fingerprint factory against
+the legacy scalar enumerator and from-scratch canonical-JSON hashing.
+The two sequences (dataflows *and* fingerprint hex digests) must be
+byte-identical — asserted on every run — and the ``>= 2x`` speedup floor
+gates under ``--check`` (wall-clock floors auto-skip on small hosts).
+
 Results append one entry to the ``BENCH_cost_model.json`` trajectory at
 the repo root (override with ``--out``), so successive PRs accumulate a
 comparable speedup history.  ``--check`` exits non-zero unless the SpMM
@@ -67,6 +75,7 @@ DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_cost_model.json"
 SPEEDUP_FLOOR = 5.0
 BATCHED_SPEEDUP_FLOOR = 2.0
 BATCHED_HIT_RATE_FLOOR = 0.9  # deterministic: the 6,656-point factorization
+GENERATION_SPEEDUP_FLOOR = 2.0
 MIN_CPUS_FOR_FLOOR = 4
 
 # Moderate tile/feature sizes keep the *reference* walk to a few seconds
@@ -234,6 +243,62 @@ def bench_batched_compose() -> dict:
     }
 
 
+def bench_generation() -> dict:
+    """Enumeration + fingerprinting: grid/factory vs the scalar reference.
+
+    Both sides walk the full design space (SP-Optimized included, 6,672
+    points) and fingerprint every candidate against the CiteSeer/512-PE
+    context.  Byte-identity of both sequences is asserted unconditionally
+    — the speedup only counts if the outputs are exactly the legacy ones.
+    """
+    from repro.core.enumeration import (
+        _enumerate_design_space_reference,
+        enumerate_design_space,
+    )
+    from repro.core.evaluator import (
+        FingerprintFactory,
+        _context_signature,
+        _fingerprint,
+    )
+    from repro.core.workload import workload_from_dataset
+    from repro.engine.cycle_model import use_reference_engine
+
+    if use_reference_engine():
+        raise SystemExit(
+            "unset REPRO_REFERENCE_ENGINE before running --generation: the "
+            "grid side would silently fall back to the scalar enumerator"
+        )
+
+    wl = workload_from_dataset(load_dataset("citeseer"))
+    ctx = _context_signature(wl, AcceleratorConfig())
+
+    def legacy() -> list[tuple]:
+        return [
+            (df, _fingerprint(ctx, df, None))
+            for df in _enumerate_design_space_reference(include_sp_optimized=True)
+        ]
+
+    def grid() -> list[tuple]:
+        factory = FingerprintFactory(ctx)
+        return [
+            (df, factory.fingerprint(df, None))
+            for df in enumerate_design_space(include_sp_optimized=True)
+        ]
+
+    legacy_s, legacy_out = _best_of(legacy, 3)
+    grid_s, grid_out = _best_of(grid, 3)
+    assert grid_out == legacy_out, (
+        "grid enumeration/fingerprinting diverged from the scalar reference"
+    )
+    return {
+        "points": len(grid_out),
+        "scalar_s": round(legacy_s, 4),
+        "grid_s": round(grid_s, 4),
+        "speedup": round(legacy_s / grid_s, 2) if grid_s else float("inf"),
+        "byte_identical": True,  # asserted above; recorded for the trajectory
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
@@ -245,15 +310,25 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--batched", action="store_true",
                     help="measure batched candidate evaluation (full "
                          "6,656-point sweep) instead of the engine micros")
+    ap.add_argument("--generation", action="store_true",
+                    help="measure candidate generation + fingerprinting "
+                         "(grid masks + fingerprint factory vs the scalar "
+                         "reference) instead of the engine micros")
     ap.add_argument("--label", default=None,
                     help="entry label (default: vectorized-core / "
                          "batched-compose)")
     args = ap.parse_args(argv)
+    if args.batched and args.generation:
+        ap.error("--batched and --generation are mutually exclusive")
 
     graph = load_dataset("citeseer").graph
+    default_label = "vectorized-core"
+    if args.batched:
+        default_label = "batched-compose"
+    elif args.generation:
+        default_label = "generation"
     entry = {
-        "label": args.label
-        or ("batched-compose" if args.batched else "vectorized-core"),
+        "label": args.label or default_label,
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "graph": {
             "name": "citeseer",
@@ -264,6 +339,8 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.batched:
         entry["batched_compose"] = bench_batched_compose()
+    elif args.generation:
+        entry["generation"] = bench_generation()
     else:
         entry["spmm_micro"] = bench_spmm(graph)
         entry["gemm_micro"] = bench_gemm()
@@ -305,6 +382,25 @@ def main(argv: list[str] | None = None) -> int:
                       f"{BATCHED_HIT_RATE_FLOOR}", file=sys.stderr)
                 ok = False
             return 0 if ok else 1
+        return 0
+
+    if args.generation:
+        gen = entry["generation"]
+        print(f"candidate generation + fingerprints (citeseer ctx, "
+              f"{gen['points']} points): scalar {gen['scalar_s']:.3f}s -> "
+              f"grid {gen['grid_s']:.3f}s ({gen['speedup']:.1f}x, "
+              f"byte-identical)")
+        print(f"trajectory: {args.out} ({len(trajectory)} entries)")
+        if args.check:
+            cpus = os.cpu_count() or 1
+            if cpus < MIN_CPUS_FOR_FLOOR:
+                print(f"NOTE: {cpus}-CPU host — skipping the "
+                      f">= {GENERATION_SPEEDUP_FLOOR}x wall-clock floor")
+                return 0
+            if gen["speedup"] < GENERATION_SPEEDUP_FLOOR:
+                print(f"FAIL: generation speedup {gen['speedup']}x "
+                      f"< {GENERATION_SPEEDUP_FLOOR}x", file=sys.stderr)
+                return 1
         return 0
 
     spmm = entry["spmm_micro"]

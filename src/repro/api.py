@@ -197,6 +197,7 @@ def search(
     *,
     objective: str = "cycles",
     budget: int | None = 200,
+    strategy: str = "exhaustive",
     num_pes: int = 512,
     bandwidth: int | None = None,
     gb_kib: int | None = None,
@@ -207,17 +208,22 @@ def search(
 ) -> CampaignReport:
     """Run the mapping optimizer (paper §VI) on one dataset.
 
-    Sweeps the Table V baseline and the exhaustive candidate space
+    Sweeps the Table V baseline and the chosen candidate ``strategy``
     through one shared evaluator (so both draw from the same memo), and
     reports the winner under ``objective`` (``cycles``/``energy``/
-    ``edp``) within ``budget`` successful evaluations.  The single
-    unit's row carries ``paper_best``, ``search_best``, ``search_score``,
-    ``evaluated``, ``gain``, and ``top5``.
+    ``edp``) within ``budget`` successful evaluations.  ``strategy`` is
+    ``"exhaustive"`` (the hint-portfolio sweep), ``"pareto"`` (the
+    factored per-phase Pareto search over the full 6,656-point design
+    space — same optimum, a fraction of the evaluations), or ``"random"``
+    (``budget`` uniform draws).  The single unit's row carries
+    ``paper_best``, ``search_best``, ``search_score``, ``evaluated``,
+    ``gain``, and ``top5``; a pareto row adds probe/front accounting
+    under ``pareto``.
     """
     spec = CampaignSpec(
         name=name or f"search-{dataset}",
         datasets=[dataset],
-        source=CandidateSource("exhaustive"),
+        source=CandidateSource(strategy),
         hardware=[_hardware_point(num_pes, bandwidth, gb_kib)],
         objective=objective,
         budget=budget,

@@ -146,7 +146,7 @@ def run_unit(
             for c, o in zip(names, outcomes)
         ]
 
-    if kind in ("exhaustive", "random"):
+    if kind in ("exhaustive", "pareto", "random"):
         with MappingOptimizer(
             wl, hw, objective=spec.objective, session=session, record_extra=extra
         ) as opt:
@@ -157,19 +157,32 @@ def run_unit(
             )
             if kind == "exhaustive":
                 full = opt.exhaustive(budget=spec.budget)
+            elif kind == "pareto":
+                max_evals = params.get("max_evals")
+                full = opt.pareto(
+                    max_evals=int(max_evals) if max_evals else spec.budget
+                )
             else:
                 n = int(params.get("n") or spec.budget or 64)
                 full = opt.random_search(n, seed=spec.seed)
-        return [
-            {
-                "paper_best": list(paper.top(1)[0]),
-                "search_best": str(full.best_dataflow),
-                "search_score": full.best_score,
-                "evaluated": full.evaluated,
-                "gain": paper.best_score / full.best_score,
-                "top5": [list(t) for t in full.top(5)],
+        row = {
+            "paper_best": list(paper.top(1)[0]),
+            "search_best": str(full.best_dataflow),
+            "search_score": full.best_score,
+            "evaluated": full.evaluated,
+            "gain": paper.best_score / full.best_score,
+            "top5": [list(t) for t in full.top(5)],
+        }
+        if kind == "pareto" and opt.last_pareto_report is not None:
+            rep = opt.last_pareto_report
+            row["pareto"] = {
+                "probes": rep.probes,
+                "candidates": len(rep.candidates),
+                "evaluated_delta": rep.evaluated_delta,
+                "design_space": rep.design_space,
+                "evaluated_fraction": rep.evaluated_fraction,
             }
-        ]
+        return [row]
 
     if kind == "pe_allocation":
         return sweep_pe_allocation(

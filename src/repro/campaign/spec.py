@@ -121,6 +121,7 @@ class HardwarePoint:
 SOURCE_KINDS: dict[str, frozenset[str]] = {
     "table5": frozenset({"configs"}),
     "exhaustive": frozenset(),
+    "pareto": frozenset({"max_evals"}),
     "random": frozenset({"n"}),
     "pe_allocation": frozenset({"config_names", "splits"}),
     "num_pes": frozenset({"pe_counts", "config_names", "baseline"}),

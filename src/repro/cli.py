@@ -163,7 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--dataset", required=True, choices=dataset_names())
     p_search.add_argument("--objective", choices=("cycles", "energy", "edp"),
                           default="cycles")
-    p_search.add_argument("--budget", type=int, default=200)
+    p_search.add_argument(
+        "--budget", type=int, default=None,
+        help="cap on successful evaluations (default: 200 for "
+             "exhaustive/random; the pareto strategy's own 25%%-of-space "
+             "bound otherwise)",
+    )
+    p_search.add_argument(
+        "--strategy", choices=("exhaustive", "pareto", "random"),
+        default="exhaustive",
+        help="candidate source: hint-portfolio sweep (default), factored "
+             "per-phase Pareto search over the full design space, or "
+             "uniform random draws",
+    )
     p_search.add_argument("--json", action="store_true")
     _add_hw_args(p_search)
     _add_service_args(p_search)
@@ -552,10 +564,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
     # exhaustive search share one evaluator, so both draw from the same
     # memo and stream to the same store (which warm-starts a repeat).
     store = _make_store(args)
+    budget = args.budget
+    if budget is None and args.strategy != "pareto":
+        budget = 200  # the historical exhaustive/random default
     report = api.search(
         args.dataset,
         objective=args.objective,
-        budget=args.budget,
+        budget=budget,
+        strategy=args.strategy,
         num_pes=args.pes,
         bandwidth=args.bandwidth,
         gb_kib=args.gb_kib,
@@ -568,6 +584,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     row = report.units[0].rows[0]
     payload = {
         "objective": args.objective,
+        "strategy": args.strategy,
         "paper_best": row["paper_best"],
         "search_best": row["search_best"],
         "search_score": row["search_score"],
@@ -575,6 +592,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         "gain": row["gain"],
         "top5": row["top5"],
     }
+    if "pareto" in row:
+        payload["pareto"] = row["pareto"]
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -586,6 +605,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"best found ({row['evaluated']} evaluated): "
               f"{row['search_best']} ({row['search_score']:.4g})")
         print(f"gain over Table V: {row['gain']:.2f}x")
+        if "pareto" in row:
+            p = row["pareto"]
+            print(
+                f"pareto: {p['candidates']} compositions from "
+                f"{p['probes']} phase probes "
+                f"({p['evaluated_fraction']:.1%} of the "
+                f"{p['design_space']}-point space)"
+            )
         for label, score in row["top5"]:
             print(f"  {score:.4g}  {label}")
     return 0

@@ -62,6 +62,7 @@ from .taxonomy import (
     SPVariant,
     parse_dataflow,
 )
+from .search import ParetoReport, pareto_search, select_pareto_candidates
 from .tiling import TileHint, choose_tiles, concretize_intra
 from .workload import GNNWorkload, workload_from_dataset
 
@@ -97,6 +98,9 @@ __all__ = [
     "phase_granule",
     "sp_optimized_ok",
     "validate_dataflow",
+    "ParetoReport",
+    "pareto_search",
+    "select_pareto_candidates",
     "phase_specs",
     "run_gnn_dataflow",
     "prepare_phases",

@@ -29,12 +29,14 @@ campaign can be resumed.  This module centralizes all three.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..arch.config import AcceleratorConfig
+from ..engine.cycle_model import use_reference_engine
 from ..engine.gemm import GemmTiling
 from ..engine.phasecache import PhaseEngineCache
 from ..engine.spmm import SpmmTiling
@@ -50,6 +52,7 @@ __all__ = [
     "candidate_fingerprint",
     "context_key",
     "ExplicitTiles",
+    "FingerprintFactory",
     "StreamedCandidate",
     "CandidateStream",
     "EvalOutcome",
@@ -161,6 +164,111 @@ def _fingerprint(
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+# -- incremental fingerprint assembly ----------------------------------
+#
+# A full design-space stream computes 6,656 fingerprints against ONE
+# (workload, hardware) context: serializing that context per candidate is
+# pure waste.  `FingerprintFactory` splits `_fingerprint`'s canonical JSON
+# blob into reusable fragments — the context tail serialized once per
+# evaluator, spec fragments cached per distinct hint, dataflow fragments
+# assembled from cached per-intra notation strings — and concatenates them
+# in the exact byte order `json.dumps(payload, sort_keys=True)` would
+# produce (`"dataflow" < "hint" < "hw" < "workload"`), so the digests are
+# byte-identical to the legacy path (fuzz-asserted in the tests).
+
+@functools.lru_cache(maxsize=None)
+def _intra_notation(intra) -> str:
+    # 96 concrete intras exist; str() walks enum values per call otherwise.
+    return str(intra)
+
+
+@functools.lru_cache(maxsize=None)
+def _json_atom(value) -> str:
+    """Canonical JSON for a scalar (None/str/float/int), cached."""
+    return json.dumps(value)
+
+
+def _dataflow_fragment(df: Dataflow) -> str:
+    # Keys in sorted order: granularity < notation < pe_split < sp_variant.
+    # The notation alphabet (dim letters, s/t, "_()," and space) never
+    # needs JSON escaping, so the raw f-string placement is canonical.
+    return (
+        '{"granularity":%s,"notation":"%s_%s(%s, %s)","pe_split":%s,"sp_variant":%s}'
+        % (
+            _json_atom(df.granularity.value if df.granularity else None),
+            df.inter.value,
+            df.order.value,
+            _intra_notation(df.agg),
+            _intra_notation(df.cmb),
+            _json_atom(df.pe_split),
+            _json_atom(df.sp_variant.value if df.sp_variant else None),
+        )
+    )
+
+
+def _spec_cache_key(spec: TileHint | ExplicitTiles | None):
+    """Hashable identity of a tiling spec's fingerprint-relevant content.
+
+    ``TileHint`` itself is unhashable (its ``caps`` is a plain dict), and
+    caching by object identity would be unsound (ids are reused after GC),
+    so the key is derived from field values.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, ExplicitTiles):
+        return (
+            "explicit",
+            spec.spmm.t_v, spec.spmm.t_f, spec.spmm.t_n,
+            spec.gemm.t_v, spec.gemm.t_f, spec.gemm.t_g,
+        )
+    return (
+        "hint",
+        spec.agg_priority,
+        spec.cmb_priority,
+        tuple(sorted(
+            (phase.value, dim.value, int(cap))
+            for (phase, dim), cap in spec.caps.items()
+        )),
+        bool(spec.avg_degree_cap_n),
+        int(spec.max_tf),
+    )
+
+
+class FingerprintFactory:
+    """Per-context incremental fingerprints, byte-identical to
+    :func:`_fingerprint`."""
+
+    __slots__ = ("_tail", "_spec_fragments")
+
+    def __init__(self, ctx_signature: dict) -> None:
+        ctx_blob = json.dumps(ctx_signature, sort_keys=True, separators=(",", ":"))
+        # ctx_blob == '{"hw":{...},"workload":{...}}'; swapping its opening
+        # brace for a comma yields the tail of the combined payload, whose
+        # sorted keys put "dataflow" and "hint" first.
+        self._tail = "," + ctx_blob[1:]
+        self._spec_fragments: dict = {None: "null"}
+
+    def _spec_fragment(self, spec: TileHint | ExplicitTiles | None) -> str:
+        key = _spec_cache_key(spec)
+        frag = self._spec_fragments.get(key)
+        if frag is None:
+            frag = json.dumps(
+                _spec_signature(spec), sort_keys=True, separators=(",", ":")
+            )
+            self._spec_fragments[key] = frag
+        return frag
+
+    def fingerprint(
+        self, df: Dataflow, spec: TileHint | ExplicitTiles | None = None
+    ) -> str:
+        blob = '{"dataflow":%s,"hint":%s%s' % (
+            _dataflow_fragment(df),
+            self._spec_fragment(spec),
+            self._tail,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
 
 
 def candidate_fingerprint(
@@ -600,6 +708,7 @@ class DataflowEvaluator:
         self.record_extra = dict(record_extra or {})
         self.stats = EvalStats()
         self._ctx_signature = _context_signature(wl, hw)
+        self._fp_factory = FingerprintFactory(self._ctx_signature)
         self.ctx_key = context_key(wl, hw)
         self._memo: dict[str, tuple] = session.memo_for(self.ctx_key)
         # One sparsity cache per workload, shared session-wide: overlapping
@@ -647,7 +756,9 @@ class DataflowEvaluator:
     def fingerprint(
         self, df: Dataflow, hint: TileHint | ExplicitTiles | None = None
     ) -> str:
-        return _fingerprint(self._ctx_signature, df, hint)
+        if use_reference_engine():
+            return _fingerprint(self._ctx_signature, df, hint)
+        return self._fp_factory.fingerprint(df, hint)
 
     def to_record(self, outcome: EvalOutcome, **extra: Any) -> dict:
         """Export-schema record of a successful outcome (+ fingerprint).

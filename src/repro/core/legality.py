@@ -21,7 +21,7 @@ enumeration of Table II — the tests check every row of the table against
 
 from __future__ import annotations
 
-
+import functools
 
 from ..errors import ReproError
 from .taxonomy import (
@@ -39,6 +39,7 @@ from .taxonomy import (
 __all__ = [
     "intermediate_axes",
     "phase_granule",
+    "pair_granularity",
     "infer_granularity",
     "sp_optimized_ok",
     "LegalityError",
@@ -101,23 +102,41 @@ def _row_major(intra: IntraDataflow, order: PhaseOrder) -> bool:
     return intra.position_of(row) < intra.position_of(col)
 
 
-def infer_granularity(df: Dataflow) -> Granularity | None:
-    """Pipeline granularity implied by both phases' loop orders.
+@functools.lru_cache(maxsize=None)
+def _order_profile(
+    phase: Phase, loop_order: tuple[Dim, ...], order: PhaseOrder
+) -> tuple[Granularity | None, bool]:
+    """(natural granule, row-major?) of one phase's loop order.
 
-    Returns the coarser of the producer's and consumer's natural granules.
-    Beyond coarseness, *delivery order* must line up: a row-granularity
-    pipeline needs both phases to walk intermediate rows outermost (a
-    column-major element producer completes row 0 only at the very end of
-    its run, so it cannot feed a row consumer).  ``None`` means the pair is
-    not pipeline-compatible and must run Seq — this rule reproduces exactly
-    the loop-order pairs enumerated in Table II rows 4-9.
+    Granularity inference never looks at annotations, so these two facts
+    are pure functions of the loop order — 6 orders x 2 phases x 2 phase
+    orders = 24 cache entries answer every pipeline-legality question the
+    enumerators ever ask.
     """
-    prod = phase_granule(df.producer, df.order)
-    cons = phase_granule(df.consumer, df.order)
+    intra = IntraDataflow(phase, loop_order, (Annot.EITHER,) * 3)
+    return phase_granule(intra, order), _row_major(intra, order)
+
+
+@functools.lru_cache(maxsize=None)
+def pair_granularity(
+    order: PhaseOrder,
+    agg_order: tuple[Dim, ...],
+    cmb_order: tuple[Dim, ...],
+) -> Granularity | None:
+    """Pipeline granularity of an (Agg, Cmb) loop-order pair (cached).
+
+    The order-level core of :func:`infer_granularity`: annotations never
+    influence pipeline compatibility, so the full 6 x 6 x 2 pair table is
+    computed once and shared by every enumeration pass and grid mask.
+    """
+    if order is PhaseOrder.AC:
+        prod, p_rm = _order_profile(Phase.AGGREGATION, agg_order, order)
+        cons, c_rm = _order_profile(Phase.COMBINATION, cmb_order, order)
+    else:
+        prod, p_rm = _order_profile(Phase.COMBINATION, cmb_order, order)
+        cons, c_rm = _order_profile(Phase.AGGREGATION, agg_order, order)
     if prod is None or cons is None:
         return None
-    p_rm = _row_major(df.producer, df.order)
-    c_rm = _row_major(df.consumer, df.order)
     if prod is Granularity.ELEMENT and cons is Granularity.ELEMENT:
         # Both walk element tiles; the walk orders must agree (a row-major
         # producer cannot feed a column-major consumer at element grain).
@@ -138,6 +157,20 @@ def infer_granularity(df: Dataflow) -> Granularity | None:
                 return target
             return None
     return None  # unreachable: one side must be row/column here
+
+
+def infer_granularity(df: Dataflow) -> Granularity | None:
+    """Pipeline granularity implied by both phases' loop orders.
+
+    Returns the coarser of the producer's and consumer's natural granules.
+    Beyond coarseness, *delivery order* must line up: a row-granularity
+    pipeline needs both phases to walk intermediate rows outermost (a
+    column-major element producer completes row 0 only at the very end of
+    its run, so it cannot feed a row consumer).  ``None`` means the pair is
+    not pipeline-compatible and must run Seq — this rule reproduces exactly
+    the loop-order pairs enumerated in Table II rows 4-9.
+    """
+    return pair_granularity(df.order, df.agg.order, df.cmb.order)
 
 
 def sp_optimized_ok(df: Dataflow) -> tuple[bool, str]:

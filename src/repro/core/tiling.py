@@ -14,6 +14,7 @@ Wildcard (``x``) annotations are resolved by the resulting tile sizes:
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field, replace
 
@@ -23,7 +24,14 @@ from ..engine.spmm import SpmmTiling
 from .taxonomy import Annot, Dataflow, Dim, InterPhase, IntraDataflow, Phase, PhaseOrder, SPVariant
 from .workload import GNNWorkload
 
-__all__ = ["TileHint", "choose_phase_tiles", "choose_tiles", "concretize_intra"]
+__all__ = [
+    "TileHint",
+    "PhaseGeometry",
+    "phase_geometry",
+    "choose_phase_tiles",
+    "choose_tiles",
+    "concretize_intra",
+]
 
 
 def _pow2_floor(x: float) -> int:
@@ -61,6 +69,79 @@ class TileHint:
         if dim is Dim.F:
             return self.max_tf if explicit is None else min(explicit, self.max_tf)
         return explicit
+
+    def memo_key(self) -> tuple:
+        """Hashable identity of this hint's tile-selection-relevant fields.
+
+        ``TileHint`` itself is unhashable (``caps`` is a plain dict); the
+        memo below and the evaluator's fingerprint fragment cache key on
+        field values instead of object identity (ids are reused after GC).
+        """
+        return (
+            self.agg_priority,
+            self.cmb_priority,
+            tuple(sorted(
+                (phase.value, dim.value, int(cap))
+                for (phase, dim), cap in self.caps.items()
+            )),
+            bool(self.avg_degree_cap_n),
+            int(self.max_tf),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseGeometry:
+    """Per-workload tile-selection invariants, hoisted out of the sweep.
+
+    ``choose_phase_tiles`` used to re-derive dimension extents and the
+    average-degree power-of-two cap for every candidate of a 6,656-point
+    sweep; they depend only on the workload, so one cached struct serves
+    the whole sweep (and every later sweep on the same-shaped workload).
+    """
+
+    num_vertices: int
+    in_features: int
+    out_features: int
+    n_extent: int       # max(1, max_degree): the spatial-N parallelism bound
+    n_degree_cap: int   # max(2, pow2_floor(avg_degree / 2)): the typical-row cap
+
+    def extent(self, dim: Dim, *, agg_ca_order: bool = False) -> int:
+        if dim is Dim.V:
+            return self.num_vertices
+        if dim is Dim.F:
+            # Aggregation's F binds to the G extent under CA phase order.
+            return self.out_features if agg_ca_order else self.in_features
+        if dim is Dim.G:
+            return self.out_features
+        return self.n_extent
+
+
+@functools.lru_cache(maxsize=None)
+def _geometry(
+    num_vertices: int,
+    in_features: int,
+    out_features: int,
+    max_degree: int,
+    avg_degree: float,
+) -> PhaseGeometry:
+    return PhaseGeometry(
+        num_vertices=num_vertices,
+        in_features=in_features,
+        out_features=out_features,
+        n_extent=max(1, max_degree),
+        n_degree_cap=max(2, _pow2_floor(avg_degree / 2)),
+    )
+
+
+def phase_geometry(wl: GNNWorkload) -> PhaseGeometry:
+    """The workload's cached tile-selection geometry."""
+    return _geometry(
+        wl.num_vertices,
+        wl.in_features,
+        wl.out_features,
+        wl.graph.max_degree,
+        wl.graph.avg_degree,
+    )
 
 
 def _extent(wl: GNNWorkload, phase: Phase, dim: Dim) -> int:
@@ -136,6 +217,36 @@ def concretize_intra(intra: IntraDataflow, tiles: dict[Dim, int]) -> IntraDatafl
     return replace(intra, annot=tuple(new))
 
 
+# Memo over (geometry, intra, budget, hint content, ca_order).  Bounded so
+# pathological hint churn (e.g. fuzzers minting unique caps) cannot grow
+# it without limit; a clear on overflow is cheap and keeps hits O(1).
+_TILE_MEMO: dict[tuple, tuple] = {}
+_TILE_MEMO_MAX = 1 << 15
+
+
+def _compute_phase_tiles(
+    intra: IntraDataflow,
+    geom: PhaseGeometry,
+    num_pes: int,
+    hint: TileHint,
+    ca_order: bool,
+) -> dict[Dim, int]:
+    agg = intra.phase is Phase.AGGREGATION
+    priority = hint.agg_priority if agg else hint.cmb_priority
+    dims: list[tuple[Dim, int, int | None, Annot]] = []
+    for dim in priority:
+        extent = geom.extent(dim, agg_ca_order=agg and ca_order)
+        cap = hint.cap(intra.phase, dim)
+        if dim is Dim.N and cap is None and hint.avg_degree_cap_n:
+            # Size spatial-N to a power-of-two fraction of the typical row:
+            # large enough to exploit dense rows, small enough that
+            # ceil(deg / T_N) rounding does not waste lanes on the many
+            # rows near the mean.
+            cap = geom.n_degree_cap
+        dims.append((dim, extent, cap, intra.annotation_of(dim)))
+    return _greedy_split(num_pes, dims)
+
+
 def choose_phase_tiles(
     intra: IntraDataflow,
     wl: GNNWorkload,
@@ -144,23 +255,23 @@ def choose_phase_tiles(
     *,
     ca_order: bool = False,
 ) -> dict[Dim, int]:
-    """Pick one phase's tile sizes under a PE budget."""
-    agg = intra.phase is Phase.AGGREGATION
-    priority = hint.agg_priority if agg else hint.cmb_priority
-    dims: list[tuple[Dim, int, int | None, Annot]] = []
-    for dim in priority:
-        extent = _extent(wl, intra.phase, dim)
-        if agg and dim is Dim.F and ca_order:
-            extent = wl.out_features  # Aggregation's F binds to G under CA
-        cap = hint.cap(intra.phase, dim)
-        if dim is Dim.N and cap is None and hint.avg_degree_cap_n:
-            # Size spatial-N to a power-of-two fraction of the typical row:
-            # large enough to exploit dense rows, small enough that
-            # ceil(deg / T_N) rounding does not waste lanes on the many
-            # rows near the mean.
-            cap = max(2, _pow2_floor(wl.graph.avg_degree / 2))
-        dims.append((dim, extent, cap, intra.annotation_of(dim)))
-    return _greedy_split(num_pes, dims)
+    """Pick one phase's tile sizes under a PE budget (memoized).
+
+    The selection is a pure function of (workload geometry, intra, budget,
+    hint content, phase-order flag); a sweep revisits the same few hundred
+    combinations thousands of times.  Callers mutate the returned dict
+    (``choose_tiles``'s SP coupling), so hits hand out fresh copies.
+    """
+    geom = phase_geometry(wl)
+    key = (geom, intra, num_pes, hint.memo_key(), ca_order)
+    cached = _TILE_MEMO.get(key)
+    if cached is None:
+        if len(_TILE_MEMO) >= _TILE_MEMO_MAX:
+            _TILE_MEMO.clear()
+        tiles = _compute_phase_tiles(intra, geom, num_pes, hint, ca_order)
+        _TILE_MEMO[key] = tuple(tiles.items())
+        return tiles
+    return dict(cached)
 
 
 def choose_tiles(
