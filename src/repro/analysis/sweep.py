@@ -84,6 +84,7 @@ def sweep_pe_allocation(
     store=None,
     session=None,
     record_extra: Mapping[str, Any] | None = None,
+    partition=None,
 ) -> list[dict]:
     """Fig. 14: PP runtimes under different Agg/Cmb PE allocations.
 
@@ -115,7 +116,9 @@ def sweep_pe_allocation(
             )
     ses, owned = _session_for(workers, store, session)
     try:
-        ev = ses.evaluator(wl, hw, record_extra=record_extra)
+        ev = ses.evaluator(
+            wl, hw, record_extra=record_extra, partition=partition
+        )
         outcomes = ev.evaluate(candidates)
     finally:
         if owned:
@@ -150,6 +153,7 @@ def sweep_num_pes(
     store=None,
     session=None,
     record_extra: Mapping[str, Any] | None = None,
+    partition=None,
 ) -> list[dict]:
     """Fig. 15: normalized runtimes at different accelerator scales.
 
@@ -162,7 +166,9 @@ def sweep_num_pes(
     try:
         for num_pes in pe_counts:
             hw = AcceleratorConfig(num_pes=num_pes)
-            ev = ses.evaluator(wl, hw, record_extra=record_extra)
+            ev = ses.evaluator(
+                wl, hw, record_extra=record_extra, partition=partition
+            )
             outcomes = ev.evaluate(
                 [
                     (
@@ -207,6 +213,7 @@ def sweep_bandwidth(
     store=None,
     session=None,
     record_extra: Mapping[str, Any] | None = None,
+    partition=None,
 ) -> list[dict]:
     """Fig. 16: runtime vs distribution/reduction bandwidth.
 
@@ -227,7 +234,9 @@ def sweep_bandwidth(
     def evaluator_for(bw: int):
         if bw not in evaluators:
             hw = AcceleratorConfig(num_pes=num_pes, dist_bw=bw, red_bw=bw)
-            evaluators[bw] = ses.evaluator(wl, hw, record_extra=record_extra)
+            evaluators[bw] = ses.evaluator(
+                wl, hw, record_extra=record_extra, partition=partition
+            )
         return evaluators[bw]
 
     cfg0 = PAPER_CONFIGS["Seq1"]

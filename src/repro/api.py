@@ -135,6 +135,7 @@ def evaluate(
     sp_optimized: bool = False,
     pe_split: float = 0.5,
     seed: int = 0,
+    partition: "int | dict | None" = None,
 ) -> RunResult:
     """Cost one dataflow on one workload (the one-call quickstart).
 
@@ -146,13 +147,21 @@ def evaluate(
     :class:`~repro.core.interphase.RunResult`; illegal mappings raise
     :class:`~repro.core.legality.LegalityError` (a
     :class:`~repro.errors.ReproError`).
+
+    ``partition`` enables block-partitioned evaluation for graphs whose
+    working set exceeds on-chip capacity: an int block count, or
+    ``{"blocks": k}`` / ``{"budget_bytes": n}`` (blocks sized so one
+    block's streamed working set fits ``n`` bytes).  See
+    :mod:`repro.core.partitioned`.
     """
     wl = _resolve_workload(workload, seed=seed)
     df, config_hint = _resolve_dataflow(
         dataflow, sp_optimized=sp_optimized, pe_split=pe_split
     )
     hw = _hardware_point(num_pes, bandwidth, gb_kib).config()
-    return run_gnn_dataflow(wl, df, hw, hint=hint or config_hint)
+    return run_gnn_dataflow(
+        wl, df, hw, hint=hint or config_hint, partition=partition
+    )
 
 
 def sweep(
@@ -165,6 +174,7 @@ def sweep(
     workers: int = 0,
     store: "ResultStore | str | Path | None" = None,
     name: str = "sweep",
+    partition_budget: int | None = None,
 ) -> CampaignReport:
     """Run the Table V configuration sweep (the Fig. 11 baseline).
 
@@ -174,7 +184,9 @@ def sweep(
     what ``repro sweep`` renders).  ``store`` (a
     :class:`~repro.analysis.store.ResultStore` or a path) persists every
     record and warm-starts repeats; ``workers`` fans evaluation out with
-    byte-identical records.
+    byte-identical records.  ``partition_budget`` (bytes) switches every
+    unit to block-partitioned evaluation with blocks sized to fit the
+    budget (the large-graph tier).
     """
     if datasets is None:
         targets = dataset_names()
@@ -188,6 +200,9 @@ def sweep(
         source=CandidateSource("table5"),
         hardware=[_hardware_point(num_pes, bandwidth, gb_kib)],
         seed=seed,
+        partition=(
+            {"budget_bytes": partition_budget} if partition_budget else None
+        ),
     )
     return run_campaign(spec, workers=workers, store=store)
 
@@ -205,6 +220,7 @@ def search(
     workers: int = 0,
     store: "ResultStore | str | Path | None" = None,
     name: str | None = None,
+    partition_budget: int | None = None,
 ) -> CampaignReport:
     """Run the mapping optimizer (paper §VI) on one dataset.
 
@@ -218,7 +234,8 @@ def search(
     (``budget`` uniform draws).  The single unit's row carries
     ``paper_best``, ``search_best``, ``search_score``, ``evaluated``,
     ``gain``, and ``top5``; a pareto row adds probe/front accounting
-    under ``pareto``.
+    under ``pareto``.  ``partition_budget`` (bytes) switches the unit to
+    block-partitioned evaluation with blocks sized to fit the budget.
     """
     spec = CampaignSpec(
         name=name or f"search-{dataset}",
@@ -228,6 +245,9 @@ def search(
         objective=objective,
         budget=budget,
         seed=seed,
+        partition=(
+            {"budget_bytes": partition_budget} if partition_budget else None
+        ),
     )
     return run_campaign(spec, workers=workers, store=store)
 

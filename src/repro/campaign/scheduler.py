@@ -129,10 +129,11 @@ def run_unit(
         extra["hw"] = pt.label
     kind = spec.source.kind
     params = dict(spec.source.params)
+    partition = spec.partition
 
     if kind == "table5":
         names = list(params.get("configs") or paper_config_names())
-        ev = session.evaluator(wl, hw, record_extra=extra)
+        ev = session.evaluator(wl, hw, record_extra=extra, partition=partition)
         stream = ev.stream(
             lambda: ((*paper_dataflow(c), {"config": c}) for c in names),
             label="table5",
@@ -148,7 +149,8 @@ def run_unit(
 
     if kind in ("exhaustive", "pareto", "random"):
         with MappingOptimizer(
-            wl, hw, objective=spec.objective, session=session, record_extra=extra
+            wl, hw, objective=spec.objective, session=session,
+            record_extra=extra, partition=partition,
         ) as opt:
             # The Table V baseline shares the unit's evaluator, so the
             # broader search draws from the same memo and store stream.
@@ -186,16 +188,21 @@ def run_unit(
 
     if kind == "pe_allocation":
         return sweep_pe_allocation(
-            wl, hw, session=session, record_extra=extra, **params
+            wl, hw, session=session, record_extra=extra,
+            partition=partition, **params
         )
     if kind == "num_pes":
-        return sweep_num_pes(wl, session=session, record_extra=extra, **params)
+        return sweep_num_pes(
+            wl, session=session, record_extra=extra,
+            partition=partition, **params
+        )
     if kind == "bandwidth":
         # The unit's hardware point supplies the PE count unless the
         # source param already pinned it (spec validation forbids both).
         params.setdefault("num_pes", pt.num_pes)
         return sweep_bandwidth(
-            wl, session=session, record_extra=extra, **params
+            wl, session=session, record_extra=extra,
+            partition=partition, **params
         )
     raise ValueError(f"unhandled source kind {kind!r}")  # pragma: no cover
 

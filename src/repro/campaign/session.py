@@ -69,6 +69,7 @@ class ExplorationSession:
         store: Any | None = None,
         warm: bool = True,
         phase_cache: bool = True,
+        tilestats_budget: int | None = None,
     ) -> None:
         if chunksize < 1:
             raise ValueError("chunksize must be >= 1")
@@ -86,7 +87,7 @@ class ExplorationSession:
         self._warm: dict[str, dict] = {}  # loaded warm records
         self._warm_fps: set[str] = set()  # every warm-servable fingerprint
         self._warm_errors: dict[str, str] = {}
-        self._tilestats = TileStatsRegistry()
+        self._tilestats = TileStatsRegistry(byte_budget=tilestats_budget)
         self._phase_caches: dict[str, PhaseEngineCache] = {}
         self._pool: TaskKeyedPool | None = None
         self._closed = False
@@ -197,12 +198,28 @@ class ExplorationSession:
         """
         with self.lock:
             ts_hits, ts_misses = self._tilestats.counters()
+            mem = self._tilestats.memory_counters()
             return {
                 "phase_hits": self.stats.phase_hits,
                 "phase_misses": self.stats.phase_misses,
                 "tilestats_hits": ts_hits,
                 "tilestats_misses": ts_misses,
+                # Monotone memory accounting only: the campaign checkpoint
+                # journals per-unit *deltas* of this dict, so instantaneous
+                # gauges (live nbytes) stay out — read those straight from
+                # ``tilestats_memory()`` instead.
+                "tilestats_peak_nbytes": mem["peak_nbytes"],
+                "tilestats_evictions": mem["evictions"],
+                "dense_grid_builds": mem["dense_grid_builds"],
+                "streamed_chunk_passes": mem["streamed_chunk_passes"],
             }
+
+    def tilestats_memory(self) -> dict:
+        """Live memory accounting of the session's sparsity caches
+        (includes the instantaneous ``nbytes`` gauge, unlike the monotone
+        :meth:`cache_counters` snapshot)."""
+        with self.lock:
+            return self._tilestats.memory_counters()
 
     # -- per-context state ----------------------------------------------
     def memo_for(self, ctx_key: str) -> dict:
@@ -214,12 +231,14 @@ class ExplorationSession:
         hw: AcceleratorConfig,
         *,
         record_extra: Mapping[str, Any] | None = None,
+        partition=None,
     ) -> DataflowEvaluator:
         """A thin evaluator view of this session for one context."""
         if self._closed:
             raise RuntimeError("session is closed")
         return DataflowEvaluator(
-            wl, hw, record_extra=record_extra, session=self
+            wl, hw, record_extra=record_extra, session=self,
+            partition=partition,
         )
 
     # -- pool -----------------------------------------------------------

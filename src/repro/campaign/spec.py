@@ -175,6 +175,9 @@ class CampaignSpec:
     seed: int = 0
     store: str | None = None
     checkpoint: str | None = None
+    # Block-partitioned evaluation: None (whole-graph), {"blocks": k}, or
+    # {"budget_bytes": n} — resolved per unit against its workload.
+    partition: dict | None = None
 
     # ------------------------------------------------------------------
     def validate(self) -> "CampaignSpec":
@@ -252,6 +255,19 @@ class CampaignSpec:
             or self.budget < 1
         ):
             raise CampaignSpecError("budget must be an integer >= 1 (or null)")
+        if self.partition is not None:
+            from ..core.partitioned import normalize_partition
+
+            try:
+                normalized = normalize_partition(self.partition)
+            except ValueError as exc:
+                raise CampaignSpecError(f"bad partition spec: {exc}") from exc
+            if normalized != self.partition:
+                raise CampaignSpecError(
+                    "spec partition must be in canonical form "
+                    '({"blocks": k} or {"budget_bytes": n}), '
+                    f"got {self.partition!r}"
+                )
         return self
 
     # -- serialization --------------------------------------------------
@@ -269,13 +285,17 @@ class CampaignSpec:
             out["store"] = self.store
         if self.checkpoint is not None:
             out["checkpoint"] = self.checkpoint
+        # Emitted only when set: pre-partitioning specs keep their exact
+        # serialized form — and therefore their fingerprints.
+        if self.partition is not None:
+            out["partition"] = dict(self.partition)
         return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
         known = {
             "name", "datasets", "hardware", "source", "objective",
-            "budget", "seed", "store", "checkpoint",
+            "budget", "seed", "store", "checkpoint", "partition",
         }
         unknown = set(data) - known
         if unknown:
@@ -299,6 +319,7 @@ class CampaignSpec:
                 seed=int(data.get("seed", 0)),
                 store=data.get("store"),
                 checkpoint=data.get("checkpoint"),
+                partition=data.get("partition"),
             )
         except (TypeError, ValueError) as exc:
             if isinstance(exc, CampaignSpecError):

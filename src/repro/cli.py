@@ -156,6 +156,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--normalize", action="store_true",
                          help="normalize runtimes to Seq1")
     p_sweep.add_argument("--json", action="store_true")
+    p_sweep.add_argument(
+        "--partition-budget", type=int, default=None, metavar="BYTES",
+        help="block-partitioned evaluation: cut each graph into "
+             "nnz-balanced row blocks sized to fit this many bytes",
+    )
     _add_hw_args(p_sweep)
     _add_service_args(p_sweep)
 
@@ -177,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
              "uniform random draws",
     )
     p_search.add_argument("--json", action="store_true")
+    p_search.add_argument(
+        "--partition-budget", type=int, default=None, metavar="BYTES",
+        help="block-partitioned evaluation: cut the graph into "
+             "nnz-balanced row blocks sized to fit this many bytes",
+    )
     _add_hw_args(p_search)
     _add_service_args(p_search)
 
@@ -529,6 +539,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         store=store,
+        partition_budget=args.partition_budget,
     )
     table: list[list[object]] = []
     payload: dict = {}
@@ -578,6 +589,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         store=store,
+        partition_budget=args.partition_budget,
     )
     if store is not None:
         store.close()
@@ -877,6 +889,10 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 if snap
                 else None
             )
+            # Memory accounting joined the sidecar later: older
+            # checkpoints (and queued units) degrade to None -> "-".
+            ts_evict = snap.get("tilestats_evictions") if snap else None
+            ts_peak = snap.get("tilestats_peak_nbytes") if snap else None
             unit_rows.append(
                 {
                     "unit": key,
@@ -885,6 +901,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "cache": snap,
                     "phase_hit_rate": phase_rate,
                     "tilestats_hit_rate": ts_rate,
+                    "tilestats_evictions": ts_evict,
+                    "tilestats_peak_nbytes": ts_peak,
                 }
             )
         payload = {
@@ -915,9 +933,18 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             def pct(rate):
                 return "-" if rate is None else f"{100 * rate:.0f}%"
 
+            def count(value):
+                return "-" if value is None else str(value)
+
+            def mib(value):
+                return "-" if value is None else f"{value / (1 << 20):.1f}M"
+
             print(
                 format_table(
-                    ["unit", "state", "records", "phase-hit", "tilestats-hit"],
+                    [
+                        "unit", "state", "records", "phase-hit",
+                        "tilestats-hit", "evictions", "stats-peak",
+                    ],
                     [
                         [
                             u["unit"],
@@ -925,6 +952,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                             u["records"],
                             pct(u["phase_hit_rate"]),
                             pct(u["tilestats_hit_rate"]),
+                            count(u["tilestats_evictions"]),
+                            mib(u["tilestats_peak_nbytes"]),
                         ]
                         for u in unit_rows
                     ],

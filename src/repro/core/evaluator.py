@@ -139,17 +139,31 @@ def _workload_signature(wl: GNNWorkload) -> dict:
     }
 
 
-def _context_signature(wl: GNNWorkload, hw: AcceleratorConfig) -> dict:
+def _context_signature(
+    wl: GNNWorkload, hw: AcceleratorConfig, partition: dict | None = None
+) -> dict:
     """The per-context half of the fingerprint (graph digest is O(V+E),
-    so evaluators compute this once and reuse it per candidate)."""
-    return {"workload": _workload_signature(wl), "hw": _hw_signature(hw)}
+    so evaluators compute this once and reuse it per candidate).
+
+    ``partition`` is the *normalized* block-partitioning spec; it enters
+    the signature only when set, so unpartitioned fingerprints — and every
+    record persisted before partitioned evaluation existed — are stable.
+    """
+    sig = {"workload": _workload_signature(wl), "hw": _hw_signature(hw)}
+    if partition is not None:
+        sig["partition"] = partition
+    return sig
 
 
-def context_key(wl: GNNWorkload, hw: AcceleratorConfig) -> str:
+def context_key(
+    wl: GNNWorkload, hw: AcceleratorConfig, partition: dict | None = None
+) -> str:
     """Stable task key of one ``(workload, hardware)`` evaluation context —
     what the task-keyed pool and the session's per-context memos key on."""
     blob = json.dumps(
-        _context_signature(wl, hw), sort_keys=True, separators=(",", ":")
+        _context_signature(wl, hw, partition),
+        sort_keys=True,
+        separators=(",", ":"),
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -298,6 +312,7 @@ def _evaluate_candidate(
     spec: TileHint | ExplicitTiles | None,
     stats: "TileStats | None" = None,
     cache: "PhaseEngineCache | None" = None,
+    partition=None,
 ) -> tuple[RunResult | None, str | None]:
     try:
         if isinstance(spec, ExplicitTiles):
@@ -310,11 +325,15 @@ def _evaluate_candidate(
                     gemm_tiling=spec.gemm,
                     stats=stats,
                     cache=cache,
+                    partition=partition,
                 ),
                 None,
             )
         return (
-            run_gnn_dataflow(wl, df, hw, hint=spec, stats=stats, cache=cache),
+            run_gnn_dataflow(
+                wl, df, hw, hint=spec, stats=stats, cache=cache,
+                partition=partition,
+            ),
             None,
         )
     except (LegalityError, ValueError) as exc:
@@ -340,6 +359,7 @@ def _evaluate_group(
     group: "list[tuple[int, Dataflow, TileHint | ExplicitTiles | None]]",
     stats: "TileStats | None" = None,
     cache: "PhaseEngineCache | None" = None,
+    partition=None,
 ) -> list[tuple[int, RunResult | None, str | None]]:
     """Evaluate one group of candidates batch-wise.
 
@@ -349,7 +369,17 @@ def _evaluate_group(
     recurrence advances every candidate simultaneously.  Per-candidate
     results and error strings are identical to looping
     :func:`_evaluate_candidate` (asserted in ``tests/test_batch_compose.py``).
+
+    With a ``partition`` plan each candidate composes per graph block
+    inside :func:`~repro.core.partitioned.run_partitioned`, so the group
+    degrades to a per-candidate loop (block engine runs still dedup
+    through ``cache``; per-block sparsity stats live on the plan).
     """
+    if partition is not None:
+        return [
+            (idx, *_evaluate_candidate(wl, hw, df, spec, None, cache, partition))
+            for idx, df, spec in group
+        ]
     prepared: list = []  # parallel to group: (cdf, agg, cmb) | error str
     for _, df, spec in group:
         try:
@@ -415,8 +445,9 @@ def _task_eval(ctx, item):
     wl, hw, *rest = ctx
     stats = rest[0] if rest else None
     cache = rest[1] if len(rest) > 1 else None
+    partition = rest[2] if len(rest) > 2 else None
     before = cache.counters() if cache is not None else (0, 0)
-    results = _evaluate_group(wl, hw, item, stats, cache)
+    results = _evaluate_group(wl, hw, item, stats, cache, partition)
     after = cache.counters() if cache is not None else (0, 0)
     return results, after[0] - before[0], after[1] - before[1]
 
@@ -677,6 +708,14 @@ class DataflowEvaluator:
     record_extra:
         Constant key-values merged into every persisted record (e.g.
         ``{"dataset": "cora"}``).
+    partition:
+        Optional block-partitioned evaluation mode (see
+        :mod:`repro.core.partitioned`): an int block count, a
+        ``{"blocks": k}`` / ``{"budget_bytes": n}`` dict, or a resolved
+        :class:`~repro.core.partitioned.PartitionPlan`.  The normalized
+        spec enters the context signature, so partitioned candidates
+        fingerprint (and memoize/persist) separately from whole-graph
+        ones.
     """
 
     def __init__(
@@ -690,6 +729,7 @@ class DataflowEvaluator:
         warm: bool = True,
         record_extra: Mapping[str, Any] | None = None,
         session: "Any | None" = None,
+        partition=None,
     ) -> None:
         if session is None:
             # Imported lazily: campaign sits above core in the layering,
@@ -707,9 +747,17 @@ class DataflowEvaluator:
         self.hw = hw
         self.record_extra = dict(record_extra or {})
         self.stats = EvalStats()
-        self._ctx_signature = _context_signature(wl, hw)
+        if partition is not None:
+            from .partitioned import normalize_partition, resolve_partition
+
+            self.partition_spec = normalize_partition(partition)
+            self.partition_plan = resolve_partition(wl, hw, partition)
+        else:
+            self.partition_spec = None
+            self.partition_plan = None
+        self._ctx_signature = _context_signature(wl, hw, self.partition_spec)
         self._fp_factory = FingerprintFactory(self._ctx_signature)
-        self.ctx_key = context_key(wl, hw)
+        self.ctx_key = context_key(wl, hw, self.partition_spec)
         self._memo: dict[str, tuple] = session.memo_for(self.ctx_key)
         # One sparsity cache per workload, shared session-wide: overlapping
         # contexts on the same graph (e.g. a num_pes sweep) resolve to the
@@ -1014,16 +1062,31 @@ class DataflowEvaluator:
             # re-serialize every derived array per context for data
             # workers can rebuild on demand.
             groups = self._pack_groups(pending, self.session.chunksize)
+            ctx: tuple = (
+                self.wl,
+                self.hw,
+                TileStats(self.wl.graph),
+                # The session's opt-out must reach workers too: a
+                # phase_cache=False session ships no cache at all.
+                PhaseEngineCache() if self.session.phase_cache else None,
+            )
+            if self.partition_plan is not None:
+                # Ship the blocks but a *fresh* per-block stats registry:
+                # workers fill their own copies (same rationale as the
+                # fresh TileStats above).
+                from ..engine.tilestats import TileStatsRegistry
+                from .partitioned import PartitionPlan
+
+                ctx = ctx + (
+                    PartitionPlan(
+                        blocks=self.partition_plan.blocks,
+                        spec=self.partition_plan.spec,
+                        registry=TileStatsRegistry(),
+                    ),
+                )
             mapped = self.session.map(
                 self.ctx_key,
-                (
-                    self.wl,
-                    self.hw,
-                    TileStats(self.wl.graph),
-                    # The session's opt-out must reach workers too: a
-                    # phase_cache=False session ships no cache at all.
-                    PhaseEngineCache() if self.session.phase_cache else None,
-                ),
+                ctx,
                 groups,
                 chunksize=1,  # items are pre-packed groups already
             )
@@ -1043,7 +1106,12 @@ class DataflowEvaluator:
         group = sorted(pending, key=lambda cand: _group_key(cand[1]))
         before = self.phase_cache.counters() if self.phase_cache else (0, 0)
         results = _evaluate_group(
-            self.wl, self.hw, group, self.tilestats, self.phase_cache
+            self.wl,
+            self.hw,
+            group,
+            self.tilestats,
+            self.phase_cache,
+            self.partition_plan,
         )
         if self.phase_cache is not None:
             after = self.phase_cache.counters()

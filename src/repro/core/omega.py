@@ -128,6 +128,7 @@ def run_gnn_dataflow(
     gemm_tiling: GemmTiling | None = None,
     stats: "TileStats | None" = None,
     cache: "PhaseEngineCache | None" = None,
+    partition=None,
 ) -> RunResult:
     """Cost one GNN layer under ``df`` on ``hw``.
 
@@ -141,7 +142,24 @@ def run_gnn_dataflow(
     a session shares the same sparsity scans.  ``cache`` is an optional
     :class:`~repro.engine.phasecache.PhaseEngineCache` deduplicating
     whole engine runs across candidates that share a phase mapping.
+
+    ``partition`` switches to block-partitioned evaluation (see
+    :mod:`repro.core.partitioned`): an int block count, a
+    ``{"blocks": k}`` / ``{"budget_bytes": n}`` dict, or a pre-resolved
+    :class:`~repro.core.partitioned.PartitionPlan`.  Explicit tilings are
+    incompatible with partitioning (each block tiles for its own shape).
     """
+    if partition is not None:
+        from .partitioned import resolve_partition, run_partitioned
+
+        plan = resolve_partition(wl, hw, partition)
+        if plan is not None:
+            if spmm_tiling is not None or gemm_tiling is not None:
+                raise ValueError(
+                    "explicit tilings are incompatible with partitioned "
+                    "evaluation"
+                )
+            return run_partitioned(wl, df, hw, plan, hint=hint, cache=cache)
     df, agg_res, cmb_res = prepare_phases(
         wl,
         df,

@@ -251,6 +251,7 @@ class MappingOptimizer:
         evaluator: DataflowEvaluator | None = None,
         session: "Any | None" = None,
         record_extra: Mapping[str, Any] | None = None,
+        partition=None,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(
@@ -262,12 +263,23 @@ class MappingOptimizer:
         self._score = OBJECTIVES[objective]
         self.last_pareto_report: "Any | None" = None
         if evaluator is not None:
+            if partition is not None:
+                raise ValueError(
+                    "pass partition via the evaluator, not alongside one"
+                )
             self.evaluator = evaluator
         elif session is not None:
-            self.evaluator = session.evaluator(wl, hw, record_extra=record_extra)
+            self.evaluator = session.evaluator(
+                wl, hw, record_extra=record_extra, partition=partition
+            )
         else:
             self.evaluator = DataflowEvaluator(
-                wl, hw, workers=workers, store=store, record_extra=record_extra
+                wl,
+                hw,
+                workers=workers,
+                store=store,
+                record_extra=record_extra,
+                partition=partition,
             )
 
     def close(self) -> None:

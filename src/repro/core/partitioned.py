@@ -1,0 +1,310 @@
+"""Block-partitioned whole-graph evaluation (§V-A2 at web scale).
+
+The paper slices large graphs "to fit on-chip"; this module turns that
+note into an evaluation mode: the adjacency is cut into contiguous row
+blocks balanced by *nnz* (:func:`repro.graphs.partitioning.partition_rows_by_nnz`
+— vertex-count balancing is pathological on heavy-tail graphs), each
+block runs through the ordinary single-graph cost model as a rectangular
+row-block workload, and the per-block results compose additively:
+cycles and traffic sum, the intermediate buffer requirement is the
+per-block maximum (blocks are sequential), and the DRAM cost of streaming
+each block's gathered feature rows in and its output rows back out is
+added on top.
+
+A single-block plan is exactly the unpartitioned run (same sparsity
+pattern, zero streaming cost), which the equivalence tests pin down; the
+cross-check invariant for k > 1 is that MAC counts are *exactly*
+additive — row blocks partition both the edge set (SpMM) and the output
+rows (GEMM).
+
+Per-block engine runs flow through the same :class:`PhaseEngineCache`
+as whole-graph runs (phase keys embed the block graph's pattern digest,
+so candidates sharing a phase mapping share block engine runs too), and
+per-block sparsity statistics live in a :class:`TileStatsRegistry` keyed
+by block digest.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.config import AcceleratorConfig
+from ..arch.memory import DramModel
+from ..engine.phasecache import PhaseEngineCache
+from ..engine.stats import PhaseStats, merge_counts
+from ..engine.tilestats import TileStatsRegistry
+from ..graphs.partitioning import (
+    GraphSlice,
+    partition_count_for_budget,
+    partition_rows_by_nnz,
+)
+from .interphase import RunResult
+from .taxonomy import Dataflow, PhaseOrder
+from .tiling import TileHint
+from .workload import GNNWorkload
+
+__all__ = [
+    "PartitionPlan",
+    "normalize_partition",
+    "resolve_partition",
+    "run_partitioned",
+    "merge_block_results",
+]
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A resolved block partitioning of one workload's adjacency.
+
+    ``spec`` is the normalized request that produced it (``{"blocks": k}``
+    or ``{"budget_bytes": n}``) — the stable form that enters context
+    signatures and campaign fingerprints.  ``registry`` deduplicates
+    per-block :class:`TileStats` across the candidates of a session.
+    """
+
+    blocks: tuple[GraphSlice, ...]
+    spec: dict
+    registry: TileStatsRegistry
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+
+def normalize_partition(partition) -> dict | None:
+    """Canonicalize a partition request.
+
+    Accepts ``None`` (no partitioning), a positive int (block count), or
+    a dict with exactly one of ``blocks`` / ``budget_bytes``.  Returns the
+    canonical dict form, the only shape signatures and specs carry.
+    """
+    if partition is None:
+        return None
+    if isinstance(partition, PartitionPlan):
+        return dict(partition.spec)
+    if isinstance(partition, bool):
+        raise ValueError("partition must be an int, dict, or PartitionPlan")
+    if isinstance(partition, int):
+        if partition < 1:
+            raise ValueError("partition block count must be >= 1")
+        return {"blocks": partition}
+    if isinstance(partition, dict):
+        keys = set(partition)
+        if keys == {"blocks"}:
+            k = partition["blocks"]
+            if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+                raise ValueError("partition 'blocks' must be an int >= 1")
+            return {"blocks": k}
+        if keys == {"budget_bytes"}:
+            n = partition["budget_bytes"]
+            if not isinstance(n, int) or isinstance(n, bool) or n < 1:
+                raise ValueError("partition 'budget_bytes' must be an int >= 1")
+            return {"budget_bytes": n}
+        raise ValueError(
+            "partition dict needs exactly one of 'blocks' or 'budget_bytes', "
+            f"got {sorted(keys)}"
+        )
+    raise ValueError(f"unsupported partition spec: {partition!r}")
+
+
+def resolve_partition(
+    wl: GNNWorkload, hw: AcceleratorConfig, partition
+) -> PartitionPlan | None:
+    """Resolve a partition request against a workload into a reusable plan.
+
+    Budget-based requests size blocks so one block's streamed working set
+    (gathered input rows + output rows + CSR structure) fits the byte
+    budget; the F and G extents both contribute since Aggregation gathers
+    one and Combination produces the other.
+    """
+    if isinstance(partition, PartitionPlan):
+        return partition
+    spec = normalize_partition(partition)
+    if spec is None:
+        return None
+    if "blocks" in spec:
+        k = spec["blocks"]
+    else:
+        k = partition_count_for_budget(
+            wl.graph,
+            wl.in_features + wl.out_features,
+            spec["budget_bytes"],
+            bytes_per_element=hw.bytes_per_element,
+        )
+    blocks = partition_rows_by_nnz(wl.graph, k)
+    return PartitionPlan(
+        blocks=tuple(blocks), spec=spec, registry=TileStatsRegistry()
+    )
+
+
+def block_workload(wl: GNNWorkload, blk: GraphSlice) -> GNNWorkload:
+    """The rectangular row-block view of ``wl`` for one slice."""
+    return GNNWorkload(
+        graph=blk.graph,
+        in_features=wl.in_features,
+        out_features=wl.out_features,
+        name=f"{wl.name}[{blk.row_lo}:{blk.row_hi}]",
+        block=True,
+    )
+
+
+def _merge_phase_stats(parts: "list[PhaseStats]") -> PhaseStats:
+    """Additive composition of per-block phase statistics.
+
+    Counters sum; static utilization is weighted by compute steps; tile
+    sizes report the first block's choice (blocks may legitimately tile
+    differently — each is sized for its own shape).
+    """
+    first = parts[0]
+    total_steps = sum(p.compute_steps for p in parts)
+    if total_steps:
+        util = (
+            sum(p.static_utilization * p.compute_steps for p in parts)
+            / total_steps
+        )
+    else:
+        util = first.static_utilization
+    streamed: list[str] = []
+    for p in parts:
+        for op in p.streamed_operands:
+            if op not in streamed:
+                streamed.append(op)
+    return PhaseStats(
+        phase=first.phase,
+        cycles=sum(p.cycles for p in parts),
+        compute_steps=total_steps,
+        macs=sum(p.macs for p in parts),
+        gb_reads=merge_counts(*(p.gb_reads for p in parts)),
+        gb_writes=merge_counts(*(p.gb_writes for p in parts)),
+        rf_reads=sum(p.rf_reads for p in parts),
+        rf_writes=sum(p.rf_writes for p in parts),
+        load_stall_cycles=sum(p.load_stall_cycles for p in parts),
+        intermediate_load_stall_cycles=sum(
+            p.intermediate_load_stall_cycles for p in parts
+        ),
+        streamed_reads=sum(p.streamed_reads for p in parts),
+        streamed_operands=tuple(streamed),
+        static_utilization=util,
+        tile_sizes=dict(first.tile_sizes),
+    )
+
+
+def merge_block_results(
+    wl: GNNWorkload,
+    hw: AcceleratorConfig,
+    plan: PartitionPlan,
+    results: "list[RunResult]",
+) -> RunResult:
+    """Compose per-block :class:`RunResult`\\ s into the whole-graph cost.
+
+    Blocks run sequentially: cycles, traffic, and energy sum; the
+    intermediate buffer requirement is the per-block maximum.  For plans
+    with more than one block, the inter-block DRAM streaming cost is
+    charged on top: each block's gathered feature rows come in from DRAM
+    and its output rows go back out (one access per element at the DRAM
+    model's bandwidth and per-access energy) — with one block everything
+    stays resident and the composition is exactly the unpartitioned run.
+    """
+    if not results:
+        raise ValueError("merge_block_results needs at least one block result")
+    first = results[0]
+    df = first.dataflow
+    total_cycles = sum(r.total_cycles for r in results)
+    gb_reads = merge_counts(*(r.gb_reads for r in results))
+    gb_writes = merge_counts(*(r.gb_writes for r in results))
+    energy = first.energy
+    for r in results[1:]:
+        energy = energy + r.energy
+    notes = [
+        f"partitioned: {plan.num_blocks} nnz-balanced row blocks "
+        f"({plan.spec})"
+    ]
+    spilled_blocks = sum(1 for r in results if r.spill and r.spill.spilled)
+    if spilled_blocks:
+        notes.append(f"{spilled_blocks} blocks spilled their intermediate")
+
+    stream_elements = 0
+    stream_cycles = 0
+    if plan.num_blocks > 1:
+        feat = (
+            wl.in_features
+            if df.order is PhaseOrder.AC
+            else wl.out_features
+        )
+        stream_elements = sum(b.operand_elements(feat) for b in plan.blocks)
+        dram = DramModel()
+        stream_cycles = int(
+            math.ceil(stream_elements / dram.bw_elements_per_cycle)
+        )
+        total_cycles += stream_cycles
+        e = hw.energy
+        from ..arch.energy import EnergyBreakdown
+
+        energy = energy + EnergyBreakdown(
+            dram_pj=stream_elements * e.dram_pj
+        )
+        notes.append(
+            f"inter-block DRAM stream: {stream_elements} elements, "
+            f"{stream_cycles} cycles"
+        )
+
+    return RunResult(
+        dataflow=df,
+        workload=wl,
+        hw=hw,
+        total_cycles=int(total_cycles),
+        agg=_merge_phase_stats([r.agg for r in results]),
+        cmb=_merge_phase_stats([r.cmb for r in results]),
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        rf_reads=sum(r.rf_reads for r in results),
+        rf_writes=sum(r.rf_writes for r in results),
+        intermediate_reads=sum(r.intermediate_reads for r in results),
+        intermediate_writes=sum(r.intermediate_writes for r in results),
+        intermediate_buffer_elements=max(
+            r.intermediate_buffer_elements for r in results
+        ),
+        energy=energy,
+        granularity=first.granularity,
+        pel=first.pel,
+        pipeline=None,
+        spill=None,
+        notes=notes,
+    )
+
+
+def run_partitioned(
+    wl: GNNWorkload,
+    df: Dataflow,
+    hw: AcceleratorConfig,
+    plan: PartitionPlan,
+    *,
+    hint: TileHint | None = None,
+    cache: "PhaseEngineCache | None" = None,
+) -> RunResult:
+    """Cost one GNN layer block-by-block under ``plan`` and compose.
+
+    Each block is evaluated by the ordinary single-graph pipeline
+    (:func:`repro.core.omega.run_gnn_dataflow`) with per-block sparsity
+    statistics from the plan's registry; ``cache`` dedups block engine
+    runs across candidates exactly as it does whole-graph runs.
+    """
+    from .omega import run_gnn_dataflow
+
+    if not plan.blocks:
+        raise ValueError("partition plan has no blocks (empty graph?)")
+    results = []
+    for blk in plan.blocks:
+        bwl = block_workload(wl, blk)
+        results.append(
+            run_gnn_dataflow(
+                bwl,
+                df,
+                hw,
+                hint=hint,
+                stats=plan.registry.for_graph(blk.graph),
+                cache=cache,
+            )
+        )
+    return merge_block_results(wl, hw, plan, results)

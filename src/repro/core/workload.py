@@ -18,17 +18,24 @@ __all__ = ["GNNWorkload", "workload_from_dataset"]
 
 @dataclass(frozen=True)
 class GNNWorkload:
-    """One GNN layer's shape: adjacency + feature extents."""
+    """One GNN layer's shape: adjacency + feature extents.
+
+    ``block`` marks a row-block view of a larger layer (partitioned
+    evaluation): the adjacency is then a rectangular slice whose columns
+    still span the parent's full vertex space, so the square-adjacency
+    check is waived.  Top-level workloads must stay square.
+    """
 
     graph: CSRGraph
     in_features: int  # F
     out_features: int  # G
     name: str = ""
+    block: bool = False
 
     def __post_init__(self) -> None:
         if self.in_features < 1 or self.out_features < 1:
             raise ValueError("feature extents must be positive")
-        if self.graph.num_vertices != self.graph.num_cols:
+        if not self.block and self.graph.num_vertices != self.graph.num_cols:
             raise ValueError("GNN workloads need a square adjacency")
 
     @property

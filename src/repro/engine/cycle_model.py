@@ -45,7 +45,7 @@ from ..core.taxonomy import Dim, IntraDataflow, Phase
 from ..graphs.csr import CSRGraph
 from .gemm import GemmSpec, GemmTiling
 from .spmm import SpmmSpec, SpmmTiling
-from .tilestats import TileStats, resolve_stats
+from .tilestats import TileStats, default_byte_budget, resolve_stats
 
 __all__ = [
     "CycleReport",
@@ -54,6 +54,7 @@ __all__ = [
     "cycle_accurate_gemm_reference",
     "cycle_accurate_spmm_reference",
     "use_reference_engine",
+    "use_streamed_engine",
 ]
 
 
@@ -63,6 +64,17 @@ def use_reference_engine() -> bool:
     Read at call time so tests and CI can flip engines per invocation.
     """
     flag = os.environ.get("REPRO_REFERENCE_ENGINE", "")
+    return flag.strip().lower() in {"1", "true", "yes", "on"}
+
+
+def use_streamed_engine() -> bool:
+    """Whether ``REPRO_STREAM_ENGINE`` forces the chunk-streamed engines.
+
+    Without the flag, streaming engages automatically whenever a
+    :class:`TileStats` byte budget is set and the dense working set would
+    exceed it.  Read at call time, like :func:`use_reference_engine`.
+    """
+    flag = os.environ.get("REPRO_STREAM_ENGINE", "")
     return flag.strip().lower() in {"1", "true", "yes", "on"}
 
 
@@ -164,6 +176,75 @@ def _pipeline_arrays(
     collect_num = int(np.max(compute - (cum_w - wd)) + cum_w[-1])
     fill_num = int(dist[0])
     return -(-collect_num // scale), -(-fill_num // scale)
+
+
+class _PipelineScan:
+    """Chunk-streamed :func:`_pipeline_arrays`: the same exact max-plus
+    recurrence evaluated incrementally over per-step blocks.
+
+    The dense scan is two cumulative maxima over scaled-integer
+    numerators; both decompose into running state carried across chunks:
+    the cumulative stream/latency/drain sums, ``A`` = the running maximum
+    of ``dist[j] - cum_lat[j-1]`` (seeding the next chunk's
+    ``maximum.accumulate``), and ``B`` = the running maximum of
+    ``compute[i] - cum_w[i-1]`` (of which only the final value matters).
+    Because integer max-plus algebra reassociates exactly, feeding the
+    same per-step values in the same order through any chunking yields
+    bit-identical ``(cycles, fill)``.
+    """
+
+    def __init__(self, hw: AcceleratorConfig) -> None:
+        self.bwd = hw.effective_dist_bw
+        self.bwr = hw.effective_red_bw
+        self.scale = self.bwd * self.bwr
+        self._s = 0  # cumulative streamed elements
+        self._l = 0  # cumulative scaled compute latency
+        self._w = 0  # cumulative scaled drained elements
+        self._a = 0  # running max of dist - prior cum_lat
+        self._b: int | None = None  # running max of compute - prior cum_w
+        self._fill = 0
+        self._seen = False
+
+    def feed(
+        self,
+        stream: np.ndarray,
+        drain: np.ndarray,
+        load: np.ndarray | None = None,
+    ) -> None:
+        s = np.asarray(stream, dtype=np.int64)
+        if s.size == 0:
+            return
+        w = np.asarray(drain, dtype=np.int64)
+        if load is None:
+            lat = np.full(s.size, self.scale, dtype=np.int64)
+        else:
+            lat = (1 + np.asarray(load, dtype=np.int64)) * self.scale
+        dist = (np.add.accumulate(s) + self._s) * self.bwr
+        cum_lat = np.add.accumulate(lat) + self._l
+        a = dist - (cum_lat - lat)
+        if self._seen:
+            a[0] = max(int(a[0]), self._a)
+        else:
+            self._fill = int(dist[0])
+            self._seen = True
+        np.maximum.accumulate(a, out=a)
+        compute = a + cum_lat
+        wd = w * self.bwd
+        cum_w = np.add.accumulate(wd) + self._w
+        b = int(np.max(compute - (cum_w - wd)))
+        self._b = b if self._b is None else max(self._b, b)
+        self._a = int(a[-1])
+        self._s = int(dist[-1]) // self.bwr
+        self._l = int(cum_lat[-1])
+        self._w = int(cum_w[-1])
+
+    def finish(self) -> tuple[int, int]:
+        """``(total_cycles, fill_cycles)`` — :func:`_pipeline_arrays` of
+        the concatenation of everything fed so far."""
+        if not self._seen:
+            return 0, 0
+        collect_num = int(self._b) + self._w
+        return -(-collect_num // self.scale), -(-self._fill // self.scale)
 
 
 # ----------------------------------------------------------------------
@@ -409,6 +490,119 @@ def _cycle_accurate_gemm_vectorized(
     )
 
 
+def _cycle_accurate_gemm_streamed(
+    spec: GemmSpec,
+    intra: IntraDataflow,
+    tiling: GemmTiling,
+    hw: AcceleratorConfig,
+    *,
+    chunk_steps: int,
+) -> CycleReport:
+    """Chunk-streamed GEMM micro-simulation: :func:`_gemm_geometry`'s
+    per-step arrays recomputed per flat-index range ``[lo, hi)`` and
+    reduced on the fly, so peak memory is O(chunk) instead of O(total).
+
+    Every per-step quantity is a pure function of the flat step index, so
+    chunked recomputation is trivially bit-identical to the dense path.
+    """
+    if intra.phase is not Phase.COMBINATION:
+        raise ValueError("cycle_accurate_gemm requires a Combination dataflow")
+    size = {Dim.V: spec.rows, Dim.F: spec.inner, Dim.G: spec.cols}
+    tile = {Dim.V: tiling.t_v, Dim.F: tiling.t_f, Dim.G: tiling.t_g}
+    order = intra.order
+    ranges = {d: _ranges(size[d], tile[d]) for d in size}
+    widths = {
+        d: np.asarray([hi - lo for lo, hi in ranges[d]], dtype=np.int64)
+        for d in size
+    }
+    steps = {d: len(ranges[d]) for d in size}
+    pos = {d: order.index(d) for d in order}
+    extents = tuple(steps[d] for d in order)
+    total = extents[0] * extents[1] * extents[2]
+    strides = (extents[1] * extents[2], extents[2], 1)
+    n_fsteps = steps[Dim.F]
+
+    live = 1
+    for d in order[pos[Dim.F] + 1 :]:
+        if d in (Dim.V, Dim.G):
+            live *= steps[d]
+    psum_resident = hw.supports_temporal_reduction and live <= hw.pe_accumulators
+    spill = n_fsteps > 1 and not psum_resident
+    bwd = hw.effective_dist_bw
+
+    roles = {"left": (spec.left_name, _LEFT_DIMS), "right": (spec.right_name, _RIGHT_DIMS)}
+    mat_reads = {"left": 0, "right": 0}
+    out_writes = 0
+    psum_writes = 0
+    psum_reads = 0
+    load_stalls = 0
+    scan = _PipelineScan(hw)
+
+    chunk = max(1, chunk_steps)
+    for lo in range(0, total, chunk):
+        flat = np.arange(lo, min(lo + chunk, total), dtype=np.int64)
+        level_idx = [(flat // strides[p]) % extents[p] for p in range(3)]
+        dim_idx = {d: level_idx[pos[d]] for d in order}
+        wd = {d: widths[d][dim_idx[d]] for d in order}
+        stream = np.zeros(flat.size, dtype=np.int64)
+        load = np.zeros(flat.size, dtype=np.int64)
+        for role, (_, dims) in roles.items():
+            level = max(pos[d] for d in dims)
+            elems = wd[dims[0]] * wd[dims[1]]
+            fetch = (flat % strides[level]) == 0
+            mat_reads[role] += int(elems[fetch].sum())
+            if level == 2:
+                stream += elems  # streamed: fetched every step
+            else:
+                load[fetch] += -(-elems[fetch] // bwd)
+        f_idx = dim_idx[Dim.F]
+        completing = f_idx == n_fsteps - 1
+        out = wd[Dim.V] * wd[Dim.G]
+        out_writes += int(out[completing].sum())
+        if spill:
+            revisit = f_idx > 0
+            drain = out  # every visit drains: out or psum
+            psum_writes += int(out[~completing].sum())
+            psum_reads += int(out[revisit].sum())
+            stream = stream + np.where(revisit, out, 0)
+        else:
+            drain = np.where(completing, out, 0)
+        load_stalls += int(load.sum())
+        scan.feed(stream, drain, load)
+
+    gb_reads: dict[str, float] = {
+        roles["left"][0]: float(mat_reads["left"]),
+    }
+    gb_reads[roles["right"][0]] = gb_reads.get(roles["right"][0], 0.0) + float(
+        mat_reads["right"]
+    )
+    gb_writes: dict[str, float] = {spec.out_name: float(out_writes)}
+    if spill:
+        gb_writes["psum"] = float(psum_writes)
+        gb_reads["psum"] = gb_reads.get("psum", 0.0) + float(psum_reads)
+
+    cycles, fill = scan.finish()
+    return CycleReport(
+        cycles=cycles,
+        steps=total,
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        load_stall_cycles=load_stalls,
+        fill_cycles=fill,
+    )
+
+
+# Per-step transient footprint of the dense paths, in 8-byte words: the
+# GEMM geometry keeps ~12 int64/bool arrays of length `total`; the SpMM
+# nest adds the flat/level grids on top of the 3 stats grids.  Used only
+# to decide when a byte budget forces the streamed engines.
+_DENSE_WORDS_PER_STEP = 12
+
+
+def _gemm_stream_budget(stats: TileStats | None) -> int | None:
+    return stats.byte_budget if stats is not None else default_byte_budget()
+
+
 def cycle_accurate_gemm(
     spec: GemmSpec,
     intra: IntraDataflow,
@@ -420,12 +614,27 @@ def cycle_accurate_gemm(
     """Walk the tiled GEMM loop nest step by step.
 
     ``stats`` is accepted for signature symmetry with the SpMM engine
-    (dense GEMM needs no sparsity statistics); callers may thread one
-    handle through both phases unconditionally.
+    (dense GEMM needs no sparsity statistics) and, when it carries a byte
+    budget, to bound the micro-simulation's working set: loop nests whose
+    dense geometry would exceed the budget run chunk-streamed instead.
     """
-    del stats  # dense phase: geometry cache only
     if use_reference_engine():
         return cycle_accurate_gemm_reference(spec, intra, tiling, hw)
+    budget = _gemm_stream_budget(stats)
+    if budget is not None or use_streamed_engine():
+        size = {Dim.V: spec.rows, Dim.F: spec.inner, Dim.G: spec.cols}
+        tile = {Dim.V: tiling.t_v, Dim.F: tiling.t_f, Dim.G: tiling.t_g}
+        total = 1
+        for d in size:
+            total *= len(_ranges(size[d], tile[d]))
+        dense_bytes = 8 * _DENSE_WORDS_PER_STEP * total
+        if use_streamed_engine() or (budget is not None and dense_bytes > budget):
+            chunk = max(
+                1, (budget or (1 << 24)) // (8 * _DENSE_WORDS_PER_STEP)
+            )
+            return _cycle_accurate_gemm_streamed(
+                spec, intra, tiling, hw, chunk_steps=chunk
+            )
     return _cycle_accurate_gemm_vectorized(spec, intra, tiling, hw)
 
 
@@ -656,6 +865,280 @@ def _cycle_accurate_spmm_vectorized(
     )
 
 
+def _expand_f_mid(seg_lengths: np.ndarray, n_f: int) -> tuple[np.ndarray, np.ndarray]:
+    """Emission indices for an F-middle loop over segmented cells.
+
+    Cells arrive as consecutive segments (one per outer-loop iteration:
+    a vertex tile's neighbor steps, or one neighbor step's active tiles);
+    the F loop sits between the two, so each segment is replayed ``n_f``
+    times before the next begins.  Returns ``(cell_sel, fi)`` arrays of
+    length ``sum(seg_lengths) * n_f`` in exact nest order.
+    """
+    seg_lengths = np.asarray(seg_lengths, dtype=np.int64)
+    em_per_seg = seg_lengths * n_f
+    total = int(em_per_seg.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    seg_off = np.cumsum(seg_lengths) - seg_lengths
+    em_off = np.cumsum(em_per_seg) - em_per_seg
+    seg_id = np.repeat(np.arange(seg_lengths.size, dtype=np.int64), em_per_seg)
+    local = np.arange(total, dtype=np.int64) - em_off[seg_id]
+    m = seg_lengths[seg_id]
+    fi = local // m
+    sel = seg_off[seg_id] + local % m
+    return sel, fi
+
+
+def _chunk_cells(
+    grids,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Unmasked cells of one vtile-row slab in (vi asc, ni asc) order.
+
+    Returns ``(act, edg, comp, ni, seg_lengths)`` where ``seg_lengths``
+    is the per-tile cell count (= ``tile_steps``), the segmentation an
+    F-middle loop replays.
+    """
+    ts = grids.tile_steps
+    total = int(ts.sum())
+    if total == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty, empty, empty, ts
+    vloc = np.repeat(np.arange(ts.size, dtype=np.int64), ts)
+    offs = np.cumsum(ts) - ts
+    ni = np.arange(total, dtype=np.int64) - offs[vloc]
+    return (
+        grids.active[vloc, ni],
+        grids.edges[vloc, ni],
+        grids.completing[vloc, ni],
+        ni,
+        ts,
+    )
+
+
+def _band_cells(
+    active_idx: np.ndarray,
+    s: np.ndarray,
+    deg: np.ndarray,
+    tile_steps: np.ndarray,
+    t_v: int,
+    t_n: int,
+    c0: int,
+    c1: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cells of neighbor-step columns ``[c0, c1)`` in (ni asc, vi asc)
+    order, built band-locally with the dense grids' scatter-add math.
+
+    ``active_idx`` pre-selects the vertices with ``s > c0`` (callers take
+    it from a presorted suffix); memory is O(n_vtiles x band width).
+    Returns ``(act, edg, comp, ni, seg_lengths)`` with one segment per
+    column (the active-tile count an F-middle loop replays).
+    """
+    n_vtiles = int(tile_steps.size)
+    bandw = c1 - c0
+    active = np.zeros((n_vtiles, bandw + 1), dtype=np.int64)
+    completing = np.zeros((n_vtiles, bandw), dtype=np.int64)
+    deficit = np.zeros((n_vtiles, bandw), dtype=np.int64)
+    if active_idx.size:
+        vt = active_idx // t_v
+        end = np.minimum(s[active_idx], c1) - c0
+        np.add.at(active, (vt, np.zeros(vt.size, dtype=np.int64)), 1)
+        np.add.at(active, (vt, end), -1)
+        np.cumsum(active, axis=1, out=active)
+        fin = s[active_idx] <= c1  # contraction completes inside the band
+        idx_f = active_idx[fin]
+        last = s[idx_f] - 1 - c0
+        np.add.at(completing, (vt[fin], last), 1)
+        rem = deg[idx_f] - (s[idx_f] - 1) * t_n
+        np.add.at(deficit, (vt[fin], last), t_n - rem)
+    active = active[:, :bandw]
+    edges = active * t_n - deficit
+    # Column-major active cells: tile vi participates in column ni iff its
+    # lock-step pass is still running there.
+    colmask = (tile_steps[:, None] > np.arange(c0, c1)[None, :]).T
+    cols, vis = np.nonzero(colmask)
+    return (
+        active[vis, cols],
+        edges[vis, cols],
+        completing[vis, cols],
+        c0 + cols,
+        colmask.sum(axis=1).astype(np.int64),
+    )
+
+
+def _cycle_accurate_spmm_streamed(
+    spec: SpmmSpec,
+    intra: IntraDataflow,
+    tiling: SpmmTiling,
+    hw: AcceleratorConfig,
+    stats: TileStats,
+) -> CycleReport:
+    """Chunk-streamed SpMM micro-simulation over :class:`TileStats`.
+
+    Bit-identical to :func:`_cycle_accurate_spmm_vectorized` without ever
+    materializing the dense ``(n_vtiles, max_nsteps)`` grids or the flat
+    loop-nest index arrays: cells are produced in exact nest order —
+    vtile-row slabs (:meth:`TileStats.step_grid_chunks`) when V precedes
+    N in the loop order, neighbor-step column bands otherwise — and the
+    F loop's position picks one of three emission expansions (outer
+    passes, per-segment replay, per-cell repeat).  Traffic totals and the
+    elastic-pipeline recurrence (:class:`_PipelineScan`) are reduced per
+    block, so peak memory is O(block x n_ftiles) at any graph size.
+    """
+    if intra.phase is not Phase.AGGREGATION:
+        raise ValueError("cycle_accurate_spmm requires an Aggregation dataflow")
+    g: CSRGraph = spec.graph
+    num_v = g.num_vertices
+    feat = spec.feat
+    t_v = min(tiling.t_v, max(1, num_v))
+    t_f = min(tiling.t_f, feat)
+    t_n = max(1, tiling.t_n)
+    s = stats.per_v_steps(t_n)
+    tile_steps = stats.vtile_steps(t_v, t_n)
+    n_vtiles = int(tile_steps.size)
+    max_nsteps = int(s.max()) if num_v and s.size else 0
+    f_ranges = _ranges(feat, t_f)
+    n_ftiles = len(f_ranges)
+    f_widths = np.asarray([hi - lo for lo, hi in f_ranges], dtype=np.int64)
+    order = intra.order
+    pos = {d: order.index(d) for d in order}
+    live = 1
+    for d in order[pos[Dim.N] + 1 :]:
+        if d is Dim.V:
+            live *= n_vtiles
+        elif d is Dim.F:
+            live *= n_ftiles
+    psum_resident = hw.supports_temporal_reduction and live <= hw.pe_accumulators
+    f_latched = pos[Dim.F] == 2  # F innermost: edge index latched across f
+
+    scan = _PipelineScan(hw)
+    steps = 0
+    x_reads = 0
+    adj_extra = 0
+    out_writes = 0
+    psum_writes = 0
+    psum_reads = 0
+
+    def consume(act, edg, comp, ni, sel, fi) -> None:
+        """Reduce one emission block (``sel``/``fi`` index the cells)."""
+        nonlocal steps, x_reads, adj_extra, out_writes, psum_writes, psum_reads
+        if sel.size == 0:
+            return
+        steps += int(sel.size)
+        act_e = act[sel]
+        edg_e = edg[sel]
+        comp_e = comp[sel]
+        fw = f_widths[fi]
+        edge_fw = edg_e * fw
+        x_reads += int(edge_fw.sum())
+        adj_extra += int(edg_e[fi == 0].sum() if f_latched else edg_e.sum())
+        comp_fw = comp_e * fw
+        out_writes += int(comp_fw.sum())
+        stream = edge_fw
+        drain = comp_fw
+        if not psum_resident:
+            spill_fw = (act_e - comp_e) * fw
+            psum_writes += int(spill_fw.sum())
+            drain = drain + spill_fw
+            cont_fw = np.where(ni[sel] > 0, act_e, 0) * fw
+            psum_reads += int(cont_fw.sum())
+            stream = stream + cont_fw
+        scan.feed(stream, drain)
+
+    def emit(act, edg, comp, ni, seg_lengths, f_pass: int | None) -> None:
+        """Expand one cell block per the F loop's position and reduce it."""
+        n_cells = int(act.size)
+        if f_pass is not None:  # F outermost: one pass per f tile
+            sel = np.arange(n_cells, dtype=np.int64)
+            fi = np.full(n_cells, f_pass, dtype=np.int64)
+            consume(act, edg, comp, ni, sel, fi)
+        elif f_latched:  # F innermost: each cell repeats across f tiles
+            sel = np.repeat(np.arange(n_cells, dtype=np.int64), n_ftiles)
+            fi = np.tile(np.arange(n_ftiles, dtype=np.int64), n_cells)
+            consume(act, edg, comp, ni, sel, fi)
+        else:  # F middle: each segment replays per f tile
+            sel, fi = _expand_f_mid(seg_lengths, n_ftiles)
+            consume(act, edg, comp, ni, sel, fi)
+
+    v_major = pos[Dim.V] < pos[Dim.N]
+    f_passes: list[int | None] = (
+        list(range(n_ftiles)) if pos[Dim.F] == 0 else [None]
+    )
+    if v_major:
+        chunk_rows = _spmm_chunk_rows(stats, max_nsteps, n_ftiles)
+        for f_pass in f_passes:
+            for chunk in stats.step_grid_chunks(t_v, t_n, chunk_rows):
+                emit(*_chunk_cells(chunk.grids), f_pass)
+    elif max_nsteps:
+        bandw = _spmm_band_width(stats, n_vtiles, n_ftiles)
+        # Presort by step count: each band's active vertices are a suffix.
+        s_order = np.argsort(s, kind="stable").astype(np.int64)
+        s_sorted = s[s_order]
+        deg = g.degrees
+        for f_pass in f_passes:
+            stats.streamed_chunk_passes += 1
+            for c0 in range(0, max_nsteps, bandw):
+                c1 = min(c0 + bandw, max_nsteps)
+                start = int(np.searchsorted(s_sorted, c0, side="right"))
+                cells = _band_cells(
+                    s_order[start:], s, deg, tile_steps, t_v, t_n, c0, c1
+                )
+                emit(*cells, f_pass)
+
+    gb_reads: dict[str, float] = {"adj": float(num_v + 1)}
+    gb_writes: dict[str, float] = {}
+    if steps:
+        gb_reads[spec.x_name] = float(x_reads)
+        gb_reads["adj"] += float(adj_extra)
+    if out_writes:
+        gb_writes[spec.out_name] = float(out_writes)
+    if not psum_resident and steps:
+        if psum_writes:
+            gb_writes["psum"] = float(psum_writes)
+        if psum_reads:
+            gb_reads["psum"] = float(psum_reads)
+
+    # Zero-degree rows never enter the loop but their (all-zero) output
+    # rows are still flushed once, as in the engine's V x feat write count.
+    zero_rows = stats.zero_degree_rows
+    if zero_rows:
+        gb_writes[spec.out_name] = (
+            gb_writes.get(spec.out_name, 0.0) + zero_rows * feat
+        )
+
+    cycles, fill = scan.finish()
+    return CycleReport(
+        cycles=cycles,
+        steps=steps,
+        gb_reads=gb_reads,
+        gb_writes=gb_writes,
+        load_stall_cycles=0,
+        fill_cycles=fill,
+    )
+
+
+def _spmm_chunk_rows(stats: TileStats, max_nsteps: int, n_ftiles: int) -> int:
+    """Vtile rows per streamed slab: sized so the slab grids plus their
+    F-expanded emission arrays fit comfortably inside the byte budget."""
+    target = _stream_block_bytes(stats)
+    per_row = 8 * max(1, max_nsteps) * (3 + 4 * max(1, n_ftiles))
+    return max(1, target // per_row)
+
+
+def _spmm_band_width(stats: TileStats, n_vtiles: int, n_ftiles: int) -> int:
+    """Neighbor-step columns per streamed band (same sizing rule)."""
+    target = _stream_block_bytes(stats)
+    per_col = 8 * max(1, n_vtiles) * (3 + 4 * max(1, n_ftiles))
+    return max(1, target // per_col)
+
+
+def _stream_block_bytes(stats: TileStats) -> int:
+    budget = stats.byte_budget
+    if budget is None:
+        return 1 << 24  # forced streaming with no budget: 16 MiB blocks
+    return max(budget // 4, 1 << 16)
+
+
 def cycle_accurate_spmm(
     spec: SpmmSpec,
     intra: IntraDataflow,
@@ -670,8 +1153,19 @@ def cycle_accurate_spmm(
     as its longest row needs; lanes whose rows finished early sit idle and
     produce no traffic.  ``stats`` is an optional
     :class:`~repro.engine.tilestats.TileStats` handle for the spec's graph;
-    sharing one across candidates amortizes the per-tiling sparsity scans.
+    sharing one across candidates amortizes the per-tiling sparsity scans,
+    and its byte budget (or ``REPRO_STREAM_ENGINE=1``) selects the
+    chunk-streamed engine when the dense grids would not fit.
     """
     if use_reference_engine():
         return cycle_accurate_spmm_reference(spec, intra, tiling, hw)
-    return _cycle_accurate_spmm_vectorized(spec, intra, tiling, hw, stats)
+    g = spec.graph
+    resolved = resolve_stats(stats, g)
+    t_v = min(tiling.t_v, max(1, g.num_vertices))
+    t_n = max(1, tiling.t_n)
+    budget = resolved.byte_budget
+    if use_streamed_engine() or (
+        budget is not None and resolved.grid_nbytes(t_v, t_n) > budget
+    ):
+        return _cycle_accurate_spmm_streamed(spec, intra, tiling, hw, resolved)
+    return _cycle_accurate_spmm_vectorized(spec, intra, tiling, hw, resolved)

@@ -22,10 +22,23 @@ All entries are derived with prefix-sum / scatter-add kernels over
 ``CSRGraph.vertex_ptr`` — O(V) per miss, O(1) per hit — and every lookup
 bumps ``hits``/``misses`` so cache effectiveness is assertable in tests
 and reportable by benchmarks.
+
+Memory bounding (the web-scale tier): dense :class:`StepGrids` entries are
+``(n_vtiles, max_nsteps)`` int64 grids — on a heavy-tail million-vertex
+graph a single entry can exceed host memory, and the cache keeps one per
+tiling.  A :class:`TileStats` therefore accepts a ``byte_budget`` (or the
+``REPRO_TILESTATS_BUDGET`` environment variable): cached arrays are
+accounted and evicted least-recently-used when the total exceeds the
+budget, and :meth:`TileStats.step_grid_chunks` produces the same grids as
+a stream of fixed-size vtile-row chunks so the micro-simulator can run as
+a chunked reduction without ever materializing a full grid.
 """
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,11 +47,32 @@ from ..graphs.csr import CSRGraph
 
 __all__ = [
     "StepGrids",
+    "StepGridChunk",
     "TileStats",
     "TileStatsRegistry",
     "graph_digest",
     "resolve_stats",
+    "default_byte_budget",
 ]
+
+_BUDGET_ENV = "REPRO_TILESTATS_BUDGET"
+
+
+def default_byte_budget() -> int | None:
+    """The ``REPRO_TILESTATS_BUDGET`` environment override, if any.
+
+    Read at construction time (not import time) so tests and CI can set a
+    budget per invocation.  Unparseable or non-positive values mean
+    "unbounded" — the historical behavior.
+    """
+    raw = os.environ.get(_BUDGET_ENV, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def graph_digest(graph: CSRGraph) -> str:
@@ -96,6 +130,72 @@ class StepGrids:
     def n_vtiles(self) -> int:
         return int(self.tile_steps.size)
 
+    def nbytes(self) -> int:
+        return int(
+            self.active.nbytes
+            + self.edges.nbytes
+            + self.completing.nbytes
+            + self.tile_steps.nbytes
+        )
+
+
+@dataclass(frozen=True)
+class StepGridChunk:
+    """One vtile-row slab of a :class:`StepGrids`, as yielded by
+    :meth:`TileStats.step_grid_chunks`.
+
+    ``grids`` covers vertex tiles ``[row_lo, row_hi)`` with a chunk-local
+    ``max_nsteps`` (the max over the slab's tiles), so a consumer masking
+    by ``grids.tile_steps`` sees exactly the dense grid's populations.
+    """
+
+    row_lo: int
+    row_hi: int
+    grids: StepGrids
+
+
+def _scatter_grids(
+    deg: np.ndarray, s: np.ndarray, t_v: int, t_n: int, tile_steps: np.ndarray
+) -> StepGrids:
+    """Build a :class:`StepGrids` for a contiguous run of vertices.
+
+    ``deg``/``s`` are the run's per-vertex degrees and neighbor-step
+    counts; the run's first vertex is lane 0 of tile row 0 (callers slice
+    on tile boundaries), and ``tile_steps`` its lock-step maxima.  Shared
+    by the dense build and the chunked stream so both produce identical
+    populations by construction.
+    """
+    num_v = int(deg.size)
+    n_vtiles = int(tile_steps.size)
+    max_nsteps = int(tile_steps.max()) if n_vtiles else 0
+    shape = (n_vtiles, max_nsteps)
+    active = np.zeros((n_vtiles, max_nsteps + 1), dtype=np.int64)
+    completing = np.zeros(shape, dtype=np.int64)
+    deficit = np.zeros(shape, dtype=np.int64)
+    if num_v:
+        vt = np.arange(num_v, dtype=np.int64) // t_v
+        # Active lanes: +1 over [0, s_v) per vertex, via a difference
+        # array cumsum'd along the step axis.
+        np.add.at(active, (vt, np.zeros(num_v, dtype=np.int64)), 1)
+        np.add.at(active, (vt, s), -1)
+        np.cumsum(active, axis=1, out=active)
+        live = s > 0
+        last = s[live] - 1
+        np.add.at(completing, (vt[live], last), 1)
+        # Edge deficit at the completing step: the last step consumes
+        # only the remainder, not a full t_n.
+        rem = deg[live] - last * t_n
+        np.add.at(deficit, (vt[live], last), t_n - rem)
+    active = np.ascontiguousarray(active[:, :max_nsteps])
+    edges = active * t_n - deficit
+    return StepGrids(
+        active=active,
+        edges=edges,
+        completing=completing,
+        tile_steps=tile_steps,
+        max_nsteps=max_nsteps,
+    )
+
 
 class TileStats:
     """Sparsity statistics of one graph, memoized per tile size.
@@ -106,16 +206,30 @@ class TileStats:
     - ``spill_units(t_n)`` / ``accum_units(t_n)``: summed psum-revisit and
       accumulation counts (the tile engine's per-feature multipliers);
     - ``vtile_steps(t_v, t_n)``: lock-step maxima per vertex tile;
-    - ``step_grids(t_v, t_n)``: the micro-simulator's :class:`StepGrids`.
+    - ``step_grids(t_v, t_n)``: the micro-simulator's :class:`StepGrids`;
+    - ``step_grid_chunks(t_v, t_n, chunk_rows)``: the same populations as
+      a stream of row slabs, never cached — the memory-bounded path.
 
     One instance is safe to share across candidates, dataflows, feature
-    widths, and hardware points of the same graph.
+    widths, and hardware points of the same graph.  With a ``byte_budget``
+    (default: the ``REPRO_TILESTATS_BUDGET`` environment variable) cached
+    arrays are LRU-evicted once the accounted total exceeds the budget;
+    ``nbytes()``/``peak_nbytes``/``evictions`` expose the accounting.
     """
 
-    def __init__(self, graph: CSRGraph) -> None:
+    def __init__(self, graph: CSRGraph, byte_budget: int | None = None) -> None:
         self.graph = graph
+        self.byte_budget = (
+            byte_budget if byte_budget is not None else default_byte_budget()
+        )
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.peak_nbytes = 0  # monotone: high-water mark of accounted bytes
+        self.dense_grid_builds = 0
+        self.streamed_chunk_passes = 0
+        self._total_nbytes = 0
+        self._lru: OrderedDict[tuple, int] = OrderedDict()
         self._per_v_steps: dict[int, np.ndarray] = {}
         self._unit_sums: dict[int, tuple[int, int]] = {}
         self._vtile_steps: dict[tuple[int, int], np.ndarray] = {}
@@ -127,6 +241,47 @@ class TileStats:
             self.hits += 1
         else:
             self.misses += 1
+
+    def nbytes(self) -> int:
+        """Bytes currently held by cached entries (LRU-accounted)."""
+        return self._total_nbytes
+
+    def _account(self, key: tuple, nbytes: int) -> None:
+        """Admit a freshly built entry and evict LRU victims over budget.
+
+        The entry being admitted is protected — it is about to be handed
+        to the caller, so evicting it would only force an immediate
+        rebuild; a single entry larger than the whole budget is therefore
+        kept (and ``peak_nbytes`` records the overshoot honestly).
+        """
+        self._lru[key] = nbytes
+        self._lru.move_to_end(key)
+        self._total_nbytes += nbytes
+        if self._total_nbytes > self.peak_nbytes:
+            self.peak_nbytes = self._total_nbytes
+        budget = self.byte_budget
+        if budget is None:
+            return
+        while self._total_nbytes > budget:
+            victim = next((k for k in self._lru if k != key), None)
+            if victim is None:
+                break
+            self._total_nbytes -= self._lru.pop(victim)
+            self.evictions += 1
+            self._drop(victim)
+
+    def _touch(self, key: tuple) -> None:
+        if key in self._lru:
+            self._lru.move_to_end(key)
+
+    def _drop(self, key: tuple) -> None:
+        kind = key[0]
+        if kind == "pvs":
+            self._per_v_steps.pop(key[1], None)
+        elif kind == "vts":
+            self._vtile_steps.pop(key[1:], None)
+        elif kind == "grid":
+            self._grids.pop(key[1:], None)
 
     @property
     def zero_degree_rows(self) -> int:
@@ -140,9 +295,14 @@ class TileStats:
         out = self._per_v_steps.get(t_n)
         self._tally(out is not None)
         if out is None:
-            out = np.ceil(self.graph.degrees / t_n).astype(np.int64)
+            # Integer ceil-division: no float64 round-trip, no extra
+            # allocation for the astype on the hottest stats kernel.
+            out = -(-self.graph.degrees // t_n)
             out.setflags(write=False)  # shared across candidates
             self._per_v_steps[t_n] = out
+            self._account(("pvs", t_n), int(out.nbytes))
+        else:
+            self._touch(("pvs", t_n))
         return out
 
     def _sums(self, t_n: int) -> tuple[int, int]:
@@ -184,7 +344,24 @@ class TileStats:
                 out = np.zeros(0, dtype=np.int64)
             out.setflags(write=False)  # shared across candidates
             self._vtile_steps[key] = out
+            self._account(("vts", t_v, t_n), int(out.nbytes))
+        else:
+            self._touch(("vts", t_v, t_n))
         return out
+
+    # -- micro-simulator grids ------------------------------------------
+    def grid_nbytes(self, t_v: int, t_n: int) -> int:
+        """Predicted dense :meth:`step_grids` footprint for this tiling,
+        without building it — three ``(n_vtiles, max_nsteps)`` int64
+        arrays plus the ``(n_vtiles,)`` lock-step maxima.  Matches
+        :meth:`StepGrids.nbytes` exactly; the engines consult this against
+        ``byte_budget`` to pick the streamed path before any allocation
+        happens."""
+        s = self.per_v_steps(t_n)
+        num_v = self.graph.num_vertices
+        n_vtiles = -(-num_v // t_v) if num_v else 0
+        max_nsteps = int(s.max()) if s.size else 0
+        return 8 * n_vtiles * (3 * max_nsteps + 1)
 
     def step_grids(self, t_v: int, t_n: int) -> StepGrids:
         """Dense per-(vtile, nstep) populations; see :class:`StepGrids`.
@@ -200,60 +377,83 @@ class TileStats:
         if out is None:
             s = self.per_v_steps(t_n)
             tile_steps = self.vtile_steps(t_v, t_n)
-            g = self.graph
-            num_v = g.num_vertices
-            n_vtiles = int(tile_steps.size)
-            max_nsteps = int(s.max()) if num_v and s.size else 0
-            shape = (n_vtiles, max_nsteps)
-            active = np.zeros((n_vtiles, max_nsteps + 1), dtype=np.int64)
-            completing = np.zeros(shape, dtype=np.int64)
-            deficit = np.zeros(shape, dtype=np.int64)
-            if num_v:
-                vt = np.arange(num_v, dtype=np.int64) // t_v
-                # Active lanes: +1 over [0, s_v) per vertex, via a
-                # difference array cumsum'd along the step axis.
-                np.add.at(active, (vt, np.zeros(num_v, dtype=np.int64)), 1)
-                np.add.at(active, (vt, s), -1)
-                np.cumsum(active, axis=1, out=active)
-                live = s > 0
-                last = s[live] - 1
-                np.add.at(completing, (vt[live], last), 1)
-                # Edge deficit at the completing step: the last step
-                # consumes only the remainder, not a full t_n.
-                rem = g.degrees[live] - last * t_n
-                np.add.at(deficit, (vt[live], last), t_n - rem)
-            active = np.ascontiguousarray(active[:, :max_nsteps])
-            edges = active * t_n - deficit
-            for arr in (active, edges, completing):
+            out = _scatter_grids(self.graph.degrees, s, t_v, t_n, tile_steps)
+            for arr in (out.active, out.edges, out.completing):
                 arr.setflags(write=False)  # shared across candidates
-            out = StepGrids(
-                active=active,
-                edges=edges,
-                completing=completing,
-                tile_steps=tile_steps,
-                max_nsteps=max_nsteps,
-            )
             self._grids[key] = out
+            self.dense_grid_builds += 1
+            grid_bytes = (
+                out.active.nbytes + out.edges.nbytes + out.completing.nbytes
+            )
+            self._account(("grid", t_v, t_n), int(grid_bytes))
+        else:
+            self._touch(("grid", t_v, t_n))
         return out
+
+    def step_grid_chunks(
+        self, t_v: int, t_n: int, chunk_rows: int
+    ) -> Iterator[StepGridChunk]:
+        """The :meth:`step_grids` populations as a stream of vtile-row
+        slabs of at most ``chunk_rows`` rows each (:class:`StepGridChunk`).
+
+        Chunks are built on the fly from the O(V) per-vertex entries and
+        never cached, so peak memory is ``O(chunk_rows x slab max_nsteps)``
+        regardless of graph size — the memory-bounded alternative the
+        streamed micro-simulator consumes.  Masking each slab by its
+        ``tile_steps`` yields cell populations identical to the dense
+        grid's (both paths share :func:`_scatter_grids`).
+        """
+        if chunk_rows < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        s = self.per_v_steps(t_n)
+        tile_steps = self.vtile_steps(t_v, t_n)
+        self.streamed_chunk_passes += 1
+        return self._iter_chunks(s, tile_steps, t_v, t_n, chunk_rows)
+
+    def _iter_chunks(
+        self,
+        s: np.ndarray,
+        tile_steps: np.ndarray,
+        t_v: int,
+        t_n: int,
+        chunk_rows: int,
+    ) -> Iterator[StepGridChunk]:
+        deg = self.graph.degrees
+        num_v = self.graph.num_vertices
+        n_vtiles = int(tile_steps.size)
+        for row_lo in range(0, n_vtiles, chunk_rows):
+            row_hi = min(row_lo + chunk_rows, n_vtiles)
+            v_lo = row_lo * t_v
+            v_hi = min(row_hi * t_v, num_v)
+            grids = _scatter_grids(
+                deg[v_lo:v_hi],
+                s[v_lo:v_hi],
+                t_v,
+                t_n,
+                tile_steps[row_lo:row_hi],
+            )
+            yield StepGridChunk(row_lo=row_lo, row_hi=row_hi, grids=grids)
 
 
 class TileStatsRegistry:
     """Session-scoped pool of :class:`TileStats`, one per distinct graph.
 
     Keyed by sparsity-pattern digest (cached on each graph instance) so
-    two workload contexts built from independently-loaded copies of the
-    same dataset (e.g. overlapping campaign units) resolve to the same
-    cache.  Only one graph per distinct pattern is kept alive — the one
-    inside its :class:`TileStats`.
+    two workload contexts built from independently-loaded copies of one
+    dataset (e.g. overlapping campaign units) resolve to the same cache.
+    Only one graph per distinct pattern is kept alive — the one inside
+    its :class:`TileStats`.  ``byte_budget`` is forwarded to every cache
+    the registry creates (``None`` defers to ``REPRO_TILESTATS_BUDGET``).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, byte_budget: int | None = None) -> None:
+        self.byte_budget = byte_budget
         self._by_digest: dict[str, TileStats] = {}
 
     def for_graph(self, graph: CSRGraph) -> TileStats:
         stats = self._by_digest.get(graph.pattern_digest)
         if stats is None:
-            stats = TileStats(graph)
+            stats = TileStats(graph, byte_budget=self.byte_budget)
             self._by_digest[graph.pattern_digest] = stats
         return stats
 
@@ -262,6 +462,24 @@ class TileStatsRegistry:
         hits = sum(stats.hits for stats in self._by_digest.values())
         misses = sum(stats.misses for stats in self._by_digest.values())
         return hits, misses
+
+    def memory_counters(self) -> dict[str, int]:
+        """Aggregate memory accounting across every registered graph.
+
+        ``peak_nbytes`` and ``evictions`` are monotone (sums of per-cache
+        monotone counters), so per-unit deltas in the campaign stats
+        sidecar remain meaningful; ``nbytes`` is the instantaneous total.
+        """
+        caches = self._by_digest.values()
+        return {
+            "nbytes": sum(c.nbytes() for c in caches),
+            "peak_nbytes": sum(c.peak_nbytes for c in caches),
+            "evictions": sum(c.evictions for c in caches),
+            "dense_grid_builds": sum(c.dense_grid_builds for c in caches),
+            "streamed_chunk_passes": sum(
+                c.streamed_chunk_passes for c in caches
+            ),
+        }
 
     def __len__(self) -> int:
         return len(self._by_digest)

@@ -1,0 +1,332 @@
+"""Block-partitioned evaluation vs the whole-graph path.
+
+A single-block plan must reproduce the unpartitioned run *exactly*
+(same sparsity pattern, zero inter-block streaming); multi-block plans
+must compose additively — MAC counts exactly (row blocks partition both
+the edge set and the output rows), cycles as the block sum plus the
+inter-block DRAM stream, the intermediate buffer as the per-block max.
+Also covers partition-spec normalization/validation, budget-driven block
+sizing, the evaluator/campaign-spec plumbing, and the seeded ``web_scale``
+RMAT generator the large-graph tier runs on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import AcceleratorConfig
+from repro.core.evaluator import DataflowEvaluator, context_key
+from repro.core.omega import run_gnn_dataflow
+from repro.core.partitioned import (
+    PartitionPlan,
+    merge_block_results,
+    normalize_partition,
+    resolve_partition,
+    run_partitioned,
+)
+from repro.core.taxonomy import parse_dataflow
+from repro.core.workload import GNNWorkload, workload_from_dataset
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import erdos_renyi_graph, hub_thread_graph, web_scale
+from repro.graphs.partitioning import partition_count_for_budget
+from repro.graphs.datasets import load_dataset
+
+DATAFLOWS = [
+    "Seq_AC(VsNtFt, VsGtFt)",
+    "Seq_CA(VsNtFt, VsGtFt)",
+    "SP_AC(VsNtFt, VsGtFt)",
+]
+
+
+def _small_workload(seed: int = 0, n: int = 60, e: int = 360) -> GNNWorkload:
+    rng = np.random.default_rng(seed)
+    g = hub_thread_graph(rng, n, e, num_hubs=2)
+    return GNNWorkload(graph=g, in_features=12, out_features=8, name="part-t")
+
+
+def _result_numbers(res):
+    return (
+        res.total_cycles,
+        res.agg.macs,
+        res.cmb.macs,
+        res.gb_reads,
+        res.gb_writes,
+        res.rf_reads,
+        res.rf_writes,
+        res.intermediate_reads,
+        res.intermediate_writes,
+        res.intermediate_buffer_elements,
+        round(res.energy.total_pj, 6),
+    )
+
+
+class TestNormalization:
+    def test_canonical_forms(self):
+        assert normalize_partition(None) is None
+        assert normalize_partition(1) == {"blocks": 1}
+        assert normalize_partition(7) == {"blocks": 7}
+        assert normalize_partition({"blocks": 3}) == {"blocks": 3}
+        assert normalize_partition({"budget_bytes": 1 << 20}) == {
+            "budget_bytes": 1 << 20
+        }
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            True,
+            0,
+            -2,
+            3.5,
+            "4",
+            {"blocks": 0},
+            {"blocks": True},
+            {"budget_bytes": 0},
+            {"budget_bytes": "big"},
+            {"blocks": 2, "budget_bytes": 8},
+            {"budget": 8},
+            {},
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            normalize_partition(bad)
+
+    def test_plan_normalizes_to_its_spec(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        plan = resolve_partition(wl, hw, 3)
+        assert normalize_partition(plan) == {"blocks": 3}
+        assert resolve_partition(wl, hw, plan) is plan
+
+
+class TestResolve:
+    def test_block_count_plan_covers_rows(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        plan = resolve_partition(wl, hw, 4)
+        assert plan.num_blocks == 4
+        lo = 0
+        nnz = 0
+        for blk in plan.blocks:
+            assert blk.row_lo == lo
+            lo = blk.row_hi
+            nnz += blk.graph.num_edges
+        assert lo == wl.graph.num_vertices
+        assert nnz == wl.graph.num_edges
+
+    def test_budget_plan_matches_partition_count(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        budget = 6000
+        plan = resolve_partition(wl, hw, {"budget_bytes": budget})
+        want = partition_count_for_budget(
+            wl.graph,
+            wl.in_features + wl.out_features,
+            budget,
+            bytes_per_element=hw.bytes_per_element,
+        )
+        assert plan.num_blocks == want
+        assert plan.spec == {"budget_bytes": budget}
+
+    def test_none_resolves_to_none(self):
+        wl = _small_workload()
+        assert resolve_partition(wl, AcceleratorConfig(), None) is None
+
+
+class TestSingleBlockIdentity:
+    @pytest.mark.parametrize("notation", DATAFLOWS)
+    def test_one_block_is_the_whole_graph_run(self, notation):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=256)
+        df = parse_dataflow(notation)
+        whole = run_gnn_dataflow(wl, df, hw)
+        part = run_gnn_dataflow(wl, df, hw, partition=1)
+        assert _result_numbers(part) == _result_numbers(whole)
+        assert part.notes and "partitioned: 1" in part.notes[0]
+        # No inter-block stream for a single block.
+        assert not any("DRAM stream" in n for n in part.notes)
+
+
+class TestMultiBlockComposition:
+    @pytest.mark.parametrize("notation", DATAFLOWS)
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_macs_exactly_additive(self, notation, k):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=256)
+        df = parse_dataflow(notation)
+        whole = run_gnn_dataflow(wl, df, hw)
+        part = run_gnn_dataflow(wl, df, hw, partition=k)
+        assert part.agg.macs == whole.agg.macs
+        assert part.cmb.macs == whole.cmb.macs
+
+    def test_cycles_are_block_sum_plus_stream(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=256)
+        df = parse_dataflow(DATAFLOWS[0])
+        plan = resolve_partition(wl, hw, 3)
+        merged = run_partitioned(wl, df, hw, plan)
+        blocks = [
+            run_gnn_dataflow(
+                GNNWorkload(
+                    graph=blk.graph,
+                    in_features=wl.in_features,
+                    out_features=wl.out_features,
+                    name="blk",
+                    block=True,
+                ),
+                df,
+                hw,
+            )
+            for blk in plan.blocks
+        ]
+        block_cycles = sum(r.total_cycles for r in blocks)
+        stream_note = next(n for n in merged.notes if "DRAM stream" in n)
+        stream_cycles = int(stream_note.split()[-2])
+        assert merged.total_cycles == block_cycles + stream_cycles
+        assert merged.intermediate_buffer_elements == max(
+            r.intermediate_buffer_elements for r in blocks
+        )
+        # Streaming is charged to DRAM energy on top of the block sum.
+        block_pj = sum(r.energy.total_pj for r in blocks)
+        assert merged.energy.total_pj > block_pj
+        assert merged.energy.dram_pj > sum(r.energy.dram_pj for r in blocks)
+
+    def test_merge_rejects_empty(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        plan = resolve_partition(wl, hw, 2)
+        with pytest.raises(ValueError, match="at least one block"):
+            merge_block_results(wl, hw, plan, [])
+
+    def test_explicit_tilings_rejected(self):
+        from repro.engine.spmm import SpmmTiling
+
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        df = parse_dataflow(DATAFLOWS[0])
+        with pytest.raises(ValueError, match="incompatible"):
+            run_gnn_dataflow(
+                wl, df, hw, partition=2, spmm_tiling=SpmmTiling(4, 4, 1)
+            )
+
+
+class TestEvaluatorPlumbing:
+    def test_context_key_stable_without_partition(self):
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=128)
+        assert context_key(wl, hw) == context_key(wl, hw, None)
+        assert context_key(wl, hw) != context_key(wl, hw, {"blocks": 2})
+        assert context_key(wl, hw, {"blocks": 2}) != context_key(
+            wl, hw, {"blocks": 3}
+        )
+
+    def test_evaluator_single_block_matches_plain(self):
+        wl = workload_from_dataset(load_dataset("mutag"))
+        hw = AcceleratorConfig(num_pes=256)
+        df = parse_dataflow(DATAFLOWS[0])
+        plain = DataflowEvaluator(wl, hw).evaluate_one(df)
+        part = DataflowEvaluator(wl, hw, partition=1).evaluate_one(df)
+        assert part.ok and plain.ok
+        assert (part.cycles, part.energy_pj) == (plain.cycles, plain.energy_pj)
+
+    def test_evaluator_partitioned_batch(self):
+        """A small candidate batch through the partitioned evaluator: every
+        record carries the partition note and the memo stays coherent."""
+        wl = _small_workload()
+        hw = AcceleratorConfig(num_pes=256)
+        ev = DataflowEvaluator(wl, hw, partition=2)
+        assert ev.partition_plan is not None
+        assert ev.partition_plan.num_blocks == 2
+        dfs = [(parse_dataflow(n), None) for n in DATAFLOWS]
+        results = ev.evaluate(dfs)
+        assert len(results) == len(dfs)
+        assert all(r.ok for r in results)
+        again = ev.evaluate(dfs)
+        assert [(r.cycles, r.energy_pj) for r in again] == [
+            (r.cycles, r.energy_pj) for r in results
+        ]
+
+
+class TestCampaignSpecPartition:
+    def _spec(self, **kw):
+        from repro.campaign.spec import CampaignSpec, CandidateSource
+
+        return CampaignSpec(
+            name="t",
+            datasets=["mutag"],
+            source=CandidateSource(kind="table5"),
+            **kw,
+        )
+
+    def test_round_trip_and_default_omitted(self):
+        from repro.campaign.spec import CampaignSpec
+
+        spec = self._spec().validate()
+        assert "partition" not in spec.to_dict()
+        spec2 = self._spec(partition={"blocks": 4}).validate()
+        data = spec2.to_dict()
+        assert data["partition"] == {"blocks": 4}
+        assert CampaignSpec.from_dict(data).partition == {"blocks": 4}
+
+    def test_validate_rejects_bad_partition(self):
+        from repro.campaign.spec import CampaignSpecError
+
+        with pytest.raises(CampaignSpecError, match="partition"):
+            self._spec(partition={"blocks": 0}).validate()
+        with pytest.raises(CampaignSpecError, match="partition"):
+            self._spec(partition={"nope": 1}).validate()
+        # Canonical-form requirement: ints must be normalized by callers.
+        with pytest.raises(CampaignSpecError, match="partition"):
+            self._spec(partition=3).validate()
+
+
+class TestWebScaleGenerator:
+    def test_deterministic_and_shaped(self):
+        a = web_scale(np.random.default_rng(5), 4096, 32768, name="w")
+        b = web_scale(np.random.default_rng(5), 4096, 32768, name="w")
+        assert a.num_vertices == 4096
+        assert a.num_edges == 32768
+        assert np.array_equal(a.vertex_ptr, b.vertex_ptr)
+        assert np.array_equal(a.edge_dst, b.edge_dst)
+        c = web_scale(np.random.default_rng(6), 4096, 32768)
+        assert not np.array_equal(a.edge_dst, c.edge_dst)
+
+    def test_power_law_skew(self):
+        """RMAT quadrant weights must concentrate edges on hub rows: the
+        max degree dwarfs the mean, unlike an ER graph of the same size."""
+        rng = np.random.default_rng(9)
+        g = web_scale(rng, 8192, 65536)
+        deg = np.diff(g.vertex_ptr)
+        mean = deg.mean()
+        assert deg.max() > 10 * mean
+        er = erdos_renyi_graph(np.random.default_rng(9), 8192, 65536)
+        er_deg = np.diff(er.vertex_ptr)
+        assert deg.max() > 3 * er_deg.max()
+
+    def test_csr_well_formed(self):
+        g = web_scale(np.random.default_rng(1), 1000, 8000)
+        assert g.vertex_ptr[0] == 0
+        assert g.vertex_ptr[-1] == g.num_edges == g.edge_dst.size
+        assert (np.diff(g.vertex_ptr) >= 0).all()
+        assert g.edge_dst.min() >= 0 and g.edge_dst.max() < g.num_vertices
+        # Deduplicated: no repeated (src, dst) pair.
+        codes = np.repeat(
+            np.arange(g.num_vertices), np.diff(g.vertex_ptr)
+        ) * g.num_vertices + g.edge_dst
+        assert np.unique(codes).size == codes.size
+
+    def test_partitioned_run_on_web_scale(self):
+        """End to end at test scale: a budget-partitioned evaluation of an
+        RMAT graph produces a finite, multi-block, composed result."""
+        rng = np.random.default_rng(3)
+        g = web_scale(rng, 2048, 16384, name="web-t")
+        wl = GNNWorkload(graph=g, in_features=16, out_features=8, name="web-t")
+        hw = AcceleratorConfig(num_pes=256)
+        df = parse_dataflow(DATAFLOWS[0])
+        plan = resolve_partition(wl, hw, {"budget_bytes": 200_000})
+        assert plan.num_blocks > 1
+        res = run_partitioned(wl, df, hw, plan)
+        assert res.total_cycles > 0
+        assert res.agg.macs == g.num_edges * wl.in_features
+        assert any("partitioned" in n for n in res.notes)
