@@ -84,6 +84,8 @@ def main(argv: list[str] | None = None) -> int:
 
     failures: list[str] = []
     latencies: list[float] = []
+    sources: dict[str, int] = {}
+    shed_503 = timeout_504 = 0
     for dataset in datasets:
         answers = []
         for i in range(args.repeat):
@@ -95,9 +97,32 @@ def main(argv: list[str] | None = None) -> int:
                 ans = fetch(f"{args.url}/query", payload, timeout=args.timeout)
             except urllib.error.HTTPError as exc:
                 body = exc.read().decode(errors="replace")
-                failures.append(f"{dataset}#{i}: HTTP {exc.code} {body}")
-                break
+                if exc.code == 503:
+                    # Queue shed: back off for the advertised Retry-After
+                    # and retry once — the well-behaved-client protocol.
+                    shed_503 += 1
+                    retry_after = float(exc.headers.get("Retry-After") or 1.0)
+                    print(f"{dataset}#{i}: shed (503), retrying after "
+                          f"{retry_after:g}s")
+                    time.sleep(min(retry_after, 2.0))
+                    try:
+                        ans = fetch(f"{args.url}/query", payload,
+                                    timeout=args.timeout)
+                    except urllib.error.HTTPError as exc2:
+                        failures.append(
+                            f"{dataset}#{i}: HTTP {exc2.code} after "
+                            f"503 retry: {exc2.read().decode(errors='replace')}"
+                        )
+                        break
+                elif exc.code == 504:
+                    timeout_504 += 1
+                    failures.append(f"{dataset}#{i}: HTTP 504 {body}")
+                    break
+                else:
+                    failures.append(f"{dataset}#{i}: HTTP {exc.code} {body}")
+                    break
             wall_ms = (time.perf_counter() - t0) * 1000.0
+            sources[ans["source"]] = sources.get(ans["source"], 0) + 1
             answers.append(ans)
             latencies.append(ans["latency_ms"])
             print(f"{dataset}#{i}: {ans['source']:8s} {ans['dataflow']:28s} "
@@ -124,6 +149,10 @@ def main(argv: list[str] | None = None) -> int:
     grew = (after["session"]["persisted"] - before["session"]["persisted"])
     print(f"stats: {after['queries']} queries, {after['index_hits']} hits, "
           f"{after['live_searches']} live searches, +{grew} records persisted")
+    degraded = sources.get("degraded", 0)
+    if shed_503 or timeout_504 or degraded:
+        print(f"degradations: {shed_503} shed (503), {timeout_504} "
+              f"timed out (504), {degraded} degraded answer(s)")
     if args.assert_cold_persists and grew <= 0:
         failures.append("no new records were persisted by this run")
 
@@ -133,6 +162,15 @@ def main(argv: list[str] | None = None) -> int:
             "datasets": datasets,
             "latencies_ms": latencies,
             "histogram": histogram(latencies),
+            "answers_by_source": sources,
+            "shed_503": shed_503,
+            "timeout_504": timeout_504,
+            "degraded_answers": degraded,
+            "service_counters": {
+                key: after.get(key)
+                for key in ("degraded", "watchdog_timeouts", "search_failures")
+            },
+            "frontend": after.get("frontend", {}),
         }
         with open(args.histogram, "w", encoding="utf-8") as fh:
             json.dump(artifact, fh, indent=2)

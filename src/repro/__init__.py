@@ -54,10 +54,15 @@ Quickstart::
 """
 
 from .api import (
+    FaultPlan,
+    HarnessReport,
     dist_run,
     evaluate,
     merge_stores,
+    random_plan,
     run_campaign,
+    run_harness,
+    scenario_plan,
     search,
     serve,
     shard_plan,
@@ -164,6 +169,11 @@ __all__ = [
     "merge_stores",
     "ShardPlan",
     "DistRunResult",
+    "FaultPlan",
+    "scenario_plan",
+    "random_plan",
+    "run_harness",
+    "HarnessReport",
     "ReproError",
     "ApiUsageError",
     "CampaignError",

@@ -19,16 +19,23 @@ Three sidecars ride along with the record archive:
   distinct illegal mapping, so a resumed campaign answers known-bad
   candidates from disk instead of re-probing them through the cost model;
 - ``<store>.index.json`` — an **offset index**: per-record byte offsets,
-  schema versions, and ``dataset@hw`` tags, written atomically whenever
-  the in-memory index has caught up with the file.  A store opened with a
-  valid index skips the full JSONL parse entirely: only the bytes
-  appended *after* the index was written are scanned, so resume and
-  warm-cache preload cost O(changed records), not O(store).  A stale,
-  torn, or mismatched index is silently rebuilt from a full scan.
+  schema versions, and ``dataset@hw`` tags, written atomically (fsync +
+  rename) whenever the in-memory index has caught up with the file.  A
+  store opened with a valid index skips the full JSONL parse entirely:
+  only the bytes appended *after* the index was written are scanned, so
+  resume and warm-cache preload cost O(changed records), not O(store).
+  A stale, torn, or mismatched index is silently rebuilt from a full scan.
+- ``<store>.quarantine.jsonl`` — corrupted lines found *mid-file* (a torn
+  fragment another writer appended past, bit rot) are **quarantined, not
+  fatal**: the scan records ``{offset, line_no, bytes, preview}`` here,
+  skips the line in place (no bytes move, so every later offset stays
+  valid), and resumes.  Only a torn *final* line is physically healed.
+  :meth:`ResultStore.compact` drops quarantined lines from the rewritten
+  archive and reports them.
 - the archive itself stays pure export-schema lines that downstream
   tooling can consume unfiltered; :meth:`ResultStore.compact` rewrites it
   in place to drop duplicate-fingerprint lines accumulated by
-  uncoordinated writers (and refreshes both sidecars).
+  uncoordinated writers (and refreshes the sidecars).
 
 Record *contents* are loaded lazily: opening a store materializes only
 the index, and :meth:`record_for` seeks to one line on demand.  The
@@ -50,6 +57,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterator, Mapping
 
+from ..faults.injector import fault_point
+from ..ioutil import atomic_write_text
 from .export import record_to_json
 
 __all__ = [
@@ -74,7 +83,9 @@ INDEX_FLUSH_EVERY = 512
 _HEAD_DIGEST_BYTES = 4096
 
 
-def read_jsonl_healing(path: Path, *, heal: bool, corrupt) -> list[dict]:
+def read_jsonl_healing(
+    path: Path, *, heal: bool, corrupt, on_quarantine=None
+) -> list[dict]:
     """Parse a JSONL journal, tolerating a torn final line.
 
     A writer killed mid-append leaves a partial JSON line at EOF (possibly
@@ -82,18 +93,22 @@ def read_jsonl_healing(path: Path, *, heal: bool, corrupt) -> list[dict]:
     lone record in flight is always *ignored*; with ``heal=True`` it is
     also physically truncated away — only the path's owner may do that, a
     concurrent writer might still be appending the very bytes that look
-    torn.  Malformed content anywhere else is real corruption:
-    ``corrupt(line_no)`` must build the exception to raise.
+    torn.  Malformed content anywhere else is real corruption: with
+    ``on_quarantine(offset, raw_line, line_no)`` provided the bad line is
+    reported and *skipped* (its bytes stay in place so later offsets hold);
+    otherwise ``corrupt(line_no)`` must build the exception to raise.
 
     Shared by the result store, its error sidecar, and the campaign
     checkpoint so the healing semantics can never drift apart.
     """
-    entries, _ = _scan_jsonl(path, start=0, heal=heal, corrupt=corrupt)
+    entries, _ = _scan_jsonl(
+        path, start=0, heal=heal, corrupt=corrupt, on_quarantine=on_quarantine
+    )
     return [rec for _, _, rec in entries]
 
 
 def _scan_jsonl(
-    path: Path, *, start: int, heal: bool, corrupt
+    path: Path, *, start: int, heal: bool, corrupt, on_quarantine=None
 ) -> tuple[list[tuple[int, int, dict]], int]:
     """Offset-aware JSONL scan from byte ``start``.
 
@@ -106,9 +121,15 @@ def _scan_jsonl(
     leave: a torn partial line is truncated away, and a *valid* final
     line missing its newline (killed between the record write and the
     newline write) gets the newline appended so the next append starts
-    on a fresh line.  ``corrupt(line_no)`` builds the exception for
-    malformed content anywhere before EOF; for tail scans (``start > 0``)
-    the line number is relative to the scanned suffix.
+    on a fresh line.
+
+    Malformed content anywhere *before* EOF is mid-file corruption — a
+    torn fragment another writer appended past, or bit rot.  When the
+    caller passes ``on_quarantine(offset, raw_line, line_no)`` the line
+    is reported and skipped in place (bytes are never rewritten, so every
+    later record's offset stays valid); without it, ``corrupt(line_no)``
+    builds the exception to raise.  For tail scans (``start > 0``) line
+    numbers are relative to the scanned suffix.
     """
     with path.open("rb") as fh:
         fh.seek(start)
@@ -127,7 +148,11 @@ def _scan_jsonl(
             record = json.loads(line)
         except json.JSONDecodeError:
             if not final:
-                raise corrupt(i + 1)
+                if on_quarantine is None:
+                    raise corrupt(i + 1)
+                on_quarantine(offset, line, i + 1)
+                offset += len(line) + 1
+                continue
             if heal:
                 with path.open("r+b") as fh:
                     fh.truncate(offset)
@@ -193,6 +218,9 @@ class ResultStore:
         self.path = Path(path)
         self.errors_path = self.path.with_name(self.path.stem + ".errors.jsonl")
         self.index_path = self.path.with_name(self.path.stem + ".index.json")
+        self.quarantine_path = self.path.with_name(
+            self.path.stem + ".quarantine.jsonl"
+        )
         self._lock = threading.RLock()
         self._fingerprints: set[str] = set()
         self._offsets: dict[str, int] = {}
@@ -204,6 +232,8 @@ class ResultStore:
         self._errors: dict[str, str] = {}
         self._size = 0  # archive bytes covered by the in-memory index
         self._duplicate_lines = 0  # same-fingerprint lines seen on disk
+        self._quarantined_lines = 0  # corrupt mid-file lines skipped in place
+        self._quarantine_offsets: set[int] | None = None  # lazily loaded
         self._appends_since_flush = 0
         self._index_dirty = False
         self._fh: IO[str] | None = None
@@ -215,6 +245,7 @@ class ResultStore:
             "record_loads": 0,
             "index_used": 0,
             "index_rebuilt": 0,
+            "quarantined_lines": 0,
         }
         if self.path.exists():
             if resume:
@@ -223,6 +254,8 @@ class ResultStore:
                 self.path.unlink()
                 if self.index_path.exists():
                     self.index_path.unlink()
+                if self.quarantine_path.exists():
+                    self.quarantine_path.unlink()
         if self.errors_path.exists():
             if resume:
                 self._errors = self._recover_errors()
@@ -325,6 +358,7 @@ class ResultStore:
                 f"{self.path}: corrupt record on line {n} "
                 "(not a torn final append); refusing to resume"
             ),
+            on_quarantine=self._quarantine,
         )
         for offset, _, record in entries:
             self._adopt(offset, record)
@@ -343,6 +377,7 @@ class ResultStore:
                 f"(after byte {start}, not a torn final append); "
                 "refusing to resume"
             ),
+            on_quarantine=self._quarantine,
         )
         for offset, _, record in entries:
             self._adopt(offset, record)
@@ -350,6 +385,40 @@ class ResultStore:
         self._size = end
         if end != start:
             self._index_dirty = True
+
+    def _quarantine(self, offset: int, raw: bytes, line_no: int) -> None:
+        """Record one corrupt mid-file line and keep going.
+
+        The line's bytes stay exactly where they are (rewriting the
+        archive under a resuming campaign would invalidate every later
+        offset); the sidecar entry is what ``store compact`` reports and
+        what lets an operator recover the damaged payload.  Re-scans of
+        the same bytes (e.g. after an index rebuild) dedup by offset.
+        """
+        self._quarantined_lines += 1
+        self.io_stats["quarantined_lines"] += 1
+        if self._quarantine_offsets is None:
+            self._quarantine_offsets = set()
+            if self.quarantine_path.exists():
+                for line in self.quarantine_path.read_text(
+                    encoding="utf-8"
+                ).splitlines():
+                    try:
+                        self._quarantine_offsets.add(int(json.loads(line)["offset"]))
+                    except (ValueError, KeyError, TypeError):
+                        continue
+        if offset in self._quarantine_offsets:
+            return
+        self._quarantine_offsets.add(offset)
+        entry = {
+            "offset": offset,
+            "line_no": line_no,
+            "bytes": len(raw) + 1,
+            "preview": raw[:160].decode("utf-8", errors="replace"),
+        }
+        self.quarantine_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.quarantine_path.open("a", encoding="utf-8", newline="") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
 
     def _adopt(self, offset: int, record: dict) -> None:
         """Index one on-disk record (first fingerprint occurrence wins)."""
@@ -369,7 +438,9 @@ class ResultStore:
 
     def _recover_errors(self) -> dict[str, str]:
         """Index the error sidecar, healing a torn final line the same way
-        the record archive does."""
+        the record archive does.  The sidecar is advisory (worst case a
+        known-bad candidate is re-probed once), so corrupt mid-file
+        entries are skipped rather than quarantined or fatal."""
         entries = read_jsonl_healing(
             self.errors_path,
             heal=True,
@@ -377,6 +448,7 @@ class ResultStore:
                 f"{self.errors_path}: corrupt entry on line {n} "
                 "(not a torn final append); refusing to resume"
             ),
+            on_quarantine=lambda offset, raw, n: None,
         )
         return {
             str(e["fingerprint"]): str(e.get("error", ""))
@@ -434,6 +506,19 @@ class ResultStore:
                 # requires one written "\n" to be exactly one byte.
                 self._fh = self.path.open("a", encoding="utf-8", newline="")
             line = record_to_json(record)
+            act = fault_point("store.append")
+            if act is not None:
+                # Cooperative torn/short write: flush a prefix of the line
+                # (no newline) exactly as a crash mid-append would leave
+                # it, then fail.  _size advances past the fragment so any
+                # caller that survives the exception keeps valid offsets;
+                # the fragment becomes a mid-file quarantine candidate.
+                cut = len(line) // 2 if act.kind == "torn_write" else len(line) // 4
+                fragment = line[: max(1, cut)]
+                self._fh.write(fragment)
+                self._fh.flush()
+                self._size += len(fragment.encode("utf-8"))
+                act.raise_injected()
             self._fh.write(line)
             self._fh.write("\n")
             self._fh.flush()
@@ -471,11 +556,15 @@ class ResultStore:
                 self._err_fh = self.errors_path.open(
                     "a", encoding="utf-8", newline=""
                 )
-            self._err_fh.write(
-                json.dumps(
-                    {"fingerprint": fp, "error": str(error)}, sort_keys=True
-                )
+            line = json.dumps(
+                {"fingerprint": fp, "error": str(error)}, sort_keys=True
             )
+            act = fault_point("store.error_append")
+            if act is not None:
+                self._err_fh.write(line[: max(1, len(line) // 2)])
+                self._err_fh.flush()
+                act.raise_injected()
+            self._err_fh.write(line)
             self._err_fh.write("\n")
             self._err_fh.flush()
             self._errors[fp] = str(error)
@@ -567,13 +656,18 @@ class ResultStore:
                     for fp in self._order
                 },
             }
-            tmp = self.index_path.with_name(self.index_path.name + ".tmp")
-            tmp.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(
+            act = fault_point("store.index_write")
+            if act is not None and act.kind == "drop":
+                # Simulated fsync loss: the writer believes the sidecar
+                # landed (counters reset) but no bytes hit disk.  The next
+                # open detects the stale sidecar and tail-scans past it.
+                self._index_dirty = False
+                self._appends_since_flush = 0
+                return self.index_path
+            atomic_write_text(
+                self.index_path,
                 json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n",
-                encoding="utf-8",
             )
-            os.replace(tmp, self.index_path)
             self._index_dirty = False
             self._appends_since_flush = 0
             return self.index_path
@@ -682,7 +776,14 @@ class ResultStore:
                     try:
                         record = json.loads(line)
                     except json.JSONDecodeError:
-                        break  # torn/foreign bytes: stop at the last good record
+                        # Corrupt *terminated* line mid-file (a torn
+                        # fragment an O_APPEND writer appended past): skip
+                        # it, exactly as a resuming open quarantines it.
+                        # In-flight bytes never get here — they sit after
+                        # the final "\n" and are excluded by the split.
+                        offset += nbytes
+                        covered = offset
+                        continue
                     fp = cls.record_fingerprint(record)
                     if fp not in fingerprints:
                         fingerprints.add(fp)
@@ -698,7 +799,7 @@ class ResultStore:
                     try:
                         entry = json.loads(line)
                     except json.JSONDecodeError:
-                        break
+                        continue  # advisory sidecar: skip corrupt entries
                     if entry.get("fingerprint"):
                         errors.setdefault(
                             str(entry["fingerprint"]), str(entry.get("error", ""))
@@ -723,23 +824,37 @@ class ResultStore:
         the same store, or hand-concatenated archives) can leave
         duplicate-fingerprint lines that every future scan re-parses and
         re-discards.  Compaction rewrites the JSONL atomically with first
-        occurrences only, dedups the error sidecar the same way, and
-        refreshes the offset index.  Returns accounting, e.g.::
+        occurrences only — corrupt lines previously quarantined in place
+        drop out of the rewrite, and the quarantine sidecar is cleared —
+        dedups the error sidecar the same way, and refreshes the offset
+        index.  Returns accounting, e.g.::
 
-            {"records_kept": 18, "lines_dropped": 3, "bytes_before": ...,
-             "bytes_after": ..., "errors_kept": 2, "errors_dropped": 0}
+            {"records_kept": 18, "lines_dropped": 3, "lines_quarantined": 1,
+             "bytes_before": ..., "bytes_after": ..., "errors_kept": 2,
+             "errors_dropped": 0}
         """
         with self._lock:
             self.close()
             bytes_before = self.path.stat().st_size if self.path.exists() else 0
             records = self.records() if self.path.exists() else []
             lines_dropped = self._duplicate_lines
+            lines_quarantined = 0
+            if self.quarantine_path.exists():
+                lines_quarantined = sum(
+                    1
+                    for line in self.quarantine_path.read_text(
+                        encoding="utf-8"
+                    ).splitlines()
+                    if line.strip()
+                )
             if self.path.exists():
                 tmp = self.path.with_name(self.path.name + ".tmp")
                 with tmp.open("w", encoding="utf-8", newline="") as fh:
                     for record in records:
                         fh.write(record_to_json(record))
                         fh.write("\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, self.path)
             errors_before = 0
             if self.errors_path.exists():
@@ -759,7 +874,15 @@ class ResultStore:
                             )
                         )
                         fh.write("\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(tmp, self.errors_path)
+            # The rewrite kept only parsed records, so quarantined lines
+            # are gone from the archive; retire their sidecar entries.
+            if self.quarantine_path.exists():
+                self.quarantine_path.unlink()
+            self._quarantine_offsets = None
+            self._quarantined_lines = 0
             # Re-index the rewritten archive from scratch: offsets moved.
             self._fingerprints.clear()
             self._offsets.clear()
@@ -778,6 +901,7 @@ class ResultStore:
             return {
                 "records_kept": len(self._order),
                 "lines_dropped": lines_dropped,
+                "lines_quarantined": lines_quarantined,
                 "bytes_before": bytes_before,
                 "bytes_after": self._size,
                 "errors_kept": len(self._errors),

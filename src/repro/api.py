@@ -13,7 +13,12 @@ Everything an external caller needs, behind stable typed signatures:
   under a fault-tolerant coordinator and merge the shard stores back
   into artifacts byte-identical to a sequential run;
 - :class:`~repro.serving.service.DataflowService` / :func:`serve` — the
-  online dataflow-selection layer over persisted campaign results.
+  online dataflow-selection layer over persisted campaign results;
+- :class:`~repro.faults.plan.FaultPlan` / :func:`scenario_plan` /
+  :func:`random_plan` / :func:`run_harness` — the deterministic,
+  seeded fault-injection layer and the crash-consistency harness that
+  proves recovery is byte-identical, duplicate-free, and gracefully
+  degraded at the serving tier.
 
 ``sweep`` and ``search`` are one-shot campaigns under the hood — the
 spec-building that used to live in the CLI happens here, so library
@@ -49,6 +54,8 @@ from .distributed import (
     plan_shards,
 )
 from .errors import ApiUsageError, ReproError
+from .faults.harness import HarnessReport, run_harness
+from .faults.plan import FaultPlan, random_plan, scenario_plan
 from .graphs.datasets import Dataset, dataset_names, load_dataset
 from .serving.frontend import serve
 from .serving.service import DataflowService, QueryResult
@@ -64,6 +71,11 @@ __all__ = [
     "merge_stores",
     "ShardPlan",
     "DistRunResult",
+    "FaultPlan",
+    "scenario_plan",
+    "random_plan",
+    "run_harness",
+    "HarnessReport",
     "serve",
     "DataflowService",
     "QueryResult",

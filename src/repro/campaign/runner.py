@@ -33,6 +33,8 @@ from typing import Any, Collection, Iterator
 
 from ..analysis.store import read_jsonl_healing
 from ..errors import CampaignError
+from ..faults.injector import fault_point
+from ..ioutil import atomic_write_text
 from . import scheduler as _scheduler
 from .report import CampaignReport, UnitResult
 from .scheduler import CampaignScheduler
@@ -182,12 +184,20 @@ class CampaignCheckpoint:
             "spec_fingerprint": self.spec_fingerprint,
             "units": self.unit_counters,
         }
-        tmp = self.stats_path.with_name(self.stats_path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
-        tmp.replace(self.stats_path)
+        # The sidecar is advisory accounting: losing one write costs a
+        # status display its cache columns, never campaign correctness —
+        # so a failed write degrades (and the next mark retries) instead
+        # of killing the run that was about to journal real results.
+        try:
+            act = fault_point("checkpoint.stats")
+            if act is not None and act.kind == "drop":
+                return
+            atomic_write_text(
+                self.stats_path,
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -233,7 +243,16 @@ class CampaignCheckpoint:
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._fh = self.path.open("a", encoding="utf-8")
-        self._fh.write(json.dumps(obj, sort_keys=True))
+        line = json.dumps(obj, sort_keys=True)
+        act = fault_point("checkpoint.mark")
+        if act is not None:
+            # Torn mark: flush half the journal line without its newline,
+            # then die — the healing read on resume must truncate it and
+            # re-run only the unit whose mark was lost.
+            self._fh.write(line[: max(1, len(line) // 2)])
+            self._fh.flush()
+            act.raise_injected()
+        self._fh.write(line)
         self._fh.write("\n")
         self._fh.flush()
 

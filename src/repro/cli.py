@@ -8,6 +8,7 @@ Subcommands
 ``campaign``   spec-driven multi-dataset / multi-hardware exploration
 ``serve``      dataflow selection service over campaign stores (JSON/HTTP)
 ``store``      maintain result stores (compaction, offset-index rebuild)
+``faults``     deterministic fault plans + crash-consistency harness
 ``golden``     regenerate or drift-check the golden regression records
 ``enumerate``  design-space counts (Table II's 6,656)
 ``datasets``   list the Table IV workloads and their synthesized stats
@@ -220,6 +221,11 @@ def build_parser() -> argparse.ArgumentParser:
                 help="evaluation worker processes (0 = serial, -1 = all CPUs)",
             )
             p_c.add_argument(
+                "--fault-plan", default=None, metavar="JSON",
+                help="activate a deterministic fault-injection plan for "
+                "this run and its worker processes (repro faults plan)",
+            )
+            p_c.add_argument(
                 "--no-resume",
                 action="store_true",
                 help="discard the existing checkpoint and store; restart",
@@ -370,8 +376,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="relaunches per shard before giving up (default 2)",
     )
     p_dist.add_argument(
+        "--max-total-retries", type=int, default=None, metavar="R",
+        help="fleet-wide relaunch ceiling across all shards "
+        "(default: max-retries * shards)",
+    )
+    p_dist.add_argument(
         "--backoff", type=float, default=0.5, metavar="SEC",
         help="relaunch backoff base (default 0.5)",
+    )
+    p_dist.add_argument(
+        "--retry-jitter", type=float, default=0.25, metavar="FRAC",
+        help="bounded seeded jitter on relaunch backoff (default 0.25)",
+    )
+    p_dist.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="activate a deterministic fault-injection plan for the "
+        "coordinator and every shard worker (repro faults plan)",
     )
     p_dist.add_argument(
         "--kill-shard", type=int, default=None, metavar="I",
@@ -410,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="override the spec's live-search worker processes",
     )
+    p_serve.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="activate a deterministic fault-injection plan for the "
+        "service (serving.* sites: timeouts, stale snapshots, shedding)",
+    )
 
     p_store = sub.add_parser(
         "store", help="maintain result stores (compaction, offset index)"
@@ -444,6 +469,79 @@ def build_parser() -> argparse.ArgumentParser:
         help="truncate DEST first instead of merging into its records",
     )
     p_merge.add_argument("--json", action="store_true")
+
+    from .faults.plan import FAULT_SCENARIOS
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="deterministic fault injection: plans + crash-consistency "
+        "harness",
+    )
+    fsub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_fplan = fsub.add_parser(
+        "plan",
+        help="write a canned scenario plan or a seeded randomized plan",
+    )
+    p_fplan.add_argument(
+        "--scenario", choices=FAULT_SCENARIOS, default=None,
+        help="one of the canned CI chaos scenarios",
+    )
+    p_fplan.add_argument(
+        "--random", action="store_true",
+        help="draw a randomized recoverable campaign-tier plan instead",
+    )
+    p_fplan.add_argument(
+        "--seed", type=int, default=0,
+        help="plan seed (parameterizes scenario and random plans alike)",
+    )
+    p_fplan.add_argument(
+        "--out", default=None, metavar="JSON",
+        help="write the fingerprinted plan file here (default: print only)",
+    )
+    p_fplan.add_argument("--json", action="store_true")
+    p_fharness = fsub.add_parser(
+        "harness",
+        help="run the crash-consistency harness: campaign + serving "
+        "under each plan, assert byte-identical recovery, zero duplicate "
+        "evaluations, and graceful serving degradation",
+    )
+    p_fharness.add_argument(
+        "--spec", required=True, metavar="FILE",
+        help="campaign spec file (.json or .toml)",
+    )
+    p_fharness.add_argument(
+        "--plan", action="append", default=[], metavar="JSON",
+        help="fault plan file to run (repeatable)",
+    )
+    p_fharness.add_argument(
+        "--scenario", action="append", default=[], choices=FAULT_SCENARIOS,
+        help="add a canned scenario plan (repeatable)",
+    )
+    p_fharness.add_argument(
+        "--random-plans", type=int, default=0, metavar="N",
+        help="add N randomized plans (seeds --seed .. --seed+N-1)",
+    )
+    p_fharness.add_argument("--seed", type=int, default=0)
+    p_fharness.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard worker processes for the faulted runs (default 2)",
+    )
+    p_fharness.add_argument(
+        "--heartbeat-interval", type=float, default=0.1, metavar="SEC",
+    )
+    p_fharness.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="SEC",
+    )
+    p_fharness.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="work dir for reference + per-plan artifacts "
+        "(default: runs/chaos-<spec name>)",
+    )
+    p_fharness.add_argument(
+        "--report", default=None, metavar="JSON",
+        help="also write the JSON harness report here",
+    )
+    p_fharness.add_argument("--json", action="store_true")
 
     p_golden = sub.add_parser(
         "golden",
@@ -488,6 +586,69 @@ def build_parser() -> argparse.ArgumentParser:
     p_study.add_argument("--json", action="store_true")
 
     return parser
+
+
+def _activate_fault_plan(args: argparse.Namespace) -> None:
+    """Arm ``--fault-plan`` (if given) for this process and its children."""
+    path = getattr(args, "fault_plan", None)
+    if path:
+        from .faults.injector import activate
+
+        activate(path)
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.plan import FaultPlan, scenario_plan, random_plan
+
+    if args.faults_command == "plan":
+        if args.random == (args.scenario is not None):
+            print("faults plan needs exactly one of --scenario / --random",
+                  file=sys.stderr)
+            return 2
+        plan = (
+            random_plan(args.seed) if args.random
+            else scenario_plan(args.scenario, seed=args.seed)
+        )
+        if args.out:
+            plan.save(args.out)
+        if args.json or not args.out:
+            print(plan.to_json())
+        else:
+            sites = ", ".join(
+                f"{site}:{trig.kind}" for site, trig in plan.sites
+            )
+            print(f"fault plan {plan.fingerprint()} ({sites}) -> {args.out}")
+        return 0
+
+    # harness
+    from pathlib import Path
+
+    from .faults.harness import run_harness
+
+    plans = [FaultPlan.load(p) for p in args.plan]
+    plans += [scenario_plan(name, seed=args.seed) for name in args.scenario]
+    plans += [random_plan(args.seed + i) for i in range(args.random_plans)]
+    if not plans:
+        print("faults harness needs --plan, --scenario, or --random-plans",
+              file=sys.stderr)
+        return 2
+    spec = _load_spec(args)
+    out_dir = Path(args.out_dir) if args.out_dir else Path("runs") / (
+        f"chaos-{spec.name}"
+    )
+    report = run_harness(
+        args.spec,
+        plans,
+        out_dir=out_dir,
+        shards=args.shards,
+        heartbeat_interval=args.heartbeat_interval,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    if args.report:
+        report.save(args.report)
+    print(json.dumps(report.to_dict(), indent=2) if args.json
+          else report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -735,6 +896,7 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
     from .distributed import DistributedCoordinator
     from .errors import CampaignError
 
+    _activate_fault_plan(args)
     try:
         coordinator = DistributedCoordinator(
             args.spec,
@@ -748,7 +910,9 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
             heartbeat_interval=args.heartbeat_interval,
             heartbeat_timeout=args.heartbeat_timeout,
             max_retries=args.max_retries,
+            max_total_retries=args.max_total_retries,
             backoff=args.backoff,
+            retry_jitter=args.retry_jitter,
             kill_shard=args.kill_shard,
             kill_after_units=args.kill_after_units,
         )
@@ -766,7 +930,9 @@ def _cmd_dist_run(args: argparse.Namespace) -> int:
         print(
             f"distributed: {coordinator.shards} shard(s), "
             f"{len(result.attempts)} attempt(s) "
-            f"({recovered} recovered), digest {result.report.digest()}"
+            f"({recovered} recovered, {coordinator.retries_total} "
+            f"retry/retries of max {coordinator.max_total_retries}), "
+            f"digest {result.report.digest()}"
         )
         print(
             f"merge: +{result.merge['records_added']} records "
@@ -795,6 +961,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     store_path, ckpt_path = _campaign_paths(spec, args)
 
     if args.campaign_command == "run":
+        _activate_fault_plan(args)
         store = ResultStore(store_path, resume=not args.no_resume)
         try:
             checkpoint = CampaignCheckpoint(
@@ -905,6 +1072,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                     "tilestats_peak_nbytes": ts_peak,
                 }
             )
+        # Distributed supervision accounting, when a coordinator has run
+        # (or is running) against this store: advisory sidecar, read-only.
+        from .distributed.coordinator import load_coordinator_state
+
+        coord = load_coordinator_state(store_path)
+        if coord.get("spec_fingerprint") != spec.fingerprint():
+            coord = {}
         payload = {
             "name": spec.name,
             "spec_fingerprint": spec.fingerprint(),
@@ -918,6 +1092,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "store": store_path,
             "store_records": peek["records"],
             "store_indexed": peek["indexed"],
+            "coordinator": coord or None,
         }
         if args.json:
             print(json.dumps(payload, indent=2))
@@ -962,6 +1137,21 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             indexed = " (indexed)" if peek["indexed"] else ""
             print(f"  store: {peek['records']} records in {store_path}{indexed}")
             print(f"  checkpoint: {ckpt_path}")
+            if coord:
+                by_shard = coord.get("retries_by_shard") or {}
+                detail = (
+                    " (" + ", ".join(
+                        f"shard {s}: {n}" for s, n in sorted(by_shard.items())
+                    ) + ")"
+                    if by_shard
+                    else ""
+                )
+                print(
+                    f"  coordinator: {coord.get('state')}, "
+                    f"{coord.get('attempts')} attempt(s), "
+                    f"{coord.get('retries_total')} retry/retries of max "
+                    f"{coord.get('max_total_retries')}{detail}"
+                )
         return 0
 
     # report
@@ -1008,6 +1198,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .serving import ServeSpec, ServeSpecError, serve
 
+    _activate_fault_plan(args)
     if args.spec is None and not args.store:
         raise SystemExit("serve needs --spec FILE and/or --store JSONL")
     if args.spec is not None:
@@ -1092,7 +1283,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
         else:
             print(
                 f"{path}: {stats['records_kept']} records kept, "
-                f"{stats['lines_dropped']} duplicate line(s) dropped "
+                f"{stats['lines_dropped']} duplicate line(s) dropped, "
+                f"{stats['lines_quarantined']} quarantined line(s) dropped "
                 f"({stats['bytes_before']} -> {stats['bytes_after']} bytes); "
                 f"{stats['errors_kept']} error(s) kept, "
                 f"{stats['errors_dropped']} dropped"
@@ -1282,6 +1474,7 @@ _COMMANDS = {
     "campaign": _cmd_campaign,
     "serve": _cmd_serve,
     "store": _cmd_store,
+    "faults": _cmd_faults,
     "golden": _cmd_golden,
     "enumerate": _cmd_enumerate,
     "datasets": _cmd_datasets,

@@ -78,6 +78,15 @@ def _crossable(exc: BaseException) -> bool:
 def _dispatch(fn: Callable[[Any, Any], Any], task: tuple[str, Any]) -> Any:
     path, item = task
     try:
+        # Fault seam "pool.task": an injected plan can raise a library
+        # error (travels annotated, like a LegalityError would) or an
+        # unpicklable crash (exercises WorkerCrashError's transport).
+        # Kills are deliberately unsupported here — losing an in-flight
+        # pool task would hang map_async forever, which is a *pool*
+        # redesign, not a fault to inject.
+        from ..faults.injector import fault_point
+
+        fault_point("pool.task")
         return fn(_load_ctx(path), item)
     except Exception as exc:
         tb = traceback.format_exc()

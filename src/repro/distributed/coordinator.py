@@ -30,7 +30,9 @@ scenario, observed and healed through the public machinery only.
 
 from __future__ import annotations
 
+import json
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -42,11 +44,45 @@ from typing import Sequence
 from ..campaign.report import CampaignReport
 from ..campaign.spec import CampaignSpec
 from ..errors import DistributedError
+from ..faults.injector import fault_point
+from ..ioutil import atomic_write_text, retry_io
 from .merge import assemble_report, merge_checkpoints, merge_stores
 from .shardplan import ShardPlan, plan_shards
 from .worker import base_store_for, load_progress, plan_path_for, shard_paths
 
-__all__ = ["ShardAttempt", "DistRunResult", "DistributedCoordinator"]
+__all__ = [
+    "ShardAttempt",
+    "DistRunResult",
+    "DistributedCoordinator",
+    "coordinator_state_path",
+    "load_coordinator_state",
+]
+
+COORDINATOR_STATE_SCHEMA = 1
+
+
+def coordinator_state_path(base_store: str | Path) -> Path:
+    """Where the coordinator's supervision sidecar lives for a store."""
+    base = Path(base_store)
+    return base.with_name(f"{base.stem}.coordinator.json")
+
+
+def load_coordinator_state(base_store: str | Path) -> dict:
+    """Read-only load of the supervision sidecar; ``{}`` when absent,
+    torn, or from another schema (``campaign status`` degrades, never
+    crashes, on a file a running coordinator may be rewriting)."""
+    try:
+        raw = json.loads(
+            coordinator_state_path(base_store).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return {}
+    if (
+        not isinstance(raw, dict)
+        or raw.get("coordinator_schema") != COORDINATOR_STATE_SCHEMA
+    ):
+        return {}
+    return raw
 
 # The scheduling-invariant stat keys a report renders; summed attempts
 # are seeded with zeros so render() never KeyErrors on a sparse shard.
@@ -155,7 +191,9 @@ class DistributedCoordinator:
         heartbeat_interval: float = 0.25,
         heartbeat_timeout: float = 30.0,
         max_retries: int = 2,
+        max_total_retries: int | None = None,
         backoff: float = 0.5,
+        retry_jitter: float = 0.25,
         poll_interval: float = 0.05,
         kill_shard: int | None = None,
         kill_after_units: int = 1,
@@ -180,13 +218,28 @@ class DistributedCoordinator:
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = heartbeat_timeout
         self.max_retries = max_retries
+        # Fleet-wide relaunch ceiling: per-shard caps alone let one
+        # flapping host burn `shards * max_retries` relaunches before
+        # anything gives up.  Defaults to exactly that product, so a
+        # caller who only thinks per-shard keeps the old semantics while
+        # a storm across shards is now bounded too.
+        self.max_total_retries = (
+            max_total_retries
+            if max_total_retries is not None
+            else max_retries * max(1, shards)
+        )
         self.backoff = backoff
+        self.retry_jitter = retry_jitter
         self.poll_interval = poll_interval
         self.kill_shard = kill_shard
         self.kill_after_units = kill_after_units
         self.python = python or sys.executable
         self.plan: ShardPlan = plan_shards(self.spec, shards, policy)
         self.attempts: list[ShardAttempt] = []
+        self.retries_total = 0
+        # Seeded by the plan fingerprint: backoff jitter is bounded and
+        # reproducible for a given (spec, shards, policy).
+        self._rng = random.Random(self.plan.fingerprint())
 
     # -- worker process management -------------------------------------
     def _command(self, state: _ShardState) -> list[str]:
@@ -263,12 +316,48 @@ class DistributedCoordinator:
         if state.log_fh is not None:
             state.log_fh.close()
             state.log_fh = None
+        self._write_state("running")
+
+    def _write_state(self, label: str) -> None:
+        """Publish supervision accounting for ``campaign status``.
+
+        Advisory by design: written atomically after every attempt
+        record, readable mid-run, and a write failure never disturbs the
+        run it describes.
+        """
+        per_shard: dict[str, int] = {}
+        for attempt in self.attempts:
+            if attempt.outcome != "done" and not attempt.injected:
+                key = str(attempt.shard)
+                per_shard[key] = per_shard.get(key, 0) + 1
+        payload = {
+            "coordinator_schema": COORDINATOR_STATE_SCHEMA,
+            "spec_fingerprint": self.spec.fingerprint(),
+            "plan_fingerprint": self.plan.fingerprint(),
+            "state": label,
+            "shards": self.shards,
+            "attempts": len(self.attempts),
+            "retries_total": self.retries_total,
+            "max_retries": self.max_retries,
+            "max_total_retries": self.max_total_retries,
+            "retries_by_shard": per_shard,
+            "last_outcome": self.attempts[-1].outcome if self.attempts else None,
+            "updated_at": time.time(),
+        }
+        try:
+            atomic_write_text(
+                coordinator_state_path(self.base_store),
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+        except OSError:
+            pass
 
     def _fail_or_retry(self, state: _ShardState, outcome: str, rc: int | None) -> None:
         self._record(state, outcome, rc)
         injected = self.attempts[-1].injected
         if not injected:
             state.retries_used += 1
+            self.retries_total += 1
             if state.retries_used > self.max_retries:
                 raise DistributedError(
                     f"shard {state.index} failed {state.retries_used} "
@@ -277,10 +366,20 @@ class DistributedCoordinator:
                     f"{self.attempts[-1].error}; see "
                     f"{shard_paths(self.base_store, state.index).log}"
                 )
+            if self.retries_total > self.max_total_retries:
+                raise DistributedError(
+                    f"fleet retry budget exhausted: {self.retries_total} "
+                    f"relaunches across all shards exceed "
+                    f"max_total_retries={self.max_total_retries}; last "
+                    f"failure was shard {state.index} ({outcome!r}, rc={rc})"
+                )
         state.proc = None
-        state.relaunch_at = time.monotonic() + self.backoff * max(
-            1, state.retries_used
-        )
+        # Linear backoff with bounded, seeded jitter: concurrent failing
+        # shards decorrelate their relaunches instead of stampeding the
+        # filesystem in lockstep, and a replay sees the same delays.
+        delay = self.backoff * max(1, state.retries_used)
+        delay *= 1.0 + self.retry_jitter * self._rng.random()
+        state.relaunch_at = time.monotonic() + delay
 
     def _kill(self, state: _ShardState) -> int | None:
         try:
@@ -325,9 +424,32 @@ class DistributedCoordinator:
             rc = self._kill(state)
             self._fail_or_retry(state, "stalled", rc)
 
+    def _with_io_retry(self, label: str, fn):
+        """Run coordinator-side I/O under bounded-jitter retry.
+
+        One transient OSError (shared mount hiccup — or the
+        ``coordinator.io`` fault seam) must not abandon a fleet's worth
+        of finished shard work; a persistent one still propagates.
+        """
+
+        def attempt():
+            fault_point("coordinator.io")
+            return fn()
+
+        return retry_io(
+            attempt,
+            attempts=3,
+            base_delay=self.backoff / 4 if self.backoff > 0 else 0.05,
+            jitter=self.retry_jitter,
+            seed=int(self.plan.fingerprint(), 16) ^ len(label),
+        )
+
     def run(self) -> DistRunResult:
         """Drive every shard to completion, then merge; the entry point."""
-        self.plan.save(plan_path_for(self.base_store))
+        self._with_io_retry(
+            "plan", lambda: self.plan.save(plan_path_for(self.base_store))
+        )
+        self._write_state("running")
         states = [_ShardState(i) for i in range(self.shards)]
         for state in states:
             self._launch(state)
@@ -344,6 +466,9 @@ class DistributedCoordinator:
                     ):
                         self._launch(state)
                 time.sleep(self.poll_interval)
+        except BaseException:
+            self._write_state("failed")
+            raise
         finally:
             for state in states:
                 if state.proc is not None and state.proc.poll() is None:
@@ -351,20 +476,28 @@ class DistributedCoordinator:
                 if state.log_fh is not None:
                     state.log_fh.close()
                     state.log_fh = None
-        return self._merge()
+        result = self._merge()
+        self._write_state("done")
+        return result
 
     # -- fold-back ------------------------------------------------------
     def _merge(self) -> DistRunResult:
         all_paths = [shard_paths(self.base_store, i) for i in range(self.shards)]
-        acct = merge_stores(
-            self.base_store,
-            [p.store for p in all_paths],
-            resume=self.resume,
+        acct = self._with_io_retry(
+            "merge-stores",
+            lambda: merge_stores(
+                self.base_store,
+                [p.store for p in all_paths],
+                resume=self.resume,
+            ),
         )
-        units, counters = merge_checkpoints(
-            self.spec,
-            [p.checkpoint for p in all_paths],
-            self.checkpoint_path,
+        units, counters = self._with_io_retry(
+            "merge-checkpoints",
+            lambda: merge_checkpoints(
+                self.spec,
+                [p.checkpoint for p in all_paths],
+                self.checkpoint_path,
+            ),
         )
         # Sum only the scheduling-invariant counters: a killed attempt's
         # last heartbeat snapshot also carries execution fields

@@ -45,6 +45,8 @@ from ..campaign.runner import CampaignCheckpoint, run_campaign
 from ..campaign.session import ExplorationSession
 from ..campaign.spec import CampaignSpec
 from ..errors import DistributedError
+from ..faults.injector import fault_point
+from ..ioutil import atomic_write_text, retry_io
 
 if TYPE_CHECKING:  # pragma: no cover
     from .shardplan import ShardPlan
@@ -172,13 +174,20 @@ class _ProgressWriter:
             self._flush()
 
     def _flush(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_name(self.path.name + ".tmp")
-        tmp.write_text(
-            json.dumps(self._state, indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+        # The coordinator's whole view of this worker is this file: a
+        # transient write failure must not kill a healthy shard, so retry
+        # briefly; if the mount is really gone the raise ends the worker
+        # and the coordinator handles it like any crash.  fsync'd rename
+        # keeps a poller from ever seeing a torn heartbeat.
+        retry_io(
+            lambda: atomic_write_text(
+                self.path,
+                json.dumps(self._state, indent=2, sort_keys=True) + "\n",
+            ),
+            attempts=3,
+            base_delay=0.02,
+            seed=self._state.get("shard_index", 0),
         )
-        tmp.replace(self.path)
 
 
 class _ShardCheckpoint(CampaignCheckpoint):
@@ -245,6 +254,11 @@ def run_shard(
 
     def beat() -> None:
         while not stop.wait(heartbeat_interval):
+            # Fault seam "worker.heartbeat": kill at the Nth beat (hard
+            # os._exit — the progress file freezes mid-run, exactly what
+            # a powered-off host looks like), or hang/delay the beat so
+            # the coordinator's staleness watchdog has something to see.
+            fault_point("worker.heartbeat")
             progress.heartbeat(session.stats.as_dict())
 
     def on_mark(unit_key: str) -> None:
@@ -271,6 +285,9 @@ def run_shard(
     heart = threading.Thread(
         target=beat, name=f"shard{shard_index}-heartbeat", daemon=True
     )
+    # Fault seam "worker.start": a slow-start delay (models cold NFS /
+    # container pull) or an immediate kill before any progress lands.
+    fault_point("worker.start")
     progress.update(state="running")
     heart.start()
     try:

@@ -20,6 +20,8 @@ The tree::
     │   ├── CampaignResumeError (RuntimeError) repro.campaign.runner
     │   ├── ShardPlanError (ValueError)      repro.distributed.shardplan
     │   └── DistributedError                 repro.distributed.coordinator
+    ├── FaultPlanError (ValueError)          repro.faults.plan
+    ├── InjectedFault                        repro.faults.injector
     └── ServiceError                         repro.serving
         ├── BudgetExhausted
         └── QueueFullError

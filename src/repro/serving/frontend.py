@@ -20,9 +20,10 @@ admission counter; each admitted query runs ``service.query`` on a
 worker thread (``asyncio.to_thread``) so the loop keeps accepting while
 the cost model runs, and all threads share the service's one warm
 session.  Backpressure is explicit — beyond ``max_queue`` in-flight
-queries new ones are shed with 503 (:class:`~repro.errors.QueueFullError`
-semantics), and each query is bounded by ``timeout`` seconds (504, the
-search keeps running server-side and warms the index for the retry).
+queries new ones are shed with 503 + ``Retry-After``
+(:class:`~repro.errors.QueueFullError` semantics), and each query is
+bounded by ``timeout`` seconds (504, the search keeps running
+server-side and warms the index for the retry).
 """
 
 from __future__ import annotations
@@ -33,6 +34,7 @@ import time
 from typing import Any
 
 from ..errors import BudgetExhausted, ReproError, ServiceError
+from ..faults.injector import fault_point
 from ..graphs.csr import CSRGraph
 from .service import DataflowService
 from .spec import ServeSpec
@@ -125,7 +127,9 @@ class DataflowServer:
         except _BadRequest as exc:
             await self._respond(writer, 400, {"error": str(exc)})
         except BudgetExhausted as exc:
-            await self._respond(writer, 503, {"error": str(exc)})
+            await self._respond(
+                writer, 503, {"error": str(exc)}, headers={"Retry-After": "1"}
+            )
         except ReproError as exc:
             await self._respond(writer, 400, {"error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive 500
@@ -160,16 +164,23 @@ class DataflowServer:
 
     @staticmethod
     async def _respond(
-        writer: asyncio.StreamWriter, status: int, payload: dict
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        headers: dict | None = None,
     ) -> None:
         reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
                   500: "Internal Server Error", 503: "Service Unavailable",
                   504: "Gateway Timeout"}.get(status, "OK")
         body = json.dumps(payload).encode("utf-8")
+        extra = "".join(
+            f"{key}: {value}\r\n" for key, value in (headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
         try:
@@ -203,12 +214,17 @@ class DataflowServer:
         }
 
     async def _query(self, writer: asyncio.StreamWriter, body: bytes) -> None:
-        if self._inflight >= self.max_queue:
+        # Fault seam "serving.admit": a "shed" action forces the
+        # queue-full branch so saturation handling (503 + Retry-After)
+        # is testable without actually racing max_queue clients.
+        act = fault_point("serving.admit")
+        if self._inflight >= self.max_queue or act is not None:
             self.shed += 1
             await self._respond(
                 writer,
                 503,
                 {"error": f"queue full ({self.max_queue} queries in flight)"},
+                headers={"Retry-After": "1"},
             )
             return
         try:

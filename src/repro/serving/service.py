@@ -44,6 +44,7 @@ from ..campaign.spec import HardwarePoint
 from ..core.optimizer import OBJECTIVES, MappingOptimizer, outcome_score
 from ..core.workload import GNNWorkload
 from ..errors import BudgetExhausted, ServiceError
+from ..faults.injector import fault_point
 from ..graphs.csr import CSRGraph
 from .features import SparsityFeatures, graph_features
 from .index import ParetoIndex, record_score
@@ -127,6 +128,13 @@ class DataflowService:
         entry farther than this is treated as a miss (live search).
     workers:
         Worker processes for the shared session (``0`` = in-process).
+    search_deadline:
+        Watchdog deadline (seconds) a *coalesced* caller waits on the
+        leader's in-flight live search.  A leader that hangs or crawls
+        past it no longer strands its waiters: they degrade to the
+        nearest known Pareto point (or a clean
+        :class:`~repro.errors.BudgetExhausted`) instead of blocking
+        forever.  ``None`` restores unbounded waiting.
     """
 
     def __init__(
@@ -141,6 +149,7 @@ class DataflowService:
         max_staleness: float | None = None,
         workers: int = 0,
         seed: int = 0,
+        search_deadline: float | None = 30.0,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ServiceError(
@@ -154,6 +163,9 @@ class DataflowService:
         self.max_distance = max_distance
         self.max_staleness = max_staleness
         self.seed = seed
+        if search_deadline is not None and search_deadline <= 0:
+            raise ServiceError("search_deadline must be > 0 (or None)")
+        self.search_deadline = search_deadline
         self._owns_store = not isinstance(store, (ResultStore, type(None)))
         self.store: ResultStore | None = (
             ResultStore(store) if self._owns_store else store
@@ -180,6 +192,8 @@ class DataflowService:
         self.live_searches = 0
         self.coalesced = 0
         self.degraded = 0
+        self.watchdog_timeouts = 0
+        self.search_failures = 0
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -187,10 +201,24 @@ class DataflowService:
     # ------------------------------------------------------------------
     def refresh(self) -> int:
         """Incrementally re-sync every attached snapshot; returns the
-        number of newly indexed records (O(appended bytes) per store)."""
+        number of newly indexed records (O(appended bytes) per store).
+
+        Degrades, never fails: a store that cannot be re-read this round
+        (transient I/O — or the ``serving.refresh`` fault seam) keeps its
+        previous snapshot, so queries keep answering from a slightly
+        stale index rather than erroring."""
+        try:
+            act = fault_point("serving.refresh")
+        except OSError:
+            return 0
+        if act is not None and act.kind == "drop":
+            return 0  # injected stale snapshot: skip this sync round
         added = 0
         for path, old in list(self._snapshots.items()):
-            new = ResultStore.snapshot(path, since=old)
+            try:
+                new = ResultStore.snapshot(path, since=old)
+            except OSError:
+                continue  # keep serving from the old snapshot
             self._snapshots[path] = new
             fresh = new.records[len(old.records):]
             if fresh:
@@ -289,7 +317,26 @@ class DataflowService:
                 break  # this caller leads the search
             with self._stats_lock:
                 self.coalesced += 1
-            waiter.wait()
+            if not waiter.wait(timeout=self.search_deadline):
+                # Watchdog: the leader blew the deadline (hung optimizer,
+                # stalled I/O).  Waiters must not hang with it — serve
+                # the nearest known point, degraded, or fail cleanly.
+                with self._stats_lock:
+                    self.watchdog_timeouts += 1
+                nearest = self.index.nearest(features, hw_key, objective)
+                if nearest is None:
+                    raise BudgetExhausted(
+                        f"live search for {features.digest} on {hw_key} "
+                        f"exceeded the {self.search_deadline}s watchdog "
+                        "deadline, and the index holds no fallback entry "
+                        "for that hardware"
+                    )
+                with self._stats_lock:
+                    self.degraded += 1
+                return self._from_lookup(
+                    nearest, features, hw_key, objective,
+                    evals=0, source="degraded",
+                )
             # The leader finished and indexed its records: an exact
             # lookup now answers for free.  If the leader *failed* (no
             # entry appeared), loop around and lead a fresh attempt.
@@ -357,8 +404,21 @@ class DataflowService:
             # a cold query costs at most live_budget cost-model runs even
             # when some candidates turn out illegal.
             stream = itertools.islice(stream, self.live_budget)
-        with self._live_lock:
-            outcomes = opt.evaluator.evaluate(stream, budget=self.live_budget)
+        try:
+            # Fault seam "serving.live_search": delay past the watchdog,
+            # or raise mid-search.  The except arm is the hardening it
+            # exercises: *any* failure inside the search machinery
+            # degrades to the best known answer instead of surfacing a
+            # 500 through the front-end.
+            fault_point("serving.live_search")
+            with self._live_lock:
+                outcomes = opt.evaluator.evaluate(
+                    stream, budget=self.live_budget
+                )
+        except Exception:
+            with self._stats_lock:
+                self.search_failures += 1
+            outcomes = []
         evals = opt.evaluator.stats.evaluated
         with self._stats_lock:
             self.live_searches += 1
@@ -409,6 +469,8 @@ class DataflowService:
                 "live_searches": self.live_searches,
                 "coalesced": self.coalesced,
                 "degraded": self.degraded,
+                "watchdog_timeouts": self.watchdog_timeouts,
+                "search_failures": self.search_failures,
             }
         return {
             **counters,

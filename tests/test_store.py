@@ -90,11 +90,17 @@ class TestResume:
         lines = [json.loads(l) for l in path.read_text().splitlines()]
         assert [r["fingerprint"] for r in lines] == ["fp1", "fp2", "fp3"]
 
-    def test_resume_rejects_mid_file_corruption(self, tmp_path):
+    def test_resume_quarantines_mid_file_corruption(self, tmp_path):
+        """Corruption that is not a torn final line is quarantined in
+        place (sidecar + counter), never fatal: one rotten byte must not
+        take the whole archive down with it."""
         path = tmp_path / "r.jsonl"
         path.write_text('not json at all\n{"fingerprint": "fp1"}\n')
-        with pytest.raises(ValueError, match="corrupt record"):
-            ResultStore(path)
+        store = ResultStore(path)
+        assert "fp1" in store
+        assert store.io_stats["quarantined_lines"] == 1
+        assert store.quarantine_path.exists()
+        store.close()
 
     def test_valid_final_line_missing_newline_is_kept_and_healed(self, tmp_path):
         """A kill between the record write and the newline write leaves a
